@@ -1,0 +1,126 @@
+(* hpmrun: run a Mini-C program, optionally migrating it between two
+   simulated machines mid-execution.
+
+     hpmrun FILE                          run on ultra5, no migration
+     hpmrun FILE --from dec5000 --to sparc20 --after-polls 100
+     hpmrun workload:bitonic:5000 --from sparc20 --to x86_64 --report
+
+   FILE may be "workload:NAME[:N]" for a built-in workload. *)
+
+open Cmdliner
+open Hpm_core
+
+let read_input (spec : string) : string =
+  match String.split_on_char ':' spec with
+  | [ "workload"; name ] ->
+      let w = Hpm_workloads.Registry.find_exn name in
+      w.Hpm_workloads.Registry.source w.Hpm_workloads.Registry.default_n
+  | [ "workload"; name; n ] ->
+      let w = Hpm_workloads.Registry.find_exn name in
+      w.Hpm_workloads.Registry.source (int_of_string n)
+  | _ ->
+      let ic = open_in_bin spec in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+
+let run file from_ to_ after report show_net save_ckpt load_ckpt =
+  try
+    let m = Migration.prepare (read_input file) in
+    match (save_ckpt, load_ckpt) with
+    | Some path, _ ->
+        (* run on --from, checkpoint at the poll, stop *)
+        let arch = Hpm_arch.Arch.by_name_exn from_ in
+        let out = Checkpoint.run_and_save m arch ~after_polls:after path in
+        print_string out;
+        Fmt.pr "; checkpointed to %s@." path;
+        0
+    | None, Some path ->
+        (* resume a checkpoint on --from and run to completion *)
+        let arch = Hpm_arch.Arch.by_name_exn from_ in
+        print_string (Checkpoint.resume_and_finish m arch path);
+        0
+    | None, None ->
+    match to_ with
+    | None ->
+        let arch = Hpm_arch.Arch.by_name_exn from_ in
+        let out, ret, stats = Migration.run_plain m arch in
+        print_string out;
+        if report then (
+          Fmt.pr "; exit=%s@."
+            (match ret with
+            | Some (Hpm_machine.Mem.Vint v) -> Int64.to_string v
+            | _ -> "void");
+          Fmt.pr "; %a@." Hpm_machine.Mstats.pp stats);
+        0
+    | Some toname ->
+        let src_arch = Hpm_arch.Arch.by_name_exn from_ in
+        let dst_arch = Hpm_arch.Arch.by_name_exn toname in
+        let o = Migration.run_migrating m ~src_arch ~dst_arch ~after_polls:after () in
+        print_string o.Migration.output;
+        (if report then
+           match o.Migration.report with
+           | Some r ->
+               Fmt.pr "; %a@." Migration.pp_report r;
+               if show_net then (
+                 let ch10 = Hpm_net.Netsim.ethernet_10 () in
+                 let ch100 = Hpm_net.Netsim.ethernet_100 () in
+                 Fmt.pr "; Tx over 10Mb Ethernet : %.4f s@."
+                   (Hpm_net.Netsim.tx_time ch10 r.Migration.stream_bytes);
+                 Fmt.pr "; Tx over 100Mb Ethernet: %.4f s@."
+                   (Hpm_net.Netsim.tx_time ch100 r.Migration.stream_bytes))
+           | None -> Fmt.pr "; process finished before the migration triggered@.");
+        0
+  with
+  | Hpm_lang.Lexer.Error (m, l, c) ->
+      Fmt.epr "lexical error at %d:%d: %s@." l c m;
+      1
+  | Hpm_lang.Parser.Error (m, l, c) ->
+      Fmt.epr "syntax error at %d:%d: %s@." l c m;
+      1
+  | Hpm_lang.Typecheck.Error (m, loc) ->
+      Fmt.epr "type error at %a: %s@." Hpm_lang.Ast.pp_loc loc m;
+      1
+  | Hpm_ir.Unsafe.Rejected diags ->
+      Fmt.epr "program uses migration-unsafe features:@.";
+      List.iter (fun d -> Fmt.epr "  %a@." Hpm_ir.Unsafe.pp_diag d) diags;
+      1
+  | Hpm_machine.Interp.Trap m | Hpm_machine.Mem.Fault m ->
+      Fmt.epr "runtime fault: %s@." m;
+      2
+  | Checkpoint.Error m | Restore.Error m | Collect.Error m ->
+      Fmt.epr "migration error: %s@." m;
+      3
+
+let () =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"source file or workload:NAME[:N]")
+  in
+  let from_ =
+    Arg.(value & opt string "ultra5" & info [ "from" ] ~docv:"ARCH" ~doc:"source machine")
+  in
+  let to_ =
+    Arg.(value & opt (some string) None & info [ "to" ] ~docv:"ARCH" ~doc:"destination machine (enables migration)")
+  in
+  let after =
+    Arg.(value & opt int 0 & info [ "after-polls" ] ~docv:"K" ~doc:"migrate at the (K+1)-th poll event")
+  in
+  let report = Arg.(value & flag & info [ "report" ] ~doc:"print migration statistics") in
+  let show_net = Arg.(value & flag & info [ "net" ] ~doc:"print simulated network transfer times") in
+  let save_ckpt =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-to" ] ~docv:"FILE"
+             ~doc:"run on --from, write a checkpoint at the poll, and stop")
+  in
+  let load_ckpt =
+    Arg.(value & opt (some string) None
+         & info [ "restore-from" ] ~docv:"FILE"
+             ~doc:"resume a checkpoint file on --from and run to completion")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "hpmrun" ~doc:"run Mini-C programs with heterogeneous process migration")
+      Term.(const run $ file $ from_ $ to_ $ after $ report $ show_net $ save_ckpt $ load_ckpt)
+  in
+  exit (Cmd.eval' cmd)

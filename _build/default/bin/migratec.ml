@@ -1,0 +1,173 @@
+(* migratec: the pre-compiler CLI.
+
+   Subcommands:
+     check FILE     - parse, type-check, and report migration-unsafe features
+     ir FILE        - dump the annotated IR (after poll-point insertion)
+     polls FILE     - list poll-points with their live-variable sets
+     graph FILE     - run to a poll-point and print the MSR graph (or dot)
+     source FILE    - re-print the parsed program (pretty-printer round trip)
+
+   FILE may also be "workload:NAME[:N]" to use a built-in workload. *)
+
+open Cmdliner
+open Hpm_core
+
+let read_input (spec : string) : string =
+  match String.split_on_char ':' spec with
+  | [ "workload"; name ] ->
+      let w = Hpm_workloads.Registry.find_exn name in
+      w.Hpm_workloads.Registry.source w.Hpm_workloads.Registry.default_n
+  | [ "workload"; name; n ] ->
+      let w = Hpm_workloads.Registry.find_exn name in
+      w.Hpm_workloads.Registry.source (int_of_string n)
+  | _ ->
+      let ic = open_in_bin spec in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+
+let strategy_of_string = function
+  | "default" -> Hpm_ir.Pollpoint.default_strategy
+  | "outer" -> Hpm_ir.Pollpoint.outer_loops_strategy
+  | "user" -> Hpm_ir.Pollpoint.user_only_strategy
+  | s -> failwith (Printf.sprintf "unknown strategy %S (default|outer|user)" s)
+
+let with_errors f =
+  try f () with
+  | Hpm_lang.Lexer.Error (m, l, c) ->
+      Fmt.epr "lexical error at %d:%d: %s@." l c m;
+      exit 1
+  | Hpm_lang.Parser.Error (m, l, c) ->
+      Fmt.epr "syntax error at %d:%d: %s@." l c m;
+      exit 1
+  | Hpm_lang.Typecheck.Error (m, loc) ->
+      Fmt.epr "type error at %a: %s@." Hpm_lang.Ast.pp_loc loc m;
+      exit 1
+  | Hpm_ir.Unsafe.Rejected diags ->
+      Fmt.epr "program uses migration-unsafe features:@.";
+      List.iter (fun d -> Fmt.epr "  %a@." Hpm_ir.Unsafe.pp_diag d) diags;
+      exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Mini-C source file, or workload:NAME[:N]")
+
+let strategy_arg =
+  Arg.(value & opt string "default" & info [ "strategy" ] ~docv:"S" ~doc:"poll-point strategy: default, outer, or user")
+
+let cmd_check =
+  let run file =
+    with_errors (fun () ->
+        let src = read_input file in
+        let ast = Hpm_lang.Parser.parse_string src in
+        let ast = Hpm_lang.Typecheck.check_program ast in
+        let diags = Hpm_ir.Unsafe.check ast in
+        if diags = [] then Fmt.pr "%s: migration-safe, no warnings@." file
+        else (
+          List.iter (fun d -> Fmt.pr "%a@." Hpm_ir.Unsafe.pp_diag d) diags;
+          if Hpm_ir.Unsafe.errors diags <> [] then exit 1))
+  in
+  Cmd.v (Cmd.info "check" ~doc:"type-check and scan for migration-unsafe features")
+    Term.(const run $ file_arg)
+
+let cmd_ir =
+  let run file strategy =
+    with_errors (fun () ->
+        let m = Migration.prepare ~strategy:(strategy_of_string strategy) (read_input file) in
+        Fmt.pr "%a@." Hpm_ir.Ir.pp_prog m.Migration.prog)
+  in
+  Cmd.v (Cmd.info "ir" ~doc:"dump annotated IR") Term.(const run $ file_arg $ strategy_arg)
+
+let cmd_polls =
+  let run file strategy =
+    with_errors (fun () ->
+        let m = Migration.prepare ~strategy:(strategy_of_string strategy) (read_input file) in
+        List.iter
+          (fun p -> Fmt.pr "%a@." Hpm_ir.Pollpoint.pp_info p)
+          m.Migration.polls.Hpm_ir.Pollpoint.polls;
+        Fmt.pr "%d poll-points@." (List.length m.Migration.polls.Hpm_ir.Pollpoint.polls))
+  in
+  Cmd.v (Cmd.info "polls" ~doc:"list poll-points and live sets")
+    Term.(const run $ file_arg $ strategy_arg)
+
+let cmd_source =
+  let run file =
+    with_errors (fun () ->
+        let ast = Hpm_lang.Parser.parse_string (read_input file) in
+        let ast = Hpm_lang.Typecheck.check_program ast in
+        Fmt.pr "%a" Hpm_lang.Pretty.pp_program ast)
+  in
+  Cmd.v (Cmd.info "source" ~doc:"pretty-print the parsed program") Term.(const run $ file_arg)
+
+let cmd_annotate =
+  let run file strategy =
+    with_errors (fun () ->
+        print_string
+          (Hpm_ir.Annotate.source ~strategy:(strategy_of_string strategy) (read_input file)))
+  in
+  Cmd.v
+    (Cmd.info "annotate" ~doc:"emit the annotated (migratable-format) source")
+    Term.(const run $ file_arg $ strategy_arg)
+
+let cmd_graph =
+  let after_arg =
+    Arg.(value & opt int 0 & info [ "after-polls" ] ~docv:"K" ~doc:"suspend at the (K+1)-th poll event")
+  in
+  let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"emit Graphviz dot") in
+  let arch_arg =
+    Arg.(value & opt string "ultra5" & info [ "arch" ] ~docv:"A" ~doc:"architecture to run on")
+  in
+  let reachable_arg =
+    Arg.(value & flag & info [ "reachable" ] ~doc:"restrict to blocks reachable from roots")
+  in
+  let run file after dot archname reachable =
+    with_errors (fun () ->
+        let arch = Hpm_arch.Arch.by_name_exn archname in
+        let m = Migration.prepare (read_input file) in
+        let p = Migration.start m arch in
+        Hpm_machine.Interp.request_migration_after p after;
+        match Hpm_machine.Interp.run p with
+        | Hpm_machine.Interp.RDone _ ->
+            Fmt.epr "process finished before reaching poll event %d@." after;
+            exit 1
+        | Hpm_machine.Interp.RFuel -> assert false
+        | Hpm_machine.Interp.RPolled id ->
+            let g = Hpm_msr.Graph.snapshot p in
+            let g = if reachable then Hpm_msr.Graph.reachable_from_roots p g else g in
+            if dot then print_string (Hpm_msr.Graph.to_dot g)
+            else (
+              Fmt.pr "suspended at poll #%d@." id;
+              Fmt.pr "%a" Hpm_msr.Graph.pp g))
+  in
+  Cmd.v (Cmd.info "graph" ~doc:"print the MSR graph at a poll-point")
+    Term.(const run $ file_arg $ after_arg $ dot_arg $ arch_arg $ reachable_arg)
+
+let cmd_stream =
+  let after_arg =
+    Arg.(value & opt int 0 & info [ "after-polls" ] ~docv:"K" ~doc:"suspend at the (K+1)-th poll event")
+  in
+  let arch_arg =
+    Arg.(value & opt string "ultra5" & info [ "arch" ] ~docv:"A" ~doc:"architecture to run on")
+  in
+  let run file after archname =
+    with_errors (fun () ->
+        let arch = Hpm_arch.Arch.by_name_exn archname in
+        let m = Migration.prepare (read_input file) in
+        let p = Migration.start m arch in
+        Hpm_machine.Interp.request_migration_after p after;
+        match Hpm_machine.Interp.run p with
+        | Hpm_machine.Interp.RDone _ ->
+            Fmt.epr "process finished before reaching poll event %d@." after;
+            exit 1
+        | Hpm_machine.Interp.RFuel -> assert false
+        | Hpm_machine.Interp.RPolled _ ->
+            let data, _ = Collect.collect p m.Migration.ti in
+            ignore (Inspect.dump m.Migration.prog m.Migration.ti data))
+  in
+  Cmd.v
+    (Cmd.info "stream" ~doc:"collect at a poll-point and dump the decoded migration stream")
+    Term.(const run $ file_arg $ after_arg $ arch_arg)
+
+let () =
+  let doc = "pre-compiler for heterogeneous process migration" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "migratec" ~doc) [ cmd_check; cmd_ir; cmd_polls; cmd_source; cmd_annotate; cmd_graph; cmd_stream ]))

@@ -1,0 +1,1 @@
+examples/bitonic_migration.ml: Array Cstats Fmt Hpm_arch Hpm_core Hpm_workloads Migration String Sys

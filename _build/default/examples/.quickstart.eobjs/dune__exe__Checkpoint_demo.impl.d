@@ -1,0 +1,1 @@
+examples/checkpoint_demo.ml: Buffer Checkpoint Filename Fmt Format Fun Hpm_arch Hpm_core Hpm_workloads Inspect List Migration String Sys Unix

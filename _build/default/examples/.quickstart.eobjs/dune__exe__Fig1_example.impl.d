@@ -1,0 +1,1 @@
+examples/fig1_example.ml: Array Fmt Hpm_arch Hpm_core Hpm_ir Hpm_machine Hpm_msr Migration String Sys

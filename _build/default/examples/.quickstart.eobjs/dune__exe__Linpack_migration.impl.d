@@ -1,0 +1,1 @@
+examples/linpack_migration.ml: Array Fmt Hpm_arch Hpm_core Hpm_net Hpm_workloads Migration String Sys

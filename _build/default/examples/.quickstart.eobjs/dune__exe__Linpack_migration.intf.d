@@ -1,0 +1,1 @@
+examples/linpack_migration.mli:

@@ -1,0 +1,1 @@
+examples/load_balance.ml: Fmt Hpm_arch Hpm_core Hpm_net Hpm_sched Hpm_workloads List Migration Option Printf Sched String

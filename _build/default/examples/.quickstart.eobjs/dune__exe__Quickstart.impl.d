@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Hpm_arch Hpm_core Hpm_ir Hpm_msr List Migration String

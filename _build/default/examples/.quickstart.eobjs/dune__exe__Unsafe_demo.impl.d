@@ -1,0 +1,1 @@
+examples/unsafe_demo.ml: Fmt Hpm_arch Hpm_core Hpm_ir Hpm_lang List String

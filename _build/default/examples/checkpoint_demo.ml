@@ -1,0 +1,49 @@
+(* Heterogeneous checkpoint / restart.
+
+   The migration stream is a complete machine-independent process image,
+   so writing it to disk gives checkpointing for free: this demo runs a
+   quicksort on a little-endian DECstation, checkpoints it mid-sort to a
+   file, then restarts the same file twice — once on a big-endian SPARC
+   and once on an LP64 x86-64 box — and shows both completions agree with
+   an uninterrupted run.  (qsort's arithmetic stays within 32 bits, so
+   even the ILP32 -> LP64 restart is output-identical; see README on
+   width-dependent programs.)
+
+     dune exec examples/checkpoint_demo.exe
+*)
+
+open Hpm_core
+
+let () =
+  let m = Migration.prepare (Hpm_workloads.Qsort.source 4_000) in
+  let expected, _, _ = Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  let path = Filename.temp_file "hpm_demo" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Fmt.pr "running on dec5000, checkpointing to %s mid-build...@." path;
+      let before = Checkpoint.run_and_save m Hpm_arch.Arch.dec5000 ~after_polls:2500 path in
+      Fmt.pr "checkpoint written: %d bytes@." (Unix.stat path).Unix.st_size;
+      Fmt.pr "@.decoded image (first lines):@.";
+      let data =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let buf = Buffer.create 4096 in
+      let ppf = Format.formatter_of_buffer buf in
+      ignore (Inspect.dump ~ppf m.Migration.prog m.Migration.ti data);
+      Format.pp_print_flush ppf ();
+      String.split_on_char '\n' (Buffer.contents buf)
+      |> List.filteri (fun i _ -> i < 8)
+      |> List.iter (Fmt.pr "  %s@.");
+      Fmt.pr "  ...@.@.";
+      let on_sparc = Checkpoint.resume_and_finish m Hpm_arch.Arch.sparc20 path in
+      Fmt.pr "restarted on sparc20 (big-endian):    %s@."
+        (if String.equal expected (before ^ on_sparc) then "completed, output MATCHES"
+         else "OUTPUT DIFFERS");
+      let on_x86 = Checkpoint.resume_and_finish m Hpm_arch.Arch.x86_64 path in
+      Fmt.pr "restarted on x86_64 (LP64):           %s@."
+        (if String.equal expected (before ^ on_x86) then "completed, output MATCHES"
+         else "OUTPUT DIFFERS"))

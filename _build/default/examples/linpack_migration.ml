@@ -1,0 +1,37 @@
+(* Linpack under migration (the §4.1 heterogeneity experiment, linpack row).
+
+   Solves a small dense system, migrating DEC 5000 -> Sparc 20 in the
+   middle of the factorization.  The solution is checked on the
+   destination machine: "large floating-point data are correctly
+   transferred [and] the data collection and restoration process preserves
+   the high-order floating point accuracy."
+
+     dune exec examples/linpack_migration.exe [-- N]
+*)
+
+open Hpm_core
+
+let () =
+  let n =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1)
+    else Hpm_workloads.Linpack.test_size
+  in
+  let m = Migration.prepare (Hpm_workloads.Linpack.source n) in
+  let expected, _, _ = Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  Fmt.pr "linpack %dx%d, no migration:@.%s@." n n expected;
+  (* migrate somewhere inside dgefa: after ~n poll events the outer
+     elimination loop is underway *)
+  let o =
+    Migration.run_migrating m ~src_arch:Hpm_arch.Arch.dec5000
+      ~dst_arch:Hpm_arch.Arch.sparc20 ~after_polls:(3 * n) ()
+  in
+  Fmt.pr "with migration dec5000 -> sparc20 mid-factorization:@.%s@." o.Migration.output;
+  (match o.Migration.report with
+  | Some r ->
+      Fmt.pr "%a@." Migration.pp_report r;
+      let ch = Hpm_net.Netsim.ethernet_100 () in
+      Fmt.pr "simulated Tx over %s: %.4f s@." ch.Hpm_net.Netsim.name
+        (Hpm_net.Netsim.tx_time ch r.Migration.stream_bytes)
+  | None -> Fmt.pr "(finished before migration)@.");
+  Fmt.pr "floating-point results %s@."
+    (if String.equal expected o.Migration.output then "IDENTICAL" else "DIFFER")

@@ -1,0 +1,69 @@
+(* Quickstart: the whole public API in one page.
+
+   Write a Mini-C program, run the pre-compiler, start it on a simulated
+   little-endian DECstation, migrate it mid-loop to a big-endian SPARC,
+   and watch it finish there with all of its heap intact.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Hpm_core
+
+let source =
+  {|
+struct point { double x; double y; struct point *next; };
+
+struct point *path;
+
+double length(struct point *p) {
+  double d;
+  d = 0.0;
+  while (p != 0 && p->next != 0) {
+    d = d + sqrt((p->x - p->next->x) * (p->x - p->next->x)
+               + (p->y - p->next->y) * (p->y - p->next->y));
+    p = p->next;
+  }
+  return d;
+}
+
+int main() {
+  struct point *p;
+  int i;
+  path = 0;
+  for (i = 0; i < 1000; i++) {
+    p = (struct point *) malloc(sizeof(struct point));
+    p->x = (double)(i % 97);
+    p->y = (double)((i * 7) % 89);
+    p->next = path;
+    path = p;
+  }
+  print_str("path length:\n");
+  print_double(length(path));
+  return 0;
+}
+|}
+
+let () =
+  (* 1. Pre-compile into the migratable format: type check, reject
+        migration-unsafe features, lower to IR, insert poll-points. *)
+  let m = Migration.prepare source in
+  Fmt.pr "pre-compiled: %d poll-points, %d TI entries@."
+    (List.length m.Migration.polls.Hpm_ir.Pollpoint.polls)
+    (Hpm_msr.Ti.entry_count m.Migration.ti);
+
+  (* 2. Reference run, no migration, on one machine. *)
+  let expected, _, _ = Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  Fmt.pr "@.reference run on ultra5:@.%s" expected;
+
+  (* 3. Start on a little-endian machine; migrate to a big-endian one
+        after 500 poll events (mid-construction). *)
+  let outcome =
+    Migration.run_migrating m ~src_arch:Hpm_arch.Arch.dec5000
+      ~dst_arch:Hpm_arch.Arch.sparc20 ~after_polls:500 ()
+  in
+  (match outcome.Migration.report with
+  | Some r -> Fmt.pr "@.%a@." Migration.pp_report r
+  | None -> ());
+  Fmt.pr "@.migrated run (dec5000 -> sparc20):@.%s" outcome.Migration.output;
+  Fmt.pr "@.outputs %s@."
+    (if String.equal expected outcome.Migration.output then "MATCH" else "DIFFER")

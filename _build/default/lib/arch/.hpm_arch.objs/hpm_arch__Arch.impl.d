@@ -1,0 +1,1 @@
+lib/arch/arch.ml: Endian Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/arch/endian.ml: Bytes Char Fmt Int32 Int64 Printf

@@ -1,0 +1,1 @@
+lib/arch/endian.mli: Bytes Format

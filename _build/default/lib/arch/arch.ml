@@ -1,0 +1,126 @@
+(** Simulated architecture descriptors.
+
+    An {!t} captures everything about a target machine that affects the
+    in-memory representation of a process: byte order, the width of each C
+    scalar type, alignment rules, and where the global / stack / heap
+    segments live in the (simulated) address space.
+
+    The descriptors below model the machines of the paper's evaluation —
+    a DEC 5000/120 (little-endian MIPS, ILP32) and Sun SPARCstation 20 /
+    Ultra 5 (big-endian, ILP32) — plus two modern profiles (x86-64 LP64 and
+    i386 with 4-byte double alignment) that exercise pointer-width and
+    padding heterogeneity beyond what the paper had available. *)
+
+type t = {
+  name : string;  (** unique short name, used in streams and CLIs *)
+  endian : Endian.order;
+  short_size : int;
+  int_size : int;
+  long_size : int;
+  ptr_size : int;
+  float_size : int;
+  double_size : int;
+  (* Alignment of a scalar may be smaller than its size (i386 aligns
+     [double] to 4).  [align_of_size] caps alignment at [max_align]. *)
+  double_align : int;
+  long_align : int;
+  max_align : int;
+  (* Segment base addresses.  They only need to be disjoint and nonzero;
+     values echo classic Unix layouts (text low, stack high). *)
+  global_base : int64;
+  heap_base : int64;
+  stack_base : int64;
+  (* Relative execution speed, used by the scheduler simulation to model
+     heterogeneous node performance (instructions per simulated second). *)
+  speed : float;
+}
+
+let pp ppf a =
+  Fmt.pf ppf "%s(%a, int=%d, long=%d, ptr=%d)" a.name Endian.pp_order a.endian
+    a.int_size a.long_size a.ptr_size
+
+(** DEC 5000/120 running Ultrix: MIPS R3000 in little-endian mode, ILP32.
+    The migration *source* machine of the paper's heterogeneous runs. *)
+let dec5000 = {
+  name = "dec5000";
+  endian = Endian.Little;
+  short_size = 2; int_size = 4; long_size = 4; ptr_size = 4;
+  float_size = 4; double_size = 8;
+  double_align = 8; long_align = 4; max_align = 8;
+  global_base = 0x0040_0000L;
+  heap_base = 0x1000_0000L;
+  stack_base = 0x7fff_0000L;
+  speed = 0.25;
+}
+
+(** Sun SPARCstation 20 running Solaris 2.5: big-endian, ILP32.
+    The migration *destination* machine of the paper's heterogeneous runs. *)
+let sparc20 = {
+  name = "sparc20";
+  endian = Endian.Big;
+  short_size = 2; int_size = 4; long_size = 4; ptr_size = 4;
+  float_size = 4; double_size = 8;
+  double_align = 8; long_align = 4; max_align = 8;
+  global_base = 0x0002_0000L;
+  heap_base = 0x2000_0000L;
+  stack_base = 0xeffe_0000L;
+  speed = 0.35;
+}
+
+(** Sun Ultra 5: the homogeneous pair of Table 1 / Figure 2 (big-endian,
+    ILP32 user processes under Solaris). *)
+let ultra5 = {
+  sparc20 with
+  name = "ultra5";
+  speed = 1.0;
+}
+
+(** Modern 64-bit little-endian profile (LP64): exercises pointer- and
+    long-width translation, which the paper lists as future heterogeneity. *)
+let x86_64 = {
+  name = "x86_64";
+  endian = Endian.Little;
+  short_size = 2; int_size = 4; long_size = 8; ptr_size = 8;
+  float_size = 4; double_size = 8;
+  double_align = 8; long_align = 8; max_align = 16;
+  global_base = 0x0060_0000L;
+  heap_base = 0x0000_7f00_0000_0000L;
+  stack_base = 0x0000_7fff_ff00_0000L;
+  speed = 40.0;
+}
+
+(** Classic i386 System V ABI: little-endian ILP32 with [double] aligned to
+    only 4 bytes — a struct-padding profile distinct from all the RISC
+    machines, so layout translation is nontrivial even between two
+    little-endian 32-bit arches. *)
+let i386 = {
+  name = "i386";
+  endian = Endian.Little;
+  short_size = 2; int_size = 4; long_size = 4; ptr_size = 4;
+  float_size = 4; double_size = 8;
+  double_align = 4; long_align = 4; max_align = 4;
+  global_base = 0x0804_8000L;
+  heap_base = 0x0900_0000L;
+  stack_base = 0xbfff_0000L;
+  speed = 8.0;
+}
+
+let all = [ dec5000; sparc20; ultra5; x86_64; i386 ]
+
+let by_name name = List.find_opt (fun a -> String.equal a.name name) all
+
+let by_name_exn name =
+  match by_name name with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Arch.by_name_exn: unknown architecture %S (known: %s)"
+           name
+           (String.concat ", " (List.map (fun a -> a.name) all)))
+
+(** [heterogeneous a b] is true when migrating between [a] and [b] requires
+    nontrivial data translation (differing byte order or any scalar width
+    or alignment difference). *)
+let heterogeneous a b =
+  a.endian <> b.endian || a.int_size <> b.int_size || a.long_size <> b.long_size
+  || a.ptr_size <> b.ptr_size || a.double_align <> b.double_align

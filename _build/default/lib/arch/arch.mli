@@ -1,0 +1,55 @@
+(** Simulated architecture descriptors.
+
+    Everything about a target machine that affects a process image: byte
+    order, scalar widths, alignment rules, segment base addresses, and a
+    relative execution speed for the scheduler simulation.  The catalog
+    models the paper's evaluation machines plus two modern profiles that
+    add pointer-width and padding heterogeneity. *)
+
+type t = {
+  name : string;  (** unique short name, used in streams and CLIs *)
+  endian : Endian.order;
+  short_size : int;
+  int_size : int;
+  long_size : int;
+  ptr_size : int;
+  float_size : int;
+  double_size : int;
+  double_align : int;  (** may be < double_size (i386: 4) *)
+  long_align : int;
+  max_align : int;
+  global_base : int64;
+  heap_base : int64;
+  stack_base : int64;
+  speed : float;  (** relative instructions/second, for {!Hpm_sched} *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** DEC 5000/120 (Ultrix): little-endian MIPS, ILP32 — the paper's
+    migration source machine. *)
+val dec5000 : t
+
+(** Sun SPARCstation 20 (Solaris 2.5): big-endian, ILP32 — the paper's
+    migration destination machine. *)
+val sparc20 : t
+
+(** Sun Ultra 5: the homogeneous pair of Table 1 / Figure 2. *)
+val ultra5 : t
+
+(** Modern LP64 little-endian profile: 8-byte pointers and longs. *)
+val x86_64 : t
+
+(** Classic i386 System V ABI: ILP32 with 4-byte [double] alignment —
+    distinct struct padding even against other 32-bit machines. *)
+val i386 : t
+
+val all : t list
+val by_name : string -> t option
+
+(** @raise Invalid_argument for unknown names, listing the catalog. *)
+val by_name_exn : string -> t
+
+(** True when migrating between the two requires nontrivial data
+    translation (byte order, any width, or alignment differs). *)
+val heterogeneous : t -> t -> bool

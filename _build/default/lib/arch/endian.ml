@@ -1,0 +1,137 @@
+(** Byte-order primitives.
+
+    Low-level reads and writes of fixed-width integers in an explicit byte
+    order, over [Bytes.t] buffers.  This is the bottom of the heterogeneity
+    stack: every scalar stored in a simulated machine's memory goes through
+    these functions with the machine's own byte order, and every scalar in
+    the machine-independent migration stream goes through them with
+    {!Big} (the XDR canonical order). *)
+
+type order =
+  | Big     (** most-significant byte first (SPARC, XDR canonical) *)
+  | Little  (** least-significant byte first (MIPS-LE, x86) *)
+
+let pp_order ppf = function
+  | Big -> Fmt.string ppf "big-endian"
+  | Little -> Fmt.string ppf "little-endian"
+
+let order_to_string = function Big -> "big" | Little -> "little"
+
+let order_of_string = function
+  | "big" -> Some Big
+  | "little" -> Some Little
+  | _ -> None
+
+(* All multi-byte accessors take an explicit [order]; widths not covered by
+   the [Bytes] stdlib accessors (e.g. arbitrary-width reads used for
+   pointer-size-agnostic loads) are composed from byte loops. *)
+
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+let get_u16 order b off =
+  match order with
+  | Big -> Bytes.get_uint16_be b off
+  | Little -> Bytes.get_uint16_le b off
+
+let set_u16 order b off v =
+  match order with
+  | Big -> Bytes.set_uint16_be b off v
+  | Little -> Bytes.set_uint16_le b off v
+
+let get_i32 order b off =
+  match order with
+  | Big -> Bytes.get_int32_be b off
+  | Little -> Bytes.get_int32_le b off
+
+let set_i32 order b off v =
+  match order with
+  | Big -> Bytes.set_int32_be b off v
+  | Little -> Bytes.set_int32_le b off v
+
+let get_i64 order b off =
+  match order with
+  | Big -> Bytes.get_int64_be b off
+  | Little -> Bytes.get_int64_le b off
+
+let set_i64 order b off v =
+  match order with
+  | Big -> Bytes.set_int64_be b off v
+  | Little -> Bytes.set_int64_le b off v
+
+(** [get_uint order width b off] reads an unsigned integer of [width] bytes
+    (1..8) as a non-negative [Int64.t].  Widths above 8 are rejected. *)
+let get_uint order width b off =
+  if width < 1 || width > 8 then
+    invalid_arg (Printf.sprintf "Endian.get_uint: width %d" width);
+  let v = ref 0L in
+  (match order with
+  | Big ->
+      for i = 0 to width - 1 do
+        v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 b (off + i)))
+      done
+  | Little ->
+      for i = width - 1 downto 0 do
+        v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 b (off + i)))
+      done);
+  !v
+
+(** [set_uint order width b off v] writes the low [width] bytes of [v].
+    High-order bits beyond [width] bytes are silently truncated, exactly as a
+    narrowing store does on real hardware. *)
+let set_uint order width b off v =
+  if width < 1 || width > 8 then
+    invalid_arg (Printf.sprintf "Endian.set_uint: width %d" width);
+  (match order with
+  | Big ->
+      for i = 0 to width - 1 do
+        let shift = 8 * (width - 1 - i) in
+        set_u8 b (off + i) (Int64.to_int (Int64.shift_right_logical v shift))
+      done
+  | Little ->
+      for i = 0 to width - 1 do
+        let shift = 8 * i in
+        set_u8 b (off + i) (Int64.to_int (Int64.shift_right_logical v shift))
+      done)
+
+(** [sign_extend width v] interprets the low [width] bytes of [v] as a signed
+    two's-complement value and extends the sign to 64 bits. *)
+let sign_extend width v =
+  if width >= 8 then v
+  else
+    let shift = 64 - (8 * width) in
+    Int64.shift_right (Int64.shift_left v shift) shift
+
+(** [truncate width v] keeps only the low [width] bytes of [v] (zero-fill). *)
+let truncate width v =
+  if width >= 8 then v
+  else
+    let shift = 64 - (8 * width) in
+    Int64.shift_right_logical (Int64.shift_left v shift) shift
+
+let get_int order width b off = sign_extend width (get_uint order width b off)
+
+let set_int = set_uint
+
+(** IEEE-754 accessors: the bit pattern is stored in the given byte order.
+    Both single and double precision are modelled faithfully; a [float]
+    round-tripped through [get_f32]/[set_f32] loses precision exactly as a C
+    [float] does. *)
+
+let get_f32 order b off = Int32.float_of_bits (get_i32 order b off)
+let set_f32 order b off v = set_i32 order b off (Int32.bits_of_float v)
+let get_f64 order b off = Int64.float_of_bits (get_i64 order b off)
+let set_f64 order b off v = set_i64 order b off (Int64.bits_of_float v)
+
+(** [swap_bytes buf off len] reverses [len] bytes in place — used by tests to
+    cross-check that a little-endian store equals a byte-swapped big-endian
+    store. *)
+let swap_bytes buf off len =
+  let i = ref off and j = ref (off + len - 1) in
+  while !i < !j do
+    let t = Bytes.get buf !i in
+    Bytes.set buf !i (Bytes.get buf !j);
+    Bytes.set buf !j t;
+    incr i;
+    decr j
+  done

@@ -1,0 +1,54 @@
+(** Byte-order primitives: fixed-width integer and IEEE-754 accessors over
+    [Bytes.t] in an explicit byte order.  The bottom of the heterogeneity
+    stack — simulated machine memory uses these with the machine's own
+    order, the migration stream with {!Big} (XDR canonical). *)
+
+type order =
+  | Big     (** most-significant byte first (SPARC, XDR canonical) *)
+  | Little  (** least-significant byte first (MIPS-LE, x86) *)
+
+val pp_order : Format.formatter -> order -> unit
+val order_to_string : order -> string
+val order_of_string : string -> order option
+
+val get_u8 : Bytes.t -> int -> int
+val set_u8 : Bytes.t -> int -> int -> unit
+val get_u16 : order -> Bytes.t -> int -> int
+val set_u16 : order -> Bytes.t -> int -> int -> unit
+val get_i32 : order -> Bytes.t -> int -> int32
+val set_i32 : order -> Bytes.t -> int -> int32 -> unit
+val get_i64 : order -> Bytes.t -> int -> int64
+val set_i64 : order -> Bytes.t -> int -> int64 -> unit
+
+(** [get_uint order width b off] reads an unsigned integer of [width]
+    bytes (1..8) as a non-negative [Int64.t].
+    @raise Invalid_argument outside 1..8. *)
+val get_uint : order -> int -> Bytes.t -> int -> int64
+
+(** [set_uint order width b off v] writes the low [width] bytes of [v];
+    higher bytes are silently truncated, as a narrowing store does. *)
+val set_uint : order -> int -> Bytes.t -> int -> int64 -> unit
+
+(** [sign_extend width v]: interpret the low [width] bytes of [v] as
+    signed two's complement and extend to 64 bits. *)
+val sign_extend : int -> int64 -> int64
+
+(** [truncate width v]: keep only the low [width] bytes (zero-fill). *)
+val truncate : int -> int64 -> int64
+
+(** Signed read: {!get_uint} followed by {!sign_extend}. *)
+val get_int : order -> int -> Bytes.t -> int -> int64
+
+val set_int : order -> int -> Bytes.t -> int -> int64 -> unit
+
+(** IEEE-754 bit patterns stored in the given byte order.  Single
+    precision round-trips through the OCaml [float] detour bit-exactly
+    for all non-NaN values. *)
+val get_f32 : order -> Bytes.t -> int -> float
+
+val set_f32 : order -> Bytes.t -> int -> float -> unit
+val get_f64 : order -> Bytes.t -> int -> float
+val set_f64 : order -> Bytes.t -> int -> float -> unit
+
+(** Reverse [len] bytes in place (test helper: LE = byte-swapped BE). *)
+val swap_bytes : Bytes.t -> int -> int -> unit

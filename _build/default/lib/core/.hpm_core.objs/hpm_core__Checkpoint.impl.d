@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Collect Cstats Fun Hpm_arch Hpm_machine Interp Migration Printf Restore

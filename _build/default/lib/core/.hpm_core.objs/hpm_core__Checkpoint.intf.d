@@ -1,0 +1,1 @@
+lib/core/checkpoint.mli: Cstats Hpm_arch Hpm_machine Interp Migration

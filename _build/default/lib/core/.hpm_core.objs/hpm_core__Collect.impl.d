@@ -1,0 +1,1 @@
+lib/core/collect.ml: Array Buffer Cstats Fmt Hashtbl Hpm_arch Hpm_ir Hpm_lang Hpm_machine Hpm_msr Hpm_xdr Int64 Interp Ir Layout List Liveness Mem Msrlt Rng Stream Ti Ty Xdr

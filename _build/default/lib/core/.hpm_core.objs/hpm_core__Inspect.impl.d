@@ -1,0 +1,1 @@
+lib/core/inspect.ml: Fmt Format Hpm_ir Hpm_lang Hpm_machine Hpm_msr Hpm_xdr Int64 List Printf Stream String Ti Ty Xdr

@@ -1,0 +1,1 @@
+lib/core/migration.ml: Arch Collect Compile Cstats Fmt Hpm_arch Hpm_ir Hpm_lang Hpm_machine Hpm_msr Hpm_xdr Interp Ir Mem Mstats Pollpoint Restore Stream String Ti Unsafe Xdr

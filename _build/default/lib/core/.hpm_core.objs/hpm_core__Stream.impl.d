@@ -1,0 +1,1 @@
+lib/core/stream.ml: Buffer Bytes Char Fmt Hpm_ir Hpm_lang Hpm_machine Hpm_xdr Int64 Mem String Ty Xdr

@@ -1,0 +1,68 @@
+(** Checkpoint / restart on top of the migration stream.
+
+    §2 of the paper notes the migration information can travel over "TCP,
+    shared file systems, or remote file transfer" — the stream is already
+    a complete, machine-independent process image, so persisting it to a
+    file gives heterogeneous *checkpointing* for free: a process saved on
+    one architecture restarts on any other, later.  (This is also how the
+    paper's group positioned the mechanism in follow-up work.)
+
+    The file format is the wire format of {!Stream} (which embeds its own
+    magic, version, and program fingerprint), so all the validation and
+    failure-injection behaviour of {!Restore} applies to stale or
+    corrupted checkpoint files too. *)
+
+open Hpm_machine
+
+exception Error of string
+
+(** Checkpoint a process suspended at a poll-point into [path].
+    Returns the §4.2 collection statistics. *)
+let save (m : Migration.migratable) (p : Interp.t) (path : string) : Cstats.collect =
+  let data, stats = Collect.collect p m.Migration.ti in
+  let oc =
+    try open_out_bin path
+    with Sys_error e -> raise (Error (Printf.sprintf "cannot write checkpoint: %s" e))
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data);
+  stats
+
+(** Rebuild a process from the checkpoint in [path], on [arch].  The
+    program [m] must be the same migratable program that saved it (the
+    fingerprint is checked). *)
+let load (m : Migration.migratable) (arch : Hpm_arch.Arch.t) (path : string) :
+    Interp.t * Cstats.restore =
+  let data =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error e -> raise (Error (Printf.sprintf "cannot read checkpoint: %s" e))
+  in
+  Restore.restore m.Migration.prog arch m.Migration.ti data
+
+(** Convenience driver: run on [arch], checkpoint at the (k+1)-th poll
+    event, and stop — the moral equivalent of receiving a checkpoint
+    signal.  Returns the output produced so far. *)
+let run_and_save (m : Migration.migratable) (arch : Hpm_arch.Arch.t) ~after_polls path :
+    string =
+  let p = Migration.start m arch in
+  Interp.request_migration_after p after_polls;
+  match Interp.run p with
+  | Interp.RPolled _ ->
+      let (_ : Cstats.collect) = save m p path in
+      Interp.output p
+  | Interp.RDone _ -> raise (Error "process finished before the checkpoint trigger")
+  | Interp.RFuel -> assert false
+
+(** Resume a checkpoint on [arch] and run to completion; returns the
+    output produced after the restart. *)
+let resume_and_finish (m : Migration.migratable) (arch : Hpm_arch.Arch.t) path : string =
+  let p, _ = load m arch path in
+  match Interp.run p with
+  | Interp.RDone _ -> Interp.output p
+  | Interp.RPolled _ -> raise (Error "unexpected migration request after restart")
+  | Interp.RFuel -> assert false

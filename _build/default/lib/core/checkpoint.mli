@@ -1,0 +1,34 @@
+(** Heterogeneous checkpoint / restart on top of the migration stream.
+
+    The stream is a complete machine-independent process image, so
+    persisting it gives checkpointing for free: a process saved on one
+    architecture restarts on any other, later, any number of times.  The
+    file format is exactly {!Stream}'s wire format (see docs/FORMAT.md),
+    so all of {!Restore}'s validation applies to stale or corrupted
+    checkpoint files too. *)
+
+open Hpm_machine
+
+(** I/O-level failures (missing or unwritable files).  Format-level
+    failures surface as {!Restore.Error} / {!Stream.Corrupt} /
+    {!Hpm_xdr.Xdr.Underflow}, as for any migration stream. *)
+exception Error of string
+
+(** Checkpoint a process suspended at a poll-point into a file; returns
+    the §4.2 collection statistics. *)
+val save : Migration.migratable -> Interp.t -> string -> Cstats.collect
+
+(** Rebuild a process from a checkpoint file on the given architecture.
+    The program must be the same migratable program that saved it (the
+    fingerprint is checked). *)
+val load :
+  Migration.migratable -> Hpm_arch.Arch.t -> string -> Interp.t * Cstats.restore
+
+(** Run on an architecture, checkpoint at the (k+1)-th poll event, stop;
+    returns the output produced before the checkpoint. *)
+val run_and_save :
+  Migration.migratable -> Hpm_arch.Arch.t -> after_polls:int -> string -> string
+
+(** Resume a checkpoint and run to completion; returns the output
+    produced after the restart. *)
+val resume_and_finish : Migration.migratable -> Hpm_arch.Arch.t -> string -> string

@@ -1,0 +1,234 @@
+(** Data collection: the [Save_variable] / [Save_pointer] half of the
+    MSRM library (§3.1).
+
+    At a migration the suspended process's state is encoded
+    machine-independently:
+
+    - execution state: the call stack's (function, block, index) triples;
+    - live data: for each frame, the pre-compiler's live variables at its
+      suspension point ([Ipoll] for the top frame, [Icall] for the rest),
+      each saved with [save_variable];
+    - all globals (collection roots, like the paper's [Save_variable
+      (&first)] in [main]).
+
+    [save_pointer] performs the depth-first traversal: translate the
+    address through the MSRLT (O(log n) search), and if the target block
+    is unvisited, mark it, emit its definition inline, and recurse into
+    its pointer elements.  Already-visited blocks are emitted as (mi_id,
+    ordinal) references — "visited memory blocks are marked so that they
+    are not saved again". *)
+
+open Hpm_lang
+open Hpm_xdr
+open Hpm_ir
+open Hpm_machine
+open Hpm_msr
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
+
+type ctx = {
+  interp : Interp.t;
+  ti : Ti.t;
+  col : Msrlt.collect_side;
+  buf : Buffer.t;
+  stats : Cstats.collect;
+  elems_cache : (string, Layout.elems) Hashtbl.t;
+  liveness_cache : (string, Liveness.t) Hashtbl.t;
+}
+
+let make_ctx (interp : Interp.t) (ti : Ti.t) =
+  {
+    interp;
+    ti;
+    col = Msrlt.collector interp.Interp.mem;
+    buf = Buffer.create 4096;
+    stats = Cstats.collect_zero ();
+    elems_cache = Hashtbl.create 32;
+    liveness_cache = Hashtbl.create 8;
+  }
+
+let elems_of ctx (ty : Ty.t) : Layout.elems =
+  let key = Ty.to_string ty in
+  match Hashtbl.find_opt ctx.elems_cache key with
+  | Some e -> e
+  | None ->
+      let e = Layout.elems ctx.interp.Interp.mem.Mem.layout ty in
+      Hashtbl.add ctx.elems_cache key e;
+      e
+
+let liveness_of ctx (f : Ir.func) : Liveness.t =
+  match Hashtbl.find_opt ctx.liveness_cache f.Ir.name with
+  | Some l -> l
+  | None ->
+      let l = Liveness.analyze f in
+      Hashtbl.add ctx.liveness_cache f.Ir.name l;
+      l
+
+(* Ordinal of the element at [addr] inside [block]; the one-past-the-end
+   address maps to ordinal = element count. *)
+let ordinal_at ctx (block : Mem.block) (addr : int64) : int =
+  let off = Int64.to_int (Int64.sub addr block.Mem.base) in
+  let elems = elems_of ctx block.Mem.ty in
+  if off = block.Mem.size then Layout.elem_count elems
+  else
+    match Layout.ordinal_of_byte elems off with
+    | Some o -> o
+    | None ->
+        error
+          "pointer 0x%Lx lands at byte %d of block #%d (%s), which is not an element \
+           boundary"
+          addr off block.Mem.bid (Ty.to_string block.Mem.ty)
+
+let rec save_ptr ctx (v : Mem.value) : unit =
+  ctx.stats.Cstats.c_pointers <- ctx.stats.Cstats.c_pointers + 1;
+  match v with
+  | Mem.Vptr 0L -> Xdr.put_u8 ctx.buf Stream.tag_null
+  | Mem.Vptr addr when Interp.is_func_addr ctx.interp.Interp.prog addr ->
+      Xdr.put_u8 ctx.buf Stream.tag_func;
+      Xdr.put_int_as_i32 ctx.buf
+        (Int64.to_int (Int64.div (Int64.sub addr Interp.text_base) 64L))
+  | Mem.Vptr addr -> (
+      let block =
+        (* a one-past-the-end pointer (legal C) does not land inside its
+           block: retry on the last byte and confirm the address is
+           exactly base+size *)
+        try Msrlt.search ctx.col addr
+        with Mem.Fault m -> (
+          match Msrlt.search ctx.col (Int64.sub addr 1L) with
+          | b
+            when Int64.equal addr (Int64.add b.Mem.base (Int64.of_int b.Mem.size)) ->
+              b
+          | _ -> error "collection reached a bad pointer: %s" m
+          | exception Mem.Fault _ -> error "collection reached a bad pointer: %s" m)
+      in
+      let ord = ordinal_at ctx block addr in
+      match Msrlt.lookup ctx.col block with
+      | Some id ->
+          Xdr.put_u8 ctx.buf Stream.tag_ref;
+          Xdr.put_int_as_i32 ctx.buf id;
+          Xdr.put_int_as_i32 ctx.buf ord
+      | None ->
+          Xdr.put_u8 ctx.buf Stream.tag_block;
+          save_block ctx block;
+          Xdr.put_int_as_i32 ctx.buf ord)
+  | v -> error "save_pointer of non-pointer value %s" (Fmt.str "%a" Mem.pp_value v)
+
+(** Emit the block definition: mi_id, identity, type, contents.  The block
+    is registered (marked visited) *before* its contents are walked, so
+    cycles terminate. *)
+and save_block ctx (block : Mem.block) : unit =
+  let id = Msrlt.register ctx.col block in
+  ctx.stats.Cstats.c_blocks <- ctx.stats.Cstats.c_blocks + 1;
+  ctx.stats.Cstats.c_data_bytes <- ctx.stats.Cstats.c_data_bytes + block.Mem.size;
+  Xdr.put_int_as_i32 ctx.buf id;
+  Stream.put_ident ctx.buf block.Mem.ident;
+  let tid, count = Ti.encode_block_ty ctx.ti block.Mem.ty in
+  Xdr.put_int_as_i32 ctx.buf tid;
+  Xdr.put_int_as_i32 ctx.buf count;
+  let elems = elems_of ctx block.Mem.ty in
+  let n = Layout.elem_count elems in
+  let mem = ctx.interp.Interp.mem in
+  for ord = 0 to n - 1 do
+    let kind = Layout.kind_of_ordinal elems ord in
+    let off = Layout.byte_of_ordinal elems ord in
+    let v = Mem.load_scalar mem block off kind in
+    match kind with
+    | Ty.KPtr _ | Ty.KFunc _ -> save_ptr ctx v
+    | k -> Stream.put_prim ctx.buf k v
+  done
+
+(** [save_variable ctx block] saves a named variable's own block — used
+    for both live locals and globals.  Like the paper's [Save_variable],
+    no address search is needed (the block is known statically); the
+    traversal still recurses through any pointers inside. *)
+let save_variable ctx (block : Mem.block) : unit =
+  ctx.stats.Cstats.c_live_vars <- ctx.stats.Cstats.c_live_vars + 1;
+  match Msrlt.lookup ctx.col block with
+  | Some id ->
+      Xdr.put_u8 ctx.buf Stream.tag_ref;
+      Xdr.put_int_as_i32 ctx.buf id;
+      Xdr.put_int_as_i32 ctx.buf 0
+  | None ->
+      Xdr.put_u8 ctx.buf Stream.tag_block;
+      save_block ctx block;
+      Xdr.put_int_as_i32 ctx.buf 0
+
+(* The live set of a suspended frame, per its suspension instruction. *)
+let frame_live ctx (fr : Interp.frame) ~is_top : string list =
+  let live = liveness_of ctx fr.Interp.func in
+  let block = fr.Interp.block and index = fr.Interp.index in
+  if index = 0 then
+    (* suspended at a block boundary cannot happen: polls and calls are
+       instructions, so index is always past at least one instruction *)
+    error "frame %s suspended at block start" fr.Interp.func.Ir.name;
+  let at = fr.Interp.func.Ir.blocks.(block).Ir.instrs.(index - 1) in
+  match (at, is_top) with
+  | Ir.Ipoll _, true ->
+      Liveness.to_sorted_list (Liveness.live_after live ~block ~index:(index - 1))
+  | Ir.Icall _, false ->
+      Liveness.to_sorted_list (Liveness.live_suspended_call live ~block ~index:(index - 1))
+  | _, true -> error "top frame %s is not suspended at a poll point" fr.Interp.func.Ir.name
+  | _, false ->
+      error "frame %s is not suspended at a call site" fr.Interp.func.Ir.name
+
+(** Collect the full process state of [interp], which must be suspended at
+    a poll-point (i.e. {!Interp.run} just returned [RPolled]).  Returns
+    the machine-independent stream and the §4.2 cost decomposition. *)
+let collect (interp : Interp.t) (ti : Ti.t) : string * Cstats.collect =
+  let ctx = make_ctx interp ti in
+  let frames = interp.Interp.stack in
+  if frames = [] then error "cannot collect a terminated process";
+  (* poll id from the top frame's suspension point *)
+  let top = List.hd frames in
+  let poll_id =
+    if top.Interp.index = 0 then
+      error "top frame %s not suspended after an instruction" top.Interp.func.Ir.name
+    else
+      match
+        top.Interp.func.Ir.blocks.(top.Interp.block).Ir.instrs.(top.Interp.index - 1)
+      with
+      | Ir.Ipoll id -> id
+      | _ -> error "process is not suspended at a poll point"
+  in
+  Stream.put_header ctx.buf
+    ~src_arch:interp.Interp.arch.Hpm_arch.Arch.name
+    ~prog_hash:(Stream.prog_hash interp.Interp.prog)
+    ~rng_state:(Rng.get_state interp.Interp.rng)
+    ~poll_id;
+  (* frame metadata, top-down *)
+  Xdr.put_int_as_i32 ctx.buf (List.length frames);
+  List.iter
+    (fun (fr : Interp.frame) ->
+      Xdr.put_string ctx.buf fr.Interp.func.Ir.name;
+      Xdr.put_int_as_i32 ctx.buf fr.Interp.block;
+      Xdr.put_int_as_i32 ctx.buf fr.Interp.index)
+    frames;
+  (* frame live data, top-down: the paper's collection order (§3.2) *)
+  List.iteri
+    (fun i (fr : Interp.frame) ->
+      ctx.stats.Cstats.c_frames <- ctx.stats.Cstats.c_frames + 1;
+      let live = frame_live ctx fr ~is_top:(i = 0) in
+      Xdr.put_int_as_i32 ctx.buf (List.length live);
+      List.iter
+        (fun name ->
+          Xdr.put_string ctx.buf name;
+          match Hashtbl.find_opt fr.Interp.locals name with
+          | Some block -> save_variable ctx block
+          | None -> error "live variable %s has no block in frame %s" name fr.Interp.func.Ir.name)
+        live)
+    frames;
+  (* globals, in program order *)
+  Xdr.put_int_as_i32 ctx.buf (List.length interp.Interp.prog.Ir.globals);
+  List.iter
+    (fun (name, _, _) ->
+      Xdr.put_string ctx.buf name;
+      match Hashtbl.find_opt interp.Interp.globals name with
+      | Some block -> save_variable ctx block
+      | None -> error "global %s has no block" name)
+    interp.Interp.prog.Ir.globals;
+  Stream.put_trailer ctx.buf;
+  ctx.stats.Cstats.c_searches <- ctx.col.Msrlt.searches;
+  ctx.stats.Cstats.c_stream_bytes <- Buffer.length ctx.buf;
+  (Buffer.contents ctx.buf, ctx.stats)

@@ -1,0 +1,50 @@
+(** Cost decomposition of a migration, per §4.2 of the paper:
+
+    Collect = MSRLT_search + Encode_and_Copy, with search O(n log n) in
+    the number of MSR nodes and encode O(Σ Dᵢ) in the live data size;
+    Restore = MSRLT_update + Decode_and_Copy, with update O(n) and
+    decode O(Σ Dᵢ).  These records carry the measured n, Σ Dᵢ, and the
+    operation counters, so the complexity benchmark can print the
+    decomposition next to wall-clock time. *)
+
+type collect = {
+  mutable c_blocks : int;        (** MSR nodes collected (n) *)
+  mutable c_data_bytes : int;    (** Σ Dᵢ: bytes of block payload moved *)
+  mutable c_stream_bytes : int;  (** encoded stream size *)
+  mutable c_searches : int;      (** MSRLT address searches *)
+  mutable c_pointers : int;      (** pointer elements translated *)
+  mutable c_live_vars : int;     (** live variables saved across all frames *)
+  mutable c_frames : int;
+}
+
+let collect_zero () =
+  {
+    c_blocks = 0;
+    c_data_bytes = 0;
+    c_stream_bytes = 0;
+    c_searches = 0;
+    c_pointers = 0;
+    c_live_vars = 0;
+    c_frames = 0;
+  }
+
+type restore = {
+  mutable r_blocks : int;        (** blocks bound in the MSRLT (n) *)
+  mutable r_data_bytes : int;    (** Σ Dᵢ decoded *)
+  mutable r_heap_allocs : int;   (** fresh heap allocations performed *)
+  mutable r_updates : int;       (** MSRLT id→address bindings *)
+  mutable r_pointers : int;      (** pointer elements rebuilt *)
+}
+
+let restore_zero () =
+  { r_blocks = 0; r_data_bytes = 0; r_heap_allocs = 0; r_updates = 0; r_pointers = 0 }
+
+let pp_collect ppf c =
+  Fmt.pf ppf
+    "collect: n=%d blocks, data=%dB, stream=%dB, searches=%d, pointers=%d, live=%d vars / %d frames"
+    c.c_blocks c.c_data_bytes c.c_stream_bytes c.c_searches c.c_pointers c.c_live_vars
+    c.c_frames
+
+let pp_restore ppf r =
+  Fmt.pf ppf "restore: n=%d blocks, data=%dB, heap_allocs=%d, updates=%d, pointers=%d"
+    r.r_blocks r.r_data_bytes r.r_heap_allocs r.r_updates r.r_pointers

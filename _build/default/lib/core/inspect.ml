@@ -1,0 +1,130 @@
+(** Migration-stream inspector.
+
+    Decodes a stream (or checkpoint file) into a human-readable listing
+    without building a process: frames, every block with its identity,
+    type and mi_id, every pointer as (id, ordinal), and all scalar
+    payloads.  This is the debugging view of the wire format — when a
+    migration misbehaves, [migratec stream] shows exactly what was
+    collected.
+
+    The walker is deliberately independent of {!Restore} (no destination
+    machine, no allocation), so the two act as cross-checks on the format:
+    anything Restore accepts, Inspect can print, and vice versa. *)
+
+open Hpm_lang
+open Hpm_xdr
+open Hpm_msr
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
+
+type ctx = {
+  ti : Ti.t;
+  r : Xdr.rbuf;
+  ppf : Format.formatter;
+  mutable next_id : int;
+  mutable blocks : int;
+  mutable pointers : int;
+}
+
+let get_ident ctx = Stream.get_ident ctx.r
+
+let pp_ident ppf (ident : Hpm_machine.Mem.ident) = Hpm_machine.Mem.pp_ident ppf ident
+
+let rec walk_ptr ctx ~indent : string =
+  ctx.pointers <- ctx.pointers + 1;
+  match Xdr.get_u8 ctx.r with
+  | t when t = Stream.tag_null -> "null"
+  | t when t = Stream.tag_func ->
+      Printf.sprintf "func#%d" (Xdr.get_int_of_i32 ctx.r)
+  | t when t = Stream.tag_ref ->
+      let id = Xdr.get_int_of_i32 ctx.r in
+      let ord = Xdr.get_int_of_i32 ctx.r in
+      if id >= ctx.next_id then error "reference to undefined block id %d" id;
+      Printf.sprintf "-> block %d @%d" id ord
+  | t when t = Stream.tag_block ->
+      walk_block ctx ~indent;
+      let ord = Xdr.get_int_of_i32 ctx.r in
+      Printf.sprintf "-> block %d @%d (defined above)" (ctx.next_id - 1) ord
+  | t -> error "unknown pointer tag %d" t
+
+and walk_block ctx ~indent =
+  let mi_id = Xdr.get_int_of_i32 ctx.r in
+  if mi_id <> ctx.next_id then
+    error "block ids out of order: got %d, expected %d" mi_id ctx.next_id;
+  ctx.next_id <- ctx.next_id + 1;
+  ctx.blocks <- ctx.blocks + 1;
+  let ident = get_ident ctx in
+  let tid = Xdr.get_int_of_i32 ctx.r in
+  let count = Xdr.get_int_of_i32 ctx.r in
+  if count < 1 || count > Xdr.remaining ctx.r then
+    error "implausible element count %d" count;
+  let ty =
+    try Ti.decode_block_ty ctx.ti (tid, count)
+    with Invalid_argument m -> error "bad type id %d: %s" tid m
+  in
+  let pad = String.make indent ' ' in
+  Fmt.pf ctx.ppf "%sblock %d: %a : %s@." pad mi_id pp_ident ident (Ty.to_string ty);
+  let kinds = Ty.flatten ctx.ti.Ti.tenv ty in
+  List.iteri
+    (fun ord kind ->
+      match kind with
+      | Ty.KPtr _ | Ty.KFunc _ ->
+          let s = walk_ptr ctx ~indent:(indent + 4) in
+          Fmt.pf ctx.ppf "%s  [%d] %s@." pad ord s
+      | k -> (
+          match Stream.get_prim ctx.r k with
+          | Hpm_machine.Mem.Vint v -> Fmt.pf ctx.ppf "%s  [%d] %Ld@." pad ord v
+          | Hpm_machine.Mem.Vfloat v -> Fmt.pf ctx.ppf "%s  [%d] %.17g@." pad ord v
+          | Hpm_machine.Mem.Vptr _ -> assert false))
+    kinds
+
+let walk_datum ctx name ~indent =
+  let pad = String.make indent ' ' in
+  Fmt.pf ctx.ppf "%s%s =@." pad name;
+  let s = walk_ptr ctx ~indent:(indent + 2) in
+  Fmt.pf ctx.ppf "%s  %s@." pad s
+
+(** Print a decoded listing of [data] to [ppf].  Returns
+    (blocks, pointers) counts.  @raise Error on malformed input. *)
+let dump ?(ppf = Format.std_formatter) (prog : Hpm_ir.Ir.prog) (ti : Ti.t)
+    (data : string) : int * int =
+  let r = Xdr.reader_of_string data in
+  let header = try Stream.get_header r with Stream.Corrupt m -> error "header: %s" m in
+  let ctx = { ti; r; ppf; next_id = 0; blocks = 0; pointers = 0 } in
+  Fmt.pf ppf "stream: %d bytes, from %s, poll #%d, rng=0x%Lx@." (String.length data)
+    header.Stream.src_arch header.Stream.poll_id header.Stream.rng_state;
+  if not (Int64.equal header.Stream.prog_hash (Stream.prog_hash prog)) then
+    Fmt.pf ppf "WARNING: program fingerprint does not match the given program@.";
+  let nframes = Xdr.get_int_of_i32 r in
+  if nframes <= 0 || nframes > 1_000_000 then error "implausible frame count %d" nframes;
+  let metas =
+    List.init nframes (fun _ ->
+        let fname = Xdr.get_string r in
+        let block = Xdr.get_int_of_i32 r in
+        let index = Xdr.get_int_of_i32 r in
+        (fname, block, index))
+  in
+  Fmt.pf ppf "call stack (top first):@.";
+  List.iter
+    (fun (fname, block, index) -> Fmt.pf ppf "  %s at B%d.%d@." fname block index)
+    metas;
+  List.iter
+    (fun (fname, _, _) ->
+      let nlive = Xdr.get_int_of_i32 r in
+      Fmt.pf ppf "frame %s: %d live variables@." fname nlive;
+      for _ = 1 to nlive do
+        let name = Xdr.get_string r in
+        walk_datum ctx name ~indent:2
+      done)
+    metas;
+  let nglobals = Xdr.get_int_of_i32 r in
+  Fmt.pf ppf "globals: %d@." nglobals;
+  for _ = 1 to nglobals do
+    let name = Xdr.get_string r in
+    walk_datum ctx name ~indent:2
+  done;
+  (try Stream.check_trailer r with Stream.Corrupt m -> error "trailer: %s" m);
+  Fmt.pf ppf "total: %d blocks, %d pointer values@." ctx.blocks ctx.pointers;
+  (ctx.blocks, ctx.pointers)

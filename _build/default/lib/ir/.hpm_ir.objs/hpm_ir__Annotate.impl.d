@@ -1,0 +1,1 @@
+lib/ir/annotate.ml: Ast Hpm_lang List Parser Pollpoint Pretty Printf

@@ -1,0 +1,1 @@
+lib/ir/compile.ml: Array Ast Char Fmt Hashtbl Hpm_lang Int64 Ir List Option Printf String Ty Typecheck

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Ast Fmt Hpm_lang List Printf String Ty

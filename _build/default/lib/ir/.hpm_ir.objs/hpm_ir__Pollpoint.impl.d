@@ -1,0 +1,1 @@
+lib/ir/pollpoint.ml: Array Cfg Fmt Ir List Liveness Printf

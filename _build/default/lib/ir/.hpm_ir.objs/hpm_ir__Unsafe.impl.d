@@ -1,0 +1,1 @@
+lib/ir/unsafe.ml: Ast Fmt Hpm_lang List Option Ty

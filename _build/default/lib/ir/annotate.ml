@@ -1,0 +1,95 @@
+(** Source-to-source annotation — the visible face of the pre-compiler.
+
+    The paper's §2 describes the migratable format as *annotated source*:
+    "at each poll-point, a label statement and a specific macro containing
+    migration operations are inserted", produced "automatically by a
+    source-to-source transformation software (or a pre-compiler)".
+
+    Internally this implementation inserts polls in the IR (deterministic
+    and exact); this pass produces the equivalent annotated Mini-C source
+    for humans and for interoperability: [#pragma poll NAME] markers are
+    placed at function entries and loop-body heads according to the same
+    {!Pollpoint.strategy}.  Re-running the pipeline on the annotated
+    source with {!Pollpoint.user_only_strategy} yields a migratable
+    program whose polls sit at the equivalent locations — a property the
+    test suite checks end to end. *)
+
+open Hpm_lang
+
+(* Statement weight, as a proxy for the IR instruction count used by the
+   hot-function heuristic. *)
+let rec stmt_weight (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Sexpr _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue | Ast.Spoll _
+  | Ast.Sgoto _ | Ast.Slabel _ | Ast.Sdecl _ ->
+      2
+  | Ast.Sif (_, a, b) -> 2 + weight a + weight b
+  | Ast.Swhile (_, body) | Ast.Sdo (body, _) -> 3 + weight body
+  | Ast.Sfor (_, _, _, body) -> 4 + weight body
+  | Ast.Sswitch (_, arms, d) ->
+      2 + List.fold_left (fun acc (_, b) -> acc + weight b) (weight d) arms
+  | Ast.Sblock body -> weight body
+
+and weight body = List.fold_left (fun acc s -> acc + stmt_weight s) 0 body
+
+let poll name = Ast.mks (Ast.Spoll name)
+
+(* Insert a poll at the head of each loop body, respecting nesting depth. *)
+let rec annotate_stmt (strategy : Pollpoint.strategy) fname counter depth
+    (s : Ast.stmt) : Ast.stmt =
+  let recurse body = List.map (annotate_stmt strategy fname counter depth) body in
+  let loop_body body =
+    let inner = List.map (annotate_stmt strategy fname counter (depth + 1)) body in
+    if
+      strategy.Pollpoint.loop_headers
+      && (strategy.Pollpoint.max_loop_depth = 0
+         || depth + 1 <= strategy.Pollpoint.max_loop_depth)
+    then (
+      incr counter;
+      poll (Printf.sprintf "auto_%s_loop%d" fname !counter) :: inner)
+    else inner
+  in
+  match s.Ast.sdesc with
+  | Ast.Sif (c, a, b) -> Ast.mks ~loc:s.Ast.sloc (Ast.Sif (c, recurse a, recurse b))
+  | Ast.Swhile (c, body) -> Ast.mks ~loc:s.Ast.sloc (Ast.Swhile (c, loop_body body))
+  | Ast.Sdo (body, c) -> Ast.mks ~loc:s.Ast.sloc (Ast.Sdo (loop_body body, c))
+  | Ast.Sfor (i, c, st, body) ->
+      Ast.mks ~loc:s.Ast.sloc (Ast.Sfor (i, c, st, loop_body body))
+  | Ast.Sblock body -> Ast.mks ~loc:s.Ast.sloc (Ast.Sblock (recurse body))
+  | Ast.Sswitch (scrut, arms, d) ->
+      Ast.mks ~loc:s.Ast.sloc
+        (Ast.Sswitch (scrut, List.map (fun (c, b) -> (c, recurse b)) arms, recurse d))
+  | _ -> s
+
+(** Annotate a (parsed, not necessarily type-checked) program per
+    [strategy].  Functions below the hot threshold receive no automatic
+    polls, mirroring {!Pollpoint.insert}. *)
+let program ?(strategy = Pollpoint.default_strategy) (p : Ast.program) : Ast.program =
+  let annotate_func (f : Ast.func) =
+    let eligible =
+      (match strategy.Pollpoint.only_funcs with
+      | Some names -> List.mem f.Ast.f_name names
+      | None -> true)
+      && (strategy.Pollpoint.hot_threshold = 0
+         || weight f.Ast.f_body >= strategy.Pollpoint.hot_threshold / 4)
+    in
+    if not eligible then f
+    else
+      let counter = ref 0 in
+      let body =
+        List.map (annotate_stmt strategy f.Ast.f_name counter 0) f.Ast.f_body
+      in
+      let body =
+        if strategy.Pollpoint.fn_entries then
+          poll (Printf.sprintf "auto_%s_entry" f.Ast.f_name) :: body
+        else body
+      in
+      { f with Ast.f_body = body }
+  in
+  { p with Ast.funcs = List.map annotate_func p.Ast.funcs }
+
+(** Annotated source text for [src]: the paper's migratable format,
+    printable and re-parsable. *)
+let source ?(strategy = Pollpoint.default_strategy) (src : string) : string =
+  let p = Parser.parse_string src in
+  Pretty.program_to_string (program ~strategy p)

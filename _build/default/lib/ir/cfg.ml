@@ -1,0 +1,97 @@
+(** Control-flow graph utilities over {!Ir.func}.
+
+    Provides successor/predecessor maps, reverse-postorder, back-edge and
+    loop-header detection.  Loop headers are where the pre-compiler's
+    automatic strategy places poll-points (§2 of the paper: poll-points on
+    locations reached repeatedly, so a migration request is noticed
+    promptly), and loop depth feeds its static frequency heuristic. *)
+
+let successors (t : Ir.term) =
+  match t with
+  | Ir.Tgoto b -> [ b ]
+  | Ir.Tif (_, a, b) -> if a = b then [ a ] else [ a; b ]
+  | Ir.Tret _ -> []
+
+let succ_map (f : Ir.func) : int list array =
+  Array.map (fun (b : Ir.block) -> successors b.Ir.term) f.Ir.blocks
+
+let pred_map (f : Ir.func) : int list array =
+  let preds = Array.make (Array.length f.Ir.blocks) [] in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      List.iter (fun s -> preds.(s) <- i :: preds.(s)) (successors b.Ir.term))
+    f.Ir.blocks;
+  preds
+
+(** Blocks in reverse postorder from the entry; unreachable blocks (e.g.
+    sealed dead blocks after [return]) are excluded. *)
+let reverse_postorder (f : Ir.func) : int list =
+  let n = Array.length f.Ir.blocks in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then (
+      visited.(b) <- true;
+      List.iter dfs (successors f.Ir.blocks.(b).Ir.term);
+      order := b :: !order)
+  in
+  dfs f.Ir.entry;
+  !order
+
+let reachable (f : Ir.func) : bool array =
+  let n = Array.length f.Ir.blocks in
+  let r = Array.make n false in
+  List.iter (fun b -> r.(b) <- true) (reverse_postorder f);
+  r
+
+(** [back_edges f] lists (src, dst) edges where [dst] is an ancestor of
+    [src] in the DFS tree.  CFGs lowered from structured Mini-C are
+    reducible, so each such [dst] is a natural-loop header. *)
+let back_edges (f : Ir.func) : (int * int) list =
+  let n = Array.length f.Ir.blocks in
+  let color = Array.make n 0 in
+  (* 0 = white, 1 = on stack, 2 = done *)
+  let edges = ref [] in
+  let rec dfs b =
+    color.(b) <- 1;
+    List.iter
+      (fun s ->
+        if color.(s) = 1 then edges := (b, s) :: !edges
+        else if color.(s) = 0 then dfs s)
+      (successors f.Ir.blocks.(b).Ir.term);
+    color.(b) <- 2
+  in
+  dfs f.Ir.entry;
+  List.rev !edges
+
+let loop_headers (f : Ir.func) : int list =
+  List.sort_uniq compare (List.map snd (back_edges f))
+
+(** Natural loop of a back edge (src, header): header plus all blocks that
+    reach [src] without passing through [header]. *)
+let natural_loop (f : Ir.func) (src, header) : int list =
+  let preds = pred_map f in
+  let inloop = Hashtbl.create 8 in
+  Hashtbl.replace inloop header ();
+  let rec add b =
+    if not (Hashtbl.mem inloop b) then (
+      Hashtbl.replace inloop b ();
+      List.iter add preds.(b))
+  in
+  add src;
+  Hashtbl.fold (fun b () acc -> b :: acc) inloop [] |> List.sort compare
+
+(** Loop-nesting depth of every block: number of natural loops containing
+    it.  Used by the poll-point cost heuristic (§4.3: a poll in a hot inner
+    kernel is where the overhead comes from). *)
+let loop_depth (f : Ir.func) : int array =
+  let depth = Array.make (Array.length f.Ir.blocks) 0 in
+  List.iter
+    (fun edge ->
+      List.iter (fun b -> depth.(b) <- depth.(b) + 1) (natural_loop f edge))
+    (back_edges f);
+  depth
+
+(** Instruction count, for reports. *)
+let instr_count (f : Ir.func) =
+  Array.fold_left (fun acc (b : Ir.block) -> acc + Array.length b.Ir.instrs + 1) 0 f.Ir.blocks

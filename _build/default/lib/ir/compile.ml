@@ -1,0 +1,571 @@
+(** AST → IR lowering.
+
+    Structured control flow becomes basic blocks; short-circuit operators
+    and conditional expressions become branches with compiler temporaries;
+    side-effecting subexpressions ([a = b], [i++], calls) are sequenced by
+    materializing their values into temporaries immediately, so the rvalue
+    trees handed to the interpreter are pure.
+
+    Lowering also performs the paper's *malloc typing*: the migratable
+    format needs every heap block typed for the TI table, so the pattern
+    [(T * ) malloc (k * sizeof(T))] (and its [sizeof(T)] and [char]-array
+    variants) is recognized and lowered to a typed {!Ir.Imalloc}.  Untyped
+    mallocs are a migration-unsafe feature and were already rejected by
+    {!Unsafe}; encountering one here is a program error. *)
+
+open Hpm_lang
+
+exception Error of string * Ast.loc
+
+let err loc fmt = Fmt.kstr (fun msg -> raise (Error (msg, loc))) fmt
+
+(* Growable function-body builder. *)
+type builder = {
+  mutable blocks : (Ir.instr list ref * Ir.term option ref) array;
+  mutable cur : int;
+  mutable temps : (string * Ty.t) list;
+  mutable ntemp : int;
+  mutable breaks : int list;
+  mutable continues : int list;
+  strings : string list ref;       (* shared, program-wide, reversed *)
+  mutable user_polls : (int * string) list;
+  mutable npoll : int;
+  labels : (string, int) Hashtbl.t;  (* source label -> block id *)
+}
+
+let new_block b =
+  let id = Array.length b.blocks in
+  b.blocks <- Array.append b.blocks [| (ref [], ref None) |];
+  id
+
+let switch_to b id = b.cur <- id
+
+let emit b i =
+  let instrs, term = b.blocks.(b.cur) in
+  match !term with
+  | Some _ -> () (* unreachable code after return/break: drop *)
+  | None -> instrs := i :: !instrs
+
+let finish b t =
+  let _, term = b.blocks.(b.cur) in
+  match !term with Some _ -> () | None -> term := Some t
+
+let is_finished b =
+  let _, term = b.blocks.(b.cur) in
+  !term <> None
+
+let fresh_temp b ty =
+  let name = Printf.sprintf "$%d" b.ntemp in
+  b.ntemp <- b.ntemp + 1;
+  b.temps <- b.temps @ [ (name, ty) ];
+  name
+
+let label_block b name =
+  match Hashtbl.find_opt b.labels name with
+  | Some id -> id
+  | None ->
+      let id = new_block b in
+      Hashtbl.replace b.labels name id;
+      id
+
+let intern_string b s =
+  let rec find i = function
+    | [] -> None
+    | x :: _ when String.equal x s -> Some i
+    | _ :: tl -> find (i - 1) tl
+  in
+  let n = List.length !(b.strings) in
+  match find (n - 1) !(b.strings) with
+  | Some i -> i
+  | None ->
+      b.strings := s :: !(b.strings);
+      n
+
+(* Recognize the operand of a typed malloc: returns the element count. *)
+let malloc_count elem_ty (arg : Ast.expr) : Ast.expr option =
+  let is_sizeof_of t (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Sizeof t' -> Ty.equal t t'
+    | Ast.Cast (_, { Ast.desc = Ast.Sizeof t'; _ }) -> Ty.equal t t'
+    | _ -> false
+  in
+  let one () =
+    let e = Ast.mk (Ast.Const (Ast.Cint 1L)) in
+    e.Ast.ety <- Some Ty.Int;
+    e
+  in
+  match arg.Ast.desc with
+  | _ when is_sizeof_of elem_ty arg -> Some (one ())
+  | Ast.Binop (Ast.Mul, a, b) when is_sizeof_of elem_ty b -> Some a
+  | Ast.Binop (Ast.Mul, a, b) when is_sizeof_of elem_ty a -> Some b
+  | _ when Ty.equal elem_ty Ty.Char -> Some arg (* char buffer: size is the count *)
+  | _ -> None
+
+let const_of_ast (c : Ast.const) b : Ir.const =
+  match c with
+  | Ast.Cint v -> Ir.Kint (Ty.Int, v)
+  | Ast.Clong v -> Ir.Kint (Ty.Long, v)
+  | Ast.Cfloat v -> Ir.Kfloat (Ty.Float, v)
+  | Ast.Cdouble v -> Ir.Kfloat (Ty.Double, v)
+  | Ast.Cchar v -> Ir.Kint (Ty.Char, Int64.of_int (Char.code v))
+  | Ast.Cstr s -> Ir.Kstr (intern_string b s)
+
+type env = {
+  prog : Ast.program;
+  fname : string;
+  mutable scope : (string * Ty.t) list;
+}
+
+let rec lower_lv env b (e : Ast.expr) : Ir.lv =
+  let loc = e.Ast.loc in
+  match e.Ast.desc with
+  | Ast.Var name -> Ir.Lvar name
+  | Ast.Deref p ->
+      let pt =
+        match Ast.ty_of p with
+        | Ty.Ptr t -> t
+        | t -> err loc "deref of non-pointer %s" (Ty.to_string t)
+      in
+      Ir.Lmem (lower_rv env b p, pt)
+  | Ast.Index (base, idx) -> (
+      let i = lower_rv env b idx in
+      match Ast.ty_of base with
+      | Ty.Array (elem, _) -> Ir.Lindex (lower_lv env b base, i, elem)
+      | Ty.Ptr elem ->
+          let p = lower_rv env b base in
+          Ir.Lmem (Ir.Rbinop (Ast.Add, p, i, Ty.Ptr elem), elem)
+      | t -> err loc "index of non-array %s" (Ty.to_string t))
+  | Ast.Field (base, f) -> (
+      match Ast.ty_of base with
+      | Ty.Struct sname -> Ir.Lfield (lower_lv env b base, sname, f, Ast.ty_of e)
+      | t -> err loc "field of non-struct %s" (Ty.to_string t))
+  | Ast.Arrow (base, f) -> (
+      match Ast.ty_of base with
+      | Ty.Ptr (Ty.Struct sname) ->
+          Ir.Lfield
+            (Ir.Lmem (lower_rv env b base, Ty.Struct sname), sname, f, Ast.ty_of e)
+      | t -> err loc "arrow of non-struct-pointer %s" (Ty.to_string t))
+  | Ast.Cast (_, inner) -> lower_lv env b inner
+  | _ -> err loc "expression is not an lvalue"
+
+and lower_rv env b (e : Ast.expr) : Ir.rv =
+  let loc = e.Ast.loc in
+  let ty = Ast.ty_of e in
+  match e.Ast.desc with
+  | Ast.Const (Ast.Cint 0L) when Ty.is_pointer ty -> Ir.Rconst (Ir.Knull ty)
+  | Ast.Const c -> Ir.Rconst (const_of_ast c b)
+  | Ast.Var name -> (
+      match ty with
+      | Ty.Func _ -> Ir.Rfunc name
+      | _ -> Ir.Rload (Ir.Lvar name, ty))
+  | Ast.Sizeof t -> Ir.Rsizeof t
+  | Ast.Unop (op, a) -> Ir.Runop (op, lower_rv env b a, ty)
+  | Ast.Binop (Ast.And, a, c) -> lower_shortcircuit env b ~is_and:true a c
+  | Ast.Binop (Ast.Or, a, c) -> lower_shortcircuit env b ~is_and:false a c
+  | Ast.Binop (Ast.Sub, x, y)
+    when Ty.is_pointer (Ast.ty_of x) && Ty.is_pointer (Ast.ty_of y) ->
+      (* ptr - ptr: byte distance divided by the element size, as C scales
+         it; the element type comes from the operands *)
+      let elem =
+        match Ast.ty_of x with Ty.Ptr t -> t | _ -> assert false
+      in
+      Ir.Rbinop
+        ( Ast.Div,
+          Ir.Rbinop (Ast.Sub, lower_rv env b x, lower_rv env b y, Ty.Long),
+          Ir.Rsizeof elem,
+          Ty.Long )
+  | Ast.Binop (op, x, y) -> Ir.Rbinop (op, lower_rv env b x, lower_rv env b y, ty)
+  | Ast.Cast (Ty.Ptr elem, { Ast.desc = Ast.Call ({ Ast.desc = Ast.Var "malloc"; _ }, [ arg ]); _ })
+    when not (Ty.equal elem Ty.Void) -> (
+      match malloc_count elem arg with
+      | Some count_e ->
+          let count = lower_rv env b count_e in
+          let tmp = fresh_temp b (Ty.Ptr elem) in
+          emit b (Ir.Imalloc (Ir.Lvar tmp, elem, count));
+          Ir.Rload (Ir.Lvar tmp, Ty.Ptr elem)
+      | None ->
+          err loc
+            "untyped malloc: allocation size must be 'k * sizeof(T)' matching the cast target" )
+  | Ast.Cast (t, a) -> Ir.Rcast (t, lower_rv env b a)
+  | Ast.Addr ({ Ast.desc = Ast.Var fname; _ })
+    when List.exists (fun (f : Ast.func) -> String.equal f.Ast.f_name fname) env.prog.Ast.funcs ->
+      Ir.Rfunc fname
+  | Ast.Addr a -> Ir.Raddr (lower_lv env b a, ty)
+  | Ast.Call ({ Ast.desc = Ast.Var "malloc"; _ }, _) ->
+      err loc "malloc must be cast to a typed pointer: (T*)malloc(k * sizeof(T))"
+  | Ast.Call ({ Ast.desc = Ast.Var "free"; _ }, [ arg ]) ->
+      emit b (Ir.Ifree (lower_rv env b arg));
+      Ir.Rconst (Ir.Kint (Ty.Int, 0L))
+  | Ast.Call (callee, args) ->
+      let args = List.map (lower_rv env b) args in
+      let cal = lower_callee env b callee in
+      (match ty with
+      | Ty.Void ->
+          emit b (Ir.Icall (None, cal, args));
+          Ir.Rconst (Ir.Kint (Ty.Int, 0L))
+      | _ ->
+          let tmp = fresh_temp b ty in
+          emit b (Ir.Icall (Some (Ir.Lvar tmp), cal, args));
+          Ir.Rload (Ir.Lvar tmp, ty))
+  | Ast.Index _ | Ast.Field _ | Ast.Arrow _ | Ast.Deref _ ->
+      Ir.Rload (lower_lv env b e, ty)
+  | Ast.Assign (lhs, rhs) ->
+      let v = lower_assign env b lhs rhs in
+      v
+  | Ast.Incr (pre, a) -> lower_incdec env b ~pre ~down:false a
+  | Ast.Decr (pre, a) -> lower_incdec env b ~pre ~down:true a
+  | Ast.Cond (c, x, y) ->
+      let tmp = fresh_temp b ty in
+      let bt = new_block b and bf = new_block b and join = new_block b in
+      finish b (Ir.Tif (lower_rv env b c, bt, bf));
+      switch_to b bt;
+      let vx = lower_rv env b x in
+      emit b (Ir.Iassign (Ir.Lvar tmp, vx));
+      finish b (Ir.Tgoto join);
+      switch_to b bf;
+      let vy = lower_rv env b y in
+      emit b (Ir.Iassign (Ir.Lvar tmp, vy));
+      finish b (Ir.Tgoto join);
+      switch_to b join;
+      Ir.Rload (Ir.Lvar tmp, ty)
+
+and lower_callee env b (callee : Ast.expr) : Ir.callee =
+  match callee.Ast.desc with
+  | Ast.Var name
+    when List.exists (fun (f : Ast.func) -> String.equal f.Ast.f_name name) env.prog.Ast.funcs ->
+      Ir.Cfun name
+  | Ast.Var name when Typecheck.is_builtin name -> Ir.Cbuiltin name
+  | _ -> Ir.Cptr (lower_rv env b callee)
+
+(* Assignment as an expression: evaluate rhs, store via a temp so the value
+   read back is the value written, independent of aliasing. *)
+and lower_assign env b (lhs : Ast.expr) (rhs : Ast.expr) : Ir.rv =
+  let ty = Ast.ty_of lhs in
+  match ty with
+  | Ty.Struct _ ->
+      let dst = lower_lv env b lhs in
+      let src = lower_lv env b rhs in
+      emit b (Ir.Icopy (dst, src, ty));
+      Ir.Rconst (Ir.Kint (Ty.Int, 0L))
+  | _ ->
+      let v = lower_rv env b rhs in
+      let dst = lower_lv env b lhs in
+      let tmp = fresh_temp b ty in
+      emit b (Ir.Iassign (Ir.Lvar tmp, v));
+      emit b (Ir.Iassign (dst, Ir.Rload (Ir.Lvar tmp, ty)));
+      Ir.Rload (Ir.Lvar tmp, ty)
+
+and lower_incdec env b ~pre ~down (a : Ast.expr) : Ir.rv =
+  let ty = Ast.ty_of a in
+  let lv = lower_lv env b a in
+  let old = fresh_temp b ty in
+  emit b (Ir.Iassign (Ir.Lvar old, Ir.Rload (lv, ty)));
+  let one =
+    match ty with
+    | Ty.Float | Ty.Double -> Ir.Rconst (Ir.Kfloat (ty, 1.0))
+    | Ty.Ptr _ -> Ir.Rconst (Ir.Kint (Ty.Long, 1L))
+    | t -> Ir.Rconst (Ir.Kint (t, 1L))
+  in
+  let op = if down then Ast.Sub else Ast.Add in
+  let updated = Ir.Rbinop (op, Ir.Rload (Ir.Lvar old, ty), one, ty) in
+  if pre then (
+    let nw = fresh_temp b ty in
+    emit b (Ir.Iassign (Ir.Lvar nw, updated));
+    emit b (Ir.Iassign (lv, Ir.Rload (Ir.Lvar nw, ty)));
+    Ir.Rload (Ir.Lvar nw, ty))
+  else (
+    emit b (Ir.Iassign (lv, updated));
+    Ir.Rload (Ir.Lvar old, ty))
+
+and lower_shortcircuit env b ~is_and (x : Ast.expr) (y : Ast.expr) : Ir.rv =
+  let tmp = fresh_temp b Ty.Int in
+  let brhs = new_block b and bshort = new_block b and join = new_block b in
+  let vx = lower_rv env b x in
+  (if is_and then finish b (Ir.Tif (vx, brhs, bshort))
+   else finish b (Ir.Tif (vx, bshort, brhs)));
+  switch_to b brhs;
+  let vy = lower_rv env b y in
+  (* normalize to 0/1 *)
+  emit b
+    (Ir.Iassign
+       ( Ir.Lvar tmp,
+         Ir.Rbinop (Ast.Ne, vy, Ir.Rconst (Ir.Kint (Ty.Int, 0L)), Ty.Int) ));
+  finish b (Ir.Tgoto join);
+  switch_to b bshort;
+  emit b
+    (Ir.Iassign (Ir.Lvar tmp, Ir.Rconst (Ir.Kint (Ty.Int, if is_and then 0L else 1L))));
+  finish b (Ir.Tgoto join);
+  switch_to b join;
+  Ir.Rload (Ir.Lvar tmp, Ty.Int)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt env b (s : Ast.stmt) : unit =
+  match s.Ast.sdesc with
+  | Ast.Sexpr e -> ignore (lower_rv env b e)
+  | Ast.Sblock body -> List.iter (lower_stmt env b) body
+  | Ast.Sif (c, t, f) ->
+      let bt = new_block b and bf = new_block b and join = new_block b in
+      finish b (Ir.Tif (lower_rv env b c, bt, bf));
+      switch_to b bt;
+      List.iter (lower_stmt env b) t;
+      finish b (Ir.Tgoto join);
+      switch_to b bf;
+      List.iter (lower_stmt env b) f;
+      finish b (Ir.Tgoto join);
+      switch_to b join
+  | Ast.Swhile (c, body) ->
+      let header = new_block b and bbody = new_block b and exit_ = new_block b in
+      finish b (Ir.Tgoto header);
+      switch_to b header;
+      finish b (Ir.Tif (lower_rv env b c, bbody, exit_));
+      b.breaks <- exit_ :: b.breaks;
+      b.continues <- header :: b.continues;
+      switch_to b bbody;
+      List.iter (lower_stmt env b) body;
+      finish b (Ir.Tgoto header);
+      b.breaks <- List.tl b.breaks;
+      b.continues <- List.tl b.continues;
+      switch_to b exit_
+  | Ast.Sdo (body, c) ->
+      let bbody = new_block b and check = new_block b and exit_ = new_block b in
+      finish b (Ir.Tgoto bbody);
+      b.breaks <- exit_ :: b.breaks;
+      b.continues <- check :: b.continues;
+      switch_to b bbody;
+      List.iter (lower_stmt env b) body;
+      finish b (Ir.Tgoto check);
+      switch_to b check;
+      finish b (Ir.Tif (lower_rv env b c, bbody, exit_));
+      b.breaks <- List.tl b.breaks;
+      b.continues <- List.tl b.continues;
+      switch_to b exit_
+  | Ast.Sfor (init, cond, step, body) ->
+      Option.iter (fun e -> ignore (lower_rv env b e)) init;
+      let header = new_block b
+      and bbody = new_block b
+      and bstep = new_block b
+      and exit_ = new_block b in
+      finish b (Ir.Tgoto header);
+      switch_to b header;
+      (match cond with
+      | Some c -> finish b (Ir.Tif (lower_rv env b c, bbody, exit_))
+      | None -> finish b (Ir.Tgoto bbody));
+      b.breaks <- exit_ :: b.breaks;
+      b.continues <- bstep :: b.continues;
+      switch_to b bbody;
+      List.iter (lower_stmt env b) body;
+      finish b (Ir.Tgoto bstep);
+      switch_to b bstep;
+      Option.iter (fun e -> ignore (lower_rv env b e)) step;
+      finish b (Ir.Tgoto header);
+      b.breaks <- List.tl b.breaks;
+      b.continues <- List.tl b.continues;
+      switch_to b exit_
+  | Ast.Sreturn None ->
+      finish b (Ir.Tret None);
+      switch_to b (new_block b)
+  | Ast.Sreturn (Some e) ->
+      let v = lower_rv env b e in
+      finish b (Ir.Tret (Some v));
+      switch_to b (new_block b)
+  | Ast.Sbreak -> (
+      match b.breaks with
+      | target :: _ ->
+          finish b (Ir.Tgoto target);
+          switch_to b (new_block b)
+      | [] -> err s.Ast.sloc "break outside a loop")
+  | Ast.Scontinue -> (
+      match b.continues with
+      | target :: _ ->
+          finish b (Ir.Tgoto target);
+          switch_to b (new_block b)
+      | [] -> err s.Ast.sloc "continue outside a loop")
+  | Ast.Spoll name ->
+      let id = b.npoll in
+      b.npoll <- b.npoll + 1;
+      b.user_polls <- b.user_polls @ [ (id, name) ];
+      emit b (Ir.Ipoll id)
+  | Ast.Sdecl d ->
+      err s.Ast.sloc "internal: block declaration of %s survived Scopes.normalize"
+        d.Ast.d_name
+  | Ast.Slabel name ->
+      (* a label starts a fresh block so goto has a target; fall through *)
+      let target = label_block b name in
+      finish b (Ir.Tgoto target);
+      switch_to b target
+  | Ast.Sgoto name ->
+      finish b (Ir.Tgoto (label_block b name));
+      switch_to b (new_block b)
+  | Ast.Sswitch (scrut, arms, default) ->
+      (* C switch with fallthrough: evaluate the scrutinee once, dispatch
+         through a chain of comparisons, and chain the arm bodies so an
+         arm that does not break continues into the next *)
+      let sty = Ast.ty_of scrut in
+      let v = lower_rv env b scrut in
+      let tmp = fresh_temp b sty in
+      emit b (Ir.Iassign (Ir.Lvar tmp, v));
+      let exit_ = new_block b in
+      let arm_blocks = List.map (fun _ -> new_block b) arms in
+      let default_block = new_block b in
+      (* dispatch chain *)
+      List.iteri
+        (fun i (consts, _) ->
+          let target = List.nth arm_blocks i in
+          List.iter
+            (fun c ->
+              let next = new_block b in
+              finish b
+                (Ir.Tif
+                   ( Ir.Rbinop
+                       ( Ast.Eq,
+                         Ir.Rload (Ir.Lvar tmp, sty),
+                         Ir.Rconst (Ir.Kint (sty, c)),
+                         Ty.Int ),
+                     target,
+                     next ));
+              switch_to b next)
+            consts)
+        arms;
+      finish b (Ir.Tgoto default_block);
+      (* arm bodies, each falling through to the next; break -> exit *)
+      b.breaks <- exit_ :: b.breaks;
+      List.iteri
+        (fun i (_, body) ->
+          switch_to b (List.nth arm_blocks i);
+          List.iter (lower_stmt env b) body;
+          let next =
+            if i + 1 < List.length arm_blocks then List.nth arm_blocks (i + 1)
+            else default_block
+          in
+          finish b (Ir.Tgoto next))
+        arms;
+      switch_to b default_block;
+      List.iter (lower_stmt env b) default;
+      finish b (Ir.Tgoto exit_);
+      b.breaks <- List.tl b.breaks;
+      switch_to b exit_
+
+(* ------------------------------------------------------------------ *)
+(* Functions and program                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lower_func prog strings npoll (f : Ast.func) : Ir.func * (int * string) list * int =
+  let b =
+    {
+      blocks = [||];
+      cur = 0;
+      temps = [];
+      ntemp = 0;
+      breaks = [];
+      continues = [];
+      strings;
+      user_polls = [];
+      npoll;
+      labels = Hashtbl.create 4;
+    }
+  in
+  let entry = new_block b in
+  switch_to b entry;
+  let env = { prog; fname = f.Ast.f_name; scope = f.Ast.f_params } in
+  (* local declarations with initializers become assignments at entry *)
+  List.iter
+    (fun (d : Ast.decl) ->
+      env.scope <- env.scope @ [ (d.Ast.d_name, d.Ast.d_ty) ];
+      match d.Ast.d_init with
+      | None -> ()
+      | Some e ->
+          let v = lower_rv env b e in
+          emit b (Ir.Iassign (Ir.Lvar d.Ast.d_name, v)))
+    f.Ast.f_locals;
+  List.iter (lower_stmt env b) f.Ast.f_body;
+  (* implicit return: 0 for int main-style functions, plain ret otherwise *)
+  (if not (is_finished b) then
+     match f.Ast.f_ret with
+     | Ty.Void -> finish b (Ir.Tret None)
+     | Ty.Int -> finish b (Ir.Tret (Some (Ir.Rconst (Ir.Kint (Ty.Int, 0L)))))
+     | _ -> finish b (Ir.Tret None));
+  (* seal any dangling empty blocks (created after return/break) *)
+  let blocks =
+    Array.map
+      (fun (instrs, term) ->
+        {
+          Ir.instrs = Array.of_list (List.rev !instrs);
+          term = (match !term with Some t -> t | None -> Ir.Tret None);
+        })
+      b.blocks
+  in
+  let decls = List.map (fun (d : Ast.decl) -> (d.Ast.d_name, d.Ast.d_ty)) f.Ast.f_locals in
+  ( {
+      Ir.name = f.Ast.f_name;
+      ret = f.Ast.f_ret;
+      params = f.Ast.f_params;
+      locals = decls @ b.temps;
+      blocks;
+      entry;
+    },
+    b.user_polls,
+    b.npoll )
+
+let lower_global_init (d : Ast.decl) strings : Ir.const option =
+  match d.Ast.d_init with
+  | None -> None
+  | Some e ->
+      (* global initializers are restricted to constants (possibly cast) *)
+      let rec fold (e : Ast.expr) : Ir.const =
+        match e.Ast.desc with
+        | Ast.Const (Ast.Cint 0L) when Ty.is_pointer (Ast.ty_of e) ->
+            Ir.Knull (Ast.ty_of e)
+        | Ast.Const c -> (
+            match c with
+            | Ast.Cint v -> Ir.Kint (Ty.Int, v)
+            | Ast.Clong v -> Ir.Kint (Ty.Long, v)
+            | Ast.Cfloat v -> Ir.Kfloat (Ty.Float, v)
+            | Ast.Cdouble v -> Ir.Kfloat (Ty.Double, v)
+            | Ast.Cchar v -> Ir.Kint (Ty.Char, Int64.of_int (Char.code v))
+            | Ast.Cstr s ->
+                strings := s :: !strings;
+                Ir.Kstr (List.length !strings - 1))
+        | Ast.Cast (t, inner) -> (
+            match (fold inner, t) with
+            | Ir.Kint (_, v), t' when Ty.is_integer t' -> Ir.Kint (t', v)
+            | Ir.Kint (_, v), t' when Ty.is_float t' -> Ir.Kfloat (t', Int64.to_float v)
+            | Ir.Kfloat (_, v), t' when Ty.is_float t' -> Ir.Kfloat (t', v)
+            | Ir.Kfloat (_, v), t' when Ty.is_integer t' ->
+                Ir.Kint (t', Int64.of_float v)
+            | Ir.Kint (_, 0L), (Ty.Ptr _ as t') -> Ir.Knull t'
+            | c, _ -> c)
+        | Ast.Unop (Ast.Neg, inner) -> (
+            match fold inner with
+            | Ir.Kint (t, v) -> Ir.Kint (t, Int64.neg v)
+            | Ir.Kfloat (t, v) -> Ir.Kfloat (t, -.v)
+            | c -> c)
+        | _ -> err d.Ast.d_loc "global initializer must be a constant"
+      in
+      Some (fold e)
+
+(** Lower a type-checked program.  Returns the IR program and the list of
+    user-placed poll points (id, pragma name) for {!Pollpoint}. *)
+let lower (p : Ast.program) : Ir.prog * (int * string) list =
+  let strings = ref [] in
+  let globals =
+    List.map
+      (fun (d : Ast.decl) -> (d.Ast.d_name, d.Ast.d_ty, lower_global_init d strings))
+      p.Ast.globals
+  in
+  let funcs, user_polls, _ =
+    List.fold_left
+      (fun (fs, ups, npoll) f ->
+        let irf, ups', npoll' = lower_func p strings npoll f in
+        (fs @ [ irf ], ups @ ups', npoll'))
+      ([], [], 0) p.Ast.funcs
+  in
+  ( {
+      Ir.tenv = p.Ast.tenv;
+      globals;
+      strings = Array.of_list (List.rev !strings);
+      funcs;
+    },
+    user_polls )

@@ -1,0 +1,171 @@
+(** Intermediate representation.
+
+    Mini-C functions are lowered to arrays of basic blocks over a simple,
+    fully-typed instruction set.  The IR is what actually executes (the
+    interpreter in {!Hpm_machine.Interp} walks it instruction by
+    instruction), which is what makes migration implementable: a suspended
+    activation is just (function, block index, instruction index), and the
+    paper's label-statement re-entry trick corresponds to restarting the
+    interpreter at those indices.
+
+    Lowering is deterministic, so the source and destination machines —
+    which, per the paper's §2, both compile the same pre-distributed
+    migratable source — agree exactly on block and instruction numbering. *)
+
+open Hpm_lang
+
+type const =
+  | Kint of Ty.t * int64   (** integer constant of the given integer type *)
+  | Kfloat of Ty.t * float (** Float or Double constant *)
+  | Kstr of int            (** index into the program string table *)
+  | Knull of Ty.t          (** null pointer of type [Ptr t] *)
+
+(** Lvalues evaluate to (address, type); rvalues to scalar values.  All
+    implicit conversions were made explicit by the type checker, so every
+    node carries its exact type. *)
+type lv =
+  | Lvar of string                 (** a named variable's own block *)
+  | Lmem of rv * Ty.t              (** the memory [rv] points to; [ty] = pointee *)
+  | Lindex of lv * rv * Ty.t       (** array element; [ty] = element type *)
+  | Lfield of lv * string * string * Ty.t  (** struct field: base, struct name, field, field type *)
+
+and rv =
+  | Rconst of const
+  | Rload of lv * Ty.t             (** read scalar of type [ty] from [lv] *)
+  | Raddr of lv * Ty.t             (** address-of; [ty] = resulting pointer type *)
+  | Runop of Ast.unop * rv * Ty.t
+  | Rbinop of Ast.binop * rv * rv * Ty.t  (** [ty] = result; pointer arith is Rbinop with pointer type *)
+  | Rcast of Ty.t * rv
+  | Rsizeof of Ty.t                (** arch-dependent; evaluated at run time *)
+  | Rfunc of string                (** function-pointer constant, by name *)
+
+type callee =
+  | Cfun of string                 (** direct call to a program function *)
+  | Cbuiltin of string             (** runtime builtin (malloc is NOT here; see Imalloc) *)
+  | Cptr of rv                     (** indirect call through a function pointer *)
+
+type instr =
+  | Iassign of lv * rv             (** scalar store *)
+  | Icopy of lv * lv * Ty.t        (** aggregate assignment (struct copy) *)
+  | Icall of lv option * callee * rv list
+  | Imalloc of lv * Ty.t * rv      (** typed allocation: dst, element type, count *)
+  | Ifree of rv
+  | Ipoll of int                   (** poll-point with id; inserted by {!Pollpoint} *)
+
+type term =
+  | Tgoto of int
+  | Tif of rv * int * int          (** cond, then-block, else-block *)
+  | Tret of rv option
+
+type block = { mutable instrs : instr array; mutable term : term }
+
+type func = {
+  name : string;
+  ret : Ty.t;
+  params : (string * Ty.t) list;
+  locals : (string * Ty.t) list;   (** declared locals then compiler temps *)
+  mutable blocks : block array;
+  entry : int;
+}
+
+type prog = {
+  tenv : Ty.tenv;
+  globals : (string * Ty.t * const option) list;
+  strings : string array;          (** string-literal table; one global char array each *)
+  funcs : func list;
+}
+
+let find_func p name = List.find_opt (fun f -> String.equal f.name name) p.funcs
+
+let find_func_exn p name =
+  match find_func p name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Ir.find_func_exn: no function %s" name)
+
+let var_ty (f : func) (p : prog) name : Ty.t option =
+  match List.assoc_opt name f.params with
+  | Some t -> Some t
+  | None -> (
+      match List.assoc_opt name f.locals with
+      | Some t -> Some t
+      | None ->
+          List.find_map
+            (fun (n, t, _) -> if String.equal n name then Some t else None)
+            p.globals)
+
+let is_local (f : func) name =
+  List.mem_assoc name f.params || List.mem_assoc name f.locals
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (for migratec dumps and debugging)                  *)
+(* ------------------------------------------------------------------ *)
+
+let pp_const ppf = function
+  | Kint (t, v) -> Fmt.pf ppf "%Ld:%s" v (Ty.to_string t)
+  | Kfloat (t, v) -> Fmt.pf ppf "%.17g:%s" v (Ty.to_string t)
+  | Kstr i -> Fmt.pf ppf "str#%d" i
+  | Knull _ -> Fmt.pf ppf "null"
+
+let rec pp_lv ppf = function
+  | Lvar v -> Fmt.string ppf v
+  | Lmem (rv, t) -> Fmt.pf ppf "*(%a:%s)" pp_rv rv (Ty.to_string (Ty.Ptr t))
+  | Lindex (lv, i, _) -> Fmt.pf ppf "%a[%a]" pp_lv lv pp_rv i
+  | Lfield (lv, _, f, _) -> Fmt.pf ppf "%a.%s" pp_lv lv f
+
+and pp_rv ppf = function
+  | Rconst c -> pp_const ppf c
+  | Rload (lv, _) -> pp_lv ppf lv
+  | Raddr (lv, _) -> Fmt.pf ppf "&%a" pp_lv lv
+  | Runop (op, a, _) -> Fmt.pf ppf "%s%a" (Ast.unop_to_string op) pp_rv a
+  | Rbinop (op, a, b, _) ->
+      Fmt.pf ppf "(%a %s %a)" pp_rv a (Ast.binop_to_string op) pp_rv b
+  | Rcast (t, a) -> Fmt.pf ppf "(%s)%a" (Ty.to_string t) pp_rv a
+  | Rsizeof t -> Fmt.pf ppf "sizeof(%s)" (Ty.to_string t)
+  | Rfunc f -> Fmt.pf ppf "&%s" f
+
+let pp_callee ppf = function
+  | Cfun f -> Fmt.string ppf f
+  | Cbuiltin b -> Fmt.pf ppf "$%s" b
+  | Cptr rv -> Fmt.pf ppf "(*%a)" pp_rv rv
+
+let pp_instr ppf = function
+  | Iassign (lv, rv) -> Fmt.pf ppf "%a = %a" pp_lv lv pp_rv rv
+  | Icopy (d, s, t) -> Fmt.pf ppf "%a =copy(%s) %a" pp_lv d (Ty.to_string t) pp_lv s
+  | Icall (None, c, args) ->
+      Fmt.pf ppf "call %a(%a)" pp_callee c (Fmt.list ~sep:(Fmt.any ", ") pp_rv) args
+  | Icall (Some d, c, args) ->
+      Fmt.pf ppf "%a = call %a(%a)" pp_lv d pp_callee c
+        (Fmt.list ~sep:(Fmt.any ", ") pp_rv)
+        args
+  | Imalloc (d, t, n) -> Fmt.pf ppf "%a = malloc %s x %a" pp_lv d (Ty.to_string t) pp_rv n
+  | Ifree rv -> Fmt.pf ppf "free %a" pp_rv rv
+  | Ipoll id -> Fmt.pf ppf "poll #%d" id
+
+let pp_term ppf = function
+  | Tgoto b -> Fmt.pf ppf "goto B%d" b
+  | Tif (c, t, f) -> Fmt.pf ppf "if %a goto B%d else B%d" pp_rv c t f
+  | Tret None -> Fmt.string ppf "ret"
+  | Tret (Some rv) -> Fmt.pf ppf "ret %a" pp_rv rv
+
+let pp_func ppf (f : func) =
+  Fmt.pf ppf "func %s(%a) : %s@."
+    f.name
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (n, t) -> Fmt.pf ppf "%s:%s" n (Ty.to_string t)))
+    f.params (Ty.to_string f.ret);
+  List.iter (fun (n, t) -> Fmt.pf ppf "  local %s : %s@." n (Ty.to_string t)) f.locals;
+  Array.iteri
+    (fun i b ->
+      Fmt.pf ppf " B%d:@." i;
+      Array.iter (fun ins -> Fmt.pf ppf "   %a@." pp_instr ins) b.instrs;
+      Fmt.pf ppf "   %a@." pp_term b.term)
+    f.blocks
+
+let pp_prog ppf (p : prog) =
+  List.iter
+    (fun (n, t, init) ->
+      match init with
+      | None -> Fmt.pf ppf "global %s : %s@." n (Ty.to_string t)
+      | Some c -> Fmt.pf ppf "global %s : %s = %a@." n (Ty.to_string t) pp_const c)
+    p.globals;
+  Array.iteri (fun i s -> Fmt.pf ppf "string #%d = %S@." i s) p.strings;
+  List.iter (fun f -> Fmt.pf ppf "@.%a" pp_func f) p.funcs

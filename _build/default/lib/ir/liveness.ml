@@ -1,0 +1,157 @@
+(** Live-variable analysis on the IR.
+
+    Classic backward may-analysis at instruction granularity.  At each
+    poll-point the pre-compiler records the variables whose values are
+    "needed for computation beyond the poll-point" (§2); those — and only
+    those — are passed to [Save_variable]/[Save_pointer] at a migration,
+    with everything else recovered by MSR-graph reachability.
+
+    Soundness notes (see DESIGN.md):
+    - Taking a variable's address ({!Ir.Raddr}) counts as a *use*: the
+      content may later be read through the alias, possibly after the
+      alias itself is gone and the address is re-taken.
+    - A store through a pointer, array index, or field is a partial
+      definition: it never kills, and the base variable of an
+      array/struct write counts as used (its other elements survive).
+    - Blocks reachable only through pointers need not be live: the MSR
+      depth-first traversal collects them when a live pointer leads there. *)
+
+module SS = Set.Make (String)
+
+type t = {
+  fn : Ir.func;
+  live_out_block : SS.t array;  (** fixpoint live-out of each block *)
+  vars : SS.t;                  (** all params + locals of [fn] *)
+}
+
+(* --- use/def extraction ------------------------------------------- *)
+
+let rec uses_rv acc (rv : Ir.rv) =
+  match rv with
+  | Ir.Rconst _ | Ir.Rsizeof _ | Ir.Rfunc _ -> acc
+  | Ir.Rload (lv, _) -> uses_lv_read acc lv
+  | Ir.Raddr (lv, _) ->
+      (* address-of: conservatively a use of the base variable *)
+      uses_lv_read acc lv
+  | Ir.Runop (_, a, _) -> uses_rv acc a
+  | Ir.Rbinop (_, a, b, _) -> uses_rv (uses_rv acc a) b
+  | Ir.Rcast (_, a) -> uses_rv acc a
+
+(* Reading through an lvalue: the base variable's contents are read when
+   the base is a variable (directly, or via array index / struct field);
+   reads through a pointer only use the pointer expression. *)
+and uses_lv_read acc (lv : Ir.lv) =
+  match lv with
+  | Ir.Lvar v -> SS.add v acc
+  | Ir.Lmem (rv, _) -> uses_rv acc rv
+  | Ir.Lindex (base, i, _) -> uses_lv_read (uses_rv acc i) base
+  | Ir.Lfield (base, _, _, _) -> uses_lv_read acc base
+
+(* Writing through an lvalue: a plain variable write uses nothing; partial
+   writes (index/field) use the base variable, and writes through pointers
+   use the pointer expression. *)
+let uses_lv_write acc (lv : Ir.lv) =
+  match lv with
+  | Ir.Lvar _ -> acc
+  | Ir.Lmem (rv, _) -> uses_rv acc rv
+  | Ir.Lindex (base, i, _) -> uses_lv_read (uses_rv acc i) base
+  | Ir.Lfield (base, _, _, _) -> uses_lv_read acc base
+
+let def_of_lv (lv : Ir.lv) = match lv with Ir.Lvar v -> Some v | _ -> None
+
+let instr_uses (i : Ir.instr) : SS.t =
+  match i with
+  | Ir.Iassign (lv, rv) -> uses_lv_write (uses_rv SS.empty rv) lv
+  | Ir.Icopy (dst, src, _) -> uses_lv_write (uses_lv_read SS.empty src) dst
+  | Ir.Icall (dst, callee, args) ->
+      let acc = List.fold_left uses_rv SS.empty args in
+      let acc = match callee with Ir.Cptr rv -> uses_rv acc rv | _ -> acc in
+      (match dst with Some lv -> uses_lv_write acc lv | None -> acc)
+  | Ir.Imalloc (dst, _, n) -> uses_lv_write (uses_rv SS.empty n) dst
+  | Ir.Ifree rv -> uses_rv SS.empty rv
+  | Ir.Ipoll _ -> SS.empty
+
+let instr_defs (i : Ir.instr) : SS.t =
+  match i with
+  | Ir.Iassign (lv, _) | Ir.Icopy (lv, _, _) | Ir.Imalloc (lv, _, _) -> (
+      match def_of_lv lv with Some v -> SS.singleton v | None -> SS.empty)
+  | Ir.Icall (Some lv, _, _) -> (
+      match def_of_lv lv with Some v -> SS.singleton v | None -> SS.empty)
+  | Ir.Icall (None, _, _) | Ir.Ifree _ | Ir.Ipoll _ -> SS.empty
+
+let term_uses (t : Ir.term) : SS.t =
+  match t with
+  | Ir.Tgoto _ -> SS.empty
+  | Ir.Tif (c, _, _) -> uses_rv SS.empty c
+  | Ir.Tret None -> SS.empty
+  | Ir.Tret (Some rv) -> uses_rv SS.empty rv
+
+(* --- fixpoint ------------------------------------------------------ *)
+
+let block_transfer (b : Ir.block) (live_out : SS.t) : SS.t =
+  let live = ref (SS.union live_out (term_uses b.Ir.term)) in
+  for i = Array.length b.Ir.instrs - 1 downto 0 do
+    let ins = b.Ir.instrs.(i) in
+    live := SS.union (SS.diff !live (instr_defs ins)) (instr_uses ins)
+  done;
+  !live
+
+(* Restrict to the function's own variables (globals are always collection
+   roots, not tracked by liveness). *)
+let restrict vars s = SS.inter vars s
+
+let analyze (fn : Ir.func) : t =
+  let n = Array.length fn.Ir.blocks in
+  let vars =
+    SS.of_list (List.map fst fn.Ir.params @ List.map fst fn.Ir.locals)
+  in
+  let live_out = Array.make n SS.empty in
+  let succs = Cfg.succ_map fn in
+  let order = List.rev (Cfg.reverse_postorder fn) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bi ->
+        let out =
+          List.fold_left
+            (fun acc s ->
+              SS.union acc (block_transfer fn.Ir.blocks.(s) live_out.(s)))
+            SS.empty succs.(bi)
+        in
+        let out = restrict vars out in
+        if not (SS.equal out live_out.(bi)) then (
+          live_out.(bi) <- out;
+          changed := true))
+      order
+  done;
+  { fn; live_out_block = live_out; vars }
+
+(** Live variables immediately *before* instruction [index] of [block]
+    (index = length means before the terminator). *)
+let live_before (t : t) ~block ~index : SS.t =
+  let b = t.fn.Ir.blocks.(block) in
+  let live = ref (SS.union t.live_out_block.(block) (term_uses b.Ir.term)) in
+  for i = Array.length b.Ir.instrs - 1 downto index do
+    let ins = b.Ir.instrs.(i) in
+    live := SS.union (SS.diff !live (instr_defs ins)) (instr_uses ins)
+  done;
+  restrict t.vars !live
+
+(** Live variables immediately *after* instruction [index] of [block]: what
+    must survive a suspension at that instruction.  For an {!Ir.Ipoll} this
+    is the paper's live set at the poll-point; for an {!Ir.Icall} it is the
+    live set of the suspended caller frame (the call's own destination is
+    excluded — it is re-defined by the return value on resume). *)
+let live_after (t : t) ~block ~index : SS.t =
+  live_before t ~block ~index:(index + 1)
+
+(** Live set of a caller frame suspended at the {!Ir.Icall} at
+    [block]/[index]: variables needed after the call returns, minus the
+    call's destination (re-defined by the return value on resume, so its
+    pre-call content never matters). *)
+let live_suspended_call (t : t) ~block ~index : SS.t =
+  let call = t.fn.Ir.blocks.(block).Ir.instrs.(index) in
+  SS.diff (live_before t ~block ~index:(index + 1)) (instr_defs call)
+
+let to_sorted_list s = SS.elements s

@@ -1,0 +1,185 @@
+(** Migration-unsafe feature detection.
+
+    Smith & Hutchinson catalogued the C features that defeat heterogeneous
+    migration; the paper's pre-compiler (§1) detects and rejects them.
+    Mini-C already lacks unions, varargs and bit-fields by construction;
+    this pass checks the remaining, value-level hazards on the typed AST:
+
+    - casts between pointers and integers (an address is meaningless on
+      the destination machine);
+    - casts between unrelated pointer types (the TI table would save the
+      block under one type and the program would read it as another) —
+      [void*] and [char*] are exempt as the conventional "raw memory"
+      types;
+    - untyped [malloc] (an allocation whose element type cannot be
+      recovered never gets a TI entry);
+    - integer overflow *assumptions*: arithmetic on [long] values stored
+      into [int] is flagged as a warning, since the widths differ across
+      architectures (e.g. ILP32 → LP64). *)
+
+open Hpm_lang
+
+type severity = Error | Warning
+
+type diag = { sev : severity; loc : Ast.loc; msg : string }
+
+let pp_diag ppf d =
+  Fmt.pf ppf "%s at %a: %s"
+    (match d.sev with Error -> "error" | Warning -> "warning")
+    Ast.pp_loc d.loc d.msg
+
+let is_charlike = function Ty.Ptr Ty.Void | Ty.Ptr Ty.Char -> true | _ -> false
+
+let is_null_const (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Const (Ast.Cint 0L) | Ast.Const (Ast.Clong 0L) -> true
+  | _ -> false
+
+let rec check_expr acc (e : Ast.expr) : diag list =
+  match e.Ast.desc with
+  | Ast.Cast
+      (Ty.Ptr _, { Ast.desc = Ast.Call ({ Ast.desc = Ast.Var "malloc"; _ }, args); _ }) ->
+      (* typed malloc: fine (the size pattern is validated by Compile);
+         check the size expression but skip the Call node itself so it is
+         not misreported as an untyped malloc *)
+      List.fold_left check_expr acc args
+  | _ -> check_expr_general acc e
+
+and check_expr_general acc (e : Ast.expr) : diag list =
+  let loc = e.Ast.loc in
+  let acc =
+    match e.Ast.desc with
+    | Ast.Call ({ Ast.desc = Ast.Var "malloc"; _ }, _) ->
+        {
+          sev = Error;
+          loc;
+          msg =
+            "untyped malloc: result must be cast immediately, as in (T*)malloc(k * sizeof(T))";
+        }
+        :: acc
+    | Ast.Cast ((Ty.Ptr _ as t), inner) when Ty.is_integer (Ast.ty_of inner) ->
+        if is_null_const inner then acc
+        else
+          {
+            sev = Error;
+            loc;
+            msg =
+              Fmt.str
+                "cast of integer to %s: machine addresses do not survive migration"
+                (Ty.to_string t);
+          }
+          :: acc
+    | Ast.Cast (t, inner) when Ty.is_integer t && Ty.is_pointer (Ast.ty_of inner) ->
+        {
+          sev = Error;
+          loc;
+          msg =
+            Fmt.str "cast of %s to %s: machine addresses do not survive migration"
+              (Ty.to_string (Ast.ty_of inner))
+              (Ty.to_string t);
+        }
+        :: acc
+    | Ast.Cast ((Ty.Ptr _ as t), inner)
+      when Ty.is_pointer (Ast.ty_of inner)
+           && (not (Ty.equal t (Ast.ty_of inner)))
+           && (not (is_charlike t))
+           && not (is_charlike (Ast.ty_of inner)) ->
+        {
+          sev = Warning;
+          loc;
+          msg =
+            Fmt.str
+              "cast between unrelated pointer types %s and %s: the block will be \
+               collected under its allocation type"
+              (Ty.to_string (Ast.ty_of inner))
+              (Ty.to_string t);
+        }
+        :: acc
+    | Ast.Cast (Ty.Int, inner)
+      when Ty.equal (Ast.ty_of inner) Ty.Long && not (is_null_const inner) ->
+        {
+          sev = Warning;
+          loc;
+          msg = "long value narrowed to int: widths differ across architectures";
+        }
+        :: acc
+    | _ -> acc
+  in
+  fold_children acc e
+
+and fold_children acc (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Const _ | Ast.Var _ | Ast.Sizeof _ -> acc
+  | Ast.Unop (_, a)
+  | Ast.Incr (_, a)
+  | Ast.Decr (_, a)
+  | Ast.Field (a, _)
+  | Ast.Arrow (a, _)
+  | Ast.Deref a
+  | Ast.Addr a
+  | Ast.Cast (_, a) ->
+      check_expr acc a
+  | Ast.Binop (_, a, b) | Ast.Assign (a, b) | Ast.Index (a, b) ->
+      check_expr (check_expr acc a) b
+  | Ast.Call (f, args) -> List.fold_left check_expr (check_expr acc f) args
+  | Ast.Cond (a, b, c) -> check_expr (check_expr (check_expr acc a) b) c
+
+let rec check_stmt acc (s : Ast.stmt) : diag list =
+  match s.Ast.sdesc with
+  | Ast.Sexpr e -> check_expr acc e
+  | Ast.Sif (c, t, f) ->
+      let acc = check_expr acc c in
+      let acc = List.fold_left check_stmt acc t in
+      List.fold_left check_stmt acc f
+  | Ast.Swhile (c, body) -> List.fold_left check_stmt (check_expr acc c) body
+  | Ast.Sdo (body, c) -> check_expr (List.fold_left check_stmt acc body) c
+  | Ast.Sfor (i, c, st, body) ->
+      let acc = Option.fold ~none:acc ~some:(check_expr acc) i in
+      let acc = Option.fold ~none:acc ~some:(check_expr acc) c in
+      let acc = Option.fold ~none:acc ~some:(check_expr acc) st in
+      List.fold_left check_stmt acc body
+  | Ast.Sreturn (Some e) -> check_expr acc e
+  | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue | Ast.Spoll _ | Ast.Sgoto _
+  | Ast.Slabel _ ->
+      acc
+  | Ast.Sdecl d -> (
+      match d.Ast.d_init with Some e -> check_expr acc e | None -> acc)
+  | Ast.Sswitch (scrut, arms, default) ->
+      let acc = check_expr acc scrut in
+      let acc =
+        List.fold_left (fun acc (_, body) -> List.fold_left check_stmt acc body) acc arms
+      in
+      List.fold_left check_stmt acc default
+  | Ast.Sblock body -> List.fold_left check_stmt acc body
+
+(** Scan a type-checked program.  The result is ordered by occurrence. *)
+let check (p : Ast.program) : diag list =
+  let acc =
+    List.fold_left
+      (fun acc (d : Ast.decl) ->
+        match d.Ast.d_init with Some e -> check_expr acc e | None -> acc)
+      [] p.Ast.globals
+  in
+  let acc =
+    List.fold_left
+      (fun acc (f : Ast.func) ->
+        let acc =
+          List.fold_left
+            (fun acc (d : Ast.decl) ->
+              match d.Ast.d_init with Some e -> check_expr acc e | None -> acc)
+            acc f.Ast.f_locals
+        in
+        List.fold_left check_stmt acc f.Ast.f_body)
+      acc p.Ast.funcs
+  in
+  List.rev acc
+
+let errors diags = List.filter (fun d -> d.sev = Error) diags
+let warnings diags = List.filter (fun d -> d.sev = Warning) diags
+
+(** Raise-on-error convenience used by the migration pipeline. *)
+exception Rejected of diag list
+
+let check_exn p =
+  let diags = check p in
+  match errors diags with [] -> diags | errs -> raise (Rejected errs)

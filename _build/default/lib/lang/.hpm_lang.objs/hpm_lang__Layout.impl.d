@@ -1,0 +1,1 @@
+lib/lang/layout.ml: Arch Array Fun Hpm_arch List Printf String Ty

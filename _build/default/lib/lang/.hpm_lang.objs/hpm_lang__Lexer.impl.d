@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Array Buffer Fmt Int64 List Printf String

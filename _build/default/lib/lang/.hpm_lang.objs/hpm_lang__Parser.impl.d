@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Ast Char Fmt Fun Int64 Lexer List Ty

@@ -1,0 +1,1 @@
+lib/lang/scopes.ml: Ast List Option Printf

@@ -1,0 +1,1 @@
+lib/lang/ty.ml: Fmt List Printf String

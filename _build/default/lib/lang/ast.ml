@@ -1,0 +1,150 @@
+(** Mini-C abstract syntax.
+
+    The surface language is the migration-safe C subset of the paper: C89
+    style (all locals declared at function top), structs, pointers,
+    fixed-size arrays, function pointers, [malloc]/[free], and the usual
+    statements.  Expressions carry a mutable type slot filled by
+    {!Typecheck}; downstream passes (lowering, liveness, the pre-compiler)
+    read it and never re-infer. *)
+
+type loc = { line : int; col : int }
+
+let no_loc = { line = 0; col = 0 }
+let pp_loc ppf l = Fmt.pf ppf "%d:%d" l.line l.col
+
+type unop =
+  | Neg          (** -e *)
+  | Not          (** !e *)
+  | Bnot         (** ~e *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or                       (** short-circuit && and || *)
+  | Band | Bor | Bxor | Shl | Shr
+
+type const =
+  | Cint of int64                  (** integer literal (type [Int]) *)
+  | Clong of int64                 (** integer literal with L suffix *)
+  | Cfloat of float                (** literal with f suffix (type [Float]) *)
+  | Cdouble of float
+  | Cchar of char
+  | Cstr of string                 (** string literal: becomes a global char array *)
+
+type expr = { desc : desc; loc : loc; mutable ety : Ty.t option }
+
+and desc =
+  | Const of const
+  | Var of string                       (** variable or function name *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr               (** lvalue = rvalue, value is rvalue *)
+  | Incr of bool * expr                 (** pre?(true) ++lv / lv++ *)
+  | Decr of bool * expr
+  | Call of expr * expr list            (** callee is a name or fn-pointer expr *)
+  | Index of expr * expr                (** e1[e2] *)
+  | Field of expr * string              (** e.f *)
+  | Arrow of expr * string              (** e->f *)
+  | Deref of expr                       (** *e *)
+  | Addr of expr                        (** &lvalue *)
+  | Cast of Ty.t * expr
+  | Sizeof of Ty.t                      (** sizeof(type); arch-dependent value *)
+  | Cond of expr * expr * expr          (** e1 ? e2 : e3 *)
+
+type stmt = { sdesc : sdesc; sloc : loc }
+
+and sdesc =
+  | Sexpr of expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr             (** do { .. } while (e); *)
+  | Sfor of expr option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sswitch of expr * (int64 list * stmt list) list * stmt list
+      (** switch: scrutinee, arms (several case constants may label one
+          arm), default body.  C semantics, including fallthrough: an arm
+          that does not end in [break]/[return] continues into the next
+          arm. *)
+  | Sgoto of string                     (** goto LABEL *)
+  | Slabel of string                    (** LABEL: — the paper's poll-point label statements *)
+  | Spoll of string                     (** explicit user poll-point: [#pragma poll name] *)
+  | Sdecl of decl
+      (** block-scoped declaration (C89 compound blocks); eliminated by
+          {!Scopes.normalize}, which hoists it to the function top with
+          renaming — later passes never see it *)
+
+(** A local declaration: [int a, *b;] yields two decls.  Optional scalar
+    initializer expressions are sugar for an assignment at function entry. *)
+and decl = { d_name : string; d_ty : Ty.t; d_init : expr option; d_loc : loc }
+
+type func = {
+  f_name : string;
+  f_ret : Ty.t;
+  f_params : (string * Ty.t) list;
+  f_locals : decl list;
+  f_body : stmt list;
+  f_loc : loc;
+}
+
+type program = {
+  tenv : Ty.tenv;
+  globals : decl list;
+  funcs : func list;
+}
+
+let mk ?(loc = no_loc) desc = { desc; loc; ety = None }
+let mks ?(loc = no_loc) sdesc = { sdesc; sloc = loc }
+
+(** Type of a checked expression; call only after {!Typecheck.check_program}. *)
+let ty_of (e : expr) : Ty.t =
+  match e.ety with
+  | Some t -> t
+  | None ->
+      invalid_arg
+        (Fmt.str "Ast.ty_of: expression at %a was not type-checked" pp_loc e.loc)
+
+let find_func p name = List.find_opt (fun f -> String.equal f.f_name name) p.funcs
+
+let find_func_exn p name =
+  match find_func p name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Ast.find_func_exn: no function %s" name)
+
+(** Structural expression equality, ignoring locations and type
+    annotations.  Used to recognize the lvalue duplication produced by
+    compound-assignment desugaring even after other passes have rebuilt
+    the nodes. *)
+let rec expr_equal (a : expr) (b : expr) : bool =
+  match (a.desc, b.desc) with
+  | Const x, Const y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Unop (o1, x), Unop (o2, y) -> o1 = o2 && expr_equal x y
+  | Binop (o1, x1, y1), Binop (o2, x2, y2) ->
+      o1 = o2 && expr_equal x1 x2 && expr_equal y1 y2
+  | Assign (x1, y1), Assign (x2, y2) -> expr_equal x1 x2 && expr_equal y1 y2
+  | Incr (p1, x), Incr (p2, y) | Decr (p1, x), Decr (p2, y) ->
+      p1 = p2 && expr_equal x y
+  | Call (f1, a1), Call (f2, a2) ->
+      expr_equal f1 f2
+      && List.length a1 = List.length a2
+      && List.for_all2 expr_equal a1 a2
+  | Index (x1, y1), Index (x2, y2) -> expr_equal x1 x2 && expr_equal y1 y2
+  | Field (x, f1), Field (y, f2) | Arrow (x, f1), Arrow (y, f2) ->
+      String.equal f1 f2 && expr_equal x y
+  | Deref x, Deref y | Addr x, Addr y -> expr_equal x y
+  | Cast (t1, x), Cast (t2, y) -> Ty.equal t1 t2 && expr_equal x y
+  | Sizeof t1, Sizeof t2 -> Ty.equal t1 t2
+  | Cond (c1, x1, y1), Cond (c2, x2, y2) ->
+      expr_equal c1 c2 && expr_equal x1 x2 && expr_equal y1 y2
+  | _ -> false
+
+let unop_to_string = function Neg -> "-" | Not -> "!" | Bnot -> "~"
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"

@@ -1,0 +1,165 @@
+(** Per-architecture data layout.
+
+    Computes [sizeof], [alignof], struct field offsets, and — crucially for
+    migration — the bidirectional map between a scalar element's
+    machine-independent *ordinal* (its index in {!Ty.flatten}) and its
+    machine-specific *byte offset* inside a memory block.
+
+    The layout algorithm is the standard System V one: each scalar's
+    alignment is min(its size, arch cap / per-type override); a struct's
+    alignment is the max of its fields'; fields are placed at the next
+    aligned offset; the struct size is padded to its own alignment. *)
+
+open Hpm_arch
+
+type t = { arch : Arch.t; tenv : Ty.tenv }
+
+let make arch tenv = { arch; tenv }
+
+let scalar_size l (k : Ty.scalar_kind) =
+  let a = l.arch in
+  match k with
+  | Ty.KChar -> 1
+  | Ty.KShort -> a.Arch.short_size
+  | Ty.KInt -> a.Arch.int_size
+  | Ty.KLong -> a.Arch.long_size
+  | Ty.KFloat -> a.Arch.float_size
+  | Ty.KDouble -> a.Arch.double_size
+  | Ty.KPtr _ | Ty.KFunc _ -> a.Arch.ptr_size
+
+let scalar_align l (k : Ty.scalar_kind) =
+  let a = l.arch in
+  let natural =
+    match k with
+    | Ty.KDouble -> a.Arch.double_align
+    | Ty.KLong -> a.Arch.long_align
+    | k -> scalar_size l k
+  in
+  min natural a.Arch.max_align
+
+let align_up off align =
+  if align <= 0 then off else (off + align - 1) / align * align
+
+let rec sizeof l (t : Ty.t) =
+  match Ty.scalar_kind_of_ty t with
+  | Some k -> scalar_size l k
+  | None -> (
+      match t with
+      | Ty.Array (e, n) -> n * sizeof l e
+      | Ty.Struct name -> struct_layout l name |> fun (sz, _, _) -> sz
+      | Ty.Void | Ty.Func _ ->
+          invalid_arg (Printf.sprintf "Layout.sizeof: %s" (Ty.to_string t))
+      | _ -> assert false)
+
+and alignof l (t : Ty.t) =
+  match Ty.scalar_kind_of_ty t with
+  | Some k -> scalar_align l k
+  | None -> (
+      match t with
+      | Ty.Array (e, _) -> alignof l e
+      | Ty.Struct name -> struct_layout l name |> fun (_, al, _) -> al
+      | Ty.Void | Ty.Func _ ->
+          invalid_arg (Printf.sprintf "Layout.alignof: %s" (Ty.to_string t))
+      | _ -> assert false)
+
+(** [struct_layout l name] is [(size, align, field_offsets)] where
+    [field_offsets] pairs each field name with its byte offset. *)
+and struct_layout l name =
+  let def = Ty.find_struct_exn l.tenv name in
+  let off, align, fields =
+    List.fold_left
+      (fun (off, align, acc) (f : Ty.field) ->
+        let fa = alignof l f.Ty.fld_ty in
+        let fo = align_up off fa in
+        (fo + sizeof l f.Ty.fld_ty, max align fa, (f.Ty.fld_name, fo) :: acc))
+      (0, 1, []) def.Ty.s_fields
+  in
+  (align_up off align, align, List.rev fields)
+
+let field_offset l sname fname =
+  let _, _, offs = struct_layout l sname in
+  match List.assoc_opt fname offs with
+  | Some o -> o
+  | None ->
+      invalid_arg (Printf.sprintf "Layout.field_offset: struct %s has no field %s" sname fname)
+
+let field_ty l sname fname =
+  let def = Ty.find_struct_exn l.tenv sname in
+  match List.find_opt (fun f -> String.equal f.Ty.fld_name fname) def.Ty.s_fields with
+  | Some f -> f.Ty.fld_ty
+  | None ->
+      invalid_arg (Printf.sprintf "Layout.field_ty: struct %s has no field %s" sname fname)
+
+(** An element table for a block type: for each scalar ordinal, its byte
+    offset and scalar kind under this layout.  Built once per (arch, type)
+    and cached by the TI table; lookups during collection/restoration are
+    then O(1) for ordinal→byte and O(log n) for byte→ordinal. *)
+type elems = {
+  ty : Ty.t;
+  byte_of_ord : int array;             (** ordinal → byte offset *)
+  kind_of_ord : Ty.scalar_kind array;  (** ordinal → scalar kind *)
+  (* sorted by byte offset; parallel to byte_of_ord via sorting permutation *)
+  sorted_bytes : int array;
+  sorted_ords : int array;
+}
+
+let elems l (t : Ty.t) =
+  let bytes = ref [] and kinds = ref [] in
+  let rec go base (t : Ty.t) =
+    match Ty.scalar_kind_of_ty t with
+    | Some k ->
+        bytes := base :: !bytes;
+        kinds := k :: !kinds
+    | None -> (
+        match t with
+        | Ty.Array (e, n) ->
+            let esz = sizeof l e in
+            for i = 0 to n - 1 do
+              go (base + (i * esz)) e
+            done
+        | Ty.Struct name ->
+            let _, _, offs = struct_layout l name in
+            let def = Ty.find_struct_exn l.tenv name in
+            List.iter2
+              (fun (f : Ty.field) (_, fo) -> go (base + fo) f.Ty.fld_ty)
+              def.Ty.s_fields offs
+        | _ -> invalid_arg (Printf.sprintf "Layout.elems: %s" (Ty.to_string t)))
+  in
+  go 0 t;
+  let byte_of_ord = Array.of_list (List.rev !bytes) in
+  let kind_of_ord = Array.of_list (List.rev !kinds) in
+  let n = Array.length byte_of_ord in
+  let perm = Array.init n Fun.id in
+  Array.sort (fun i j -> compare byte_of_ord.(i) byte_of_ord.(j)) perm;
+  let sorted_bytes = Array.map (fun i -> byte_of_ord.(i)) perm in
+  { ty = t; byte_of_ord; kind_of_ord; sorted_bytes; sorted_ords = perm }
+
+let elem_count e = Array.length e.byte_of_ord
+
+let byte_of_ordinal e ord =
+  if ord < 0 || ord >= Array.length e.byte_of_ord then
+    invalid_arg (Printf.sprintf "Layout.byte_of_ordinal: ordinal %d out of range" ord);
+  e.byte_of_ord.(ord)
+
+let kind_of_ordinal e ord =
+  if ord < 0 || ord >= Array.length e.kind_of_ord then
+    invalid_arg (Printf.sprintf "Layout.kind_of_ordinal: ordinal %d out of range" ord);
+  e.kind_of_ord.(ord)
+
+(** [ordinal_of_byte e off] is the ordinal of the scalar element starting
+    exactly at byte [off]; [None] when [off] lands in padding or mid-element.
+    A pointer whose value is such an address is malformed (or points past a
+    narrowing cast) and collection reports it instead of guessing. *)
+let ordinal_of_byte e off =
+  let lo = ref 0 and hi = ref (Array.length e.sorted_bytes - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let b = e.sorted_bytes.(mid) in
+    if b = off then (
+      found := Some e.sorted_ords.(mid);
+      lo := !hi + 1)
+    else if b < off then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found

@@ -1,0 +1,325 @@
+(** Hand-written lexer for Mini-C.
+
+    Produces a token array with source positions.  Comments ([/* */] and
+    [//]) and whitespace are skipped.  The only preprocessor-ish construct
+    is [#pragma poll NAME], which survives as a token so users can place
+    poll-points by hand, as §2 of the paper allows. *)
+
+type token =
+  | INT_LIT of int64
+  | LONG_LIT of int64
+  | FLOAT_LIT of float
+  | DOUBLE_LIT of float
+  | CHAR_LIT of char
+  | STR_LIT of string
+  | IDENT of string
+  (* keywords *)
+  | KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_FLOAT | KW_DOUBLE
+  | KW_STRUCT | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR | KW_RETURN
+  | KW_BREAK | KW_CONTINUE | KW_SIZEOF
+  | KW_SWITCH | KW_CASE | KW_DEFAULT | KW_GOTO
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW | QUESTION | COLON
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | PLUSPLUS | MINUSMINUS
+  | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | EQ | NE | LT | LE | GT | GE
+  | AMPAMP | BARBAR | BANG
+  | AMP | BAR | CARET | TILDE | SHL | SHR
+  | PRAGMA_POLL of string
+  | EOF
+
+type lexed = { tok : token; line : int; col : int }
+
+exception Error of string * int * int
+
+let error line col fmt =
+  Fmt.kstr (fun msg -> raise (Error (msg, line, col))) fmt
+
+let keyword_of_string = function
+  | "void" -> Some KW_VOID
+  | "char" -> Some KW_CHAR
+  | "short" -> Some KW_SHORT
+  | "int" -> Some KW_INT
+  | "long" -> Some KW_LONG
+  | "float" -> Some KW_FLOAT
+  | "double" -> Some KW_DOUBLE
+  | "struct" -> Some KW_STRUCT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "sizeof" -> Some KW_SIZEOF
+  | "switch" -> Some KW_SWITCH
+  | "case" -> Some KW_CASE
+  | "default" -> Some KW_DEFAULT
+  | "goto" -> Some KW_GOTO
+  | _ -> None
+
+let token_to_string = function
+  | INT_LIT n -> Int64.to_string n
+  | LONG_LIT n -> Int64.to_string n ^ "L"
+  | FLOAT_LIT f -> string_of_float f ^ "f"
+  | DOUBLE_LIT f -> string_of_float f
+  | CHAR_LIT c -> Printf.sprintf "%C" c
+  | STR_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_VOID -> "void" | KW_CHAR -> "char" | KW_SHORT -> "short"
+  | KW_INT -> "int" | KW_LONG -> "long" | KW_FLOAT -> "float"
+  | KW_DOUBLE -> "double" | KW_STRUCT -> "struct" | KW_IF -> "if"
+  | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_DO -> "do" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_SIZEOF -> "sizeof"
+  | KW_SWITCH -> "switch" | KW_CASE -> "case" | KW_DEFAULT -> "default"
+  | KW_GOTO -> "goto"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | DOT -> "." | ARROW -> "->" | QUESTION -> "?" | COLON -> ":"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | ASSIGN -> "=" | PLUSEQ -> "+=" | MINUSEQ -> "-=" | STAREQ -> "*=" | SLASHEQ -> "/="
+  | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | AMPAMP -> "&&" | BARBAR -> "||" | BANG -> "!"
+  | AMP -> "&" | BAR -> "|" | CARET -> "^" | TILDE -> "~"
+  | SHL -> "<<" | SHR -> ">>"
+  | PRAGMA_POLL s -> "#pragma poll " ^ s
+  | EOF -> "<eof>"
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek_char st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek_char2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek_char st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' when peek_char2 st = Some '/' ->
+      while peek_char st <> None && peek_char st <> Some '\n' do
+        advance st
+      done;
+      skip_ws_and_comments st
+  | Some '/' when peek_char2 st = Some '*' ->
+      let line = st.line and col = st.col in
+      advance st;
+      advance st;
+      let rec loop () =
+        match (peek_char st, peek_char2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            loop ()
+        | None, _ -> error line col "unterminated comment"
+      in
+      loop ();
+      skip_ws_and_comments st
+  | _ -> ()
+
+let lex_number st =
+  let line = st.line and col = st.col in
+  let start = st.pos in
+  while (match peek_char st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float = ref false in
+  (match (peek_char st, peek_char2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      while (match peek_char st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | Some '.', (Some _ | None) when peek_char2 st <> Some '.' ->
+      (* trailing "1." — accept as double *)
+      is_float := true;
+      advance st
+  | _ -> ());
+  (match peek_char st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek_char st with Some ('+' | '-') -> advance st | _ -> ());
+      while (match peek_char st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match peek_char st with
+    | Some ('f' | 'F') ->
+        advance st;
+        { tok = FLOAT_LIT (float_of_string text); line; col }
+    | _ -> { tok = DOUBLE_LIT (float_of_string text); line; col }
+  else
+    match peek_char st with
+    | Some ('l' | 'L') ->
+        advance st;
+        { tok = LONG_LIT (Int64.of_string text); line; col }
+    | _ -> { tok = INT_LIT (Int64.of_string text); line; col }
+
+let lex_escaped st line col =
+  match peek_char st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some c -> error line col "unknown escape \\%c" c
+  | None -> error line col "unterminated escape"
+
+let lex_string st =
+  let line = st.line and col = st.col in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek_char st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        Buffer.add_char buf (lex_escaped st line col);
+        loop ()
+    | Some '\n' | None -> error line col "unterminated string literal"
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  { tok = STR_LIT (Buffer.contents buf); line; col }
+
+let lex_char st =
+  let line = st.line and col = st.col in
+  advance st;
+  let c =
+    match peek_char st with
+    | Some '\\' ->
+        advance st;
+        lex_escaped st line col
+    | Some c ->
+        advance st;
+        c
+    | None -> error line col "unterminated char literal"
+  in
+  (match peek_char st with
+  | Some '\'' -> advance st
+  | _ -> error line col "unterminated char literal");
+  { tok = CHAR_LIT c; line; col }
+
+let lex_pragma st =
+  (* at '#'; only "#pragma poll IDENT" is accepted *)
+  let line = st.line and col = st.col in
+  let start = st.pos in
+  while peek_char st <> None && peek_char st <> Some '\n' do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match String.split_on_char ' ' text |> List.filter (fun s -> s <> "") with
+  | [ "#pragma"; "poll"; name ] -> { tok = PRAGMA_POLL name; line; col }
+  | _ -> error line col "unsupported directive %S (only '#pragma poll NAME')" text
+
+let lex_ident st =
+  let line = st.line and col = st.col in
+  let start = st.pos in
+  while (match peek_char st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match keyword_of_string text with
+  | Some kw -> { tok = kw; line; col }
+  | None -> { tok = IDENT text; line; col }
+
+let lex_op st =
+  let line = st.line and col = st.col in
+  let one tok = advance st; { tok; line; col } in
+  let two tok = advance st; advance st; { tok; line; col } in
+  match (peek_char st, peek_char2 st) with
+  | Some '+', Some '+' -> two PLUSPLUS
+  | Some '+', Some '=' -> two PLUSEQ
+  | Some '+', _ -> one PLUS
+  | Some '-', Some '-' -> two MINUSMINUS
+  | Some '-', Some '=' -> two MINUSEQ
+  | Some '-', Some '>' -> two ARROW
+  | Some '-', _ -> one MINUS
+  | Some '*', Some '=' -> two STAREQ
+  | Some '*', _ -> one STAR
+  | Some '/', Some '=' -> two SLASHEQ
+  | Some '/', _ -> one SLASH
+  | Some '%', _ -> one PERCENT
+  | Some '=', Some '=' -> two EQ
+  | Some '=', _ -> one ASSIGN
+  | Some '!', Some '=' -> two NE
+  | Some '!', _ -> one BANG
+  | Some '<', Some '<' -> two SHL
+  | Some '<', Some '=' -> two LE
+  | Some '<', _ -> one LT
+  | Some '>', Some '>' -> two SHR
+  | Some '>', Some '=' -> two GE
+  | Some '>', _ -> one GT
+  | Some '&', Some '&' -> two AMPAMP
+  | Some '&', _ -> one AMP
+  | Some '|', Some '|' -> two BARBAR
+  | Some '|', _ -> one BAR
+  | Some '^', _ -> one CARET
+  | Some '~', _ -> one TILDE
+  | Some '(', _ -> one LPAREN
+  | Some ')', _ -> one RPAREN
+  | Some '{', _ -> one LBRACE
+  | Some '}', _ -> one RBRACE
+  | Some '[', _ -> one LBRACKET
+  | Some ']', _ -> one RBRACKET
+  | Some ';', _ -> one SEMI
+  | Some ',', _ -> one COMMA
+  | Some '.', _ -> one DOT
+  | Some '?', _ -> one QUESTION
+  | Some ':', _ -> one COLON
+  | Some c, _ -> error line col "unexpected character %C" c
+  | None, _ -> { tok = EOF; line; col }
+
+(** [tokenize src] lexes the whole source, raising {!Error} on bad input. *)
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let rec loop () =
+    skip_ws_and_comments st;
+    match peek_char st with
+    | None -> out := { tok = EOF; line = st.line; col = st.col } :: !out
+    | Some c ->
+        let t =
+          if is_digit c then lex_number st
+          else if is_ident_start c then lex_ident st
+          else if c = '"' then lex_string st
+          else if c = '\'' then lex_char st
+          else if c = '#' then lex_pragma st
+          else lex_op st
+        in
+        out := t :: !out;
+        loop ()
+  in
+  loop ();
+  Array.of_list (List.rev !out)

@@ -1,0 +1,593 @@
+(** Recursive-descent parser for Mini-C.
+
+    Full C declarator syntax is supported — [struct node *parray[10]] is an
+    array of ten pointers, and function-pointer declarators work — because
+    the paper's example program and the TUI-style type analysis depend on
+    it.  There are no typedefs, so the classic cast/paren ambiguity
+    resolves by one token of lookahead. *)
+
+open Lexer
+
+exception Error of string * int * int
+
+type st = { toks : lexed array; mutable pos : int }
+
+let error st fmt =
+  let ({ line; col; _ } : lexed) = st.toks.(st.pos) in
+  Fmt.kstr (fun msg -> raise (Error (msg, line, col))) fmt
+
+let cur st = st.toks.(st.pos).tok
+
+let cur_loc st : Ast.loc =
+  let ({ line; col; _ } : lexed) = st.toks.(st.pos) in
+  { line; col }
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).tok else EOF
+
+let advance st = if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1
+
+let accept st tok =
+  if cur st = tok then (
+    advance st;
+    true)
+  else false
+
+let expect st tok =
+  if not (accept st tok) then
+    error st "expected %s but found %s" (token_to_string tok)
+      (token_to_string (cur st))
+
+let expect_ident st =
+  match cur st with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> error st "expected identifier but found %s" (token_to_string t)
+
+let is_type_start = function
+  | KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_FLOAT | KW_DOUBLE
+  | KW_STRUCT ->
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Types and declarators                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_base_type st : Ty.t =
+  match cur st with
+  | KW_VOID -> advance st; Ty.Void
+  | KW_CHAR -> advance st; Ty.Char
+  | KW_SHORT -> advance st; Ty.Short
+  | KW_INT -> advance st; Ty.Int
+  | KW_LONG ->
+      advance st;
+      (* accept "long int" *)
+      if cur st = KW_INT then advance st;
+      Ty.Long
+  | KW_FLOAT -> advance st; Ty.Float
+  | KW_DOUBLE -> advance st; Ty.Double
+  | KW_STRUCT ->
+      advance st;
+      let name = expect_ident st in
+      Ty.Struct name
+  | t -> error st "expected a type but found %s" (token_to_string t)
+
+(* A declarator yields the declared name (possibly "" for abstract
+   declarators in casts / parameter lists) and a transformer applied to the
+   base type. *)
+let rec parse_declarator st : string * (Ty.t -> Ty.t) =
+  if accept st STAR then
+    let name, wrap = parse_declarator st in
+    (name, fun t -> wrap (Ty.Ptr t))
+  else parse_direct_declarator st
+
+and parse_direct_declarator st =
+  let name, wrap =
+    match cur st with
+    | LPAREN when declarator_paren st ->
+        advance st;
+        let d = parse_declarator st in
+        expect st RPAREN;
+        d
+    | IDENT n ->
+        advance st;
+        (n, Fun.id)
+    | _ -> ("", Fun.id) (* abstract declarator *)
+  in
+  parse_suffixes st (name, wrap)
+
+(* Distinguish "(*f)(...)" grouping parens from a parameter list "(int)".
+   A grouping paren is followed by '*', an identifier, or another paren. *)
+and declarator_paren st =
+  match peek2 st with STAR | IDENT _ | LPAREN -> true | _ -> false
+
+and parse_suffixes st (name, wrap) =
+  if accept st LBRACKET then (
+    let n =
+      match cur st with
+      | INT_LIT v ->
+          advance st;
+          Int64.to_int v
+      | t -> error st "expected array size but found %s" (token_to_string t)
+    in
+    expect st RBRACKET;
+    parse_suffixes st (name, fun t -> wrap (Ty.Array (t, n))))
+  else if cur st = LPAREN && not (declarator_paren st) then (
+    advance st;
+    let params = parse_param_types st in
+    expect st RPAREN;
+    parse_suffixes st (name, fun t -> wrap (Ty.Func (t, params))))
+  else (name, wrap)
+
+and parse_param_types st =
+  if cur st = RPAREN then []
+  else if cur st = KW_VOID && peek2 st = RPAREN then (
+    advance st;
+    [])
+  else
+    let rec loop acc =
+      let base = parse_base_type st in
+      let _, wrap = parse_declarator st in
+      let acc = wrap base :: acc in
+      if accept st COMMA then loop acc else List.rev acc
+    in
+    loop []
+
+(** Parse a complete type name, e.g. in a cast or sizeof: base type followed
+    by an abstract declarator. *)
+let parse_type_name st =
+  let base = parse_base_type st in
+  let name, wrap = parse_declarator st in
+  if name <> "" then error st "unexpected identifier %s in type name" name;
+  wrap base
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st : Ast.expr = parse_assign st
+
+and parse_assign st =
+  let loc = cur_loc st in
+  let lhs = parse_cond st in
+  match cur st with
+  | ASSIGN ->
+      advance st;
+      let rhs = parse_assign st in
+      Ast.mk ~loc (Ast.Assign (lhs, rhs))
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ ->
+      let op =
+        match cur st with
+        | PLUSEQ -> Ast.Add
+        | MINUSEQ -> Ast.Sub
+        | STAREQ -> Ast.Mul
+        | SLASHEQ -> Ast.Div
+        | _ -> assert false
+      in
+      advance st;
+      let rhs = parse_assign st in
+      (* Desugar [lv op= e] to [lv = lv op e]; Mini-C lvalues are pure so
+         the duplication is safe (side effects in lvalue positions of
+         compound assignments are rejected by the type checker). *)
+      Ast.mk ~loc (Ast.Assign (lhs, Ast.mk ~loc (Ast.Binop (op, lhs, rhs))))
+  | _ -> lhs
+
+and parse_cond st =
+  let loc = cur_loc st in
+  let c = parse_binary st 0 in
+  if accept st QUESTION then (
+    let t = parse_expr st in
+    expect st COLON;
+    let f = parse_cond st in
+    Ast.mk ~loc (Ast.Cond (c, t, f)))
+  else c
+
+(* Binary operators by increasing precedence level. *)
+and binop_at_level level tok =
+  match (level, tok) with
+  | 0, BARBAR -> Some Ast.Or
+  | 1, AMPAMP -> Some Ast.And
+  | 2, BAR -> Some Ast.Bor
+  | 3, CARET -> Some Ast.Bxor
+  | 4, AMP -> Some Ast.Band
+  | 5, EQ -> Some Ast.Eq
+  | 5, NE -> Some Ast.Ne
+  | 6, LT -> Some Ast.Lt
+  | 6, LE -> Some Ast.Le
+  | 6, GT -> Some Ast.Gt
+  | 6, GE -> Some Ast.Ge
+  | 7, SHL -> Some Ast.Shl
+  | 7, SHR -> Some Ast.Shr
+  | 8, PLUS -> Some Ast.Add
+  | 8, MINUS -> Some Ast.Sub
+  | 9, STAR -> Some Ast.Mul
+  | 9, SLASH -> Some Ast.Div
+  | 9, PERCENT -> Some Ast.Mod
+  | _ -> None
+
+and parse_binary st level =
+  if level > 9 then parse_unary st
+  else
+    let loc = cur_loc st in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match binop_at_level level (cur st) with
+      | Some op ->
+          advance st;
+          let rhs = parse_binary st (level + 1) in
+          lhs := Ast.mk ~loc (Ast.Binop (op, !lhs, rhs))
+      | None -> continue := false
+    done;
+    !lhs
+
+and parse_unary st =
+  let loc = cur_loc st in
+  match cur st with
+  | MINUS ->
+      advance st;
+      Ast.mk ~loc (Ast.Unop (Ast.Neg, parse_unary st))
+  | BANG ->
+      advance st;
+      Ast.mk ~loc (Ast.Unop (Ast.Not, parse_unary st))
+  | TILDE ->
+      advance st;
+      Ast.mk ~loc (Ast.Unop (Ast.Bnot, parse_unary st))
+  | STAR ->
+      advance st;
+      Ast.mk ~loc (Ast.Deref (parse_unary st))
+  | AMP ->
+      advance st;
+      Ast.mk ~loc (Ast.Addr (parse_unary st))
+  | PLUSPLUS ->
+      advance st;
+      Ast.mk ~loc (Ast.Incr (true, parse_unary st))
+  | MINUSMINUS ->
+      advance st;
+      Ast.mk ~loc (Ast.Decr (true, parse_unary st))
+  | KW_SIZEOF ->
+      advance st;
+      expect st LPAREN;
+      let t = parse_type_name st in
+      expect st RPAREN;
+      Ast.mk ~loc (Ast.Sizeof t)
+  | LPAREN when is_type_start (peek2 st) ->
+      advance st;
+      let t = parse_type_name st in
+      expect st RPAREN;
+      Ast.mk ~loc (Ast.Cast (t, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    let loc = cur_loc st in
+    match cur st with
+    | LPAREN ->
+        advance st;
+        let args = parse_args st in
+        expect st RPAREN;
+        e := Ast.mk ~loc (Ast.Call (!e, args))
+    | LBRACKET ->
+        advance st;
+        let idx = parse_expr st in
+        expect st RBRACKET;
+        e := Ast.mk ~loc (Ast.Index (!e, idx))
+    | DOT ->
+        advance st;
+        let f = expect_ident st in
+        e := Ast.mk ~loc (Ast.Field (!e, f))
+    | ARROW ->
+        advance st;
+        let f = expect_ident st in
+        e := Ast.mk ~loc (Ast.Arrow (!e, f))
+    | PLUSPLUS ->
+        advance st;
+        e := Ast.mk ~loc (Ast.Incr (false, !e))
+    | MINUSMINUS ->
+        advance st;
+        e := Ast.mk ~loc (Ast.Decr (false, !e))
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_args st =
+  if cur st = RPAREN then []
+  else
+    let rec loop acc =
+      let a = parse_assign st in
+      if accept st COMMA then loop (a :: acc) else List.rev (a :: acc)
+    in
+    loop []
+
+and parse_primary st =
+  let loc = cur_loc st in
+  match cur st with
+  | INT_LIT v -> advance st; Ast.mk ~loc (Ast.Const (Ast.Cint v))
+  | LONG_LIT v -> advance st; Ast.mk ~loc (Ast.Const (Ast.Clong v))
+  | FLOAT_LIT v -> advance st; Ast.mk ~loc (Ast.Const (Ast.Cfloat v))
+  | DOUBLE_LIT v -> advance st; Ast.mk ~loc (Ast.Const (Ast.Cdouble v))
+  | CHAR_LIT c -> advance st; Ast.mk ~loc (Ast.Const (Ast.Cchar c))
+  | STR_LIT s -> advance st; Ast.mk ~loc (Ast.Const (Ast.Cstr s))
+  | IDENT n -> advance st; Ast.mk ~loc (Ast.Var n)
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | t -> error st "expected an expression but found %s" (token_to_string t)
+
+(* Parse declarators for one declaration line: "int a, *b;". *)
+let parse_decl_line st base : Ast.decl list =
+  let rec loop acc =
+    let loc = cur_loc st in
+    let name, wrap = parse_declarator st in
+    if name = "" then error st "expected a name in declaration";
+    let init = if accept st ASSIGN then Some (parse_assign st) else None in
+    let d = { Ast.d_name = name; d_ty = wrap base; d_init = init; d_loc = loc } in
+    if accept st COMMA then loop (d :: acc)
+    else (
+      expect st SEMI;
+      List.rev (d :: acc))
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st : Ast.stmt =
+  let loc = cur_loc st in
+  match cur st with
+  | SEMI ->
+      advance st;
+      Ast.mks ~loc (Ast.Sblock [])
+  | LBRACE ->
+      advance st;
+      (* C89: declarations at the head of any compound block *)
+      let decls = ref [] in
+      while is_type_start (cur st) do
+        let base = parse_base_type st in
+        List.iter
+          (fun d -> decls := Ast.mks ~loc:d.Ast.d_loc (Ast.Sdecl d) :: !decls)
+          (parse_decl_line st base)
+      done;
+      let body = parse_stmts_until st RBRACE in
+      expect st RBRACE;
+      Ast.mks ~loc (Ast.Sblock (List.rev !decls @ body))
+  | KW_IF ->
+      advance st;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      let then_ = parse_branch st in
+      let else_ = if accept st KW_ELSE then parse_branch st else [] in
+      Ast.mks ~loc (Ast.Sif (c, then_, else_))
+  | KW_WHILE ->
+      advance st;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      Ast.mks ~loc (Ast.Swhile (c, parse_branch st))
+  | KW_DO ->
+      advance st;
+      let body = parse_branch st in
+      expect st KW_WHILE;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      expect st SEMI;
+      Ast.mks ~loc (Ast.Sdo (body, c))
+  | KW_FOR ->
+      advance st;
+      expect st LPAREN;
+      let init = if cur st = SEMI then None else Some (parse_expr st) in
+      expect st SEMI;
+      let cond = if cur st = SEMI then None else Some (parse_expr st) in
+      expect st SEMI;
+      let step = if cur st = RPAREN then None else Some (parse_expr st) in
+      expect st RPAREN;
+      Ast.mks ~loc (Ast.Sfor (init, cond, step, parse_branch st))
+  | KW_RETURN ->
+      advance st;
+      let e = if cur st = SEMI then None else Some (parse_expr st) in
+      expect st SEMI;
+      Ast.mks ~loc (Ast.Sreturn e)
+  | KW_BREAK ->
+      advance st;
+      expect st SEMI;
+      Ast.mks ~loc Ast.Sbreak
+  | KW_CONTINUE ->
+      advance st;
+      expect st SEMI;
+      Ast.mks ~loc Ast.Scontinue
+  | PRAGMA_POLL name ->
+      advance st;
+      Ast.mks ~loc (Ast.Spoll name)
+  | KW_SWITCH ->
+      advance st;
+      expect st LPAREN;
+      let scrut = parse_expr st in
+      expect st RPAREN;
+      expect st LBRACE;
+      let arms = ref [] in
+      let default = ref [] in
+      let case_const () =
+        match cur st with
+        | INT_LIT v -> advance st; v
+        | CHAR_LIT c -> advance st; Int64.of_int (Char.code c)
+        | MINUS -> (
+            advance st;
+            match cur st with
+            | INT_LIT v -> advance st; Int64.neg v
+            | t -> error st "expected case constant but found %s" (token_to_string t))
+        | t -> error st "expected case constant but found %s" (token_to_string t)
+      in
+      let arm_body () =
+        let acc = ref [] in
+        while cur st <> KW_CASE && cur st <> KW_DEFAULT && cur st <> RBRACE do
+          acc := parse_stmt st :: !acc
+        done;
+        List.rev !acc
+      in
+      let seen_default = ref false in
+      while cur st <> RBRACE do
+        if accept st KW_CASE then (
+          let consts = ref [ case_const () ] in
+          expect st COLON;
+          while accept st KW_CASE do
+            consts := case_const () :: !consts;
+            expect st COLON
+          done;
+          arms := (List.rev !consts, arm_body ()) :: !arms)
+        else if accept st KW_DEFAULT then (
+          if !seen_default then error st "duplicate default label";
+          seen_default := true;
+          expect st COLON;
+          default := arm_body ())
+        else error st "expected case, default, or } in switch"
+      done;
+      expect st RBRACE;
+      Ast.mks ~loc (Ast.Sswitch (scrut, List.rev !arms, !default))
+  | KW_GOTO ->
+      advance st;
+      let label = expect_ident st in
+      expect st SEMI;
+      Ast.mks ~loc (Ast.Sgoto label)
+  | IDENT name when peek2 st = COLON ->
+      advance st;
+      advance st;
+      Ast.mks ~loc (Ast.Slabel name)
+  | _ ->
+      let e = parse_expr st in
+      expect st SEMI;
+      Ast.mks ~loc (Ast.Sexpr e)
+
+and parse_branch st =
+  match parse_stmt st with
+  | { Ast.sdesc = Ast.Sblock body; _ } -> body
+  | s -> [ s ]
+
+and parse_stmts_until st stop =
+  let acc = ref [] in
+  while cur st <> stop && cur st <> EOF do
+    acc := parse_stmt st :: !acc
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Declarations and top level                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_local_decls st =
+  let acc = ref [] in
+  while is_type_start (cur st) do
+    let base = parse_base_type st in
+    acc := !acc @ parse_decl_line st base
+  done;
+  !acc
+
+let parse_struct_def st : Ty.struct_def =
+  (* cursor after "struct NAME", at '{' *)
+  expect st LBRACE;
+  let fields = ref [] in
+  while cur st <> RBRACE do
+    let base = parse_base_type st in
+    let rec loop () =
+      let name, wrap = parse_declarator st in
+      if name = "" then error st "expected a field name";
+      fields := { Ty.fld_name = name; fld_ty = wrap base } :: !fields;
+      if accept st COMMA then loop () else expect st SEMI
+    in
+    loop ()
+  done;
+  expect st RBRACE;
+  expect st SEMI;
+  { Ty.s_name = ""; s_fields = List.rev !fields }
+
+(* Parameters with names, for function definitions. *)
+let parse_named_params st =
+  if cur st = RPAREN then []
+  else if cur st = KW_VOID && peek2 st = RPAREN then (
+    advance st;
+    [])
+  else
+    let rec loop acc =
+      let base = parse_base_type st in
+      let name, wrap = parse_declarator st in
+      if name = "" then error st "parameter requires a name";
+      let acc = (name, wrap base) :: acc in
+      if accept st COMMA then loop acc else List.rev acc
+    in
+    loop []
+
+(* Decide whether the upcoming declaration (cursor just past the base type)
+   is a function definition or prototype: a run of '*'s, an identifier, then
+   '('.  Anything else (arrays, fn-pointer variables, plain scalars) is a
+   global variable line.  Token positions are plain ints, so we peek by
+   saving and restoring [st.pos]. *)
+let looks_like_function st =
+  let saved = st.pos in
+  while cur st = STAR do
+    advance st
+  done;
+  let r = (match cur st with IDENT _ -> true | _ -> false) && peek2 st = LPAREN in
+  st.pos <- saved;
+  r
+
+let parse_program_tokens toks : Ast.program =
+  let st = { toks; pos = 0 } in
+  let tenv = ref Ty.empty_tenv in
+  let globals = ref [] in
+  let funcs = ref [] in
+  while cur st <> EOF do
+    let loc = cur_loc st in
+    (* struct definition: "struct NAME {" *)
+    match (cur st, peek2 st) with
+    | KW_STRUCT, IDENT name
+      when st.pos + 2 < Array.length toks && toks.(st.pos + 2).tok = LBRACE ->
+        advance st;
+        advance st;
+        let def = { (parse_struct_def st) with Ty.s_name = name } in
+        tenv := Ty.add_struct !tenv def
+    | _ ->
+        (* K&R default-int for functions: "name(" with no leading type. *)
+        let base = if is_type_start (cur st) then parse_base_type st else Ty.Int in
+        if looks_like_function st then (
+          let ret = ref base in
+          while accept st STAR do
+            ret := Ty.Ptr !ret
+          done;
+          let name = expect_ident st in
+          expect st LPAREN;
+          let params = parse_named_params st in
+          expect st RPAREN;
+          if accept st SEMI then () (* prototype: signatures are nominal *)
+          else (
+            expect st LBRACE;
+            let locals = parse_local_decls st in
+            let body = parse_stmts_until st RBRACE in
+            expect st RBRACE;
+            funcs :=
+              !funcs
+              @ [
+                  {
+                    Ast.f_name = name;
+                    f_ret = !ret;
+                    f_params = params;
+                    f_locals = locals;
+                    f_body = body;
+                    f_loc = loc;
+                  };
+                ]))
+        else globals := !globals @ parse_decl_line st base
+  done;
+  { Ast.tenv = !tenv; globals = !globals; funcs = !funcs }
+
+(** [parse_string src] parses a full translation unit.
+    @raise Lexer.Error on lexical errors
+    @raise Error on syntax errors *)
+let parse_string src = parse_program_tokens (Lexer.tokenize src)

@@ -1,0 +1,225 @@
+(** Pretty-printer for Mini-C.
+
+    Emits valid Mini-C source: [parse (print (parse s))] is the identity on
+    the AST (modulo source locations), a property the test suite checks.
+    The printer is also what {!bin/migratec} uses to dump the annotated,
+    migratable source — the output of the paper's pre-compiler. *)
+
+open Ast
+
+(* Declarators must be reconstructed from types: OCaml type [Array (Ptr t,
+   10)] prints as "t *name[10]".  [pp_decl] splits a type into base +
+   declarator decorations. *)
+let rec base_ty = function
+  | Ty.Ptr t -> base_ty t
+  | Ty.Array (t, _) -> base_ty t
+  | Ty.Func (r, _) -> base_ty r
+  | t -> t
+
+let pp_base ppf t =
+  match t with
+  | Ty.Void -> Fmt.string ppf "void"
+  | Ty.Char -> Fmt.string ppf "char"
+  | Ty.Short -> Fmt.string ppf "short"
+  | Ty.Int -> Fmt.string ppf "int"
+  | Ty.Long -> Fmt.string ppf "long"
+  | Ty.Float -> Fmt.string ppf "float"
+  | Ty.Double -> Fmt.string ppf "double"
+  | Ty.Struct n -> Fmt.pf ppf "struct %s" n
+  | _ -> invalid_arg "Pretty.pp_base: not a base type"
+
+(* Print the declarator part: name decorated by pointers/arrays/functions.
+   Precedence: suffixes ([] and ()) bind tighter than prefix *. *)
+let rec pp_declarator ppf (t, name) =
+  match t with
+  | Ty.Ptr (Ty.Func (_, args)) ->
+      (* function pointer: "( *name )(args)" *)
+      Fmt.pf ppf "(*%s)(%a)" name
+        (Fmt.list ~sep:(Fmt.any ", ") pp_tyname)
+        args
+  | Ty.Ptr inner -> pp_declarator ppf (inner, "*" ^ name)
+  | Ty.Array (inner, n) ->
+      let name = if String.length name > 0 && name.[0] = '*' then "(" ^ name ^ ")" else name in
+      pp_declarator ppf (inner, Printf.sprintf "%s[%d]" name n)
+  | _ -> Fmt.string ppf name
+
+and pp_tyname ppf t = Fmt.pf ppf "%a%a" pp_base (base_ty t) pp_abstract t
+
+and pp_abstract ppf t =
+  match t with
+  | Ty.Ptr (Ty.Func (_, args)) ->
+      Fmt.pf ppf "(*)(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_tyname) args
+  | Ty.Ptr inner ->
+      pp_abstract ppf inner;
+      Fmt.string ppf "*"
+  | Ty.Array (inner, n) ->
+      pp_abstract ppf inner;
+      Fmt.pf ppf "[%d]" n
+  | _ -> ()
+
+let pp_decl_line ppf (name, t) =
+  Fmt.pf ppf "%a %a" pp_base (base_ty t) pp_declarator (t, name)
+
+let escape_char c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | '\000' -> "\\0"
+  | '\\' -> "\\\\"
+  | '\'' -> "\\'"
+  | c -> String.make 1 c
+
+let escape_string s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | c -> escape_char c)
+       (List.init (String.length s) (String.get s)))
+
+let pp_const ppf = function
+  | Cint n -> Fmt.pf ppf "%Ld" n
+  | Clong n -> Fmt.pf ppf "%LdL" n
+  | Cfloat f -> Fmt.pf ppf "%.9gf" f
+  | Cdouble f ->
+      let s = Printf.sprintf "%.17g" f in
+      (* ensure it re-lexes as a floating literal *)
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+      then Fmt.string ppf s
+      else Fmt.pf ppf "%s.0" s
+  | Cchar c -> Fmt.pf ppf "'%s'" (escape_char c)
+  | Cstr s -> Fmt.pf ppf "\"%s\"" (escape_string s)
+
+(* Precedence levels for minimal parenthesization; higher binds tighter. *)
+let prec_binop = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Bor -> 3
+  | Ast.Bxor -> 4
+  | Ast.Band -> 5
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 7
+  | Ast.Shl | Ast.Shr -> 8
+  | Ast.Add | Ast.Sub -> 9
+  | Ast.Mul | Ast.Div | Ast.Mod -> 10
+
+let rec pp_expr_prec prec ppf e =
+  let p, doc = expr_doc e in
+  if p < prec then Fmt.pf ppf "(%t)" doc else doc ppf
+
+and expr_doc e : int * (Format.formatter -> unit) =
+  match e.desc with
+  | Const c -> (100, fun ppf -> pp_const ppf c)
+  | Var n -> (100, fun ppf -> Fmt.string ppf n)
+  | Sizeof t -> (100, fun ppf -> Fmt.pf ppf "sizeof(%a)" pp_tyname t)
+  | Call (f, args) ->
+      ( 14,
+        fun ppf ->
+          Fmt.pf ppf "%a(%a)" (pp_expr_prec 14) f
+            (Fmt.list ~sep:(Fmt.any ", ") (pp_expr_prec 0))
+            args )
+  | Index (a, i) ->
+      (14, fun ppf -> Fmt.pf ppf "%a[%a]" (pp_expr_prec 14) a (pp_expr_prec 0) i)
+  | Field (b, f) -> (14, fun ppf -> Fmt.pf ppf "%a.%s" (pp_expr_prec 14) b f)
+  | Arrow (b, f) -> (14, fun ppf -> Fmt.pf ppf "%a->%s" (pp_expr_prec 14) b f)
+  | Incr (false, a) -> (14, fun ppf -> Fmt.pf ppf "%a++" (pp_expr_prec 14) a)
+  | Decr (false, a) -> (14, fun ppf -> Fmt.pf ppf "%a--" (pp_expr_prec 14) a)
+  | Incr (true, a) -> (13, fun ppf -> Fmt.pf ppf "++%a" (pp_expr_prec 13) a)
+  | Decr (true, a) -> (13, fun ppf -> Fmt.pf ppf "--%a" (pp_expr_prec 13) a)
+  | Unop (op, a) ->
+      (13, fun ppf -> Fmt.pf ppf "%s%a" (unop_to_string op) (pp_expr_prec 13) a)
+  | Deref a -> (13, fun ppf -> Fmt.pf ppf "*%a" (pp_expr_prec 13) a)
+  | Addr a -> (13, fun ppf -> Fmt.pf ppf "&%a" (pp_expr_prec 13) a)
+  | Cast (t, a) -> (13, fun ppf -> Fmt.pf ppf "(%a)%a" pp_tyname t (pp_expr_prec 13) a)
+  | Binop (op, a, b) ->
+      let p = prec_binop op in
+      ( p,
+        fun ppf ->
+          Fmt.pf ppf "%a %s %a" (pp_expr_prec p) a (binop_to_string op)
+            (pp_expr_prec (p + 1)) b )
+  | Cond (c, x, y) ->
+      ( 2,
+        fun ppf ->
+          Fmt.pf ppf "%a ? %a : %a" (pp_expr_prec 3) c (pp_expr_prec 0) x
+            (pp_expr_prec 2) y )
+  | Assign (l, r) ->
+      (1, fun ppf -> Fmt.pf ppf "%a = %a" (pp_expr_prec 13) l (pp_expr_prec 1) r)
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let rec pp_stmt indent ppf s =
+  let pad = String.make indent ' ' in
+  match s.sdesc with
+  | Sexpr e -> Fmt.pf ppf "%s%a;@." pad pp_expr e
+  | Sif (c, t, []) ->
+      Fmt.pf ppf "%sif (%a) {@.%a%s}@." pad pp_expr c (pp_stmts (indent + 2)) t pad
+  | Sif (c, t, f) ->
+      Fmt.pf ppf "%sif (%a) {@.%a%s} else {@.%a%s}@." pad pp_expr c
+        (pp_stmts (indent + 2))
+        t pad
+        (pp_stmts (indent + 2))
+        f pad
+  | Swhile (c, body) ->
+      Fmt.pf ppf "%swhile (%a) {@.%a%s}@." pad pp_expr c (pp_stmts (indent + 2)) body pad
+  | Sdo (body, c) ->
+      Fmt.pf ppf "%sdo {@.%a%s} while (%a);@." pad (pp_stmts (indent + 2)) body pad
+        pp_expr c
+  | Sfor (i, c, st, body) ->
+      let opt ppf = function None -> () | Some e -> pp_expr ppf e in
+      Fmt.pf ppf "%sfor (%a; %a; %a) {@.%a%s}@." pad opt i opt c opt st
+        (pp_stmts (indent + 2))
+        body pad
+  | Sreturn None -> Fmt.pf ppf "%sreturn;@." pad
+  | Sreturn (Some e) -> Fmt.pf ppf "%sreturn %a;@." pad pp_expr e
+  | Sbreak -> Fmt.pf ppf "%sbreak;@." pad
+  | Scontinue -> Fmt.pf ppf "%scontinue;@." pad
+  | Spoll name -> Fmt.pf ppf "%s#pragma poll %s@." pad name
+  | Sgoto name -> Fmt.pf ppf "%sgoto %s;@." pad name
+  | Sdecl d -> (
+      match d.d_init with
+      | None -> Fmt.pf ppf "%s%a;@." pad pp_decl_line (d.d_name, d.d_ty)
+      | Some e -> Fmt.pf ppf "%s%a = %a;@." pad pp_decl_line (d.d_name, d.d_ty) pp_expr e)
+  | Slabel name -> Fmt.pf ppf "%s%s:@." pad name
+  | Sswitch (scrut, arms, default) ->
+      Fmt.pf ppf "%sswitch (%a) {@." pad pp_expr scrut;
+      List.iter
+        (fun (consts, body) ->
+          List.iter (fun c -> Fmt.pf ppf "%s  case %Ld:@." pad c) consts;
+          pp_stmts (indent + 4) ppf body)
+        arms;
+      Fmt.pf ppf "%s  default:@." pad;
+      pp_stmts (indent + 4) ppf default;
+      Fmt.pf ppf "%s}@." pad
+  | Sblock body -> Fmt.pf ppf "%s{@.%a%s}@." pad (pp_stmts (indent + 2)) body pad
+
+and pp_stmts indent ppf body = List.iter (pp_stmt indent ppf) body
+
+let pp_struct ppf (def : Ty.struct_def) =
+  Fmt.pf ppf "struct %s {@." def.Ty.s_name;
+  List.iter
+    (fun (f : Ty.field) -> Fmt.pf ppf "  %a;@." pp_decl_line (f.Ty.fld_name, f.Ty.fld_ty))
+    def.Ty.s_fields;
+  Fmt.pf ppf "};@."
+
+let pp_decl ppf (d : decl) =
+  match d.d_init with
+  | None -> Fmt.pf ppf "%a;@." pp_decl_line (d.d_name, d.d_ty)
+  | Some e -> Fmt.pf ppf "%a = %a;@." pp_decl_line (d.d_name, d.d_ty) pp_expr e
+
+let pp_func ppf f =
+  let pp_param ppf (n, t) = pp_decl_line ppf (n, t) in
+  Fmt.pf ppf "%a %a(%a) {@." pp_base (base_ty f.f_ret)
+    pp_declarator (f.f_ret, f.f_name)
+    (Fmt.list ~sep:(Fmt.any ", ") pp_param)
+    f.f_params;
+  List.iter (fun d -> Fmt.pf ppf "  %a" pp_decl d) f.f_locals;
+  pp_stmts 2 ppf f.f_body;
+  Fmt.pf ppf "}@."
+
+let pp_program ppf (p : program) =
+  List.iter (fun (_, def) -> Fmt.pf ppf "%a@." pp_struct def) p.tenv.Ty.structs;
+  List.iter (fun d -> Fmt.pf ppf "%a" pp_decl d) p.globals;
+  Fmt.pf ppf "@.";
+  List.iter (fun f -> Fmt.pf ppf "%a@." pp_func f) p.funcs
+
+let program_to_string p = Fmt.str "%a" pp_program p
+let expr_to_string e = Fmt.str "%a" pp_expr e

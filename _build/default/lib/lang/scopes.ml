@@ -1,0 +1,169 @@
+(** Block-scope normalization.
+
+    Mini-C's back end (frames, liveness, migration identities) works with
+    one flat set of locals per function, like the paper's per-function
+    live-variable lists.  C89, however, allows declarations at the head of
+    any compound block.  This pass reconciles the two: every block-scoped
+    declaration ({!Ast.Sdecl}) is hoisted to the function top, renamed
+    with a [__k] suffix when it would collide with or shadow another
+    binding, and its initializer is left in place as a plain assignment —
+    preserving C's order of evaluation and scoping exactly.
+
+    [Migration.prepare] runs this right after parsing, so the rest of the
+    pipeline (and the migratable IR on both ends of a migration — the
+    renaming is deterministic) never sees [Sdecl]. *)
+
+open Ast
+
+(* Rename free variable occurrences per the scope environment. *)
+let rec rename_expr env (e : expr) : expr =
+  let re = rename_expr env in
+  let desc =
+    match e.desc with
+    | Var name -> (
+        match List.assoc_opt name env with Some n -> Var n | None -> Var name)
+    | Const _ | Sizeof _ -> e.desc
+    | Unop (op, a) -> Unop (op, re a)
+    | Binop (op, a, b) -> Binop (op, re a, re b)
+    | Assign (a, b) -> Assign (re a, re b)
+    | Incr (p, a) -> Incr (p, re a)
+    | Decr (p, a) -> Decr (p, re a)
+    | Call (f, args) -> Call (re f, List.map re args)
+    | Index (a, i) -> Index (re a, re i)
+    | Field (a, f) -> Field (re a, f)
+    | Arrow (a, f) -> Arrow (re a, f)
+    | Deref a -> Deref (re a)
+    | Addr a -> Addr (re a)
+    | Cast (t, a) -> Cast (t, re a)
+    | Cond (a, b, c) -> Cond (re a, re b, re c)
+  in
+  { e with desc }
+
+type ctx = {
+  mutable taken : string list;  (** names already used at function level *)
+  mutable hoisted : decl list;  (** collected block declarations, in order *)
+}
+
+let fresh_name ctx base =
+  if not (List.mem base ctx.taken) then (
+    ctx.taken <- base :: ctx.taken;
+    base)
+  else
+    let rec go k =
+      let cand = Printf.sprintf "%s__%d" base k in
+      if List.mem cand ctx.taken then go (k + 1)
+      else (
+        ctx.taken <- cand :: ctx.taken;
+        cand)
+    in
+    go 1
+
+(* Process a statement sequence; [env] maps source names to current
+   (possibly renamed) names and grows as declarations appear.  Returns the
+   rewritten statements (declarations replaced by their initializing
+   assignments, or dropped). *)
+let rec norm_stmts ctx env (body : stmt list) : stmt list =
+  match body with
+  | [] -> []
+  | s :: rest -> (
+      match s.sdesc with
+      | Sdecl d ->
+          let fresh = fresh_name ctx d.d_name in
+          ctx.hoisted <-
+            ctx.hoisted @ [ { d with d_name = fresh; d_init = None } ];
+          let env' = (d.d_name, fresh) :: env in
+          let init_stmt =
+            match d.d_init with
+            | None -> []
+            | Some e ->
+                [
+                  Ast.mks ~loc:d.d_loc
+                    (Sexpr
+                       (Ast.mk ~loc:d.d_loc
+                          (Assign (Ast.mk ~loc:d.d_loc (Var fresh), rename_expr env e))));
+                ]
+          in
+          init_stmt @ norm_stmts ctx env' rest
+      | _ -> norm_stmt ctx env s :: norm_stmts ctx env rest)
+
+and norm_stmt ctx env (s : stmt) : stmt =
+  let ns body = norm_stmts ctx env body in
+  let re = rename_expr env in
+  let desc =
+    match s.sdesc with
+    | Sdecl _ -> assert false (* handled in norm_stmts *)
+    | Sexpr e -> Sexpr (re e)
+    | Sif (c, a, b) -> Sif (re c, ns a, ns b)
+    | Swhile (c, b) -> Swhile (re c, ns b)
+    | Sdo (b, c) -> Sdo (ns b, re c)
+    | Sfor (i, c, st, b) ->
+        Sfor (Option.map re i, Option.map re c, Option.map re st, ns b)
+    | Sreturn e -> Sreturn (Option.map re e)
+    | Sswitch (scrut, arms, d) ->
+        Sswitch (re scrut, List.map (fun (cs, b) -> (cs, ns b)) arms, ns d)
+    | Sblock b -> Sblock (ns b)
+    | (Sbreak | Scontinue | Spoll _ | Sgoto _ | Slabel _) as d -> d
+  in
+  { s with sdesc = desc }
+
+(* All identifiers appearing in a function body (variable references and
+   declared names): a hoisted block variable must avoid every one of them
+   and every program-level name, or it could capture a reference that was
+   meant to bind elsewhere (e.g. a local [x] capturing uses of a global
+   [x] after its block ends). *)
+let rec idents_expr acc (e : expr) =
+  match e.desc with
+  | Var n -> n :: acc
+  | Const _ | Sizeof _ -> acc
+  | Unop (_, a) | Incr (_, a) | Decr (_, a) | Deref a | Addr a | Cast (_, a)
+  | Field (a, _) | Arrow (a, _) ->
+      idents_expr acc a
+  | Binop (_, a, b) | Assign (a, b) | Index (a, b) -> idents_expr (idents_expr acc a) b
+  | Call (f, args) -> List.fold_left idents_expr (idents_expr acc f) args
+  | Cond (a, b, c) -> idents_expr (idents_expr (idents_expr acc a) b) c
+
+let rec idents_stmt acc (s : stmt) =
+  match s.sdesc with
+  | Sexpr e -> idents_expr acc e
+  | Sdecl d -> (
+      let acc = d.d_name :: acc in
+      match d.d_init with Some e -> idents_expr acc e | None -> acc)
+  | Sif (c, a, b) -> idents_stmts (idents_stmts (idents_expr acc c) a) b
+  | Swhile (c, b) -> idents_stmts (idents_expr acc c) b
+  | Sdo (b, c) -> idents_expr (idents_stmts acc b) c
+  | Sfor (i, c, st, b) ->
+      let acc = Option.fold ~none:acc ~some:(idents_expr acc) i in
+      let acc = Option.fold ~none:acc ~some:(idents_expr acc) c in
+      let acc = Option.fold ~none:acc ~some:(idents_expr acc) st in
+      idents_stmts acc b
+  | Sreturn (Some e) -> idents_expr acc e
+  | Sswitch (scrut, arms, d) ->
+      let acc = idents_expr acc scrut in
+      idents_stmts (List.fold_left (fun acc (_, b) -> idents_stmts acc b) acc arms) d
+  | Sblock b -> idents_stmts acc b
+  | Sreturn None | Sbreak | Scontinue | Spoll _ | Sgoto _ | Slabel _ -> acc
+
+and idents_stmts acc body = List.fold_left idents_stmt acc body
+
+let normalize_func (globals : string list) (f : func) : func =
+  let ctx =
+    {
+      taken =
+        List.map fst f.f_params
+        @ List.map (fun d -> d.d_name) f.f_locals
+        @ globals
+        @ idents_stmts [] f.f_body;
+      hoisted = [];
+    }
+  in
+  let body = norm_stmts ctx [] f.f_body in
+  { f with f_locals = f.f_locals @ ctx.hoisted; f_body = body }
+
+(** Hoist all block-scoped declarations in [p].  Idempotent; deterministic
+    (both ends of a migration derive identical renamings). *)
+let normalize (p : program) : program =
+  let globals =
+    List.map (fun d -> d.d_name) p.globals
+    @ List.map (fun (f : func) -> f.f_name) p.funcs
+  in
+  { p with funcs = List.map (normalize_func globals) p.funcs }

@@ -1,0 +1,189 @@
+(** Mini-C types.
+
+    The type language is the migration-safe C subset of the paper: scalar
+    arithmetic types, pointers, fixed-size arrays, named structs, and
+    function types (for function pointers, which are migratable because we
+    encode them by name).  Unions, varargs and bit-fields — the
+    migration-unsafe features catalogued by Smith & Hutchinson — are simply
+    absent from the language. *)
+
+type t =
+  | Void
+  | Char                       (** 1 byte, signed *)
+  | Short                      (** arch [short_size], signed *)
+  | Int                        (** arch [int_size], signed *)
+  | Long                       (** arch [long_size], signed *)
+  | Float                      (** IEEE-754 single *)
+  | Double                     (** IEEE-754 double *)
+  | Ptr of t
+  | Array of t * int           (** element type, element count (>= 1) *)
+  | Struct of string           (** by name; definition in the {!tenv} *)
+  | Func of t * t list         (** return type, parameter types *)
+
+type field = { fld_name : string; fld_ty : t }
+
+type struct_def = { s_name : string; s_fields : field list }
+
+(** A type environment maps struct names to their definitions.  Struct
+    definitions are collected by the parser in declaration order; order is
+    significant because the TI table numbers types deterministically on
+    source and destination machines. *)
+type tenv = { structs : (string * struct_def) list }
+
+let empty_tenv = { structs = [] }
+
+let add_struct tenv def =
+  if List.mem_assoc def.s_name tenv.structs then
+    invalid_arg (Printf.sprintf "Ty.add_struct: duplicate struct %s" def.s_name);
+  { structs = tenv.structs @ [ (def.s_name, def) ] }
+
+let find_struct tenv name = List.assoc_opt name tenv.structs
+
+let find_struct_exn tenv name =
+  match find_struct tenv name with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Ty.find_struct_exn: unknown struct %s" name)
+
+let rec equal a b =
+  match (a, b) with
+  | Void, Void | Char, Char | Short, Short | Int, Int | Long, Long
+  | Float, Float | Double, Double ->
+      true
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, n), Array (b, m) -> n = m && equal a b
+  | Struct a, Struct b -> String.equal a b
+  | Func (r1, p1), Func (r2, p2) ->
+      equal r1 r2
+      && List.length p1 = List.length p2
+      && List.for_all2 equal p1 p2
+  | _ -> false
+
+let is_integer = function Char | Short | Int | Long -> true | _ -> false
+let is_float = function Float | Double -> true | _ -> false
+let is_arith t = is_integer t || is_float t
+let is_pointer = function Ptr _ -> true | _ -> false
+let is_scalar t = is_arith t || is_pointer t
+
+(** [contains_pointer tenv t] decides whether a value of type [t] embeds any
+    pointer — the criterion the paper uses to pick between the XDR fast
+    path ([Save_variable]) and the traversing path ([Save_pointer]). *)
+let rec contains_pointer tenv t =
+  match t with
+  | Ptr _ -> true
+  | Array (e, _) -> contains_pointer tenv e
+  | Struct name ->
+      let def = find_struct_exn tenv name in
+      List.exists (fun f -> contains_pointer tenv f.fld_ty) def.s_fields
+  | _ -> false
+
+(** Well-formedness: array lengths positive, struct fields resolvable and
+    non-recursive except through pointers (a struct may contain [Ptr
+    (Struct self)] — the linked-list pattern — but not [Struct self]). *)
+let rec check ?(stack = []) tenv t =
+  match t with
+  | Void -> Error "void is not a value type"
+  | Char | Short | Int | Long | Float | Double -> Ok ()
+  | Ptr (Struct name) when find_struct tenv name = None ->
+      Error (Printf.sprintf "pointer to undefined struct %s" name)
+  | Ptr _ -> Ok ()
+  | Array (_, n) when n <= 0 ->
+      Error (Printf.sprintf "array length %d must be positive" n)
+  | Array (e, _) -> check ~stack tenv e
+  | Struct name when List.mem name stack ->
+      Error (Printf.sprintf "struct %s recursively contains itself" name)
+  | Struct name -> (
+      match find_struct tenv name with
+      | None -> Error (Printf.sprintf "undefined struct %s" name)
+      | Some def ->
+          let stack = name :: stack in
+          List.fold_left
+            (fun acc f -> match acc with Error _ -> acc | Ok () -> check ~stack tenv f.fld_ty)
+            (Ok ()) def.s_fields)
+  | Func _ -> Ok ()
+
+let rec pp ppf = function
+  | Void -> Fmt.string ppf "void"
+  | Char -> Fmt.string ppf "char"
+  | Short -> Fmt.string ppf "short"
+  | Int -> Fmt.string ppf "int"
+  | Long -> Fmt.string ppf "long"
+  | Float -> Fmt.string ppf "float"
+  | Double -> Fmt.string ppf "double"
+  | Ptr t -> Fmt.pf ppf "%a*" pp t
+  | Array (t, n) -> Fmt.pf ppf "%a[%d]" pp t n
+  | Struct name -> Fmt.pf ppf "struct %s" name
+  | Func (r, ps) ->
+      Fmt.pf ppf "%a(*)(%a)" pp r (Fmt.list ~sep:(Fmt.any ", ") pp) ps
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Scalar kinds: the alphabet of the flattened-element view.  Every value
+    type flattens to a sequence of these; the migration stream is (modulo
+    framing) a sequence of XDR-encoded scalar kinds. *)
+type scalar_kind =
+  | KChar
+  | KShort
+  | KInt
+  | KLong
+  | KFloat
+  | KDouble
+  | KPtr of t     (** pointee type *)
+  | KFunc of t    (** function-pointer type *)
+
+let scalar_kind_of_ty = function
+  | Char -> Some KChar
+  | Short -> Some KShort
+  | Int -> Some KInt
+  | Long -> Some KLong
+  | Float -> Some KFloat
+  | Double -> Some KDouble
+  | Ptr (Func _ as f) -> Some (KFunc f)
+  | Ptr p -> Some (KPtr p)
+  | _ -> None
+
+let ty_of_scalar_kind = function
+  | KChar -> Char
+  | KShort -> Short
+  | KInt -> Int
+  | KLong -> Long
+  | KFloat -> Float
+  | KDouble -> Double
+  | KPtr p -> Ptr p
+  | KFunc f -> Ptr f
+
+(** [flatten tenv t] lists the scalar elements of [t] in declaration order,
+    recursing through arrays and structs.  The index of an element in this
+    list is its machine-independent *ordinal*: identical on every
+    architecture, because it depends only on the type structure, never on
+    sizes or padding.  This is the "offset" half of the paper's
+    pointer-header/offset encoding. *)
+let flatten tenv t =
+  let rec go acc t =
+    match scalar_kind_of_ty t with
+    | Some k -> k :: acc
+    | None -> (
+        match t with
+        | Array (e, n) ->
+            let rec rep acc i = if i = 0 then acc else rep (go acc e) (i - 1) in
+            rep acc n
+        | Struct name ->
+            let def = find_struct_exn tenv name in
+            List.fold_left (fun acc f -> go acc f.fld_ty) acc def.s_fields
+        | Void | Func _ ->
+            invalid_arg (Printf.sprintf "Ty.flatten: %s has no value layout" (to_string t))
+        | _ -> assert false)
+  in
+  List.rev (go [] t)
+
+(** Number of scalar elements of [t]; [flatten] length without building the
+    list (arrays multiply instead of unrolling). *)
+let rec elem_count tenv t =
+  match scalar_kind_of_ty t with
+  | Some _ -> 1
+  | None -> (
+      match t with
+      | Array (e, n) -> n * elem_count tenv e
+      | Struct name ->
+          let def = find_struct_exn tenv name in
+          List.fold_left (fun acc f -> acc + elem_count tenv f.fld_ty) 0 def.s_fields
+      | _ -> invalid_arg (Printf.sprintf "Ty.elem_count: %s" (to_string t)))

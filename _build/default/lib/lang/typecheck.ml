@@ -1,0 +1,544 @@
+(** Type checking and elaboration for Mini-C.
+
+    Besides rejecting ill-typed programs, the checker *elaborates*: implicit
+    conversions become explicit {!Ast.Cast} nodes (usual arithmetic
+    conversions, array-to-pointer decay, null-constant-to-pointer), so that
+    after this pass every expression node carries its exact type in [ety]
+    and the IR lowering never infers anything.
+
+    The checker also knows the signatures of the runtime builtins
+    ([malloc], [free], the [print_*] family, [rand]/[srand], [sqrt], …) —
+    these play the role of libc for the workloads. *)
+
+open Ast
+
+exception Error of string * Ast.loc
+
+let err loc fmt = Fmt.kstr (fun msg -> raise (Error (msg, loc))) fmt
+
+type env = {
+  tenv : Ty.tenv;
+  mutable globals : (string * Ty.t) list;
+  funcs : (string * Ty.t) list; (* name -> Func (ret, params) *)
+  mutable scope : (string * Ty.t) list; (* params + locals of current fn *)
+  mutable ret : Ty.t;
+}
+
+(** Builtin signatures.  [malloc] takes a byte count and returns [void*];
+    the pre-compiler's malloc-typing pass ({!Hpm_ir.Compile}) recovers the
+    element type from the enclosing cast, as the paper's pre-compiler does. *)
+let builtins : (string * Ty.t) list =
+  [
+    ("malloc", Ty.Func (Ty.Ptr Ty.Void, [ Ty.Long ]));
+    ("free", Ty.Func (Ty.Void, [ Ty.Ptr Ty.Void ]));
+    ("print_int", Ty.Func (Ty.Void, [ Ty.Int ]));
+    ("print_long", Ty.Func (Ty.Void, [ Ty.Long ]));
+    ("print_double", Ty.Func (Ty.Void, [ Ty.Double ]));
+    ("print_char", Ty.Func (Ty.Void, [ Ty.Char ]));
+    ("print_str", Ty.Func (Ty.Void, [ Ty.Ptr Ty.Char ]));
+    ("rand", Ty.Func (Ty.Int, []));
+    ("srand", Ty.Func (Ty.Void, [ Ty.Int ]));
+    ("sqrt", Ty.Func (Ty.Double, [ Ty.Double ]));
+    ("fabs", Ty.Func (Ty.Double, [ Ty.Double ]));
+    ("abs", Ty.Func (Ty.Int, [ Ty.Int ]));
+    ("clock_ms", Ty.Func (Ty.Long, []));
+  ]
+
+let is_builtin name = List.mem_assoc name builtins
+
+let lookup_var env loc name =
+  match List.assoc_opt name env.scope with
+  | Some t -> t
+  | None -> (
+      match List.assoc_opt name env.globals with
+      | Some t -> t
+      | None -> (
+          match List.assoc_opt name env.funcs with
+          | Some t -> t
+          | None -> (
+              match List.assoc_opt name builtins with
+              | Some t -> t
+              | None -> err loc "undefined variable %s" name)))
+
+(* Integer rank for the usual arithmetic conversions. *)
+let rank = function
+  | Ty.Char -> 1
+  | Ty.Short -> 2
+  | Ty.Int -> 3
+  | Ty.Long -> 4
+  | Ty.Float -> 5
+  | Ty.Double -> 6
+  | t -> invalid_arg ("rank: " ^ Ty.to_string t)
+
+let arith_join a b = if rank a >= rank b then a else b
+
+let retype e t =
+  e.ety <- Some t;
+  e
+
+(** Wrap [e] in a cast to [t] unless it already has that type. *)
+let coerce t e =
+  if Ty.equal (ty_of e) t then e
+  else retype (Ast.mk ~loc:e.loc (Cast (t, e))) t
+
+(** Implicit conversion of [e] to expected type [t]; errors when C would. *)
+let convert env loc t e =
+  let from = ty_of e in
+  ignore env;
+  match (from, t) with
+  | a, b when Ty.equal a b -> e
+  | a, b when Ty.is_arith a && Ty.is_arith b -> coerce b e
+  | a, Ty.Ptr _ when Ty.is_integer a -> (
+      (* only the constant 0 converts implicitly to a pointer *)
+      match e.desc with
+      | Const (Cint 0L) | Const (Clong 0L) -> coerce t e
+      | Cast (_, { desc = Const (Cint 0L); _ }) -> coerce t e
+      | _ -> err loc "cannot convert %s to %s without a cast" (Ty.to_string a) (Ty.to_string t))
+  | Ty.Ptr _, Ty.Ptr Ty.Void -> coerce t e
+  | Ty.Ptr Ty.Void, Ty.Ptr _ -> coerce t e
+  | Ty.Ptr a, Ty.Ptr b when Ty.equal a b -> e
+  | a, b ->
+      err loc "type mismatch: expected %s but found %s" (Ty.to_string b) (Ty.to_string a)
+
+let rec is_lvalue env e =
+  match e.desc with
+  | Var name ->
+      (* functions are not lvalues *)
+      List.mem_assoc name env.scope || List.mem_assoc name env.globals
+  | Deref _ | Index _ -> true
+  | Field (b, _) | Arrow (b, _) -> (
+      match e.desc with Arrow _ -> true | _ -> is_lvalue env b)
+  | Cast (_, b) -> is_lvalue env b
+  | _ -> false
+
+(* Expressions whose evaluation can write memory or call functions; used to
+   reject compound-assignment desugaring that would duplicate effects. *)
+let rec has_effects e =
+  match e.desc with
+  | Assign _ | Incr _ | Decr _ | Call _ -> true
+  | Const _ | Var _ | Sizeof _ -> false
+  | Unop (_, a) | Cast (_, a) | Addr a | Deref a | Field (a, _) | Arrow (a, _) ->
+      has_effects a
+  | Binop (_, a, b) | Index (a, b) -> has_effects a || has_effects b
+  | Cond (a, b, c) -> has_effects a || has_effects b || has_effects c
+
+(** Decay arrays and functions to pointers when used as values. *)
+let decay e =
+  match ty_of e with
+  | Ty.Array (t, _) ->
+      let zero = retype (Ast.mk ~loc:e.loc (Const (Cint 0L))) Ty.Int in
+      let elt = retype (Ast.mk ~loc:e.loc (Index (e, zero))) t in
+      retype (Ast.mk ~loc:e.loc (Addr elt)) (Ty.Ptr t)
+  | Ty.Func _ as f -> retype (Ast.mk ~loc:e.loc (Addr e)) (Ty.Ptr f)
+  | _ -> e
+
+let rec check_expr env (e : expr) : expr =
+  let loc = e.loc in
+  match e.desc with
+  | Const (Cint _) -> retype e Ty.Int
+  | Const (Clong _) -> retype e Ty.Long
+  | Const (Cfloat _) -> retype e Ty.Float
+  | Const (Cdouble _) -> retype e Ty.Double
+  | Const (Cchar _) -> retype e Ty.Char
+  | Const (Cstr _) -> retype e (Ty.Ptr Ty.Char)
+  | Var name -> retype e (lookup_var env loc name)
+  | Sizeof t -> (
+      match Ty.check env.tenv t with
+      | Ok () -> retype e Ty.Long
+      | Error m -> err loc "sizeof: %s" m)
+  | Unop (Neg, a) ->
+      let a = rvalue env a in
+      let t = ty_of a in
+      if not (Ty.is_arith t) then err loc "unary - requires arithmetic type";
+      retype (Ast.mk ~loc (Unop (Neg, a))) t
+  | Unop (Not, a) ->
+      let a = rvalue env a in
+      let t = ty_of a in
+      if not (Ty.is_scalar t) then err loc "! requires scalar type";
+      retype (Ast.mk ~loc (Unop (Not, a))) Ty.Int
+  | Unop (Bnot, a) ->
+      let a = rvalue env a in
+      let t = ty_of a in
+      if not (Ty.is_integer t) then err loc "~ requires integer type";
+      retype (Ast.mk ~loc (Unop (Bnot, a))) t
+  | Binop (op, a, b) -> check_binop env loc op a b
+  | Assign (lhs, rhs) ->
+      let lhs = lvalue env lhs in
+      let rhs = rvalue env rhs in
+      let rhs = convert env loc (ty_of lhs) rhs in
+      retype (Ast.mk ~loc (Assign (lhs, rhs))) (ty_of lhs)
+  | Incr (pre, a) ->
+      let a = lvalue env a in
+      let t = ty_of a in
+      if not (Ty.is_arith t || Ty.is_pointer t) then
+        err loc "++ requires arithmetic or pointer type";
+      retype (Ast.mk ~loc (Incr (pre, a))) t
+  | Decr (pre, a) ->
+      let a = lvalue env a in
+      let t = ty_of a in
+      if not (Ty.is_arith t || Ty.is_pointer t) then
+        err loc "-- requires arithmetic or pointer type";
+      retype (Ast.mk ~loc (Decr (pre, a))) t
+  | Call (callee, args) -> check_call env loc callee args
+  | Index (a, i) ->
+      let a = check_expr env a in
+      let i = rvalue env i in
+      if not (Ty.is_integer (ty_of i)) then err loc "array index must be an integer";
+      let elem =
+        match ty_of a with
+        | Ty.Array (t, _) -> t
+        | Ty.Ptr t when not (Ty.equal t Ty.Void) -> t
+        | t -> err loc "cannot index a value of type %s" (Ty.to_string t)
+      in
+      retype (Ast.mk ~loc (Index (a, i))) elem
+  | Field (b, f) ->
+      let b = check_expr env b in
+      (match ty_of b with
+      | Ty.Struct sname -> (
+          let def = Ty.find_struct_exn env.tenv sname in
+          match List.find_opt (fun fl -> String.equal fl.Ty.fld_name f) def.Ty.s_fields with
+          | Some fl -> retype (Ast.mk ~loc (Field (b, f))) fl.Ty.fld_ty
+          | None -> err loc "struct %s has no field %s" sname f)
+      | t -> err loc ". applied to non-struct type %s" (Ty.to_string t))
+  | Arrow (b, f) ->
+      let b = rvalue env b in
+      (match ty_of b with
+      | Ty.Ptr (Ty.Struct sname) -> (
+          let def = Ty.find_struct_exn env.tenv sname in
+          match List.find_opt (fun fl -> String.equal fl.Ty.fld_name f) def.Ty.s_fields with
+          | Some fl -> retype (Ast.mk ~loc (Arrow (b, f))) fl.Ty.fld_ty
+          | None -> err loc "struct %s has no field %s" sname f)
+      | t -> err loc "-> applied to %s (need struct pointer)" (Ty.to_string t))
+  | Deref a ->
+      let a = rvalue env a in
+      (match ty_of a with
+      | Ty.Ptr Ty.Void -> err loc "cannot dereference void*"
+      | Ty.Ptr t -> retype (Ast.mk ~loc (Deref a)) t
+      | t -> err loc "cannot dereference %s" (Ty.to_string t))
+  | Addr a ->
+      let a = check_expr env a in
+      (match (a.desc, ty_of a) with
+      | Var name, (Ty.Func _ as f) when List.mem_assoc name env.funcs ->
+          retype (Ast.mk ~loc (Addr a)) (Ty.Ptr f)
+      | _ ->
+          if not (is_lvalue env a) then err loc "& requires an lvalue";
+          retype (Ast.mk ~loc (Addr a)) (Ty.Ptr (ty_of a)))
+  | Cast (t, a) -> (
+      let a = rvalue env a in
+      (match Ty.check env.tenv t with
+      | Ok () -> ()
+      | Error m -> err loc "cast: %s" m);
+      let from = ty_of a in
+      match (from, t) with
+      | a', b when Ty.is_arith a' && Ty.is_arith b -> retype (Ast.mk ~loc (Cast (t, a))) t
+      | Ty.Ptr _, Ty.Ptr _ -> retype (Ast.mk ~loc (Cast (t, a))) t
+      | a', Ty.Ptr _ when Ty.is_integer a' ->
+          (* int→pointer casts are migration-unsafe; they are *typed* here
+             and rejected by the Unsafe pass with a proper diagnostic. *)
+          retype (Ast.mk ~loc (Cast (t, a))) t
+      | Ty.Ptr _, b when Ty.is_integer b -> retype (Ast.mk ~loc (Cast (t, a))) t
+      | a', b ->
+          err loc "invalid cast from %s to %s" (Ty.to_string a') (Ty.to_string b))
+  | Cond (c, x, y) ->
+      let c = rvalue env c in
+      if not (Ty.is_scalar (ty_of c)) then err loc "?: condition must be scalar";
+      let x = rvalue env x and y = rvalue env y in
+      let tx = ty_of x and ty = ty_of y in
+      let t =
+        if Ty.is_arith tx && Ty.is_arith ty then arith_join tx ty
+        else if Ty.equal tx ty then tx
+        else err loc "?: branches have incompatible types %s / %s" (Ty.to_string tx) (Ty.to_string ty)
+      in
+      retype (Ast.mk ~loc (Cond (c, coerce t x, coerce t y))) t
+
+and rvalue env e = decay (check_expr env e)
+
+and lvalue env e =
+  let e = check_expr env e in
+  if not (is_lvalue env e) then err e.loc "expression is not an lvalue";
+  (match ty_of e with
+  | Ty.Array _ -> err e.loc "cannot assign to an array"
+  | _ -> ());
+  e
+
+and check_binop env loc op a b =
+  let a = rvalue env a and b = rvalue env b in
+  let ta = ty_of a and tb = ty_of b in
+  match op with
+  | Add | Sub -> (
+      match (ta, tb) with
+      | x, y when Ty.is_arith x && Ty.is_arith y ->
+          let t = arith_join x y in
+          retype (Ast.mk ~loc (Binop (op, coerce t a, coerce t b))) t
+      | Ty.Ptr _, y when Ty.is_integer y ->
+          retype (Ast.mk ~loc (Binop (op, a, coerce Ty.Long b))) ta
+      | x, Ty.Ptr _ when Ty.is_integer x && op = Add ->
+          retype (Ast.mk ~loc (Binop (op, coerce Ty.Long a, b))) tb
+      | Ty.Ptr x, Ty.Ptr y when op = Sub && Ty.equal x y ->
+          retype (Ast.mk ~loc (Binop (op, a, b))) Ty.Long
+      | _ ->
+          err loc "invalid operands to %s: %s and %s" (binop_to_string op)
+            (Ty.to_string ta) (Ty.to_string tb))
+  | Mul | Div ->
+      if not (Ty.is_arith ta && Ty.is_arith tb) then
+        err loc "%s requires arithmetic operands" (binop_to_string op);
+      let t = arith_join ta tb in
+      retype (Ast.mk ~loc (Binop (op, coerce t a, coerce t b))) t
+  | Mod | Band | Bor | Bxor | Shl | Shr ->
+      if not (Ty.is_integer ta && Ty.is_integer tb) then
+        err loc "%s requires integer operands" (binop_to_string op);
+      let t = arith_join ta tb in
+      retype (Ast.mk ~loc (Binop (op, coerce t a, coerce t b))) t
+  | Eq | Ne | Lt | Le | Gt | Ge -> (
+      match (ta, tb) with
+      | x, y when Ty.is_arith x && Ty.is_arith y ->
+          let t = arith_join x y in
+          retype (Ast.mk ~loc (Binop (op, coerce t a, coerce t b))) Ty.Int
+      | Ty.Ptr x, Ty.Ptr y when Ty.equal x y || Ty.equal x Ty.Void || Ty.equal y Ty.Void ->
+          retype (Ast.mk ~loc (Binop (op, a, b))) Ty.Int
+      | Ty.Ptr _, y when Ty.is_integer y ->
+          retype (Ast.mk ~loc (Binop (op, a, convert env loc ta b))) Ty.Int
+      | x, Ty.Ptr _ when Ty.is_integer x ->
+          retype (Ast.mk ~loc (Binop (op, convert env loc tb a, b))) Ty.Int
+      | _ ->
+          err loc "cannot compare %s with %s" (Ty.to_string ta) (Ty.to_string tb))
+  | And | Or ->
+      if not (Ty.is_scalar ta && Ty.is_scalar tb) then
+        err loc "%s requires scalar operands" (binop_to_string op);
+      retype (Ast.mk ~loc (Binop (op, a, b))) Ty.Int
+
+and check_call env loc callee args =
+  let fty, callee =
+    match callee.desc with
+    | Var name when List.mem_assoc name env.funcs || is_builtin name ->
+        (lookup_var env loc name, retype callee (lookup_var env loc name))
+    | _ -> (
+        let c = rvalue env callee in
+        match ty_of c with
+        | Ty.Ptr (Ty.Func _ as f) -> (f, c)
+        | t -> err loc "called value has type %s, not a function" (Ty.to_string t))
+  in
+  match fty with
+  | Ty.Func (ret, params) ->
+      if List.length params <> List.length args then
+        err loc "wrong number of arguments: expected %d, got %d"
+          (List.length params) (List.length args);
+      let args =
+        List.map2 (fun p a -> convert env loc p (rvalue env a)) params args
+      in
+      retype (Ast.mk ~loc (Call (callee, args))) ret
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_stmt env (s : stmt) : stmt =
+  let loc = s.sloc in
+  match s.sdesc with
+  | Sexpr e ->
+      let e =
+        (* compound-assign desugaring duplicated the lvalue; reject effects *)
+        (match e.desc with
+        | Assign (lhs, { desc = Binop (_, lhs2, _); _ })
+          when Ast.expr_equal lhs lhs2 && has_effects lhs ->
+            err loc "compound assignment with side-effecting lvalue"
+        | _ -> ());
+        check_expr env e
+      in
+      Ast.mks ~loc (Sexpr e)
+  | Sif (c, t, f) ->
+      let c = rvalue env c in
+      if not (Ty.is_scalar (ty_of c)) then err loc "if condition must be scalar";
+      Ast.mks ~loc (Sif (c, List.map (check_stmt env) t, List.map (check_stmt env) f))
+  | Swhile (c, body) ->
+      let c = rvalue env c in
+      if not (Ty.is_scalar (ty_of c)) then err loc "while condition must be scalar";
+      Ast.mks ~loc (Swhile (c, List.map (check_stmt env) body))
+  | Sdo (body, c) ->
+      let body = List.map (check_stmt env) body in
+      let c = rvalue env c in
+      if not (Ty.is_scalar (ty_of c)) then err loc "do-while condition must be scalar";
+      Ast.mks ~loc (Sdo (body, c))
+  | Sfor (init, cond, step, body) ->
+      let init = Option.map (check_expr env) init in
+      let cond =
+        Option.map
+          (fun c ->
+            let c = rvalue env c in
+            if not (Ty.is_scalar (ty_of c)) then err loc "for condition must be scalar";
+            c)
+          cond
+      in
+      let step = Option.map (check_expr env) step in
+      Ast.mks ~loc (Sfor (init, cond, step, List.map (check_stmt env) body))
+  | Sreturn None ->
+      if not (Ty.equal env.ret Ty.Void) then
+        err loc "return without a value in a function returning %s" (Ty.to_string env.ret);
+      s
+  | Sreturn (Some e) ->
+      if Ty.equal env.ret Ty.Void then err loc "return with a value in a void function";
+      let e = convert env loc env.ret (rvalue env e) in
+      Ast.mks ~loc (Sreturn (Some e))
+  | Sbreak | Scontinue | Spoll _ -> s
+  | Sswitch (scrut, arms, default) ->
+      let scrut = rvalue env scrut in
+      if not (Ty.is_integer (ty_of scrut)) then
+        err loc "switch scrutinee must have integer type, not %s"
+          (Ty.to_string (ty_of scrut));
+      let seen = Hashtbl.create 8 in
+      let arms =
+        List.map
+          (fun (consts, body) ->
+            List.iter
+              (fun c ->
+                if Hashtbl.mem seen c then err loc "duplicate case %Ld" c;
+                Hashtbl.add seen c ())
+              consts;
+            (consts, List.map (check_stmt env) body))
+          arms
+      in
+      Ast.mks ~loc (Sswitch (scrut, arms, List.map (check_stmt env) default))
+  | Sgoto _ | Slabel _ -> s (* label resolution is checked per function below *)
+  | Sdecl d ->
+      err loc
+        "declaration of %s inside a block: run Scopes.normalize before type checking"
+        d.d_name
+  | Sblock body -> Ast.mks ~loc (Sblock (List.map (check_stmt env) body))
+
+let check_decl env (d : decl) : decl =
+  (match Ty.check env.tenv d.d_ty with
+  | Ok () -> ()
+  | Error m -> err d.d_loc "declaration of %s: %s" d.d_name m);
+  match d.d_init with
+  | None -> d
+  | Some e ->
+      if not (Ty.is_scalar d.d_ty) then
+        err d.d_loc "initializer allowed only on scalar variables";
+      (* Temporarily extend the scope so [int n = 10, m = n;] works. *)
+      let e = convert env d.d_loc d.d_ty (rvalue env e) in
+      { d with d_init = Some e }
+
+(** Check a whole program, returning the elaborated program.  Also verifies
+    that a [main] function exists (the process entry point). *)
+let check_program (p : program) : program =
+  (* C parameter adjustment: array parameters become pointers; structs by
+     value are not supported (pass a pointer), nor are struct returns *)
+  let adjust_param f (n, t) =
+    match t with
+    | Ty.Array (elem, _) -> (n, Ty.Ptr elem)
+    | Ty.Struct _ ->
+        err f.f_loc "parameter %s: struct parameters are not supported, pass a pointer" n
+    | Ty.Void -> err f.f_loc "parameter %s has type void" n
+    | t -> (n, t)
+  in
+  let p =
+    {
+      p with
+      funcs =
+        List.map
+          (fun f ->
+            (match f.f_ret with
+            | Ty.Struct _ | Ty.Array _ ->
+                err f.f_loc "function %s: aggregate return types are not supported"
+                  f.f_name
+            | _ -> ());
+            { f with f_params = List.map (adjust_param f) f.f_params })
+          p.funcs;
+    }
+  in
+  (* every struct definition must itself be well-formed (no by-value
+     recursion, no unknown field types), even if never used *)
+  List.iter
+    (fun (name, _) ->
+      match Ty.check p.tenv (Ty.Struct name) with
+      | Ok () -> ()
+      | Error m -> err Ast.no_loc "struct %s: %s" name m)
+    p.tenv.Ty.structs;
+  let funcs =
+    List.map (fun f -> (f.f_name, Ty.Func (f.f_ret, List.map snd f.f_params))) p.funcs
+  in
+  (* duplicate detection *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.f_name then
+        err f.f_loc "duplicate function %s" f.f_name;
+      if is_builtin f.f_name then
+        err f.f_loc "function %s shadows a builtin" f.f_name;
+      Hashtbl.add seen f.f_name ())
+    p.funcs;
+  let genv =
+    {
+      tenv = p.tenv;
+      globals = [];
+      funcs;
+      scope = [];
+      ret = Ty.Void;
+    }
+  in
+  let globals =
+    List.map
+      (fun d ->
+        if List.mem_assoc d.d_name genv.globals then
+          err d.d_loc "duplicate global %s" d.d_name;
+        let d = check_decl genv d in
+        genv.globals <- genv.globals @ [ (d.d_name, d.d_ty) ];
+        d)
+      p.globals
+  in
+  let check_func f =
+    List.iter
+      (fun (n, t) ->
+        match Ty.check p.tenv t with
+        | Ok () -> ()
+        | Error m -> err f.f_loc "parameter %s: %s" n m)
+      f.f_params;
+    (match f.f_ret with
+    | Ty.Void -> ()
+    | t -> (
+        match Ty.check p.tenv t with
+        | Ok () -> ()
+        | Error m -> err f.f_loc "return type: %s" m));
+    (* goto/label sanity: labels unique, every goto targets a label *)
+    let labels = Hashtbl.create 8 in
+    let gotos = ref [] in
+    let rec scan (s : stmt) =
+      match s.sdesc with
+      | Slabel name ->
+          if Hashtbl.mem labels name then err s.sloc "duplicate label %s" name;
+          Hashtbl.add labels name ()
+      | Sgoto name -> gotos := (name, s.sloc) :: !gotos
+      | Sif (_, a, b) ->
+          List.iter scan a;
+          List.iter scan b
+      | Swhile (_, b) | Sdo (b, _) | Sfor (_, _, _, b) | Sblock b -> List.iter scan b
+      | Sdecl _ -> ()
+      | Sswitch (_, arms, d) ->
+          List.iter (fun (_, b) -> List.iter scan b) arms;
+          List.iter scan d
+      | _ -> ()
+    in
+    List.iter scan f.f_body;
+    List.iter
+      (fun (name, loc) ->
+        if not (Hashtbl.mem labels name) then err loc "goto to undefined label %s" name)
+      !gotos;
+    let env = { genv with scope = f.f_params; ret = f.f_ret } in
+    let locals =
+      List.map
+        (fun d ->
+          if List.mem_assoc d.d_name env.scope then
+            err d.d_loc "duplicate local %s" d.d_name;
+          let d = check_decl env d in
+          env.scope <- env.scope @ [ (d.d_name, d.d_ty) ];
+          d)
+        f.f_locals
+    in
+    { f with f_locals = locals; f_body = List.map (check_stmt env) f.f_body }
+  in
+  let p = { p with globals; funcs = List.map check_func p.funcs } in
+  (match find_func p "main" with
+  | Some _ -> ()
+  | None -> err Ast.no_loc "program has no main function");
+  p

@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Arch Array Ast Buffer Bytes Char Endian Fmt Hashtbl Hpm_arch Hpm_ir Hpm_lang Int32 Int64 Ir Layout List Mem Mstats Option Printf Rng String Ty

@@ -1,0 +1,1 @@
+lib/machine/mem.ml: Arch Buffer Bytes Endian Fmt Hpm_arch Hpm_lang Int64 Layout List Map Mstats Ty

@@ -1,0 +1,578 @@
+(** Resumable IR interpreter — the simulated CPU.
+
+    Executes one {!Ir.instr} per {!step}; an activation record is an
+    explicit {!frame} with (block, index) program counter, so a process
+    can be suspended at any poll-point, its call stack walked by the
+    collection machinery, and an equivalent stack rebuilt on another
+    machine by {!Hpm_core.Restore}.
+
+    All data lives in {!Mem} as raw bytes in the target architecture's
+    representation; the interpreter computes over {!Mem.value}s but every
+    variable access goes through memory, so layout differences are real.
+
+    Integer arithmetic wraps at the width of the result type *on this
+    architecture* — [long] arithmetic behaves differently on ILP32 and
+    LP64 machines, faithfully. *)
+
+open Hpm_arch
+open Hpm_lang
+open Hpm_ir
+
+exception Trap of string
+
+let trap fmt = Fmt.kstr (fun m -> raise (Trap m)) fmt
+
+(* Simulated text segment: function i lives at [text_base + i*64]. *)
+let text_base = 0x1000L
+let func_addr i = Int64.add text_base (Int64.of_int (i * 64))
+
+type frame = {
+  func : Ir.func;
+  depth : int;                          (** 0 = main *)
+  mutable block : int;
+  mutable index : int;
+  locals : (string, Mem.block) Hashtbl.t;
+  ret_dst : Ir.lv option;               (** caller lvalue for the return value *)
+  saved_sp : int64;                     (** caller's stack top, restored on pop *)
+}
+
+type status =
+  | Running
+  | Done of Mem.value option
+  | Polled of int  (** suspended just after poll-point [id] with a migration pending *)
+
+type t = {
+  prog : Ir.prog;
+  arch : Arch.t;
+  mem : Mem.t;
+  globals : (string, Mem.block) Hashtbl.t;
+  string_blocks : Mem.block array;
+  mutable stack : frame list;           (** top of stack first *)
+  out : Buffer.t;
+  rng : Rng.t;
+  mutable polls_until_migrate : int option;
+      (** [Some 0] = suspend at the next poll; [Some k] = skip [k] polls
+          first; [None] = no migration pending *)
+  mutable result : Mem.value option option;  (** Some r once terminated *)
+}
+
+let arch t = t.arch
+let output t = Buffer.contents t.out
+let stats t = t.mem.Mem.stats
+
+let request_migration t = t.polls_until_migrate <- Some 0
+
+(** Arrange to migrate at the (k+1)-th poll event from now. *)
+let request_migration_after t k = t.polls_until_migrate <- Some k
+
+let clear_migration_request t = t.polls_until_migrate <- None
+
+let func_index t name =
+  let rec go i = function
+    | [] -> trap "unknown function %s" name
+    | (f : Ir.func) :: _ when String.equal f.Ir.name name -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 t.prog.Ir.funcs
+
+let func_of_addr t addr =
+  let off = Int64.sub addr text_base in
+  let i = Int64.to_int (Int64.div off 64L) in
+  if Int64.rem off 64L <> 0L || i < 0 || i >= List.length t.prog.Ir.funcs then
+    trap "0x%Lx is not a function address" addr;
+  List.nth t.prog.Ir.funcs i
+
+(* ------------------------------------------------------------------ *)
+(* Startup                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_kind_exn ty =
+  match Ty.scalar_kind_of_ty ty with
+  | Some k -> k
+  | None -> trap "value of type %s is not scalar" (Ty.to_string ty)
+
+let width_of t ty = Layout.scalar_size t.mem.Mem.layout (scalar_kind_exn ty)
+
+(* Wrap an integer to the width of [ty] on this machine (sign-extended). *)
+let wrap t ty v =
+  match ty with
+  | Ty.Char | Ty.Short | Ty.Int | Ty.Long -> Endian.sign_extend (width_of t ty) v
+  | _ -> v
+
+let store_const t (b : Mem.block) off ty (c : Ir.const) =
+  match c with
+  | Ir.Kint (_, v) -> Mem.store_scalar t.mem b off (scalar_kind_exn ty) (Mem.Vint (wrap t ty v))
+  | Ir.Kfloat (_, v) -> Mem.store_scalar t.mem b off (scalar_kind_exn ty) (Mem.Vfloat v)
+  | Ir.Knull _ -> Mem.store_scalar t.mem b off (scalar_kind_exn ty) (Mem.Vptr 0L)
+  | Ir.Kstr i ->
+      Mem.store_scalar t.mem b off (scalar_kind_exn ty) (Mem.Vptr 0L)
+      |> fun () -> ignore i (* patched by the caller which knows string blocks *)
+
+let is_func_addr (prog : Ir.prog) addr =
+  let off = Int64.sub addr text_base in
+  Int64.compare off 0L >= 0
+  && Int64.rem off 64L = 0L
+  && Int64.to_int (Int64.div off 64L) < List.length prog.Ir.funcs
+
+(** Create a process with globals and string literals allocated and
+    initialized but an *empty* call stack — the restoration path fills the
+    stack from the migration stream. *)
+let create_base (prog : Ir.prog) (arch : Arch.t) : t =
+  let mem = Mem.create arch prog.Ir.tenv in
+  let t =
+    {
+      prog;
+      arch;
+      mem;
+      globals = Hashtbl.create 16;
+      string_blocks =
+        Array.mapi
+          (fun i s ->
+            let block =
+              Mem.alloc mem Mem.Global
+                (Ty.Array (Ty.Char, String.length s + 1))
+                (Mem.Istring i)
+            in
+            String.iteri (fun j c -> Bytes.set block.Mem.bytes j c) s;
+            block)
+          prog.Ir.strings;
+      stack = [];
+      out = Buffer.create 256;
+      rng = Rng.create 1;
+      polls_until_migrate = None;
+      result = None;
+    }
+  in
+  List.iter
+    (fun (name, ty, init) ->
+      let b = Mem.alloc mem Mem.Global ty (Mem.Iglobal name) in
+      Hashtbl.replace t.globals name b;
+      match init with
+      | None -> ()
+      | Some (Ir.Kstr i) ->
+          Mem.store_scalar mem b 0 (scalar_kind_exn ty)
+            (Mem.Vptr t.string_blocks.(i).Mem.base)
+      | Some c -> store_const t b 0 ty c)
+    prog.Ir.globals;
+  t
+
+(** Push a frame for [func] suspended at (block, index), allocating blocks
+    for every parameter and local but storing nothing — restoration
+    decodes the live values into them afterwards.  [ret_dst] is recovered
+    by the caller from the suspended call instruction. *)
+let push_restored_frame t (func : Ir.func) ~block ~index ~ret_dst =
+  let depth = List.length t.stack in
+  let frame =
+    {
+      func;
+      depth;
+      block;
+      index;
+      locals = Hashtbl.create 16;
+      ret_dst;
+      saved_sp = Mem.stack_top t.mem;
+    }
+  in
+  List.iter
+    (fun (n, ty) ->
+      Hashtbl.replace frame.locals n
+        (Mem.alloc t.mem Mem.Stack ty (Mem.Ilocal (depth, n))))
+    (func.Ir.params @ func.Ir.locals);
+  t.stack <- frame :: t.stack;
+  frame
+
+(** Create a fresh process: globals and string literals allocated and
+    initialized, [main] frame pushed at its entry. *)
+let create (prog : Ir.prog) (arch : Arch.t) : t =
+  let t = create_base prog arch in
+  let main = Ir.find_func_exn prog "main" in
+  if main.Ir.params <> [] then trap "main must take no parameters";
+  ignore
+    (push_restored_frame t main ~block:main.Ir.entry ~index:0 ~ret_dst:None);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Lvalue resolution and expression evaluation                         *)
+(* ------------------------------------------------------------------ *)
+
+let var_block t (fr : frame) name : Mem.block =
+  match Hashtbl.find_opt fr.locals name with
+  | Some b -> b
+  | None -> (
+      match Hashtbl.find_opt t.globals name with
+      | Some b -> b
+      | None -> trap "unbound variable %s" name)
+
+let truthy = function
+  | Mem.Vint v -> v <> 0L
+  | Mem.Vfloat v -> v <> 0.0
+  | Mem.Vptr v -> v <> 0L
+
+let as_int = function
+  | Mem.Vint v -> v
+  | Mem.Vptr v -> v
+  | Mem.Vfloat _ -> trap "expected an integer value"
+
+let as_float = function
+  | Mem.Vfloat v -> v
+  | Mem.Vint v -> Int64.to_float v
+  | Mem.Vptr _ -> trap "pointer used as float"
+
+let rec addr_of_lv t (fr : frame) (lv : Ir.lv) : int64 * Ty.t =
+  match lv with
+  | Ir.Lvar name ->
+      let b = var_block t fr name in
+      (b.Mem.base, b.Mem.ty)
+  | Ir.Lmem (rv, ty) -> (
+      match eval_rv t fr rv with
+      | Mem.Vptr 0L -> trap "null pointer dereference"
+      | Mem.Vptr p -> (p, ty)
+      | v -> trap "dereference of non-pointer value %s" (Fmt.str "%a" Mem.pp_value v))
+  | Ir.Lindex (base, idx, elem) ->
+      let baddr, bty = addr_of_lv t fr base in
+      let i = as_int (eval_rv t fr idx) in
+      (match bty with
+      | Ty.Array (_, n) ->
+          (* one-past-the-end addresses are formed by decay (&a[0]); reads
+             and writes are bounds-checked at access time via Mem *)
+          if Int64.compare i 0L < 0 || Int64.compare i (Int64.of_int n) > 0 then
+            trap "index %Ld out of bounds for array of %d" i n
+      | _ -> ());
+      let esz = Int64.of_int (Layout.sizeof t.mem.Mem.layout elem) in
+      (Int64.add baddr (Int64.mul i esz), elem)
+  | Ir.Lfield (base, sname, fname, fty) ->
+      let baddr, _ = addr_of_lv t fr base in
+      let off = Layout.field_offset t.mem.Mem.layout sname fname in
+      (Int64.add baddr (Int64.of_int off), fty)
+
+and load_lv t fr lv ty : Mem.value =
+  let addr, _ = addr_of_lv t fr lv in
+  (* fast path: direct variable access needs no block search *)
+  match lv with
+  | Ir.Lvar name ->
+      let b = var_block t fr name in
+      Mem.load_scalar t.mem b 0 (scalar_kind_exn ty)
+  | _ -> Mem.load_at t.mem addr (scalar_kind_exn ty)
+
+and eval_rv t (fr : frame) (rv : Ir.rv) : Mem.value =
+  match rv with
+  | Ir.Rconst (Ir.Kint (ty, v)) -> Mem.Vint (wrap t ty v)
+  | Ir.Rconst (Ir.Kfloat (Ty.Float, v)) ->
+      Mem.Vfloat (Int32.float_of_bits (Int32.bits_of_float v))
+  | Ir.Rconst (Ir.Kfloat (_, v)) -> Mem.Vfloat v
+  | Ir.Rconst (Ir.Knull _) -> Mem.Vptr 0L
+  | Ir.Rconst (Ir.Kstr i) -> Mem.Vptr t.string_blocks.(i).Mem.base
+  | Ir.Rload (lv, ty) -> load_lv t fr lv ty
+  | Ir.Raddr (lv, _) ->
+      let addr, _ = addr_of_lv t fr lv in
+      Mem.Vptr addr
+  | Ir.Rfunc name -> Mem.Vptr (func_addr (func_index t name))
+  | Ir.Rsizeof ty -> Mem.Vint (Int64.of_int (Layout.sizeof t.mem.Mem.layout ty))
+  | Ir.Runop (op, a, ty) -> eval_unop t op (eval_rv t fr a) ty
+  | Ir.Rbinop (op, a, b, ty) ->
+      eval_binop t op (eval_rv t fr a) (eval_rv t fr b) ty
+  | Ir.Rcast (ty, a) -> cast_value t ty (eval_rv t fr a)
+
+and eval_unop t op v ty =
+  match (op, v) with
+  | Ast.Neg, Mem.Vint x -> Mem.Vint (wrap t ty (Int64.neg x))
+  | Ast.Neg, Mem.Vfloat x -> Mem.Vfloat (-.x)
+  | Ast.Not, v -> Mem.Vint (if truthy v then 0L else 1L)
+  | Ast.Bnot, Mem.Vint x -> Mem.Vint (wrap t ty (Int64.lognot x))
+  | _ -> trap "invalid unary operand"
+
+and eval_binop t op va vb ty =
+  let bool b = Mem.Vint (if b then 1L else 0L) in
+  match (op, va, vb, ty) with
+  (* pointer arithmetic: scaled by pointee size on this machine *)
+  | Ast.Add, Mem.Vptr p, Mem.Vint i, Ty.Ptr pt ->
+      Mem.Vptr (Int64.add p (Int64.mul i (Int64.of_int (Layout.sizeof t.mem.Mem.layout pt))))
+  | Ast.Add, Mem.Vint i, Mem.Vptr p, Ty.Ptr pt ->
+      Mem.Vptr (Int64.add p (Int64.mul i (Int64.of_int (Layout.sizeof t.mem.Mem.layout pt))))
+  | Ast.Sub, Mem.Vptr p, Mem.Vint i, Ty.Ptr pt ->
+      Mem.Vptr (Int64.sub p (Int64.mul i (Int64.of_int (Layout.sizeof t.mem.Mem.layout pt))))
+  | Ast.Sub, Mem.Vptr a, Mem.Vptr b, Ty.Long ->
+      (* ptr - ptr: element distance; the pointee size comes from operand
+         typing, which the IR does not carry here, so byte distance is
+         divided by 1 only when unknown.  Lowering types ptr-ptr as Long
+         and keeps both operands; recover element size via the special
+         Rbinop shape below if needed.  In practice Mini-C programs use
+         ptr-ptr only on char*, where the scale is 1. *)
+      Mem.Vint (Int64.sub a b)
+  | Ast.Eq, a, b, _ -> bool (compare_values a b = 0)
+  | Ast.Ne, a, b, _ -> bool (compare_values a b <> 0)
+  | Ast.Lt, a, b, _ -> bool (compare_values a b < 0)
+  | Ast.Le, a, b, _ -> bool (compare_values a b <= 0)
+  | Ast.Gt, a, b, _ -> bool (compare_values a b > 0)
+  | Ast.Ge, a, b, _ -> bool (compare_values a b >= 0)
+  | _, Mem.Vfloat _, _, _ | _, _, Mem.Vfloat _, _ -> (
+      let x = as_float va and y = as_float vb in
+      let r =
+        match op with
+        | Ast.Add -> x +. y
+        | Ast.Sub -> x -. y
+        | Ast.Mul -> x *. y
+        | Ast.Div -> x /. y
+        | _ -> trap "invalid float operation"
+      in
+      match ty with
+      | Ty.Float -> Mem.Vfloat (Int32.float_of_bits (Int32.bits_of_float r))
+      | _ -> Mem.Vfloat r)
+  | _, Mem.Vint _, Mem.Vint _, _ -> (
+      let x = as_int va and y = as_int vb in
+      let r =
+        match op with
+        | Ast.Add -> Int64.add x y
+        | Ast.Sub -> Int64.sub x y
+        | Ast.Mul -> Int64.mul x y
+        | Ast.Div ->
+            if y = 0L then trap "integer division by zero";
+            Int64.div x y
+        | Ast.Mod ->
+            if y = 0L then trap "integer modulo by zero";
+            Int64.rem x y
+        | Ast.Band -> Int64.logand x y
+        | Ast.Bor -> Int64.logor x y
+        | Ast.Bxor -> Int64.logxor x y
+        | Ast.Shl -> Int64.shift_left x (Int64.to_int y land 63)
+        | Ast.Shr -> Int64.shift_right x (Int64.to_int y land 63)
+        | Ast.And | Ast.Or -> trap "unlowered short-circuit operator"
+        | _ -> trap "invalid integer operation"
+      in
+      Mem.Vint (wrap t ty r))
+  | _ -> trap "invalid binary operands"
+
+and compare_values a b =
+  match (a, b) with
+  | Mem.Vfloat x, _ | _, Mem.Vfloat x ->
+      ignore x;
+      compare (as_float a) (as_float b)
+  | _ -> compare (as_int a) (as_int b)
+
+and cast_value t ty v =
+  match (ty, v) with
+  | (Ty.Char | Ty.Short | Ty.Int | Ty.Long), Mem.Vint x -> Mem.Vint (wrap t ty x)
+  | (Ty.Char | Ty.Short | Ty.Int | Ty.Long), Mem.Vfloat x ->
+      Mem.Vint (wrap t ty (Int64.of_float x))
+  | (Ty.Char | Ty.Short | Ty.Int | Ty.Long), Mem.Vptr p -> Mem.Vint (wrap t ty p)
+  | Ty.Float, v -> Mem.Vfloat (Int32.float_of_bits (Int32.bits_of_float (as_float v)))
+  | Ty.Double, v -> Mem.Vfloat (as_float v)
+  | Ty.Ptr _, Mem.Vptr p -> Mem.Vptr p
+  | Ty.Ptr _, Mem.Vint x -> Mem.Vptr x (* unsafe; rejected statically *)
+  | _ -> trap "invalid cast to %s" (Ty.to_string ty)
+
+(* ------------------------------------------------------------------ *)
+(* Builtins (the simulated libc)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let call_builtin t name (args : Mem.value list) : Mem.value option =
+  match (name, args) with
+  | "print_int", [ v ] ->
+      Buffer.add_string t.out (Int64.to_string (as_int v));
+      Buffer.add_char t.out '\n';
+      None
+  | "print_long", [ v ] ->
+      Buffer.add_string t.out (Int64.to_string (as_int v));
+      Buffer.add_char t.out '\n';
+      None
+  | "print_double", [ v ] ->
+      Buffer.add_string t.out (Printf.sprintf "%.12g" (as_float v));
+      Buffer.add_char t.out '\n';
+      None
+  | "print_char", [ v ] ->
+      Buffer.add_char t.out (Char.chr (Int64.to_int (as_int v) land 0xff));
+      None
+  | "print_str", [ Mem.Vptr p ] ->
+      Buffer.add_string t.out (Mem.read_cstring t.mem p);
+      None
+  | "rand", [] -> Some (Mem.Vint (Int64.of_int (Rng.next_int t.rng)))
+  | "srand", [ v ] ->
+      Rng.seed t.rng (Int64.to_int (as_int v));
+      None
+  | "sqrt", [ v ] -> Some (Mem.Vfloat (sqrt (as_float v)))
+  | "fabs", [ v ] -> Some (Mem.Vfloat (abs_float (as_float v)))
+  | "abs", [ v ] -> Some (Mem.Vint (Int64.abs (as_int v)))
+  | "clock_ms", [] ->
+      (* simulated milliseconds: deterministic across machines *)
+      Some (Mem.Vint (Int64.of_int (t.mem.Mem.stats.Mstats.instrs / 10_000)))
+  | _ -> trap "unknown builtin %s/%d" name (List.length args)
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let push_frame t (func : Ir.func) (args : Mem.value list) (ret_dst : Ir.lv option) =
+  let depth = List.length t.stack in
+  let frame =
+    {
+      func;
+      depth;
+      block = func.Ir.entry;
+      index = 0;
+      locals = Hashtbl.create 16;
+      ret_dst;
+      saved_sp = Mem.stack_top t.mem;
+    }
+  in
+  List.iter
+    (fun (n, ty) ->
+      Hashtbl.replace frame.locals n (Mem.alloc t.mem Mem.Stack ty (Mem.Ilocal (depth, n))))
+    (func.Ir.params @ func.Ir.locals);
+  List.iter2
+    (fun (n, ty) v ->
+      let b = Hashtbl.find frame.locals n in
+      Mem.store_scalar t.mem b 0 (scalar_kind_exn ty) v)
+    func.Ir.params args;
+  t.mem.Mem.stats.Mstats.calls <- t.mem.Mem.stats.Mstats.calls + 1;
+  t.stack <- frame :: t.stack
+
+let pop_frame t =
+  match t.stack with
+  | [] -> trap "pop of empty stack"
+  | fr :: rest ->
+      Hashtbl.iter (fun _ b -> Mem.remove_block t.mem b) fr.locals;
+      Mem.set_stack_top t.mem fr.saved_sp;
+      t.stack <- rest;
+      fr
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let current_frame t =
+  match t.stack with
+  | fr :: _ -> fr
+  | [] -> trap "process has no stack"
+
+let exec_instr t (fr : frame) (ins : Ir.instr) : status =
+  match ins with
+  | Ir.Iassign (lv, rv) ->
+      let v = eval_rv t fr rv in
+      (match lv with
+      | Ir.Lvar name ->
+          let b = var_block t fr name in
+          Mem.store_scalar t.mem b 0 (scalar_kind_exn (b.Mem.ty)) v
+      | _ ->
+          let addr, ty = addr_of_lv t fr lv in
+          Mem.store_at t.mem addr (scalar_kind_exn ty) v);
+      Running
+  | Ir.Icopy (dst, src, ty) ->
+      let daddr, _ = addr_of_lv t fr dst in
+      let saddr, _ = addr_of_lv t fr src in
+      let len = Layout.sizeof t.mem.Mem.layout ty in
+      Mem.copy_region t.mem ~dst:daddr ~src:saddr ~len;
+      Running
+  | Ir.Imalloc (dst, elem, count) ->
+      let n = Int64.to_int (as_int (eval_rv t fr count)) in
+      if n <= 0 then trap "malloc of %d elements" n;
+      let ty = if n = 1 then elem else Ty.Array (elem, n) in
+      let b = Mem.alloc t.mem Mem.Heap ty Mem.Iheap in
+      let addr, dty = addr_of_lv t fr dst in
+      Mem.store_at t.mem addr (scalar_kind_exn dty) (Mem.Vptr b.Mem.base);
+      Running
+  | Ir.Ifree rv -> (
+      match eval_rv t fr rv with
+      | Mem.Vptr 0L -> Running (* free(NULL) is a no-op *)
+      | Mem.Vptr p ->
+          let b = Mem.find_block t.mem p in
+          if b.Mem.seg <> Mem.Heap then trap "free of non-heap block #%d" b.Mem.bid;
+          if not (Int64.equal b.Mem.base p) then
+            trap "free of interior pointer 0x%Lx (block #%d)" p b.Mem.bid;
+          Mem.free t.mem b;
+          Running
+      | _ -> trap "free of non-pointer")
+  | Ir.Ipoll id -> (
+      t.mem.Mem.stats.Mstats.polls <- t.mem.Mem.stats.Mstats.polls + 1;
+      match t.polls_until_migrate with
+      | Some 0 -> Polled id
+      | Some k ->
+          t.polls_until_migrate <- Some (k - 1);
+          Running
+      | None -> Running)
+  | Ir.Icall (dst, callee, args) -> (
+      let argv = List.map (eval_rv t fr) args in
+      match callee with
+      | Ir.Cbuiltin name -> (
+          match (call_builtin t name argv, dst) with
+          | Some v, Some lv ->
+              let addr, ty = addr_of_lv t fr lv in
+              Mem.store_at t.mem addr (scalar_kind_exn ty) v;
+              Running
+          | _, _ -> Running)
+      | Ir.Cfun name ->
+          push_frame t (Ir.find_func_exn t.prog name) argv dst;
+          Running
+      | Ir.Cptr rv -> (
+          match eval_rv t fr rv with
+          | Mem.Vptr 0L -> trap "call through null function pointer"
+          | Mem.Vptr p -> push_frame t (func_of_addr t p) argv dst;
+              Running
+          | _ -> trap "call through non-pointer"))
+
+let exec_term t (fr : frame) (term : Ir.term) : status =
+  match term with
+  | Ir.Tgoto b ->
+      fr.block <- b;
+      fr.index <- 0;
+      Running
+  | Ir.Tif (c, bt, bf) ->
+      let v = eval_rv t fr c in
+      fr.block <- (if truthy v then bt else bf);
+      fr.index <- 0;
+      Running
+  | Ir.Tret rvo -> (
+      let v = Option.map (eval_rv t fr) rvo in
+      let popped = pop_frame t in
+      match t.stack with
+      | [] ->
+          t.result <- Some v;
+          Done v
+      | caller :: _ -> (
+          match (popped.ret_dst, v) with
+          | Some lv, Some v ->
+              let addr, ty = addr_of_lv t caller lv in
+              Mem.store_at t.mem addr (scalar_kind_exn ty) v;
+              Running
+          | Some _, None -> trap "function %s returned no value" popped.func.Ir.name
+          | None, _ -> Running))
+
+(** Execute one instruction (or terminator).  Statuses: [Running] — more to
+    do; [Done v] — process exited with [v]; [Polled id] — a migration
+    request was noticed at poll-point [id]; the state is suspended *after*
+    the poll instruction, ready for collection. *)
+let step t : status =
+  match t.result with
+  | Some v -> Done v
+  | None -> (
+      let fr = current_frame t in
+      let blk = fr.func.Ir.blocks.(fr.block) in
+      t.mem.Mem.stats.Mstats.instrs <- t.mem.Mem.stats.Mstats.instrs + 1;
+      if fr.index < Array.length blk.Ir.instrs then (
+        let ins = blk.Ir.instrs.(fr.index) in
+        fr.index <- fr.index + 1;
+        match exec_instr t fr ins with
+        | Polled id -> Polled id
+        | s -> s)
+      else exec_term t fr blk.Ir.term)
+
+type run_result = RDone of Mem.value option | RPolled of int | RFuel
+
+(** Run until termination, poll-with-migration, or out of fuel. *)
+let run ?(fuel = max_int) t : run_result =
+  let rec go n =
+    if n <= 0 then RFuel
+    else
+      match step t with
+      | Running -> go (n - 1)
+      | Done v -> RDone v
+      | Polled id -> RPolled id
+  in
+  go fuel
+
+(** Run to completion; raises on migration polls (for non-migrating runs,
+    with no migration requested, polls never fire). *)
+let run_to_completion t : Mem.value option =
+  match run t with
+  | RDone v -> v
+  | RPolled id -> trap "unexpected migration suspension at poll #%d" id
+  | RFuel -> assert false

@@ -1,0 +1,283 @@
+(** Byte-level simulated process memory.
+
+    Memory is a set of *blocks* — one per global variable, per local
+    variable of each live activation, per heap allocation, and per string
+    literal — exactly the vertex set of the paper's MSR graph.  Each block
+    owns a [Bytes.t] buffer living at a numeric base address in a flat
+    simulated address space; pointers stored inside blocks are those
+    numeric addresses, encoded at the architecture's pointer width and
+    byte order.  Nothing about a stored value is symbolic: migrating the
+    bytes verbatim to a machine with a different layout would (and in the
+    failure-injection tests, does) produce garbage — which is precisely
+    the problem the paper's mechanisms solve.
+
+    Blocks are indexed by base address in a balanced map; translating a
+    pointer value to its containing block is an O(log n) search, the
+    [MSRLT_search] term of the paper's §4.2 cost model. *)
+
+open Hpm_arch
+open Hpm_lang
+
+type seg = Global | Stack | Heap | Text
+
+let seg_to_string = function
+  | Global -> "global"
+  | Stack -> "stack"
+  | Heap -> "heap"
+  | Text -> "text"
+
+(** Machine-independent identity of a block, used by migration to rebind a
+    restored block to the right storage on the destination machine. *)
+type ident =
+  | Iglobal of string        (** the global variable's own block *)
+  | Ilocal of int * string   (** frame depth (0 = main) and variable name *)
+  | Iheap                    (** anonymous heap allocation *)
+  | Istring of int           (** string-literal table entry *)
+
+let pp_ident ppf = function
+  | Iglobal n -> Fmt.pf ppf "global:%s" n
+  | Ilocal (d, n) -> Fmt.pf ppf "local:%d:%s" d n
+  | Iheap -> Fmt.string ppf "heap"
+  | Istring i -> Fmt.pf ppf "string:%d" i
+
+type block = {
+  bid : int;          (** runtime id, allocation order *)
+  base : int64;
+  size : int;
+  bytes : Bytes.t;
+  ty : Ty.t;          (** the block's full type (e.g. [Array (node, 10)]) *)
+  seg : seg;
+  ident : ident;
+  mutable freed : bool;
+}
+
+module AddrMap = Map.Make (Int64)
+
+type t = {
+  arch : Arch.t;
+  layout : Layout.t;
+  mutable by_base : block AddrMap.t;
+  mutable next_global : int64;
+  mutable next_stack : int64;
+  mutable next_heap : int64;
+  mutable nblocks : int;
+  mutable live_blocks : int;
+  mutable cache : block option;  (** last block hit, for access locality *)
+  stats : Mstats.t;
+}
+
+exception Fault of string
+
+let fault fmt = Fmt.kstr (fun m -> raise (Fault m)) fmt
+
+let create arch tenv =
+  {
+    arch;
+    layout = Layout.make arch tenv;
+    by_base = AddrMap.empty;
+    next_global = arch.Arch.global_base;
+    next_stack = arch.Arch.stack_base;
+    next_heap = arch.Arch.heap_base;
+    nblocks = 0;
+    live_blocks = 0;
+    cache = None;
+    stats = Mstats.create ();
+  }
+
+let align_addr addr align =
+  let a = Int64.of_int align in
+  Int64.mul (Int64.div (Int64.add addr (Int64.sub a 1L)) a) a
+
+(* Guard gap between blocks so off-by-one pointer arithmetic faults
+   instead of silently landing in a neighbour. *)
+let guard = 16L
+
+let alloc t seg (ty : Ty.t) (ident : ident) : block =
+  let size = max 1 (Layout.sizeof t.layout ty) in
+  let align = max 1 (Layout.alignof t.layout ty) in
+  let base =
+    match seg with
+    | Global ->
+        let b = align_addr t.next_global align in
+        t.next_global <- Int64.add b (Int64.add (Int64.of_int size) guard);
+        b
+    | Heap ->
+        let b = align_addr t.next_heap align in
+        t.next_heap <- Int64.add b (Int64.add (Int64.of_int size) guard);
+        b
+    | Stack ->
+        (* stacks grow down: place the block below the current top *)
+        let b =
+          Int64.sub t.next_stack (Int64.add (Int64.of_int size) guard)
+        in
+        let b = Int64.sub b (Int64.rem b (Int64.of_int align)) in
+        t.next_stack <- b;
+        b
+    | Text -> fault "cannot allocate in the text segment"
+  in
+  let block =
+    {
+      bid = t.nblocks;
+      base;
+      size;
+      bytes = Bytes.make size '\000';
+      ty;
+      seg;
+      ident;
+      freed = false;
+    }
+  in
+  t.nblocks <- t.nblocks + 1;
+  t.live_blocks <- t.live_blocks + 1;
+  t.by_base <- AddrMap.add base block t.by_base;
+  t.stats.Mstats.allocs <- t.stats.Mstats.allocs + 1;
+  if seg = Heap then t.stats.Mstats.heap_allocs <- t.stats.Mstats.heap_allocs + 1;
+  t.stats.Mstats.table_ops <- t.stats.Mstats.table_ops + 1;
+  t.stats.Mstats.bytes_allocated <- t.stats.Mstats.bytes_allocated + size;
+  block
+
+let free t (block : block) =
+  if block.freed then
+    fault "double free of block #%d (%s)" block.bid (Fmt.str "%a" pp_ident block.ident);
+  block.freed <- true;
+  t.live_blocks <- t.live_blocks - 1;
+  t.cache <- None;
+  t.stats.Mstats.frees <- t.stats.Mstats.frees + 1;
+  t.stats.Mstats.table_ops <- t.stats.Mstats.table_ops + 1
+
+(** Pop-time removal of a stack block: unlike [free], the block vanishes
+    from the table entirely and its address range will be reused by later
+    frames, exactly like a real stack.  A stale pointer into it then
+    faults as "wild" (or silently aliases a newer frame if the range was
+    reused — which is the authentic C behaviour). *)
+let remove_block t (b : block) =
+  b.freed <- true;
+  t.by_base <- AddrMap.remove b.base t.by_base;
+  t.live_blocks <- t.live_blocks - 1;
+  t.cache <- None;
+  t.stats.Mstats.table_ops <- t.stats.Mstats.table_ops + 1
+
+let stack_top t = t.next_stack
+let set_stack_top t sp = t.next_stack <- sp
+
+(** [find_block t addr] is the live block containing [addr].
+    @raise Fault on wild or dangling addresses. *)
+let find_block t (addr : int64) : block =
+  t.stats.Mstats.searches <- t.stats.Mstats.searches + 1;
+  let in_block (b : block) =
+    addr >= b.base && Int64.compare addr (Int64.add b.base (Int64.of_int b.size)) < 0
+  in
+  match t.cache with
+  | Some b when in_block b && not b.freed -> b
+  | _ -> (
+      match AddrMap.find_last_opt (fun k -> Int64.compare k addr <= 0) t.by_base with
+      | Some (_, b) when in_block b ->
+          if b.freed then
+            fault "dangling pointer 0x%Lx into freed block #%d" addr b.bid;
+          t.cache <- Some b;
+          b
+      | _ -> fault "wild pointer 0x%Lx: no block contains this address" addr)
+
+let find_block_opt t addr =
+  match find_block t addr with b -> Some b | exception Fault _ -> None
+
+(** All live blocks, in allocation (bid) order. *)
+let live_blocks t =
+  AddrMap.fold (fun _ b acc -> if b.freed then acc else b :: acc) t.by_base []
+  |> List.sort (fun a b -> compare a.bid b.bid)
+
+(* ------------------------------------------------------------------ *)
+(* Scalar load/store                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** A machine value: what the interpreter computes with.  [Vptr] is a raw
+    simulated address (possibly null = 0). *)
+type value =
+  | Vint of int64   (** any integer type, sign-extended to 64 bits *)
+  | Vfloat of float
+  | Vptr of int64
+
+let pp_value ppf = function
+  | Vint v -> Fmt.pf ppf "%Ld" v
+  | Vfloat v -> Fmt.pf ppf "%.17g" v
+  | Vptr v -> Fmt.pf ppf "0x%Lx" v
+
+let value_equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> Int64.equal x y
+  | Vptr x, Vptr y -> Int64.equal x y
+  | Vfloat x, Vfloat y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> false
+
+let check_range (b : block) off len what =
+  if off < 0 || off + len > b.size then
+    fault "%s at offset %d (+%d) is outside block #%d of %d bytes" what off len b.bid
+      b.size
+
+(** [load_scalar t block off kind] reads a scalar of [kind] at byte offset
+    [off] of [block], in this machine's representation. *)
+let load_scalar t (b : block) off (kind : Ty.scalar_kind) : value =
+  let order = t.arch.Arch.endian in
+  let size = Layout.scalar_size t.layout kind in
+  check_range b off size "load";
+  if b.freed then fault "load from freed block #%d" b.bid;
+  match kind with
+  | Ty.KChar | Ty.KShort | Ty.KInt | Ty.KLong ->
+      Vint (Endian.get_int order size b.bytes off)
+  | Ty.KFloat -> Vfloat (Endian.get_f32 order b.bytes off)
+  | Ty.KDouble -> Vfloat (Endian.get_f64 order b.bytes off)
+  | Ty.KPtr _ | Ty.KFunc _ -> Vptr (Endian.get_uint order size b.bytes off)
+
+let store_scalar t (b : block) off (kind : Ty.scalar_kind) (v : value) =
+  let order = t.arch.Arch.endian in
+  let size = Layout.scalar_size t.layout kind in
+  check_range b off size "store";
+  if b.freed then fault "store to freed block #%d" b.bid;
+  match (kind, v) with
+  | (Ty.KChar | Ty.KShort | Ty.KInt | Ty.KLong), Vint x ->
+      Endian.set_int order size b.bytes off x
+  | Ty.KFloat, Vfloat x -> Endian.set_f32 order b.bytes off x
+  | Ty.KDouble, Vfloat x -> Endian.set_f64 order b.bytes off x
+  | (Ty.KPtr _ | Ty.KFunc _), Vptr x -> Endian.set_uint order size b.bytes off x
+  | (Ty.KPtr _ | Ty.KFunc _), Vint 0L -> Endian.set_uint order size b.bytes off 0L
+  | k, v ->
+      fault "store: value %s does not fit scalar kind %s"
+        (Fmt.str "%a" pp_value v)
+        (Ty.to_string (Ty.ty_of_scalar_kind k))
+
+(** Load/store by absolute address (block search included). *)
+let load_at t addr kind =
+  let b = find_block t addr in
+  load_scalar t b (Int64.to_int (Int64.sub addr b.base)) kind
+
+let store_at t addr kind v =
+  let b = find_block t addr in
+  store_scalar t b (Int64.to_int (Int64.sub addr b.base)) kind v
+
+(** Aggregate copy for struct assignment: both regions must be in single
+    blocks and layout-compatible (same type on the same machine). *)
+let copy_region t ~dst ~src ~len =
+  let db = find_block t dst and sb = find_block t src in
+  let doff = Int64.to_int (Int64.sub dst db.base)
+  and soff = Int64.to_int (Int64.sub src sb.base) in
+  check_range db doff len "copy dst";
+  check_range sb soff len "copy src";
+  Bytes.blit sb.bytes soff db.bytes doff len
+
+(** Read a NUL-terminated C string starting at [addr] (for [print_str]). *)
+let read_cstring t addr =
+  let b = find_block t addr in
+  let off = Int64.to_int (Int64.sub addr b.base) in
+  let buf = Buffer.create 16 in
+  let i = ref off in
+  let continue = ref true in
+  while !continue do
+    if !i >= b.size then fault "unterminated string in block #%d" b.bid;
+    let c = Bytes.get b.bytes !i in
+    if c = '\000' then continue := false
+    else (
+      Buffer.add_char buf c;
+      incr i)
+  done;
+  Buffer.contents buf

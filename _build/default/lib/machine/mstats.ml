@@ -1,0 +1,48 @@
+(** Execution counters for the simulated machine.
+
+    These drive the §4.3 overhead experiment: the cost of the migratable
+    format is (a) poll checks executed and (b) block-table (MSRLT)
+    maintenance on allocation — both counted here, so annotated and
+    original runs can be compared instruction-for-instruction. *)
+
+type t = {
+  mutable instrs : int;        (** IR instructions executed *)
+  mutable polls : int;         (** poll checks executed *)
+  mutable allocs : int;        (** blocks allocated (stack + heap + global) *)
+  mutable heap_allocs : int;   (** heap blocks allocated *)
+  mutable frees : int;
+  mutable searches : int;      (** address → block lookups *)
+  mutable table_ops : int;     (** block-table insert/remove operations *)
+  mutable calls : int;
+  mutable bytes_allocated : int;
+}
+
+let create () =
+  {
+    instrs = 0;
+    polls = 0;
+    allocs = 0;
+    heap_allocs = 0;
+    frees = 0;
+    searches = 0;
+    table_ops = 0;
+    calls = 0;
+    bytes_allocated = 0;
+  }
+
+let reset t =
+  t.instrs <- 0;
+  t.polls <- 0;
+  t.allocs <- 0;
+  t.heap_allocs <- 0;
+  t.frees <- 0;
+  t.searches <- 0;
+  t.table_ops <- 0;
+  t.calls <- 0;
+  t.bytes_allocated <- 0
+
+let pp ppf t =
+  Fmt.pf ppf
+    "instrs=%d polls=%d allocs=%d (heap=%d) frees=%d searches=%d table_ops=%d calls=%d bytes=%d"
+    t.instrs t.polls t.allocs t.heap_allocs t.frees t.searches t.table_ops t.calls
+    t.bytes_allocated

@@ -1,0 +1,21 @@
+(** Execution counters for the simulated machine, driving the §4.3
+    overhead experiment: poll checks and block-table maintenance are
+    counted so annotated and original runs compare instruction-for-
+    instruction.  All fields are mutable and bumped by {!Mem} and
+    {!Interp} as the process runs. *)
+
+type t = {
+  mutable instrs : int;        (** IR instructions executed *)
+  mutable polls : int;         (** poll checks executed *)
+  mutable allocs : int;        (** blocks allocated (stack + heap + global) *)
+  mutable heap_allocs : int;
+  mutable frees : int;
+  mutable searches : int;      (** address → block lookups *)
+  mutable table_ops : int;     (** block-table insert/remove operations *)
+  mutable calls : int;
+  mutable bytes_allocated : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generator for the simulated libc.
+
+    A classic 48-bit linear congruential generator (the [drand48] family's
+    constants).  Determinism matters twice: the same program must produce
+    the same allocation graph on every run (tests), and the RNG state is
+    part of the process state, so it is captured and restored by migration
+    exactly like the C library's hidden [rand] state would have to be. *)
+
+type t = { mutable state : int64 }
+
+let a = 0x5DEECE66DL
+let c = 0xBL
+let mask = Int64.sub (Int64.shift_left 1L 48) 1L
+
+let create seed = { state = Int64.logand (Int64.of_int seed) mask }
+
+let seed t v = t.state <- Int64.logand (Int64.of_int v) mask
+
+let next t =
+  t.state <- Int64.logand (Int64.add (Int64.mul t.state a) c) mask;
+  t.state
+
+(** Non-negative 31-bit int, like C's [rand()]. *)
+let next_int t = Int64.to_int (Int64.shift_right_logical (next t) 17) land 0x3fffffff
+
+let get_state t = t.state
+let set_state t s = t.state <- Int64.logand s mask

@@ -1,0 +1,21 @@
+(** Deterministic PRNG playing libc's [rand]/[srand] (drand48-family LCG).
+
+    The state is part of the process image: collection serializes it and
+    restoration reinstates it, so a migrated program continues the same
+    random sequence — checked by the [rng state migrates] test. *)
+
+type t
+
+val create : int -> t
+val seed : t -> int -> unit
+
+(** Raw 48-bit step. *)
+val next : t -> int64
+
+(** Non-negative 30-bit int, like C's [rand ()]. *)
+val next_int : t -> int
+
+(** State capture / reinstatement for migration. *)
+val get_state : t -> int64
+
+val set_state : t -> int64 -> unit

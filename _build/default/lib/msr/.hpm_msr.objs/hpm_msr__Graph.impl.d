@@ -1,0 +1,1 @@
+lib/msr/graph.ml: Array Buffer Fmt Hashtbl Hpm_lang Hpm_machine Int64 Interp Layout List Mem Option Printf String Ty

@@ -1,0 +1,1 @@
+lib/msr/graph.mli: Format Hpm_lang Hpm_machine Interp Mem Ty

@@ -1,0 +1,1 @@
+lib/msr/msrlt.ml: Array Hashtbl Hpm_machine Mem Printf

@@ -1,0 +1,1 @@
+lib/msr/msrlt.mli: Hashtbl Hpm_machine Mem

@@ -1,0 +1,1 @@
+lib/msr/ti.ml: Array Fmt Hashtbl Hpm_arch Hpm_ir Hpm_lang Ir Layout List Printf String Ty

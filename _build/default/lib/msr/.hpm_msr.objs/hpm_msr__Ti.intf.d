@@ -1,0 +1,1 @@
+lib/msr/ti.mli: Format Hashtbl Hpm_arch Hpm_ir Hpm_lang Layout Ty

@@ -1,0 +1,171 @@
+(** The Memory Space Representation graph, G = (V, E).
+
+    A snapshot of a suspended process's memory as the paper's §3 logical
+    model: vertices are memory blocks, edges run from each non-null
+    pointer element to the block (and element) it references.  The
+    migration machinery itself never materializes this graph — collection
+    is a fused depth-first traversal — but the explicit structure is what
+    tests, the Fig. 1 example, and the graph statistics in the benchmarks
+    inspect, and [to_dot] renders it for humans. *)
+
+open Hpm_lang
+open Hpm_machine
+
+type vertex = {
+  v_bid : int;              (** runtime block id *)
+  v_ident : Mem.ident;
+  v_ty : Ty.t;
+  v_size : int;
+  v_seg : Mem.seg;
+}
+
+type edge = {
+  e_src : int;              (** source block id *)
+  e_src_ord : int;          (** ordinal of the pointer element in the source *)
+  e_dst : int;              (** destination block id *)
+  e_dst_ord : int;          (** ordinal of the referenced element *)
+}
+
+type t = { vertices : vertex list; edges : edge list }
+
+let vertex_count g = List.length g.vertices
+let edge_count g = List.length g.edges
+
+let vertex_of_block (b : Mem.block) =
+  { v_bid = b.Mem.bid; v_ident = b.Mem.ident; v_ty = b.Mem.ty; v_size = b.Mem.size; v_seg = b.Mem.seg }
+
+(** Build the MSR graph of the whole live memory of [interp]'s process:
+    every live block is a vertex; every well-formed non-null pointer
+    element yields an edge.  Dangling and wild pointer values contribute
+    no edge (collection would fault on them; the graph view is used for
+    inspection and is deliberately tolerant). *)
+let snapshot (interp : Interp.t) : t =
+  let mem = interp.Interp.mem in
+  let layout = mem.Mem.layout in
+  let blocks = Mem.live_blocks mem in
+  let vertices = List.map vertex_of_block blocks in
+  let edges = ref [] in
+  List.iter
+    (fun (b : Mem.block) ->
+      let elems = Layout.elems layout b.Mem.ty in
+      let n = Layout.elem_count elems in
+      for ord = 0 to n - 1 do
+        match Layout.kind_of_ordinal elems ord with
+        | Ty.KPtr _ -> (
+            let off = Layout.byte_of_ordinal elems ord in
+            match Mem.load_scalar mem b off (Layout.kind_of_ordinal elems ord) with
+            | Mem.Vptr 0L -> ()
+            | Mem.Vptr addr -> (
+                match Mem.find_block_opt mem addr with
+                | None -> () (* dangling: no edge *)
+                | Some dst ->
+                    let doff = Int64.to_int (Int64.sub addr dst.Mem.base) in
+                    let delems = Layout.elems layout dst.Mem.ty in
+                    let dord =
+                      if doff = dst.Mem.size then Layout.elem_count delems
+                      else
+                        match Layout.ordinal_of_byte delems doff with
+                        | Some o -> o
+                        | None -> -1 (* misaligned interior pointer *)
+                    in
+                    edges :=
+                      { e_src = b.Mem.bid; e_src_ord = ord; e_dst = dst.Mem.bid; e_dst_ord = dord }
+                      :: !edges)
+            | _ -> ())
+        | Ty.KFunc _ | _ -> ()
+      done)
+    blocks;
+  { vertices; edges = List.rev !edges }
+
+(** Restrict to the component reachable from roots: globals, string
+    literals, and the locals of live frames.  This is the sub-graph a
+    migration actually has to move. *)
+let reachable_from_roots (interp : Interp.t) (g : t) : t =
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace adj e.e_src (e.e_dst :: (Option.value ~default:[] (Hashtbl.find_opt adj e.e_src))))
+    g.edges;
+  let roots = ref [] in
+  Hashtbl.iter (fun _ (b : Mem.block) -> roots := b.Mem.bid :: !roots) interp.Interp.globals;
+  Array.iter (fun (b : Mem.block) -> roots := b.Mem.bid :: !roots) interp.Interp.string_blocks;
+  List.iter
+    (fun (fr : Interp.frame) ->
+      Hashtbl.iter (fun _ (b : Mem.block) -> roots := b.Mem.bid :: !roots) fr.Interp.locals)
+    interp.Interp.stack;
+  let mark = Hashtbl.create 64 in
+  let rec dfs v =
+    if not (Hashtbl.mem mark v) then (
+      Hashtbl.replace mark v ();
+      List.iter dfs (Option.value ~default:[] (Hashtbl.find_opt adj v)))
+  in
+  List.iter dfs !roots;
+  {
+    vertices = List.filter (fun v -> Hashtbl.mem mark v.v_bid) g.vertices;
+    edges = List.filter (fun e -> Hashtbl.mem mark e.e_src) g.edges;
+  }
+
+(** Drop compiler temporaries ([$]-prefixed locals) and their edges: the
+    paper's Figure 1 draws source-level variables only. *)
+let user_only (g : t) : t =
+  let is_temp v =
+    match v.v_ident with
+    | Mem.Ilocal (_, name) -> String.length name > 0 && name.[0] = '$'
+    | _ -> false
+  in
+  let dropped = Hashtbl.create 8 in
+  List.iter (fun v -> if is_temp v then Hashtbl.replace dropped v.v_bid ()) g.vertices;
+  {
+    vertices = List.filter (fun v -> not (Hashtbl.mem dropped v.v_bid)) g.vertices;
+    edges =
+      List.filter
+        (fun e -> not (Hashtbl.mem dropped e.e_src || Hashtbl.mem dropped e.e_dst))
+        g.edges;
+  }
+
+(** Total bytes over the graph's vertices — the Σ Dᵢ of §4.2. *)
+let total_bytes g = List.fold_left (fun acc v -> acc + v.v_size) 0 g.vertices
+
+let pp_vertex ppf v =
+  Fmt.pf ppf "v%d(%s: %s, %dB, %s)" v.v_bid
+    (Fmt.str "%a" Mem.pp_ident v.v_ident)
+    (Ty.to_string v.v_ty) v.v_size (Mem.seg_to_string v.v_seg)
+
+let pp ppf g =
+  Fmt.pf ppf "MSR graph: %d vertices, %d edges@." (vertex_count g) (edge_count g);
+  List.iter (fun v -> Fmt.pf ppf "  %a@." pp_vertex v) g.vertices;
+  List.iter
+    (fun e -> Fmt.pf ppf "  v%d[%d] -> v%d[%d]@." e.e_src e.e_src_ord e.e_dst e.e_dst_ord)
+    g.edges
+
+(** Graphviz rendering, grouping vertices by segment like the paper's
+    Figure 1. *)
+let to_dot g : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph msr {\n  rankdir=LR;\n  node [shape=box];\n";
+  let seg_cluster seg label =
+    let vs = List.filter (fun v -> v.v_seg = seg) g.vertices in
+    if vs <> [] then (
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%s {\n    label=\"%s\";\n" label label);
+      List.iter
+        (fun v ->
+          Buffer.add_string buf
+            (Printf.sprintf "    v%d [label=\"v%d %s\\n%s\"];\n" v.v_bid v.v_bid
+               (String.concat ""
+                  (String.split_on_char '"' (Fmt.str "%a" Mem.pp_ident v.v_ident)))
+               (Ty.to_string v.v_ty)))
+        vs;
+      Buffer.add_string buf "  }\n")
+  in
+  seg_cluster Mem.Global "global";
+  seg_cluster Mem.Stack "stack";
+  seg_cluster Mem.Heap "heap";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d -> v%d [label=\"%d:%d\"];\n" e.e_src e.e_dst e.e_src_ord
+           e.e_dst_ord))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** The Memory Space Representation graph, G = (V, E) — the paper's §3
+    logical model, materialized for inspection: vertices are memory
+    blocks, edges run from non-null pointer elements to the block and
+    element they reference.  Collection never builds this (it is a fused
+    DFS); tests, the Figure-1 example, and `migratec graph` do. *)
+
+open Hpm_lang
+open Hpm_machine
+
+type vertex = {
+  v_bid : int;          (** runtime block id *)
+  v_ident : Mem.ident;
+  v_ty : Ty.t;
+  v_size : int;
+  v_seg : Mem.seg;
+}
+
+type edge = {
+  e_src : int;      (** source block id *)
+  e_src_ord : int;  (** ordinal of the pointer element in the source *)
+  e_dst : int;      (** destination block id *)
+  e_dst_ord : int;  (** ordinal of the referenced element (count = one past
+                        the end; -1 marks a misaligned interior address) *)
+}
+
+type t = { vertices : vertex list; edges : edge list }
+
+val vertex_count : t -> int
+val edge_count : t -> int
+
+(** Graph over the whole live memory of a (typically suspended) process.
+    Dangling/wild pointer values contribute no edge — the inspection view
+    is tolerant where collection would fault. *)
+val snapshot : Interp.t -> t
+
+(** Restrict to blocks reachable from the roots (globals, string
+    literals, live frame locals): the sub-graph a migration moves. *)
+val reachable_from_roots : Interp.t -> t -> t
+
+(** Drop compiler temporaries ([$]-prefixed locals): the source-level
+    view the paper's Figure 1 draws. *)
+val user_only : t -> t
+
+(** Σ Dᵢ of §4.2: total bytes over the vertices. *)
+val total_bytes : t -> int
+
+val pp_vertex : Format.formatter -> vertex -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Graphviz rendering, clustered by segment like Figure 1. *)
+val to_dot : t -> string

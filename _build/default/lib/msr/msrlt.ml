@@ -1,0 +1,84 @@
+(** The MSR Lookup Table (MSRLT).
+
+    The mapping between machine-specific addresses and machine-independent
+    block identities that drives both directions of a migration:
+
+    - during *collection*, a pointer value (a raw address) is translated
+      to (mi_id, ordinal): the balanced-tree search over the block table
+      is the [MSRLT_search] term of §4.2, O(log n) per pointer and
+      O(n log n) over a fully-connected heap;
+    - during *restoration*, (mi_id, ordinal) is translated to a fresh
+      address on the destination machine: mi_ids arrive densely numbered
+      in first-visit order, so the table is an array and each update is
+      O(1) — the O(n) [MSRLT_update] term of §4.2.
+
+    Counters for searches and updates are kept here so the complexity
+    experiment can report the decomposition the paper describes. *)
+
+open Hpm_machine
+
+(* ---- collection side ---- *)
+
+type collect_side = {
+  mem : Mem.t;
+  ids : (int, int) Hashtbl.t;  (** runtime block id → mi_id *)
+  mutable next_id : int;
+  mutable searches : int;      (** address → block searches performed *)
+}
+
+let collector mem = { mem; ids = Hashtbl.create 64; next_id = 0; searches = 0 }
+
+(** Translate an address to its containing block (O(log n) search).
+    @raise Mem.Fault on wild or dangling addresses. *)
+let search c (addr : int64) : Mem.block =
+  c.searches <- c.searches + 1;
+  Mem.find_block c.mem addr
+
+(** mi_id of [block] if it was already visited during this collection. *)
+let lookup c (block : Mem.block) : int option = Hashtbl.find_opt c.ids block.Mem.bid
+
+(** Assign the next mi_id to [block]; it must not be registered yet. *)
+let register c (block : Mem.block) : int =
+  assert (not (Hashtbl.mem c.ids block.Mem.bid));
+  let id = c.next_id in
+  c.next_id <- c.next_id + 1;
+  Hashtbl.replace c.ids block.Mem.bid id;
+  id
+
+let collected_count c = c.next_id
+
+(* ---- restoration side ---- *)
+
+type restore_side = {
+  mutable blocks : Mem.block option array;  (** mi_id → destination block *)
+  mutable count : int;
+  mutable updates : int;
+}
+
+let restorer () = { blocks = Array.make 64 None; count = 0; updates = 0 }
+
+(** Bind mi_id [id] to [block] on the destination machine (O(1)). *)
+let bind r id (block : Mem.block) =
+  if id < 0 then invalid_arg "Msrlt.bind: negative mi_id";
+  let cap = Array.length r.blocks in
+  if id >= cap then (
+    let blocks = Array.make (max (id + 1) (2 * cap)) None in
+    Array.blit r.blocks 0 blocks 0 cap;
+    r.blocks <- blocks);
+  (match r.blocks.(id) with
+  | Some _ -> invalid_arg (Printf.sprintf "Msrlt.bind: mi_id %d bound twice" id)
+  | None -> ());
+  r.blocks.(id) <- Some block;
+  r.count <- max r.count (id + 1);
+  r.updates <- r.updates + 1
+
+exception Unbound of int
+
+(** Destination block for mi_id [id].
+    @raise Unbound when the stream references an id never defined —
+    corrupted or truncated input. *)
+let resolve r id : Mem.block =
+  if id < 0 || id >= r.count then raise (Unbound id)
+  else match r.blocks.(id) with Some b -> b | None -> raise (Unbound id)
+
+let bound_count r = r.count

@@ -1,0 +1,55 @@
+(** The MSR Lookup Table: machine-specific address ↔ machine-independent
+    block identity, one side per direction of a migration.
+
+    Collection side: O(log n) address→block searches (the [MSRLT_search]
+    term of §4.2) plus first-visit mi_id assignment in DFS order.
+    Restoration side: dense mi_id→block binding, O(1) per update (the
+    [MSRLT_update] term).  Both sides count their operations for the
+    complexity experiments. *)
+
+open Hpm_machine
+
+(** {1 Collection side} *)
+
+type collect_side = {
+  mem : Mem.t;
+  ids : (int, int) Hashtbl.t;  (** runtime block id → mi_id *)
+  mutable next_id : int;
+  mutable searches : int;
+}
+
+val collector : Mem.t -> collect_side
+
+(** Address → containing live block (O(log n); counted).
+    @raise Mem.Fault on wild or dangling addresses. *)
+val search : collect_side -> int64 -> Mem.block
+
+(** mi_id of a block already visited in this collection, if any. *)
+val lookup : collect_side -> Mem.block -> int option
+
+(** Assign the next mi_id; the block must not be registered yet. *)
+val register : collect_side -> Mem.block -> int
+
+val collected_count : collect_side -> int
+
+(** {1 Restoration side} *)
+
+type restore_side = {
+  mutable blocks : Mem.block option array;
+  mutable count : int;
+  mutable updates : int;
+}
+
+val restorer : unit -> restore_side
+
+(** Bind a (dense, in-order) mi_id to its destination block.
+    @raise Invalid_argument on negative or duplicate ids. *)
+val bind : restore_side -> int -> Mem.block -> unit
+
+exception Unbound of int
+
+(** Destination block of an mi_id. @raise Unbound for never-defined ids
+    (corrupted or truncated streams). *)
+val resolve : restore_side -> int -> Mem.block
+
+val bound_count : restore_side -> int

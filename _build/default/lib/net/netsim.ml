@@ -1,0 +1,62 @@
+(** Network simulator — layer 1 of the paper's software stack.
+
+    The paper moves migration streams over TCP on 10 Mbit/s Ethernet
+    (heterogeneous experiments, §4.1) and 100 Mbit/s Ethernet (Table 1 and
+    Figure 2).  We model a channel by bandwidth and latency and compute
+    transfer time analytically — the Tx column of Table 1 is exactly
+    [latency + bytes/bandwidth] — while the payload itself is handed over
+    as an OCaml string (the "wire" is lossless unless a fault is
+    injected). *)
+
+type t = {
+  name : string;
+  bandwidth_bps : float;   (** usable bits per second *)
+  latency_s : float;       (** per-message latency (propagation + setup) *)
+  mutable bytes_sent : int;
+  mutable messages : int;
+}
+
+let make ~name ~bandwidth_bps ~latency_s =
+  { name; bandwidth_bps; latency_s; bytes_sent = 0; messages = 0 }
+
+(** 10 Mbit/s shared Ethernet, as between the paper's DEC 5000 and
+    Sparc 20 (§4.1).  Effective throughput of classic coax Ethernet is
+    well below line rate; 70% utilization is the usual rule of thumb. *)
+let ethernet_10 () =
+  make ~name:"10Mb Ethernet" ~bandwidth_bps:(10e6 *. 0.7) ~latency_s:2e-3
+
+(** 100 Mbit/s switched Ethernet, as between the paper's Ultra 5s
+    (Table 1, Figure 2). *)
+let ethernet_100 () =
+  make ~name:"100Mb Ethernet" ~bandwidth_bps:(100e6 *. 0.85) ~latency_s:0.5e-3
+
+(** A channel so fast Tx vanishes, for isolating collect/restore costs. *)
+let loopback () = make ~name:"loopback" ~bandwidth_bps:1e12 ~latency_s:0.
+
+(** Transfer time in seconds for a [bytes]-byte message. *)
+let tx_time t bytes = t.latency_s +. (8.0 *. float_of_int bytes /. t.bandwidth_bps)
+
+type fault = Truncate of int | FlipByte of int
+
+(** Send [data] over the channel: returns the delivered payload and the
+    simulated transfer time.  [fault] optionally injects corruption, used
+    by the failure-injection tests to prove the restore side rejects bad
+    streams instead of building garbage processes. *)
+let send ?fault t (data : string) : string * float =
+  t.bytes_sent <- t.bytes_sent + String.length data;
+  t.messages <- t.messages + 1;
+  let delivered =
+    match fault with
+    | None -> data
+    | Some (Truncate n) -> String.sub data 0 (min n (String.length data))
+    | Some (FlipByte i) when i < String.length data ->
+        let b = Bytes.of_string data in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+        Bytes.to_string b
+    | Some (FlipByte _) -> data
+  in
+  (delivered, tx_time t (String.length data))
+
+let pp ppf t =
+  Fmt.pf ppf "%s (%.0f Mb/s, %.1f ms): %d msgs, %d bytes" t.name
+    (t.bandwidth_bps /. 1e6) (t.latency_s *. 1e3) t.messages t.bytes_sent

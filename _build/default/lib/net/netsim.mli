@@ -1,0 +1,38 @@
+(** Network simulator — layer 1 of the paper's software stack.
+
+    A channel is bandwidth + latency; transfer time is analytic
+    ([latency + bits/bandwidth]) and the payload is delivered as an OCaml
+    string, optionally corrupted for failure-injection tests. *)
+
+type t = {
+  name : string;
+  bandwidth_bps : float;   (** usable bits per second *)
+  latency_s : float;       (** per-message latency *)
+  mutable bytes_sent : int;
+  mutable messages : int;
+}
+
+val make : name:string -> bandwidth_bps:float -> latency_s:float -> t
+
+(** 10 Mbit/s shared Ethernet at ~70% utilization — the link between the
+    paper's DEC 5000 and Sparc 20 (§4.1). *)
+val ethernet_10 : unit -> t
+
+(** 100 Mbit/s switched Ethernet — the Ultra 5 pair of Table 1/Figure 2. *)
+val ethernet_100 : unit -> t
+
+(** A channel so fast Tx vanishes, for isolating collect/restore costs. *)
+val loopback : unit -> t
+
+(** Transfer time in seconds for a message of the given byte count. *)
+val tx_time : t -> int -> float
+
+type fault =
+  | Truncate of int   (** deliver only the first [n] bytes *)
+  | FlipByte of int   (** invert the byte at the given offset *)
+
+(** [send ?fault t data] is [(delivered, seconds)].  Accounting
+    ([bytes_sent], [messages]) reflects the original payload. *)
+val send : ?fault:fault -> t -> string -> string * float
+
+val pp : Format.formatter -> t -> unit

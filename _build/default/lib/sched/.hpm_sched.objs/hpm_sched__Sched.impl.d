@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Arch Buffer Collect Fmt Hpm_arch Hpm_core Hpm_machine Hpm_net Interp List Mem Migration Netsim Restore String

@@ -1,0 +1,223 @@
+(** The distributed process-migration environment of §2.
+
+    The paper models "a distributed environment [with] a scheduler which
+    performs process management and sends a migration request to a
+    process"; migration then proceeds by remote invocation — the waiting
+    destination process is started, the migrating process collects and
+    transmits its state, terminates, and the new process resumes.  The
+    paper leaves the scheduler itself as future work; this module provides
+    the environment simulation plus two concrete policies (explicit
+    placement commands and a simple load balancer), which is what the
+    load-balancing example and the scheduler tests exercise.
+
+    Simulation model: discrete ticks of [quantum_s] simulated seconds.  A
+    node executes [speed × 1e6 × quantum_s] IR instructions per runnable
+    process per tick (its [Arch.speed] making fast and slow machines
+    real).  A migration requested by the scheduler is noticed at the
+    process's next poll-point; the stream then occupies the network for
+    {!Hpm_net.Netsim.tx_time} and the process stays blocked until
+    delivery, after which it resumes on the destination node. *)
+
+open Hpm_arch
+open Hpm_machine
+open Hpm_core
+open Hpm_net
+
+type node = {
+  n_name : string;
+  n_arch : Arch.t;
+  mutable n_procs : int;       (** runnable processes currently placed here *)
+  mutable n_instrs : int;      (** total instructions executed here *)
+}
+
+let node name arch = { n_name = name; n_arch = arch; n_procs = 0; n_instrs = 0 }
+
+type proc_state =
+  | Runnable
+  | Blocked_until of float     (** migrating: in flight until this time *)
+  | Finished of Mem.value option
+
+type proc = {
+  p_id : int;
+  p_name : string;
+  p_m : Migration.migratable;
+  mutable p_interp : Interp.t;
+  mutable p_node : node;
+  mutable p_state : proc_state;
+  mutable p_pending_dst : node option;  (** where the scheduler wants it *)
+  mutable p_migrations : int;
+  mutable p_finish_time : float option;
+  mutable p_output : Buffer.t;          (** output accumulated across hosts *)
+}
+
+type event =
+  | Spawned of float * string * string            (* time, proc, node *)
+  | Requested of float * string * string * string (* time, proc, from, to *)
+  | Migrated of float * string * string * string * int * float
+      (* time, proc, from, to, bytes, tx seconds *)
+  | Finished_ev of float * string * string        (* time, proc, node *)
+
+type t = {
+  nodes : node list;
+  channel : Netsim.t;
+  quantum_s : float;
+  base_ips : float;            (** instructions/simulated-second at speed 1.0 *)
+  mutable procs : proc list;
+  mutable now : float;
+  mutable next_pid : int;
+  mutable events : event list; (** newest first *)
+}
+
+let create ?(quantum_s = 0.01) ?(base_ips = 1e6) ~channel nodes =
+  { nodes; channel; quantum_s; base_ips; procs = []; now = 0.; next_pid = 0; events = [] }
+
+let log t e = t.events <- e :: t.events
+
+let spawn t (nd : node) name (m : Migration.migratable) : proc =
+  let p =
+    {
+      p_id = t.next_pid;
+      p_name = name;
+      p_m = m;
+      p_interp = Migration.start m nd.n_arch;
+      p_node = nd;
+      p_state = Runnable;
+      p_pending_dst = None;
+      p_migrations = 0;
+      p_finish_time = None;
+      p_output = Buffer.create 64;
+    }
+  in
+  t.next_pid <- t.next_pid + 1;
+  nd.n_procs <- nd.n_procs + 1;
+  t.procs <- t.procs @ [ p ];
+  log t (Spawned (t.now, name, nd.n_name));
+  p
+
+(** Scheduler action: ask [p] to migrate to [dst].  The request is noticed
+    at the process's next poll-point. *)
+let request_migration t (p : proc) (dst : node) =
+  if dst != p.p_node then (
+    p.p_pending_dst <- Some dst;
+    Interp.request_migration p.p_interp;
+    log t (Requested (t.now, p.p_name, p.p_node.n_name, dst.n_name)))
+
+let perform_migration t (p : proc) (dst : node) =
+  let src_name = p.p_node.n_name in
+  Buffer.add_string p.p_output (Interp.output p.p_interp);
+  let data, _cstats = Collect.collect p.p_interp p.p_m.Migration.ti in
+  let delivered, tx = Netsim.send t.channel data in
+  let interp, _rstats =
+    Restore.restore p.p_m.Migration.prog dst.n_arch p.p_m.Migration.ti delivered
+  in
+  p.p_node.n_procs <- p.p_node.n_procs - 1;
+  dst.n_procs <- dst.n_procs + 1;
+  p.p_interp <- interp;
+  p.p_node <- dst;
+  p.p_pending_dst <- None;
+  p.p_migrations <- p.p_migrations + 1;
+  p.p_state <- Blocked_until (t.now +. tx);
+  log t (Migrated (t.now, p.p_name, src_name, dst.n_name, String.length data, tx))
+
+let finish t (p : proc) v =
+  Buffer.add_string p.p_output (Interp.output p.p_interp);
+  p.p_state <- Finished v;
+  p.p_node.n_procs <- p.p_node.n_procs - 1;
+  p.p_finish_time <- Some t.now;
+  log t (Finished_ev (t.now, p.p_name, p.p_node.n_name))
+
+(** One simulation tick: give every runnable process its quantum. *)
+let tick t =
+  List.iter
+    (fun p ->
+      match p.p_state with
+      | Finished _ -> ()
+      | Blocked_until until ->
+          if t.now >= until then p.p_state <- Runnable
+      | Runnable -> (
+          (* the node's CPU is shared equally by its runnable processes *)
+          let share = max 1 p.p_node.n_procs in
+          let fuel =
+            int_of_float
+              (t.base_ips *. p.p_node.n_arch.Arch.speed *. t.quantum_s
+              /. float_of_int share)
+          in
+          p.p_node.n_instrs <- p.p_node.n_instrs + fuel;
+          match Interp.run ~fuel p.p_interp with
+          | Interp.RFuel -> ()
+          | Interp.RDone v -> finish t p v
+          | Interp.RPolled _ -> (
+              match p.p_pending_dst with
+              | Some dst -> perform_migration t p dst
+              | None ->
+                  (* spurious: request was cancelled; continue *)
+                  Interp.clear_migration_request p.p_interp)))
+    t.procs;
+  t.now <- t.now +. t.quantum_s
+
+let all_finished t =
+  List.for_all (fun p -> match p.p_state with Finished _ -> true | _ -> false) t.procs
+
+(** Run until every process finished (or [max_ticks] elapsed); returns the
+    number of ticks executed. *)
+let run ?(max_ticks = 1_000_000) ?(policy = fun (_ : t) -> ()) t : int =
+  let ticks = ref 0 in
+  while (not (all_finished t)) && !ticks < max_ticks do
+    policy t;
+    tick t;
+    incr ticks
+  done;
+  !ticks
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Greedy load balancing: whenever some node runs ≥ 2 more processes than
+    another, ask one (that is not already migrating) to move. *)
+let load_balance (t : t) =
+  let by_load = List.sort (fun a b -> compare a.n_procs b.n_procs) t.nodes in
+  match (by_load, List.rev by_load) with
+  | least :: _, most :: _ when most.n_procs >= least.n_procs + 2 -> (
+      let candidate =
+        List.find_opt
+          (fun p ->
+            p.p_node == most && p.p_state = Runnable && p.p_pending_dst = None)
+          t.procs
+      in
+      match candidate with Some p -> request_migration t p least | None -> ())
+  | _ -> ()
+
+(** Speed-seeking policy: move work from slow nodes to the fastest idle
+    node — the "reconfigurable computing" motivation of §1. *)
+let seek_fastest (t : t) =
+  let fastest =
+    List.fold_left
+      (fun acc n -> if n.n_arch.Arch.speed > acc.n_arch.Arch.speed then n else acc)
+      (List.hd t.nodes) t.nodes
+  in
+  if fastest.n_procs = 0 then
+    match
+      List.find_opt
+        (fun p ->
+          p.p_state = Runnable && p.p_pending_dst = None && p.p_node != fastest)
+        t.procs
+    with
+    | Some p -> request_migration t p fastest
+    | None -> ()
+
+let pp_event ppf = function
+  | Spawned (ts, p, n) -> Fmt.pf ppf "[%8.3fs] spawn    %s on %s" ts p n
+  | Requested (ts, p, a, b) -> Fmt.pf ppf "[%8.3fs] request  %s: %s -> %s" ts p a b
+  | Migrated (ts, p, a, b, bytes, tx) ->
+      Fmt.pf ppf "[%8.3fs] migrate  %s: %s -> %s (%d bytes, %.2f ms)" ts p a b bytes
+        (tx *. 1e3)
+  | Finished_ev (ts, p, n) -> Fmt.pf ppf "[%8.3fs] finish   %s on %s" ts p n
+
+let events t = List.rev t.events
+
+let output (p : proc) =
+  (* finished processes folded their last host's output already *)
+  match p.p_state with
+  | Finished _ -> Buffer.contents p.p_output
+  | _ -> Buffer.contents p.p_output ^ Interp.output p.p_interp

@@ -1,0 +1,1 @@
+lib/workloads/bitonic_pooled.ml: Printf

@@ -1,0 +1,1 @@
+lib/workloads/hashtab.ml: Printf

@@ -1,0 +1,1 @@
+lib/workloads/qsort.ml: Printf

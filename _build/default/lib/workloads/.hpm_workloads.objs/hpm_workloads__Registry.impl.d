@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bitonic Bitonic_pooled Hashtab Jacobi Linpack List Listops Nqueens Printf Qsort String Test_pointer

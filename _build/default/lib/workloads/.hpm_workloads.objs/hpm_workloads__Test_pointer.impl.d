@@ -1,0 +1,1 @@
+lib/workloads/test_pointer.ml:

@@ -1,0 +1,98 @@
+(** The bitonic sort workload (§4.1, Table 1, Figure 2b).
+
+    As the paper describes it: "a binary tree is used to store randomly
+    generated integer numbers.  The program manipulates the tree so that
+    the numbers are sorted when the tree is traversed.  The program
+    demonstrates extensive memory allocations and recursions."
+
+    The memory profile is the opposite of linpack: scaling the input count
+    grows the number of MSR nodes n (one small heap block per element), so
+    the O(n log n) MSRLT-search term dominates collection while the O(n)
+    MSRLT-update term keeps restoration cheaper — the widening gap of
+    Figure 2(b). *)
+
+let name = "bitonic"
+
+(** Source text for sorting [n] random integers.  Prints a checksum of
+    the in-order traversal (position-weighted, so any out-of-order pair
+    changes it), the node count, and PASS when the traversal really is
+    sorted. *)
+let source n =
+  Printf.sprintf
+    {|
+/* bitonic: binary-tree sort of random integers */
+
+struct tnode {
+  int key;
+  struct tnode *left;
+  struct tnode *right;
+};
+
+long checksum;
+int visited;
+int sorted;
+int previous;
+
+struct tnode *tree_insert(struct tnode *t, int key) {
+  if (t == 0) {
+    t = (struct tnode *) malloc(sizeof(struct tnode));
+    t->key = key;
+    t->left = 0;
+    t->right = 0;
+    return t;
+  }
+  if (key < t->key) {
+    t->left = tree_insert(t->left, key);
+  } else {
+    t->right = tree_insert(t->right, key);
+  }
+  return t;
+}
+
+void tree_walk(struct tnode *t) {
+  if (t == 0) {
+    return;
+  }
+  tree_walk(t->left);
+  if (visited > 0 && t->key < previous) {
+    sorted = 0;
+  }
+  previous = t->key;
+  visited = visited + 1;
+  checksum = checksum * 31L + (long)t->key;
+  tree_walk(t->right);
+}
+
+int main() {
+  struct tnode *root;
+  int i;
+  root = 0;
+  checksum = 0L;
+  visited = 0;
+  sorted = 1;
+  previous = 0;
+  srand(20010423);
+  for (i = 0; i < %d; i++) {
+    root = tree_insert(root, rand() %% 1000000);
+  }
+  tree_walk(root);
+  if (sorted == 1 && visited == %d) {
+    print_str("bitonic: PASS\n");
+  } else {
+    print_str("bitonic: FAIL\n");
+  }
+  print_long(checksum);
+  print_int(visited);
+  return 0;
+}
+|}
+    n n
+
+(** Input counts for the Figure 2(b) sweep. *)
+let fig2b_sizes = [ 2_000; 5_000; 10_000; 20_000; 40_000; 80_000 ]
+
+(** Input count used in Table 1. *)
+let table1_size = 40_000
+
+(** Small count for correctness tests. *)
+let test_size = 500

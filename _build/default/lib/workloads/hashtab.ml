@@ -1,0 +1,129 @@
+(** Hash-table workload (extra): separate chaining over a global array of
+    bucket heads.
+
+    The richest MSR shape in the suite: a global array of pointers, each
+    the head of a linked chain of heap cells, with inserts, lookups and
+    deletes ([free]) interleaved.  Also exercises [switch] dispatch and
+    block-scoped declarations from the extended language. *)
+
+let name = "hashtab"
+
+let buckets = 64
+
+let source n =
+  Printf.sprintf
+    {|
+/* hashtab: separate-chaining hash table with mixed operations */
+
+struct entry {
+  long key;
+  long value;
+  struct entry *next;
+};
+
+struct entry *table[%d];
+int population;
+
+int bucket_of(long key) {
+  long h;
+  h = key %% %dL;
+  if (h < 0L) {
+    h = h + %dL;
+  }
+  return (int) h;
+}
+
+void ht_put(long key, long value) {
+  int b;
+  struct entry *e;
+  b = bucket_of(key);
+  e = table[b];
+  while (e != 0) {
+    if (e->key == key) {
+      e->value = value;
+      return;
+    }
+    e = e->next;
+  }
+  e = (struct entry *) malloc(sizeof(struct entry));
+  e->key = key;
+  e->value = value;
+  e->next = table[b];
+  table[b] = e;
+  population = population + 1;
+}
+
+long ht_get(long key, long missing) {
+  struct entry *e;
+  e = table[bucket_of(key)];
+  while (e != 0) {
+    if (e->key == key) {
+      return e->value;
+    }
+    e = e->next;
+  }
+  return missing;
+}
+
+void ht_del(long key) {
+  int b;
+  struct entry *e;
+  struct entry *prev;
+  b = bucket_of(key);
+  e = table[b];
+  prev = 0;
+  while (e != 0) {
+    if (e->key == key) {
+      if (prev == 0) {
+        table[b] = e->next;
+      } else {
+        prev->next = e->next;
+      }
+      free(e);
+      population = population - 1;
+      return;
+    }
+    prev = e;
+    e = e->next;
+  }
+}
+
+int main() {
+  int i;
+  long acc;
+  population = 0;
+  for (i = 0; i < %d; i++) {
+    table[i] = 0;
+  }
+  srand(777);
+  acc = 0L;
+  for (i = 0; i < %d; i++) {
+    long k = (long)(rand() %% 5000);
+    switch (i %% 4) {
+      case 0:
+      case 1:
+        ht_put(k, (long)i);
+        break;
+      case 2:
+        acc = acc + ht_get(k, -1L);
+        break;
+      default:
+        ht_del(k);
+    }
+  }
+  /* fold the final table deterministically */
+  for (i = 0; i < %d; i++) {
+    struct entry *e = table[i];
+    while (e != 0) {
+      acc = acc + e->key * 3L + e->value;
+      e = e->next;
+    }
+  }
+  print_long(acc);
+  print_int(population);
+  return 0;
+}
+|}
+    buckets buckets buckets buckets n buckets
+
+let test_size = 2_000

@@ -1,0 +1,71 @@
+(** Jacobi stencil workload (extra): iterative 2-D heat diffusion on two
+    heap grids, swapped each sweep through pointers.
+
+    The long-running, steady-state job the scheduler examples want: large
+    flat double arrays (like linpack) but heap-allocated and accessed
+    through swappable pointers, with a migration-friendly outer iteration
+    loop. *)
+
+let name = "jacobi"
+
+(* grid side length is fixed; [n] is the sweep count *)
+let side = 48
+
+let source n =
+  Printf.sprintf
+    {|
+/* jacobi: 2-D heat diffusion, two grids swapped per sweep */
+
+double *cur;
+double *nxt;
+
+double at(double *g, int i, int j) {
+  return g[i * %d + j];
+}
+
+void sweep() {
+  int i;
+  int j;
+  for (i = 1; i < %d - 1; i++) {
+    for (j = 1; j < %d - 1; j++) {
+      nxt[i * %d + j] =
+        0.25 * (at(cur, i - 1, j) + at(cur, i + 1, j)
+              + at(cur, i, j - 1) + at(cur, i, j + 1));
+    }
+  }
+}
+
+int main() {
+  int i;
+  int k;
+  double *tmp;
+  double total;
+  cur = (double *) malloc(%d * sizeof(double));
+  nxt = (double *) malloc(%d * sizeof(double));
+  for (i = 0; i < %d; i++) {
+    cur[i] = 0.0;
+    nxt[i] = 0.0;
+  }
+  /* hot edge along the top row */
+  for (i = 0; i < %d; i++) {
+    cur[i] = 100.0;
+    nxt[i] = 100.0;
+  }
+  for (k = 0; k < %d; k++) {
+    sweep();
+    tmp = cur;
+    cur = nxt;
+    nxt = tmp;
+  }
+  total = 0.0;
+  for (i = 0; i < %d; i++) {
+    total = total + cur[i];
+  }
+  print_double(total);
+  return 0;
+}
+|}
+    side side side side (side * side) (side * side) (side * side) side n
+    (side * side)
+
+let test_size = 8

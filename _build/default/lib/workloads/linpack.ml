@@ -1,0 +1,122 @@
+(** The linpack benchmark workload (§4.1, Table 1, Figure 2a).
+
+    Solves Ax = b by Gaussian elimination with partial pivoting.  As in the
+    paper's description: the matrices are local variables of [main] —
+    a small, fixed number of large MSR nodes — and are referenced by the
+    [dgefa]/[dgesl] worker functions through pointers; the program is
+    computation-intensive and performs no dynamic allocation.  Scaling the
+    problem size therefore grows Σ Dᵢ while the MSR node count n stays
+    constant, which is why its collection and restoration costs are linear
+    in the data size (Figure 2a).
+
+    Mini-C has no VLAs, so the matrix order is spliced into the source
+    text — the pre-compiler genuinely re-runs for each size, like
+    recompiling the C benchmark with a different [#define N]. *)
+
+let name = "linpack"
+
+(** Source text for an n×n system.  The generated program prints PASS and
+    the residual check when the computed solution matches the known exact
+    solution (all ones). *)
+let source n =
+  Printf.sprintf
+    {|
+/* linpack: solve Ax = b, exact solution = all ones */
+
+void matgen(double (*a)[%d], double *b, int n) {
+  int i; int j;
+  srand(1325);
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      a[i][j] = (double)(rand() %% 2000) / 1000.0 - 0.5;
+    }
+  }
+  /* row sums as rhs, so x = (1,...,1) exactly in exact arithmetic */
+  for (i = 0; i < n; i++) {
+    b[i] = 0.0;
+    for (j = 0; j < n; j++) {
+      b[i] = b[i] + a[i][j];
+    }
+  }
+}
+
+/* gaussian elimination with partial pivoting, pivot rows swapped in place */
+void dgefa(double (*a)[%d], double *b, int *ipvt, int n) {
+  int i; int j; int k; int l;
+  double t; double amax;
+  for (k = 0; k < n - 1; k++) {
+    l = k;
+    amax = fabs(a[k][k]);
+    for (i = k + 1; i < n; i++) {
+      if (fabs(a[i][k]) > amax) {
+        amax = fabs(a[i][k]);
+        l = i;
+      }
+    }
+    ipvt[k] = l;
+    if (l != k) {
+      for (j = k; j < n; j++) {
+        t = a[k][j]; a[k][j] = a[l][j]; a[l][j] = t;
+      }
+      t = b[k]; b[k] = b[l]; b[l] = t;
+    }
+    for (i = k + 1; i < n; i++) {
+      t = a[i][k] / a[k][k];
+      for (j = k + 1; j < n; j++) {
+        a[i][j] = a[i][j] - t * a[k][j];
+      }
+      b[i] = b[i] - t * b[k];
+    }
+  }
+}
+
+/* back substitution on the factored system */
+void dgesl(double (*a)[%d], double *b, double *x, int n) {
+  int i; int j;
+  double t;
+  for (i = n - 1; i >= 0; i--) {
+    t = b[i];
+    for (j = i + 1; j < n; j++) {
+      t = t - a[i][j] * x[j];
+    }
+    x[i] = t / a[i][i];
+  }
+}
+
+int main() {
+  double a[%d][%d];
+  double b[%d];
+  double x[%d];
+  int ipvt[%d];
+  int i;
+  double err;
+  matgen(a, b, %d);
+  dgefa(a, b, ipvt, %d);
+  dgesl(a, b, x, %d);
+  err = 0.0;
+  for (i = 0; i < %d; i++) {
+    if (fabs(x[i] - 1.0) > err) {
+      err = fabs(x[i] - 1.0);
+    }
+  }
+  if (err < 0.0001) {
+    print_str("linpack: PASS\n");
+  } else {
+    print_str("linpack: FAIL\n");
+  }
+  print_double(err);
+  return 0;
+}
+|}
+    n n n n n n n n n n n n
+
+(** Sizes of the Figure 2(a) sweep.  The paper used 600²–1000² (2.9–8 MB
+    of matrix data); the same byte range is covered. *)
+let fig2a_sizes = [ 600; 700; 800; 900; 1000 ]
+
+(** Order used in Table 1. *)
+let table1_size = 1000
+
+(** Small order whose full solve runs quickly under the interpreter, for
+    correctness tests. *)
+let test_size = 24

@@ -1,0 +1,85 @@
+(** Linked-list workload (extra).
+
+    Singly-linked list built, reversed in place, partially freed, and
+    summed.  Exercises the collection paths the other workloads do not:
+    [free] (the MSRLT must not present freed blocks), list-shaped
+    pointer chains (worst case for the DFS traversal depth), and heap
+    blocks of array type ([(int * ) malloc (k * sizeof(int))]). *)
+
+let name = "listops"
+
+let source n =
+  Printf.sprintf
+    {|
+/* listops: build, reverse, thin out, and sum a linked list */
+
+struct cell {
+  int value;
+  int *payload;        /* heap array, shared by adjacent cells */
+  struct cell *next;
+};
+
+struct cell *push(struct cell *head, int v, int *payload) {
+  struct cell *c;
+  c = (struct cell *) malloc(sizeof(struct cell));
+  c->value = v;
+  c->payload = payload;
+  c->next = head;
+  return c;
+}
+
+struct cell *reverse(struct cell *head) {
+  struct cell *prev;
+  struct cell *next;
+  prev = 0;
+  while (head != 0) {
+    next = head->next;
+    head->next = prev;
+    prev = head;
+    head = next;
+  }
+  return prev;
+}
+
+int main() {
+  struct cell *head;
+  struct cell *c;
+  struct cell *dead;
+  int *shared;
+  int i;
+  long sum;
+
+  shared = (int *) malloc(8 * sizeof(int));
+  for (i = 0; i < 8; i++) {
+    shared[i] = 100 + i;
+  }
+  head = 0;
+  for (i = 0; i < %d; i++) {
+    head = push(head, i, shared);
+  }
+  head = reverse(head);
+
+  /* drop every second cell, freeing it */
+  c = head;
+  while (c != 0 && c->next != 0) {
+    dead = c->next;
+    c->next = dead->next;
+    free(dead);
+    c = c->next;
+  }
+
+  #pragma poll after_thin
+
+  sum = 0L;
+  c = head;
+  while (c != 0) {
+    sum = sum + (long)c->value + (long)c->payload[c->value %% 8];
+    c = c->next;
+  }
+  print_long(sum);
+  return 0;
+}
+|}
+    n
+
+let test_size = 40

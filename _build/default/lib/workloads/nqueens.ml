@@ -1,0 +1,55 @@
+(** N-queens workload (extra, beyond the paper's three).
+
+    Deep recursion over plain integer arrays with no heap at all: the MSR
+    graph is a chain of small stack frames.  Useful as a
+    control-flow-heavy counterpoint (migration cost is dominated by frame
+    metadata, not data), and as the long-running job in the scheduler
+    examples. *)
+
+let name = "nqueens"
+
+let source n =
+  Printf.sprintf
+    {|
+/* n-queens: count solutions by backtracking */
+
+int count;
+
+int ok(int *cols, int row, int col) {
+  int i;
+  for (i = 0; i < row; i++) {
+    if (cols[i] == col) { return 0; }
+    if (cols[i] - i == col - row) { return 0; }
+    if (cols[i] + i == col + row) { return 0; }
+  }
+  return 1;
+}
+
+void solve(int *cols, int row, int n) {
+  int c;
+  if (row == n) {
+    count = count + 1;
+    return;
+  }
+  for (c = 0; c < n; c++) {
+    if (ok(cols, row, c)) {
+      cols[row] = c;
+      solve(cols, row + 1, n);
+    }
+  }
+}
+
+int main() {
+  int cols[16];
+  count = 0;
+  solve(cols, 0, %d);
+  print_int(count);
+  return 0;
+}
+|}
+    n
+
+(** Known solution counts, used as oracles. *)
+let solutions = [ (4, 2); (5, 10); (6, 4); (7, 40); (8, 92); (9, 352); (10, 724) ]
+
+let test_size = 6

@@ -1,0 +1,74 @@
+(** Quicksort workload (extra): recursive in-place sort of a heap array.
+
+    One large heap block mutated through interior pointers, with data-
+    dependent recursion depth — the stack shape varies with the input,
+    unlike linpack's fixed two frames, so mid-sort migrations capture a
+    different call chain every time. *)
+
+let name = "qsort"
+
+let source n =
+  Printf.sprintf
+    {|
+/* qsort: recursive quicksort of a heap array of ints */
+
+void quicksort(int *a, int lo, int hi) {
+  int pivot;
+  int i;
+  int j;
+  int t;
+  if (lo >= hi) {
+    return;
+  }
+  pivot = a[(lo + hi) / 2];
+  i = lo;
+  j = hi;
+  while (i <= j) {
+    while (a[i] < pivot) {
+      i++;
+    }
+    while (a[j] > pivot) {
+      j--;
+    }
+    if (i <= j) {
+      t = a[i]; a[i] = a[j]; a[j] = t;
+      i++;
+      j--;
+    }
+  }
+  quicksort(a, lo, j);
+  quicksort(a, i, hi);
+}
+
+int main() {
+  int *xs;
+  int i;
+  int ok;
+  long checksum;
+  xs = (int *) malloc(%d * sizeof(int));
+  srand(4242);
+  for (i = 0; i < %d; i++) {
+    xs[i] = rand() %% 100000;
+  }
+  quicksort(xs, 0, %d - 1);
+  ok = 1;
+  checksum = 0L;
+  for (i = 0; i < %d; i++) {
+    if (i > 0 && xs[i] < xs[i - 1]) {
+      ok = 0;
+    }
+    checksum = (checksum * 7L + (long)xs[i]) %% 1000003L;
+  }
+  if (ok == 1) {
+    print_str("qsort: PASS\n");
+  } else {
+    print_str("qsort: FAIL\n");
+  }
+  print_long(checksum);
+  free(xs);
+  return 0;
+}
+|}
+    n n n n
+
+let test_size = 3_000

@@ -1,0 +1,77 @@
+(** Workload registry: one place the CLI, examples, tests and benchmarks
+    look up programs by name. *)
+
+type t = {
+  name : string;
+  describe : string;
+  source : int -> string;   (** source text for problem size n *)
+  default_n : int;          (** a size that runs quickly *)
+}
+
+let all =
+  [
+    {
+      name = Test_pointer.name;
+      describe = "synthetic pointer structures: tree, pointer-to-array, sharing, cycle";
+      source = Test_pointer.source;
+      default_n = 0;
+    };
+    {
+      name = Linpack.name;
+      describe = "solve Ax=b by Gaussian elimination (large dense arrays)";
+      source = Linpack.source;
+      default_n = Linpack.test_size;
+    };
+    {
+      name = Bitonic.name;
+      describe = "binary-tree sort of random integers (many small heap blocks)";
+      source = Bitonic.source;
+      default_n = Bitonic.test_size;
+    };
+    {
+      name = Bitonic_pooled.name;
+      describe = "bitonic with pooled node allocation (the §4.3 mitigation)";
+      source = Bitonic_pooled.source;
+      default_n = Bitonic_pooled.test_size;
+    };
+    {
+      name = Nqueens.name;
+      describe = "n-queens backtracking (deep recursion, no heap)";
+      source = Nqueens.source;
+      default_n = Nqueens.test_size;
+    };
+    {
+      name = Listops.name;
+      describe = "linked-list build/reverse/free (list-shaped heap, frees)";
+      source = Listops.source;
+      default_n = Listops.test_size;
+    };
+    {
+      name = Hashtab.name;
+      describe = "chained hash table with mixed put/get/delete (switch dispatch)";
+      source = Hashtab.source;
+      default_n = Hashtab.test_size;
+    };
+    {
+      name = Qsort.name;
+      describe = "recursive quicksort of a heap array (data-dependent stack)";
+      source = Qsort.source;
+      default_n = Qsort.test_size;
+    };
+    {
+      name = Jacobi.name;
+      describe = "2-D heat-diffusion stencil over swappable heap grids";
+      source = Jacobi.source;
+      default_n = Jacobi.test_size;
+    };
+  ]
+
+let find name = List.find_opt (fun w -> String.equal w.name name) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown workload %S (known: %s)" name
+           (String.concat ", " (List.map (fun w -> w.name) all)))

@@ -1,0 +1,140 @@
+(** The test_pointer workload (§4.1).
+
+    The paper's synthesis program "contains various data structures,
+    including a tree structure, a pointer to integer, a pointer to array
+    of 10 integers, a pointer to array of 10 pointers to integers, and a
+    tree-like data structure" — the last one with shared nodes ("despite
+    multiple references to MSR's significant nodes, all memory blocks and
+    pointers are collected and restored without duplication").
+
+    This version reproduces all five structures and adds a cycle, interior
+    pointers, a function pointer, and a cross-frame pointer, then migrates
+    (at the user-placed poll-point) right between construction and
+    verification, so every consistency check below runs on the destination
+    machine against data built on the source machine. *)
+
+let name = "test_pointer"
+
+let source _n =
+  {|
+/* test_pointer: one of everything the MSR model must handle */
+
+struct tree {
+  int v;
+  struct tree *l;
+  struct tree *r;
+};
+
+/* "tree-like": a DAG node with an array of child pointers; sharing and a
+   cycle are created below */
+struct web {
+  int tag;
+  double weight;
+  struct web *out[4];
+};
+
+struct tree *tree_build(int depth, int base) {
+  struct tree *t;
+  t = (struct tree *) malloc(sizeof(struct tree));
+  t->v = base;
+  if (depth <= 0) {
+    t->l = 0;
+    t->r = 0;
+    return t;
+  }
+  t->l = tree_build(depth - 1, base * 2);
+  t->r = tree_build(depth - 1, base * 2 + 1);
+  return t;
+}
+
+long tree_sum(struct tree *t) {
+  if (t == 0) {
+    return 0L;
+  }
+  return (long)t->v + tree_sum(t->l) + tree_sum(t->r);
+}
+
+int twice(int x) { return x * 2; }
+int thrice(int x) { return x * 3; }
+
+int main() {
+  int x;
+  int *pi;                 /* pointer to integer */
+  int arr[10];
+  int (*parr)[10];         /* pointer to array of 10 integers */
+  int *ptrs[10];
+  int *(*pptrs)[10];       /* pointer to array of 10 pointers to integers */
+  int *interior;           /* interior pointer into arr */
+  struct tree *root;       /* tree structure */
+  struct web *a;
+  struct web *b;
+  struct web *c;
+  int (*op)(int);          /* function pointer */
+  int i;
+  long total;
+
+  /* build everything */
+  x = 12345;
+  pi = &x;
+  for (i = 0; i < 10; i++) {
+    arr[i] = i * i;
+    ptrs[i] = &arr[9 - i];
+  }
+  parr = &arr;
+  pptrs = &ptrs;
+  interior = &arr[7];
+  root = tree_build(4, 1);
+
+  a = (struct web *) malloc(sizeof(struct web));
+  b = (struct web *) malloc(sizeof(struct web));
+  c = (struct web *) malloc(sizeof(struct web));
+  a->tag = 1; a->weight = 1.5;
+  b->tag = 2; b->weight = 2.5;
+  c->tag = 3; c->weight = 3.25;
+  a->out[0] = b;  a->out[1] = c;  a->out[2] = 0;  a->out[3] = a;  /* cycle */
+  b->out[0] = c;  b->out[1] = c;  b->out[2] = 0;  b->out[3] = 0;  /* sharing */
+  c->out[0] = 0;  c->out[1] = 0;  c->out[2] = 0;  c->out[3] = 0;
+
+  op = twice;
+  if (x > 10000) {
+    op = thrice;
+  }
+
+  /* ---- migration happens here ---- */
+  #pragma poll midpoint
+
+  /* verify on the destination machine */
+  if (*pi == 12345) { print_str("pi: OK\n"); } else { print_str("pi: BAD\n"); }
+
+  total = 0L;
+  for (i = 0; i < 10; i++) {
+    total = total + (long)(*parr)[i];
+  }
+  if (total == 285L) { print_str("parr: OK\n"); } else { print_str("parr: BAD\n"); }
+
+  total = 0L;
+  for (i = 0; i < 10; i++) {
+    total = total * 3L + (long)*(*pptrs)[i];
+  }
+  print_long(total);
+
+  if (*interior == 49) { print_str("interior: OK\n"); } else { print_str("interior: BAD\n"); }
+
+  if (tree_sum(root) == 496L) { print_str("tree: OK\n"); } else { print_str("tree: BAD\n"); }
+
+  if (a->out[3] == a && a->out[0]->out[0] == a->out[1] && b->out[0] == b->out[1]) {
+    print_str("web: OK\n");
+  } else {
+    print_str("web: BAD\n");
+  }
+  print_double(a->weight + b->weight + c->weight);
+
+  if (op(7) == 21) { print_str("funcptr: OK\n"); } else { print_str("funcptr: BAD\n"); }
+
+  return 0;
+}
+|}
+
+(** Expected output, for oracle checks. *)
+let expected_output =
+  "pi: OK\nparr: OK\n2155287\ninterior: OK\ntree: OK\nweb: OK\n7.25\nfuncptr: OK\n"

@@ -1,0 +1,1 @@
+lib/xdr/xdr.ml: Buffer Bytes Char Endian Hpm_arch Int32 Int64 Printf String

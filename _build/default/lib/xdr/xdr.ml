@@ -1,0 +1,87 @@
+(** External Data Representation — layer 2 of the paper's software stack.
+
+    The canonical machine-independent format: big-endian, fixed canonical
+    widths (char 1, short 2, int 4, long 8, float 4, double 8).  A scalar
+    read from the source machine's memory (in whatever width and byte
+    order that machine uses) is re-encoded here; the destination machine
+    decodes and re-narrows to its own representation.  IEEE-754 bit
+    patterns are preserved exactly, which is why the paper's linpack
+    experiment keeps "high-order floating point accuracy" — and so does
+    ours.
+
+    Writers append to a [Buffer.t]; readers consume a cursor over [Bytes]
+    and raise {!Underflow} past the end — the failure-injection tests
+    exercise truncated streams through exactly this exception. *)
+
+open Hpm_arch
+
+exception Underflow of string
+
+type rbuf = { data : Bytes.t; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+let reader_of_string s = { data = Bytes.unsafe_of_string s; pos = 0 }
+let remaining r = Bytes.length r.data - r.pos
+let at_end r = remaining r = 0
+
+let need r n what =
+  if remaining r < n then
+    raise
+      (Underflow
+         (Printf.sprintf "%s: need %d bytes at offset %d but only %d remain" what n
+            r.pos (remaining r)))
+
+(* ---- writers ---- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_int b width (v : int64) =
+  let tmp = Bytes.create width in
+  Endian.set_int Endian.Big width tmp 0 v;
+  Buffer.add_bytes b tmp
+
+let put_i32 b v = put_int b 4 (Int64.of_int32 v)
+let put_i64 b v = put_int b 8 v
+let put_int_as_i32 b v = put_int b 4 (Int64.of_int v)
+
+let put_f32 b v = put_i32 b (Int32.bits_of_float v)
+let put_f64 b v = put_i64 b (Int64.bits_of_float v)
+
+let put_string b s =
+  put_int_as_i32 b (String.length s);
+  Buffer.add_string b s
+
+(* ---- readers ---- *)
+
+let get_u8 r =
+  need r 1 "u8";
+  let v = Char.code (Bytes.get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let get_int r width what =
+  need r width what;
+  let v = Endian.get_int Endian.Big width r.data r.pos in
+  r.pos <- r.pos + width;
+  v
+
+let get_i32 r = Int64.to_int32 (get_int r 4 "i32")
+let get_i64 r = get_int r 8 "i64"
+
+let get_int_of_i32 r = Int64.to_int (get_int r 4 "i32")
+
+let get_f32 r = Int32.float_of_bits (get_i32 r)
+let get_f64 r = Int64.float_of_bits (get_i64 r)
+
+let get_string r =
+  let n = get_int_of_i32 r in
+  if n < 0 then raise (Underflow "string: negative length");
+  need r n "string";
+  let s = Bytes.sub_string r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(** Skip [n] bytes (used by tolerant readers). *)
+let skip r n =
+  need r n "skip";
+  r.pos <- r.pos + n

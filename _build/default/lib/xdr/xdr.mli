@@ -1,0 +1,57 @@
+(** External Data Representation — layer 2 of the paper's software stack.
+
+    Canonical machine-independent encoding: big-endian, fixed widths
+    (char 1, short 2, int 4, long 8, float 4, double 8).  Writers append
+    to a [Buffer.t]; readers consume a cursor over immutable bytes. *)
+
+(** Raised by any read past the end of the input, with a description of
+    what was being read — the primary failure mode of truncated
+    migration streams. *)
+exception Underflow of string
+
+(** A read cursor.  [data] is never modified; [pos] advances. *)
+type rbuf = { data : Bytes.t; mutable pos : int }
+
+val reader : Bytes.t -> rbuf
+
+(** Zero-copy reader over a string (the string must not be mutated). *)
+val reader_of_string : string -> rbuf
+
+val remaining : rbuf -> int
+val at_end : rbuf -> bool
+
+(** {1 Writers} *)
+
+val put_u8 : Buffer.t -> int -> unit
+
+(** [put_int b width v] writes the low [width] bytes of [v], big-endian. *)
+val put_int : Buffer.t -> int -> int64 -> unit
+
+val put_i32 : Buffer.t -> int32 -> unit
+val put_i64 : Buffer.t -> int64 -> unit
+val put_int_as_i32 : Buffer.t -> int -> unit
+val put_f32 : Buffer.t -> float -> unit
+val put_f64 : Buffer.t -> float -> unit
+
+(** Length-prefixed (i32) byte string. *)
+val put_string : Buffer.t -> string -> unit
+
+(** {1 Readers}
+
+    All raise {!Underflow} when the input is exhausted. *)
+
+val get_u8 : rbuf -> int
+
+(** [get_int r width what] reads [width] bytes big-endian,
+    sign-extending; [what] labels the {!Underflow} message. *)
+val get_int : rbuf -> int -> string -> int64
+
+val get_i32 : rbuf -> int32
+val get_i64 : rbuf -> int64
+val get_int_of_i32 : rbuf -> int
+val get_f32 : rbuf -> float
+val get_f64 : rbuf -> float
+val get_string : rbuf -> string
+
+(** Advance the cursor [n] bytes. *)
+val skip : rbuf -> int -> unit

@@ -1,0 +1,1 @@
+test/test_annotate.ml: Annotate Hpm_arch Hpm_core Hpm_ir Hpm_lang Hpm_workloads List Pollpoint Util

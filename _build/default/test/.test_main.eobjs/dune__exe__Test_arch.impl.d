@@ -1,0 +1,1 @@
+test/test_arch.ml: Arch Endian Hpm_arch Int64 List Util

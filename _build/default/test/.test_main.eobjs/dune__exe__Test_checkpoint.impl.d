@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Checkpoint Filename Fun Hpm_arch Hpm_core Hpm_workloads Hpm_xdr Migration Restore Stream Sys Unix Util

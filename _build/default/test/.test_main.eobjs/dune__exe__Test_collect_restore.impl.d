@@ -1,0 +1,1 @@
+test/test_collect_restore.ml: Alcotest Collect Cstats Hpm_arch Hpm_core Hpm_workloads List Migration Printf Restore Util

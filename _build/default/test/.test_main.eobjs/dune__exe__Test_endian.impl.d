@@ -1,0 +1,1 @@
+test/test_endian.ml: Alcotest Bytes Endian Float Hpm_arch Int32 Int64 QCheck Util

@@ -1,0 +1,1 @@
+test/test_failure.ml: Bytes Char Collect Hpm_arch Hpm_core Hpm_machine Hpm_net Hpm_workloads Hpm_xdr List Migration Printf Restore Stream String Util

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Buffer Hpm_arch Hpm_core Int32 List Printf QCheck String Util

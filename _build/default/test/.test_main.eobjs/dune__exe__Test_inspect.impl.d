@@ -1,0 +1,1 @@
+test/test_inspect.ml: Alcotest Buffer Collect Cstats Format Hpm_arch Hpm_core Hpm_workloads Hpm_xdr Inspect List Migration Restore Stream String Util

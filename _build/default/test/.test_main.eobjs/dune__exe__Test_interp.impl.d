@@ -1,0 +1,1 @@
+test/test_interp.ml: Hpm_arch Hpm_core Hpm_machine List Printf Util

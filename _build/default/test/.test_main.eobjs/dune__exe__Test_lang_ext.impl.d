@@ -1,0 +1,1 @@
+test/test_lang_ext.ml: Hpm_arch Hpm_core Hpm_lang Hpm_machine List Printf Util

@@ -1,0 +1,1 @@
+test/test_layout.ml: Arch Hpm_arch Hpm_lang Layout List QCheck Ty Util

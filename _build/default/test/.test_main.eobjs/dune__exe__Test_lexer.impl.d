@@ -1,0 +1,1 @@
+test/test_lexer.ml: Array Hpm_lang Lexer Util

@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Array Compile Hpm_ir Ir List Liveness Pollpoint String Util

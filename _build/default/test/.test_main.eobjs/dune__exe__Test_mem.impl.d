@@ -1,0 +1,1 @@
+test/test_mem.ml: Arch Bytes Char Hpm_arch Hpm_lang Hpm_machine Int64 Layout List Mem Mstats QCheck String Ty Util

@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Collect Cstats Hpm_arch Hpm_core Hpm_machine Hpm_workloads List Migration Printf QCheck Restore String Util

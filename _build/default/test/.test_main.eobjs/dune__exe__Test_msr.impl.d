@@ -1,0 +1,1 @@
+test/test_msr.ml: Compile Graph Hpm_arch Hpm_ir Hpm_lang Hpm_machine Hpm_msr List Msrlt String Ti Ty Util

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Hpm_net Netsim String Util

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Hpm_lang Hpm_workloads List Parser Pretty Printf String Ty Util

@@ -1,0 +1,1 @@
+test/test_pollpoint.ml: Compile Hpm_arch Hpm_core Hpm_ir Hpm_machine List Pollpoint String Util

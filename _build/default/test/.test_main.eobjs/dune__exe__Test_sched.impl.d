@@ -1,0 +1,1 @@
+test/test_sched.ml: Hpm_arch Hpm_net Hpm_sched Hpm_workloads List Option Printf Sched Util

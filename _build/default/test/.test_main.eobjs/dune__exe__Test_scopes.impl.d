@@ -1,0 +1,1 @@
+test/test_scopes.ml: Ast Hpm_lang List Parser Pretty Scopes String Util

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Buffer Hpm_core Hpm_lang Hpm_machine Hpm_workloads Hpm_xdr Int64 Mem Migration Stream Ty Util

@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Ast Hpm_lang Printf Ty Typecheck Util

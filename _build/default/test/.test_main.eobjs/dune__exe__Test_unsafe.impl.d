@@ -1,0 +1,1 @@
+test/test_unsafe.ml: Alcotest Hpm_ir Hpm_lang Hpm_workloads List Unsafe Util

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hashtbl Hpm_arch Hpm_core Hpm_machine Hpm_workloads Int64 List Printf String Util

@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Buffer Char Float Hpm_arch Hpm_xdr Int64 QCheck String Util Xdr

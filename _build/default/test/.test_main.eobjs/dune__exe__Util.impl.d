@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Hpm_arch Hpm_core Hpm_ir Hpm_lang Hpm_machine Migration Printexc QCheck QCheck_alcotest String

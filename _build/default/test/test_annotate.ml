@@ -1,0 +1,98 @@
+(** Source-to-source annotation tests. *)
+
+open Hpm_ir
+open Util
+
+let count_polls src =
+  let rec stmt (s : Hpm_lang.Ast.stmt) =
+    match s.Hpm_lang.Ast.sdesc with
+    | Hpm_lang.Ast.Spoll _ -> 1
+    | Hpm_lang.Ast.Sif (_, a, b) -> stmts a + stmts b
+    | Hpm_lang.Ast.Swhile (_, b) | Hpm_lang.Ast.Sdo (b, _) -> stmts b
+    | Hpm_lang.Ast.Sfor (_, _, _, b) -> stmts b
+    | Hpm_lang.Ast.Sblock b -> stmts b
+    | _ -> 0
+  and stmts body = List.fold_left (fun acc s -> acc + stmt s) 0 body
+  in
+  let p = Hpm_lang.Parser.parse_string src in
+  List.fold_left (fun acc f -> acc + stmts f.Hpm_lang.Ast.f_body) 0 p.Hpm_lang.Ast.funcs
+
+let simple =
+  {|
+int work(int n) {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < n; i++) { s = s + i; }
+  return s;
+}
+int main() {
+  int i;
+  for (i = 0; i < 3; i++) { print_int(work(i)); }
+  return 0;
+}
+|}
+
+let test_inserts_pragmas () =
+  let annotated = Annotate.source simple in
+  (* 2 loop bodies + 2 function entries *)
+  check_int "four pragmas" 4 (count_polls annotated);
+  check_bool "entry marker named" true (contains_sub annotated "auto_main_entry");
+  check_bool "loop marker named" true (contains_sub annotated "auto_work_loop1")
+
+let test_annotated_reparses_and_runs () =
+  let annotated = Annotate.source simple in
+  let plain_out = run_on simple in
+  let ann_out = run_on annotated in
+  check_string "annotation preserves behaviour" plain_out ann_out
+
+let test_annotated_migrates () =
+  (* the annotated source, compiled with user-only polls (as the paper's
+     pre-distributed migratable format would be), migrates correctly *)
+  let annotated = Annotate.source (Hpm_workloads.Bitonic.source 400) in
+  let m = prepare_user annotated in
+  let ref_out, _, _ = Hpm_core.Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  let o =
+    Hpm_core.Migration.run_migrating m ~src_arch:Hpm_arch.Arch.dec5000
+      ~dst_arch:Hpm_arch.Arch.sparc20 ~after_polls:700 ()
+  in
+  check_bool "migrated at an auto pragma" true o.Hpm_core.Migration.migrated;
+  check_string "equivalent output" ref_out o.Hpm_core.Migration.output
+
+let test_user_only_strategy_no_autos () =
+  let annotated = Annotate.source ~strategy:Pollpoint.user_only_strategy simple in
+  check_int "no pragmas" 0 (count_polls annotated)
+
+let test_depth_limit () =
+  let nested =
+    {|
+int main() {
+  int i; int j; int s;
+  s = 0;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 3; j++) { s = s + 1; }
+  }
+  print_int(s);
+  return 0;
+}
+|}
+  in
+  let strategy =
+    { Pollpoint.default_strategy with Pollpoint.max_loop_depth = 1; fn_entries = false }
+  in
+  check_int "outer loop only" 1 (count_polls (Annotate.source ~strategy nested))
+
+let test_idempotent_behaviour () =
+  (* annotating twice adds more pragmas but never changes program output *)
+  let once = Annotate.source simple in
+  let twice = Annotate.source once in
+  check_string "still correct" (run_on simple) (run_on twice)
+
+let suite =
+  [
+    tc "inserts named pragmas" test_inserts_pragmas;
+    tc "annotation preserves behaviour" test_annotated_reparses_and_runs;
+    tc "annotated source migrates" test_annotated_migrates;
+    tc "user-only strategy adds nothing" test_user_only_strategy_no_autos;
+    tc "loop-depth limit respected" test_depth_limit;
+    tc "double annotation harmless" test_idempotent_behaviour;
+  ]

@@ -1,0 +1,53 @@
+(** Architecture descriptor tests. *)
+
+open Hpm_arch
+open Util
+
+let test_catalog () =
+  check_int "five architectures" 5 (List.length Arch.all);
+  List.iter
+    (fun (a : Arch.t) ->
+      check_bool (a.Arch.name ^ " lookup") true (Arch.by_name a.Arch.name = Some a))
+    Arch.all;
+  check_bool "unknown arch" true (Arch.by_name "vax" = None);
+  expect_raise "by_name_exn" (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> Arch.by_name_exn "vax")
+
+let test_paper_machines () =
+  let dec = Arch.dec5000 and sparc = Arch.sparc20 in
+  (* §4.1: "It is truly heterogeneous because both systems use different
+     endianness" *)
+  check_bool "dec5000 little-endian" true (dec.Arch.endian = Endian.Little);
+  check_bool "sparc20 big-endian" true (sparc.Arch.endian = Endian.Big);
+  check_bool "dec<->sparc heterogeneous" true (Arch.heterogeneous dec sparc);
+  (* both are ILP32 *)
+  check_int "dec ptr" 4 dec.Arch.ptr_size;
+  check_int "sparc ptr" 4 sparc.Arch.ptr_size;
+  check_int "dec long" 4 dec.Arch.long_size
+
+let test_width_axes () =
+  check_int "x86_64 ptr" 8 Arch.x86_64.Arch.ptr_size;
+  check_int "x86_64 long" 8 Arch.x86_64.Arch.long_size;
+  check_int "i386 double align" 4 Arch.i386.Arch.double_align;
+  check_bool "sparc20/ultra5 homogeneous" false
+    (Arch.heterogeneous Arch.sparc20 Arch.ultra5);
+  (* i386 differs from dec5000 only in alignment — still heterogeneous *)
+  check_bool "i386/dec5000 heterogeneous" true (Arch.heterogeneous Arch.i386 Arch.dec5000)
+
+let test_segments_disjoint () =
+  List.iter
+    (fun (a : Arch.t) ->
+      let name = a.Arch.name in
+      check_bool (name ^ " globals below heap") true
+        (Int64.compare a.Arch.global_base a.Arch.heap_base < 0);
+      check_bool (name ^ " heap below stack") true
+        (Int64.compare a.Arch.heap_base a.Arch.stack_base < 0))
+    Arch.all
+
+let suite =
+  [
+    tc "catalog and lookup" test_catalog;
+    tc "the paper's machines" test_paper_machines;
+    tc "width and alignment axes" test_width_axes;
+    tc "segment bases are ordered" test_segments_disjoint;
+  ]

@@ -1,0 +1,89 @@
+(** CFG tests: back edges, loop headers, loop depth. *)
+
+open Hpm_ir
+open Util
+
+let func_of src name =
+  let ast = check_src src in
+  let prog, _ = Compile.lower ast in
+  Ir.find_func_exn prog name
+
+let test_straight_line () =
+  let f = func_of "int main() { int x; x = 1; x = x + 1; return x; }" "main" in
+  check_bool "no back edges" true (Cfg.back_edges f = []);
+  check_bool "no loop headers" true (Cfg.loop_headers f = []);
+  check_bool "depth all zero" true (Array.for_all (( = ) 0) (Cfg.loop_depth f))
+
+let test_single_loop () =
+  let f =
+    func_of "int main() { int i; for (i = 0; i < 9; i++) { print_int(i); } return 0; }" "main"
+  in
+  check_int "one loop header" 1 (List.length (Cfg.loop_headers f));
+  check_int "one back edge" 1 (List.length (Cfg.back_edges f));
+  let depth = Cfg.loop_depth f in
+  let header = List.hd (Cfg.loop_headers f) in
+  check_int "header depth" 1 depth.(header)
+
+let test_nested_loops () =
+  let f =
+    func_of
+      {|
+int main() {
+  int i; int j; int k;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 3; j++) {
+      while (k < j) { k++; }
+    }
+  }
+  return 0;
+}
+|}
+      "main"
+  in
+  check_int "three loop headers" 3 (List.length (Cfg.loop_headers f));
+  let depth = Cfg.loop_depth f in
+  let maxd = Array.fold_left max 0 depth in
+  check_int "innermost depth 3" 3 maxd
+
+let test_do_while () =
+  let f = func_of "int main() { int i; i = 0; do { i++; } while (i < 4); return i; }" "main" in
+  check_int "do-while is a loop" 1 (List.length (Cfg.loop_headers f))
+
+let test_unreachable_blocks () =
+  let f = func_of "int main() { return 1; print_int(2); return 3; }" "main" in
+  let reach = Cfg.reachable f in
+  check_bool "entry reachable" true reach.(f.Ir.entry);
+  check_bool "some block unreachable" true (Array.exists not reach)
+
+let test_rpo () =
+  let f =
+    func_of "int main() { int i; if (i) { print_int(1); } else { print_int(2); } return 0; }"
+      "main"
+  in
+  let rpo = Cfg.reverse_postorder f in
+  check_bool "starts at entry" true (List.hd rpo = f.Ir.entry);
+  (* rpo contains no duplicates *)
+  check_int "no duplicates" (List.length rpo) (List.length (List.sort_uniq compare rpo))
+
+let test_natural_loop_membership () =
+  let f =
+    func_of "int main() { int i; for (i = 0; i < 5; i++) { if (i > 2) print_int(i); } return 0; }"
+      "main"
+  in
+  match Cfg.back_edges f with
+  | [ ((_, header) as e) ] ->
+      let body = Cfg.natural_loop f e in
+      check_bool "header in loop" true (List.mem header body);
+      check_bool "loop has several blocks" true (List.length body >= 3)
+  | es -> Alcotest.failf "expected one back edge, got %d" (List.length es)
+
+let suite =
+  [
+    tc "straight-line code" test_straight_line;
+    tc "single loop" test_single_loop;
+    tc "nested loops" test_nested_loops;
+    tc "do-while" test_do_while;
+    tc "unreachable blocks" test_unreachable_blocks;
+    tc "reverse postorder" test_rpo;
+    tc "natural loop membership" test_natural_loop_membership;
+  ]

@@ -1,0 +1,83 @@
+(** Checkpoint / restart tests (heterogeneous checkpointing on top of the
+    migration stream). *)
+
+open Hpm_core
+open Util
+
+let tmpfile () = Filename.temp_file "hpm_ckpt" ".img"
+
+let test_roundtrip_heterogeneous () =
+  let m = prepare (Hpm_workloads.Bitonic.source 500) in
+  let expected, _, _ = Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* save on a little-endian machine, resume on a big-endian one *)
+      let before = Checkpoint.run_and_save m Hpm_arch.Arch.dec5000 ~after_polls:800 path in
+      check_bool "file exists" true (Sys.file_exists path);
+      check_bool "file non-trivial" true ((Unix.stat path).Unix.st_size > 1000);
+      let after = Checkpoint.resume_and_finish m Hpm_arch.Arch.sparc20 path in
+      check_string "resumed output completes the run" expected (before ^ after))
+
+let test_resume_twice () =
+  (* a checkpoint is immutable: it can restart any number of times, on
+     different machines *)
+  let m = prepare (Hpm_workloads.Nqueens.source 6) in
+  let expected, _, _ = Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let before = Checkpoint.run_and_save m Hpm_arch.Arch.sparc20 ~after_polls:50 path in
+      let a = Checkpoint.resume_and_finish m Hpm_arch.Arch.dec5000 path in
+      let b = Checkpoint.resume_and_finish m Hpm_arch.Arch.i386 path in
+      check_string "first restart" expected (before ^ a);
+      check_string "second restart" expected (before ^ b))
+
+let test_wrong_program () =
+  let m1 = prepare (Hpm_workloads.Nqueens.source 6) in
+  let m2 = prepare (Hpm_workloads.Bitonic.source 200) in
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let _ = Checkpoint.run_and_save m1 Hpm_arch.Arch.ultra5 ~after_polls:10 path in
+      expect_raise "stale checkpoint rejected"
+        (function Restore.Error _ -> true | _ -> false)
+        (fun () -> Checkpoint.load m2 Hpm_arch.Arch.ultra5 path))
+
+let test_corrupted_file () =
+  let m = prepare (Hpm_workloads.Nqueens.source 6) in
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let _ = Checkpoint.run_and_save m Hpm_arch.Arch.ultra5 ~after_polls:10 path in
+      (* truncate the file *)
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let data = really_input_string ic (n / 2) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc data;
+      close_out oc;
+      expect_raise "truncated checkpoint rejected"
+        (function
+          | Restore.Error _ | Stream.Corrupt _ | Hpm_xdr.Xdr.Underflow _ -> true
+          | _ -> false)
+        (fun () -> Checkpoint.load m Hpm_arch.Arch.ultra5 path))
+
+let test_missing_file () =
+  let m = prepare (Hpm_workloads.Nqueens.source 6) in
+  expect_raise "missing file" (function Checkpoint.Error _ -> true | _ -> false)
+    (fun () -> Checkpoint.load m Hpm_arch.Arch.ultra5 "/nonexistent/ckpt.img")
+
+let suite =
+  [
+    tc "save little-endian, resume big-endian" test_roundtrip_heterogeneous;
+    tc "one checkpoint, many restarts" test_resume_twice;
+    tc "wrong program rejected" test_wrong_program;
+    tc "corrupted file rejected" test_corrupted_file;
+    tc "missing file" test_missing_file;
+  ]

@@ -1,0 +1,103 @@
+(** Byte-order primitive tests. *)
+
+open Hpm_arch
+open Util
+
+let test_u8 () =
+  let b = Bytes.create 4 in
+  Endian.set_u8 b 0 0xab;
+  check_int "u8" 0xab (Endian.get_u8 b 0);
+  Endian.set_u8 b 1 0x1ff;
+  check_int "u8 truncates" 0xff (Endian.get_u8 b 1)
+
+let test_known_patterns () =
+  let b = Bytes.create 8 in
+  Endian.set_uint Endian.Big 4 b 0 0x12345678L;
+  check_int "BE byte 0" 0x12 (Endian.get_u8 b 0);
+  check_int "BE byte 3" 0x78 (Endian.get_u8 b 3);
+  Endian.set_uint Endian.Little 4 b 0 0x12345678L;
+  check_int "LE byte 0" 0x78 (Endian.get_u8 b 0);
+  check_int "LE byte 3" 0x12 (Endian.get_u8 b 3)
+
+let test_swap_equivalence () =
+  let b1 = Bytes.create 8 and b2 = Bytes.create 8 in
+  Endian.set_uint Endian.Big 8 b1 0 0x0123456789abcdefL;
+  Endian.set_uint Endian.Little 8 b2 0 0x0123456789abcdefL;
+  Endian.swap_bytes b2 0 8;
+  check_bool "LE + swap = BE" true (Bytes.equal b1 b2)
+
+let test_sign_extend () =
+  Alcotest.(check int64) "char -1" (-1L) (Endian.sign_extend 1 0xffL);
+  Alcotest.(check int64) "char 127" 127L (Endian.sign_extend 1 0x7fL);
+  Alcotest.(check int64) "short -2" (-2L) (Endian.sign_extend 2 0xfffeL);
+  Alcotest.(check int64) "int min" (-2147483648L) (Endian.sign_extend 4 0x80000000L);
+  Alcotest.(check int64) "full width" (-5L) (Endian.sign_extend 8 (-5L));
+  Alcotest.(check int64) "truncate" 0xfeL (Endian.truncate 1 0x1feL)
+
+let test_floats () =
+  let b = Bytes.create 8 in
+  Endian.set_f64 Endian.Big b 0 1.5;
+  Alcotest.(check (float 0.0)) "f64 BE" 1.5 (Endian.get_f64 Endian.Big b 0);
+  Endian.set_f32 Endian.Little b 0 (-0.25);
+  Alcotest.(check (float 0.0)) "f32 LE" (-0.25) (Endian.get_f32 Endian.Little b 0);
+  (* bit pattern check: 1.0 as f64 BE starts 0x3f 0xf0 *)
+  Endian.set_f64 Endian.Big b 0 1.0;
+  check_int "f64 1.0 byte0" 0x3f (Endian.get_u8 b 0);
+  check_int "f64 1.0 byte1" 0xf0 (Endian.get_u8 b 1)
+
+let test_invalid_width () =
+  expect_raise "width 0" (function Invalid_argument _ -> true | _ -> false) (fun () ->
+      Endian.get_uint Endian.Big 0 (Bytes.create 8) 0);
+  expect_raise "width 9" (function Invalid_argument _ -> true | _ -> false) (fun () ->
+      Endian.set_uint Endian.Little 9 (Bytes.create 16) 0 0L)
+
+let prop_roundtrip_signed =
+  qt "signed roundtrip at every width/order"
+    QCheck.(triple int64 (int_range 1 8) bool)
+    (fun (v, width, big) ->
+      let order = if big then Endian.Big else Endian.Little in
+      let b = Bytes.create 8 in
+      Endian.set_int order width b 0 v;
+      let got = Endian.get_int order width b 0 in
+      Int64.equal got (Endian.sign_extend width v))
+
+let prop_roundtrip_unsigned =
+  qt "unsigned roundtrip at every width/order"
+    QCheck.(triple int64 (int_range 1 8) bool)
+    (fun (v, width, big) ->
+      let order = if big then Endian.Big else Endian.Little in
+      let b = Bytes.create 8 in
+      Endian.set_uint order width b 0 v;
+      Int64.equal (Endian.get_uint order width b 0) (Endian.truncate width v))
+
+let prop_f64_bits =
+  qt "f64 preserves bit patterns (incl. nan payloads)" QCheck.int64 (fun bits ->
+      let v = Int64.float_of_bits bits in
+      let b = Bytes.create 8 in
+      Endian.set_f64 Endian.Big b 0 v;
+      Int64.equal (Int64.bits_of_float (Endian.get_f64 Endian.Big b 0)) bits)
+
+let prop_f32_roundtrip =
+  qt "f32 roundtrip of representable values" QCheck.int32 (fun bits ->
+      let v = Int32.float_of_bits bits in
+      let b = Bytes.create 4 in
+      Endian.set_f32 Endian.Little b 0 v;
+      let back = Endian.get_f32 Endian.Little b 0 in
+      if Float.is_nan v then
+        (* NaN payloads may canonicalize through the OCaml float detour *)
+        Float.is_nan back
+      else Int32.equal (Int32.bits_of_float back) bits)
+
+let suite =
+  [
+    tc "u8 accessors" test_u8;
+    tc "known byte patterns" test_known_patterns;
+    tc "little-endian is byte-swapped big-endian" test_swap_equivalence;
+    tc "sign extension and truncation" test_sign_extend;
+    tc "IEEE-754 accessors" test_floats;
+    tc "invalid widths rejected" test_invalid_width;
+    prop_roundtrip_signed;
+    prop_roundtrip_unsigned;
+    prop_f64_bits;
+    prop_f32_roundtrip;
+  ]

@@ -1,0 +1,137 @@
+(** Failure injection: corrupted and truncated migration streams must be
+    rejected cleanly (never build a half-restored process silently), and
+    collection must refuse states it cannot represent faithfully. *)
+
+open Hpm_core
+open Util
+
+let bitonic_stream () =
+  let w = Hpm_workloads.Registry.find_exn "bitonic" in
+  let m = prepare (w.Hpm_workloads.Registry.source 200) in
+  let p, _ = suspend m Hpm_arch.Arch.dec5000 300 in
+  let data, _ = Collect.collect p m.Migration.ti in
+  (m, data)
+
+let restore_raises m data =
+  match Restore.restore m.Migration.prog Hpm_arch.Arch.sparc20 m.Migration.ti data with
+  | _ -> false
+  | exception (Restore.Error _ | Stream.Corrupt _ | Hpm_xdr.Xdr.Underflow _) -> true
+  | exception (Hpm_machine.Mem.Fault _ | Hpm_machine.Interp.Trap _) -> true
+
+let test_truncation () =
+  let m, data = bitonic_stream () in
+  let n = String.length data in
+  (* every prefix class: header, frame metadata, mid-data, missing trailer *)
+  List.iter
+    (fun k ->
+      let cut = String.sub data 0 k in
+      check_bool (Printf.sprintf "truncated to %d rejected" k) true (restore_raises m cut))
+    [ 0; 1; 3; 10; 40; n / 4; n / 2; n - 5; n - 1 ]
+
+let test_bitflips () =
+  let m, data = bitonic_stream () in
+  let n = String.length data in
+  let flipped i =
+    let b = Bytes.of_string data in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    Bytes.to_string b
+  in
+  (* a flip may hit pure payload (a float changes value but the stream
+     stays well-formed) — count how many of a sample are caught; all
+     structural positions must be *)
+  check_bool "magic flip" true (restore_raises m (flipped 0));
+  check_bool "version flip" true (restore_raises m (flipped 4));
+  let caught = ref 0 and total = ref 0 in
+  let rec sample i =
+    if i < n then (
+      incr total;
+      if restore_raises m (flipped i) then incr caught;
+      sample (i + 97))
+  in
+  sample 5;
+  check_bool "structural flips detected" true (!caught * 2 > !total)
+
+let test_garbage () =
+  let m, _ = bitonic_stream () in
+  check_bool "random bytes rejected" true (restore_raises m "this is not a stream");
+  check_bool "empty rejected" true (restore_raises m "")
+
+let test_trailing_junk () =
+  let m, data = bitonic_stream () in
+  check_bool "trailing junk rejected" true (restore_raises m (data ^ "extra"))
+
+let test_collect_not_suspended () =
+  let m, _ = bitonic_stream () in
+  let p = Migration.start m Hpm_arch.Arch.ultra5 in
+  (* fresh process: pc at entry, not after a poll *)
+  expect_raise "collect fresh process" (function Collect.Error _ -> true | _ -> false)
+    (fun () -> Collect.collect p m.Migration.ti);
+  let p2 = Migration.start m Hpm_arch.Arch.ultra5 in
+  ignore (Hpm_machine.Interp.run_to_completion p2);
+  expect_raise "collect finished process" (function Collect.Error _ -> true | _ -> false)
+    (fun () -> Collect.collect p2 m.Migration.ti)
+
+let test_live_dangling_pointer_refused () =
+  (* a dangling pointer that is live at the poll cannot be collected *)
+  let src =
+    {|
+int main() {
+  int *p;
+  p = (int *) malloc(sizeof(int));
+  *p = 5;
+  free(p);
+  #pragma poll here
+  print_int(*p);
+  return 0;
+}
+|}
+  in
+  let m = prepare_user src in
+  let p, _ = suspend m Hpm_arch.Arch.ultra5 0 in
+  expect_raise "dangling live pointer" (function Collect.Error _ -> true | _ -> false)
+    (fun () -> Collect.collect p m.Migration.ti)
+
+let test_dead_dangling_pointer_ok () =
+  (* the same dangling pointer, dead at the poll: liveness excludes it and
+     migration succeeds (this is why the pre-compiler's analysis matters) *)
+  let src =
+    {|
+int main() {
+  int *p;
+  p = (int *) malloc(sizeof(int));
+  *p = 5;
+  free(p);
+  #pragma poll here
+  print_int(7);
+  return 0;
+}
+|}
+  in
+  let m = prepare_user src in
+  let o =
+    Migration.run_migrating m ~src_arch:Hpm_arch.Arch.ultra5
+      ~dst_arch:Hpm_arch.Arch.dec5000 ()
+  in
+  check_bool "migrated" true o.Migration.migrated;
+  check_string "output" "7\n" o.Migration.output
+
+let test_netsim_fault_injection_path () =
+  (* the whole pipeline through the simulated network with faults *)
+  let m, data = bitonic_stream () in
+  let ch = Hpm_net.Netsim.ethernet_10 () in
+  let delivered, _ = Hpm_net.Netsim.send ~fault:(Hpm_net.Netsim.Truncate 50) ch data in
+  check_bool "truncated in flight rejected" true (restore_raises m delivered);
+  let delivered2, _ = Hpm_net.Netsim.send ch data in
+  check_bool "clean delivery restores" false (restore_raises m delivered2)
+
+let suite =
+  [
+    tc "truncated streams rejected" test_truncation;
+    tc "bit flips detected" test_bitflips;
+    tc "garbage rejected" test_garbage;
+    tc "trailing junk rejected" test_trailing_junk;
+    tc "collecting a non-suspended process fails" test_collect_not_suspended;
+    tc "live dangling pointer refused" test_live_dangling_pointer_refused;
+    tc "dead dangling pointer tolerated" test_dead_dangling_pointer_ok;
+    tc "faults injected on the wire" test_netsim_fault_injection_path;
+  ]

@@ -1,0 +1,263 @@
+(** Differential fuzzing.
+
+    1. Random [int] expressions are rendered to Mini-C, executed by the
+       interpreter on several architectures, and compared against an
+       independent OCaml reference evaluator implementing C's 32-bit
+       wrap-around semantics.  Any divergence is an interpreter or
+       lowering bug.
+
+    2. Random structured programs (assignments, if/while/for/switch over a
+       small variable pool) are run plain and under migration at random
+       poll events across architecture pairs.  The oracle is
+       migrate-anywhere equivalence — no reference semantics needed,
+       determinism plus the migration machinery check each other. *)
+
+open Util
+
+(* ---------- 1. expression differential ---------- *)
+
+(* Expression skeletons: a closed description rendered both to Mini-C text
+   and to an Int32 reference value. *)
+type ex =
+  | Num of int32
+  | Bin of string * ex * ex
+  | Neg of ex
+  | Bnot of ex
+  | Cond of ex * ex * ex
+
+let rec render = function
+  | Num n ->
+      (* negative literals need parens to survive re-parsing as unary minus *)
+      if Int32.compare n 0l < 0 then Printf.sprintf "(%ld)" n else Int32.to_string n
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (render a) op (render b)
+  | Neg a -> Printf.sprintf "(-%s)" (render a)
+  | Bnot a -> Printf.sprintf "(~%s)" (render a)
+  | Cond (c, a, b) -> Printf.sprintf "(%s ? %s : %s)" (render c) (render a) (render b)
+
+let rec eval = function
+  | Num n -> n
+  | Neg a -> Int32.neg (eval a)
+  | Bnot a -> Int32.lognot (eval a)
+  | Cond (c, a, b) -> if eval c <> 0l then eval a else eval b
+  | Bin (op, a, b) -> (
+      let x = eval a and y = eval b in
+      let bool v = if v then 1l else 0l in
+      match op with
+      | "+" -> Int32.add x y
+      | "-" -> Int32.sub x y
+      | "*" -> Int32.mul x y
+      | "/" -> if y = 0l then 1l (* generator avoids this *) else Int32.div x y
+      | "%" -> if y = 0l then 1l else Int32.rem x y
+      | "&" -> Int32.logand x y
+      | "|" -> Int32.logor x y
+      | "^" -> Int32.logxor x y
+      | "<<" -> Int32.shift_left x (Int32.to_int y land 31)
+      | ">>" -> Int32.shift_right x (Int32.to_int y land 31)
+      | "==" -> bool (Int32.equal x y)
+      | "!=" -> bool (not (Int32.equal x y))
+      | "<" -> bool (Int32.compare x y < 0)
+      | "<=" -> bool (Int32.compare x y <= 0)
+      | ">" -> bool (Int32.compare x y > 0)
+      | ">=" -> bool (Int32.compare x y >= 0)
+      | "&&" -> bool (x <> 0l && y <> 0l)
+      | "||" -> bool (x <> 0l || y <> 0l)
+      | _ -> assert false)
+
+(* C's shift semantics used above: count masked to 0..31 (the interpreter
+   masks to 63, but the generator keeps counts in 0..31 so both agree) *)
+
+let gen_ex : ex QCheck.Gen.t =
+  let open QCheck.Gen in
+  let num = map (fun n -> Num (Int32.of_int n)) (int_range (-1000) 1000) in
+  let ops = [ "+"; "-"; "*"; "&"; "|"; "^"; "=="; "!="; "<"; "<="; ">"; ">="; "&&"; "||" ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then num
+      else
+        frequency
+          [
+            (2, num);
+            ( 6,
+              map3
+                (fun op a b -> Bin (op, a, b))
+                (oneofl ops) (self (depth - 1)) (self (depth - 1)) );
+            (* division by a guaranteed-nonzero value *)
+            ( 1,
+              map2
+                (fun a b -> Bin ("/", a, Bin ("|", b, Num 1l)))
+                (self (depth - 1)) (self (depth - 1)) );
+            ( 1,
+              map2
+                (fun a b -> Bin ("%", a, Bin ("|", b, Num 1l)))
+                (self (depth - 1)) (self (depth - 1)) );
+            (* shift by a small constant *)
+            ( 1,
+              map2 (fun a k -> Bin ("<<", a, Num (Int32.of_int k))) (self (depth - 1))
+                (int_range 0 31) );
+            ( 1,
+              map2 (fun a k -> Bin (">>", a, Num (Int32.of_int k))) (self (depth - 1))
+                (int_range 0 31) );
+            (1, map (fun a -> Neg a) (self (depth - 1)));
+            (1, map (fun a -> Bnot a) (self (depth - 1)));
+            ( 1,
+              map3 (fun c a b -> Cond (c, a, b)) (self (depth - 1)) (self (depth - 1))
+                (self (depth - 1)) );
+          ])
+    4
+
+(* C's INT_MIN/-1 and INT_MIN%-1 are UB; our interpreter computes them in
+   64-bit then wraps, while Int32.div overflows — exclude those cases. *)
+let rec has_div_overflow = function
+  | Num _ -> false
+  | Neg a | Bnot a -> has_div_overflow a
+  | Cond (a, b, c) -> has_div_overflow a || has_div_overflow b || has_div_overflow c
+  | Bin (op, a, b) ->
+      ((op = "/" || op = "%") && Int32.equal (eval a) Int32.min_int
+       && Int32.equal (eval b) (-1l))
+      || has_div_overflow a || has_div_overflow b
+
+let prop_expr_differential =
+  qt ~count:150 "random int expressions match the Int32 reference"
+    (QCheck.make ~print:render gen_ex)
+    (fun e ->
+      QCheck.assume (not (has_div_overflow e));
+      let src = Printf.sprintf "int main() { print_int(%s); return 0; }" (render e) in
+      let expected = Int32.to_string (eval e) ^ "\n" in
+      List.for_all
+        (fun arch -> String.equal expected (run_on ~arch src))
+        [ Hpm_arch.Arch.dec5000; Hpm_arch.Arch.sparc20; Hpm_arch.Arch.x86_64 ])
+
+(* ---------- 2. random structured programs ---------- *)
+
+(* A tiny program generator over int variables v0..v4: straight-line
+   assignments, bounded loops, conditionals, and switches.  Every loop is
+   bounded by construction (fixed iteration counts), so all programs
+   terminate. *)
+type prog_stmt =
+  | Asgn of int * ex_v
+  | If of ex_v * prog_stmt list * prog_stmt list
+  | ForN of int * int * prog_stmt list  (* level, count: repeat body, counter l<level> *)
+  | Switch of ex_v * prog_stmt list * prog_stmt list * prog_stmt list
+  | Print of int
+
+and ex_v = V of int | K of int | Add of ex_v * ex_v | Mul of ex_v * ex_v | Xor of ex_v * ex_v
+
+let rec render_ev = function
+  | V i -> Printf.sprintf "v%d" i
+  | K n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (render_ev a) (render_ev b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (render_ev a) (render_ev b)
+  | Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (render_ev a) (render_ev b)
+
+let rec render_ps buf indent = function
+  | Asgn (i, e) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sv%d = %s;\n" indent i (render_ev e))
+  | Print i -> Buffer.add_string buf (Printf.sprintf "%sprint_int(v%d);\n" indent i)
+  | If (c, a, b) ->
+      Buffer.add_string buf (Printf.sprintf "%sif (%s > 0) {\n" indent (render_ev c));
+      List.iter (render_ps buf (indent ^ "  ")) a;
+      Buffer.add_string buf (Printf.sprintf "%s} else {\n" indent);
+      List.iter (render_ps buf (indent ^ "  ")) b;
+      Buffer.add_string buf (Printf.sprintf "%s}\n" indent)
+  | ForN (level, k, body) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sfor (l%d = 0; l%d < %d; l%d++) {\n" indent level level k level);
+      List.iter (render_ps buf (indent ^ "  ")) body;
+      Buffer.add_string buf (Printf.sprintf "%s}\n" indent)
+  | Switch (c, a, b, d) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sswitch (%s & 3) {\n" indent (render_ev c));
+      Buffer.add_string buf (Printf.sprintf "%s  case 0:\n" indent);
+      List.iter (render_ps buf (indent ^ "    ")) a;
+      Buffer.add_string buf (Printf.sprintf "%s    break;\n%s  case 1:\n" indent indent);
+      List.iter (render_ps buf (indent ^ "    ")) b;
+      Buffer.add_string buf (Printf.sprintf "%s  default:\n" indent);
+      List.iter (render_ps buf (indent ^ "    ")) d;
+      Buffer.add_string buf (Printf.sprintf "%s}\n" indent)
+
+let render_prog stmts =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "int main() {\n  int v0; int v1; int v2; int v3;\n  int l0; int l1; int l2;\n";
+  Buffer.add_string buf "  v0 = 1; v1 = 2; v2 = 3; v3 = 4;\n";
+  List.iter (render_ps buf "  ") stmts;
+  Buffer.add_string buf "  print_int(v0); print_int(v1); print_int(v2); print_int(v3);\n";
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf
+
+let gen_ev : ex_v QCheck.Gen.t =
+  let open QCheck.Gen in
+  fix
+    (fun self depth ->
+      if depth = 0 then
+        oneof [ map (fun i -> V i) (int_range 0 3); map (fun k -> K k) (int_range (-9) 9) ]
+      else
+        frequency
+          [
+            (2, map (fun i -> V i) (int_range 0 3));
+            (1, map (fun k -> K k) (int_range (-9) 9));
+            (2, map2 (fun a b -> Add (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Mul (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Xor (a, b)) (self (depth - 1)) (self (depth - 1)));
+          ])
+    2
+
+let gen_prog : prog_stmt list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let stmt =
+    fix
+      (fun self depth ->
+        let leaf =
+          oneof
+            [
+              map2 (fun i e -> Asgn (i, e)) (int_range 0 3) gen_ev;
+              map (fun i -> Print i) (int_range 0 3);
+            ]
+        in
+        if depth = 0 then leaf
+        else
+          frequency
+            [
+              (4, leaf);
+              ( 1,
+                map3 (fun c a b -> If (c, a, b)) gen_ev
+                  (list_size (int_range 1 3) (self (depth - 1)))
+                  (list_size (int_range 0 2) (self (depth - 1))) );
+              ( 1,
+                (* the loop counter index is the generator depth, so
+                   nested loops never share a counter *)
+                map2
+                  (fun k body -> ForN (depth, k, body))
+                  (int_range 1 6)
+                  (list_size (int_range 1 3) (self (depth - 1))) );
+              ( 1,
+                map3 (fun c a b -> Switch (c, a, b, [ Asgn (0, K 7) ])) gen_ev
+                  (list_size (int_range 0 2) (self (depth - 1)))
+                  (list_size (int_range 0 2) (self (depth - 1))) );
+            ])
+      2
+  in
+  list_size (int_range 2 8) stmt
+
+let prop_random_programs =
+  qt ~count:40 "random structured programs migrate anywhere"
+    (QCheck.make ~print:render_prog gen_prog)
+    (fun stmts ->
+      let src = render_prog stmts in
+      let m = prepare src in
+      let ref_out, _, _ = Hpm_core.Migration.run_plain m Hpm_arch.Arch.ultra5 in
+      List.for_all
+        (fun (a, b, after) ->
+          let o =
+            Hpm_core.Migration.run_migrating m ~src_arch:a ~dst_arch:b
+              ~after_polls:after ()
+          in
+          String.equal ref_out o.Hpm_core.Migration.output)
+        [
+          (Hpm_arch.Arch.dec5000, Hpm_arch.Arch.sparc20, 0);
+          (Hpm_arch.Arch.sparc20, Hpm_arch.Arch.x86_64, 3);
+          (Hpm_arch.Arch.x86_64, Hpm_arch.Arch.i386, 11);
+        ])
+
+let suite = [ prop_expr_differential; prop_random_programs ]

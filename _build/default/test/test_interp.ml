@@ -1,0 +1,288 @@
+(** Interpreter semantics tests (which also exercise the AST→IR lowering:
+    every construct below goes through Compile).  Programs are run on
+    several architectures; unless the program plays width games, output
+    must be identical everywhere. *)
+
+open Util
+
+let out ?arch body = run_on ?arch (Printf.sprintf "int main() { %s return 0; }" body)
+let outd ?arch decls body = run_on ?arch (Printf.sprintf "int main() { %s %s return 0; }" decls body)
+
+let everywhere name body expected =
+  List.iter
+    (fun arch ->
+      check_string (name ^ " on " ^ arch.Hpm_arch.Arch.name) expected (out ~arch body))
+    arches
+
+(* variant with local declarations (Mini-C is C89: decls at function top) *)
+let everywhere2 name decls body expected =
+  List.iter
+    (fun arch ->
+      check_string
+        (name ^ " on " ^ arch.Hpm_arch.Arch.name)
+        expected
+        (outd ~arch decls body))
+    arches
+
+let test_arith () =
+  everywhere "add" "print_int(2 + 3 * 4);" "14\n";
+  everywhere "div trunc" "print_int(-7 / 2);" "-3\n";
+  everywhere "mod sign" "print_int(-7 % 2);" "-1\n";
+  everywhere "bitops" "print_int((12 & 10) | (1 << 4) ^ 5);" "29\n";
+  everywhere "shr" "print_int(-16 >> 2);" "-4\n";
+  everywhere "cmp" "print_int(3 < 4);" "1\n";
+  everywhere "double" "print_double(1.5 * 4.0 - 0.25);" "5.75\n";
+  everywhere "neg" "print_int(-(3 - 10));" "7\n";
+  everywhere "not" "print_int(!0 + !7);" "1\n";
+  everywhere "bnot" "print_int(~5);" "-6\n"
+
+let test_int_wrapping () =
+  (* int is 4 bytes everywhere in our catalog: wraps identically *)
+  everywhere "int overflow wraps" "print_int(2147483647 + 1);" "-2147483648\n";
+  (* char narrowing through a store *)
+  check_string "char store narrows" "-56\n"
+    (outd "char c;" "c = (char)200; print_int((int)c);");
+  (* long differs: 32-bit wraps, 64-bit doesn't *)
+  check_string "long on ilp32 wraps" "2\n"
+    (outd ~arch:Hpm_arch.Arch.sparc20 "long l;" "l = 2147483647L; l = l + l + 4L; print_long(l);");
+  check_string "long on lp64 doesn't" "4294967298\n"
+    (outd ~arch:Hpm_arch.Arch.x86_64 "long l;" "l = 2147483647L; l = l + l + 4L; print_long(l);")
+
+let test_float_precision () =
+  (* float truncates to single precision on assignment *)
+  everywhere2 "float rounds" "float f;" "f = 0.1f; print_double((double)f * 10.0);"
+    "1.0000000149\n"
+
+let test_control_flow () =
+  everywhere "if else" "if (3 > 2) { print_int(1); } else { print_int(2); }" "1\n";
+  everywhere2 "while" "int i; int s;" "i = 0; s = 0; while (i < 5) { s = s + i; i++; } print_int(s);" "10\n";
+  everywhere2 "do while" "int i;" "i = 10; do { i--; } while (i > 7); print_int(i);" "7\n";
+  everywhere2 "for with break/continue" "int i; int s;"
+    "s = 0; for (i = 0; i < 10; i++) { if (i % 2) continue; if (i > 6) break; s = s + i; } print_int(s);"
+    "12\n";
+  everywhere2 "nested loops" "int i; int j; int s;"
+    "s = 0; for (i = 0; i < 3; i++) for (j = 0; j < 3; j++) s = s + i * j; print_int(s);"
+    "9\n"
+
+let test_short_circuit () =
+  (* the right operand must not evaluate when the left decides *)
+  let src =
+    {|
+int hits;
+int bump() { hits = hits + 1; return 1; }
+int main() {
+  hits = 0;
+  if (0 && bump()) { }
+  if (1 || bump()) { }
+  print_int(hits);
+  if (1 && bump()) { }
+  if (0 || bump()) { }
+  print_int(hits);
+  print_int(2 && 3);
+  return 0;
+}
+|}
+  in
+  check_string "short circuit" "0\n2\n1\n" (run_on src)
+
+let test_ternary () =
+  everywhere2 "cond expr" "int x;" "x = 5; print_int(x > 3 ? x * 2 : -1);" "10\n";
+  everywhere2 "cond side" "int x;" "x = 1; print_int(x ? 7 : 1 / 0);" "7\n"
+
+let test_incr_decr () =
+  everywhere2 "post" "int i;" "i = 5; print_int(i++); print_int(i);" "5\n6\n";
+  everywhere2 "pre" "int i;" "i = 5; print_int(--i); print_int(i);" "4\n4\n";
+  everywhere2 "ptr incr" "int a[3]; int *p;"
+    "a[0] = 10; a[1] = 20; p = a; p++; print_int(*p);" "20\n"
+
+let test_functions () =
+  let src =
+    {|
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int add3(int a, int b, int c) { return a + b + c; }
+void noret(int x) { print_int(x); }
+int main() {
+  print_int(fib(15));
+  print_int(add3(1, 2, 3));
+  noret(9);
+  return 0;
+}
+|}
+  in
+  check_string "functions" "610\n6\n9\n" (run_on src)
+
+let test_function_pointers () =
+  let src =
+    {|
+int dbl(int x) { return 2 * x; }
+int neg(int x) { return -x; }
+int apply(int (*f)(int), int v) { return f(v); }
+int main() {
+  int (*ops[2])(int);
+  ops[0] = dbl;
+  ops[1] = neg;
+  print_int(apply(ops[0], 21));
+  print_int(apply(ops[1], 21));
+  print_int(ops[0](5) + ops[1](2));
+  return 0;
+}
+|}
+  in
+  check_string "function pointers" "42\n-21\n8\n" (run_on src)
+
+let test_pointers_and_arrays () =
+  everywhere2 "swap via ptrs" "int a; int b; int *p; int *q; int t;"
+    "a = 1; b = 2; p = &a; q = &b; t = *p; *p = *q; *q = t; print_int(a); print_int(b);"
+    "2\n1\n";
+  everywhere2 "ptr arith over array" "int a[5]; int *p; int s; int i;"
+    "for (i = 0; i < 5; i++) a[i] = i + 1; s = 0; for (p = a; p < a + 5; p++) s = s + *p; print_int(s);"
+    "15\n";
+  everywhere2 "ptr difference" "double a[8];" "print_long(&a[6] - &a[1]);" "5\n";
+  everywhere2 "2d array" "int g[3][4]; int i; int j;"
+    "for (i = 0; i < 3; i++) for (j = 0; j < 4; j++) g[i][j] = i * 4 + j; print_int(g[2][3]);"
+    "11\n"
+
+let test_structs () =
+  let src =
+    {|
+struct vec { double x; double y; };
+struct seg { struct vec a; struct vec b; };
+int main() {
+  struct seg s;
+  struct seg t;
+  struct vec *pv;
+  s.a.x = 1.0; s.a.y = 2.0; s.b.x = 4.0; s.b.y = 6.0;
+  t = s;                       /* whole struct copy */
+  s.a.x = 99.0;                /* t must be unaffected */
+  pv = &t.b;
+  print_double(t.a.x + pv->y);
+  return 0;
+}
+|}
+  in
+  List.iter
+    (fun arch -> check_string ("structs on " ^ arch.Hpm_arch.Arch.name) "7\n" (run_on ~arch src))
+    arches
+
+let test_heap () =
+  let src =
+    {|
+int main() {
+  int *xs;
+  int i;
+  long sum;
+  xs = (int *) malloc(100 * sizeof(int));
+  for (i = 0; i < 100; i++) xs[i] = i;
+  sum = 0L;
+  for (i = 0; i < 100; i++) sum = sum + (long)xs[i];
+  free(xs);
+  free(0);                    /* free(NULL) is a no-op */
+  print_long(sum);
+  return 0;
+}
+|}
+  in
+  check_string "heap array" "4950\n" (run_on src)
+
+let test_strings_and_builtins () =
+  check_string "print_str" "hello\n" (out "print_str(\"hello\\n\");");
+  check_string "print_char" "AB" (out "print_char('A'); print_char(66);");
+  check_string "abs/fabs/sqrt" "5\n2.5\n3\n"
+    (out "print_int(abs(-5)); print_double(fabs(-2.5)); print_double(sqrt(9.0));");
+  check_string "rand deterministic" (out "srand(7); print_int(rand() % 100);")
+    (out "srand(7); print_int(rand() % 100);")
+
+let test_sizeof_is_arch_dependent () =
+  check_string "sizeof long ilp32" "4\n" (out ~arch:Hpm_arch.Arch.dec5000 "print_long(sizeof(long));");
+  check_string "sizeof long lp64" "8\n" (out ~arch:Hpm_arch.Arch.x86_64 "print_long(sizeof(long));");
+  check_string "sizeof struct padding" "16\n"
+    (run_on ~arch:Hpm_arch.Arch.i386
+       "struct s { char c; double d; int i; }; int main() { print_long(sizeof(struct s)); return 0; }")
+
+let trap = function Hpm_machine.Interp.Trap _ | Hpm_machine.Mem.Fault _ -> true | _ -> false
+
+let test_traps () =
+  expect_raise "div by zero" trap (fun () -> outd "int z;" "z = 0; print_int(1 / z);");
+  expect_raise "mod by zero" trap (fun () -> outd "int z;" "z = 0; print_int(1 % z);");
+  expect_raise "null deref" trap (fun () -> outd "int *p;" "p = 0; print_int(*p);");
+  expect_raise "out of bounds" trap (fun () ->
+      outd "int a[3]; int *p;" "p = a; print_int(*(p + 7));");
+  expect_raise "double free" trap (fun () ->
+      outd "int *p;" "p = (int *) malloc(sizeof(int)); free(p); free(p);");
+  expect_raise "interior free" trap (fun () ->
+      outd "int *p;" "p = (int *) malloc(4 * sizeof(int)); free(p + 1);");
+  expect_raise "free stack" trap (fun () -> outd "int x;" "free(&x);");
+  expect_raise "dangling read" trap (fun () ->
+      outd "int *p;" "p = (int *) malloc(sizeof(int)); free(p); print_int(*p);");
+  expect_raise "negative malloc" trap (fun () ->
+      outd "int *p; int n;" "n = -3; p = (int *) malloc(n * sizeof(int));")
+
+let everywhere_src name src expected =
+  List.iter
+    (fun arch ->
+      check_string (name ^ " on " ^ arch.Hpm_arch.Arch.name) expected (run_on ~arch src))
+    arches
+
+let test_globals_and_init () =
+  let src =
+    {|
+int counter = 10;
+double scale = 2.5;
+long big = 1000000L;
+char letter = 'x';
+int *nullp = 0;
+int main() {
+  counter = counter + 1;
+  if (nullp == 0) print_int(counter);
+  print_double(scale);
+  print_long(big);
+  print_char(letter);
+  print_char('\n');
+  return 0;
+}
+|}
+  in
+  everywhere_src "global initializers" src "11\n2.5\n1000000\nx\n"
+
+let test_stack_reuse () =
+  (* deep call chains must reuse stack addresses (no leak of dead blocks) *)
+  let src =
+    {|
+int deep(int n) { int pad[50]; pad[0] = n; if (n == 0) return 0; return deep(n - 1) + pad[0]; }
+int main() {
+  int i;
+  long total;
+  total = 0L;
+  for (i = 0; i < 200; i++) total = total + (long)deep(30);
+  print_long(total);
+  return 0;
+}
+|}
+  in
+  let m = prepare src in
+  let p = Hpm_core.Migration.start m Hpm_arch.Arch.ultra5 in
+  ignore (Hpm_machine.Interp.run_to_completion p);
+  let mem = p.Hpm_machine.Interp.mem in
+  check_string "output" "93000\n" (Hpm_machine.Interp.output p);
+  check_bool "few live blocks after return" true (mem.Hpm_machine.Mem.live_blocks < 50)
+
+let suite =
+  [
+    tc "integer and float arithmetic" test_arith;
+    tc "width-faithful wrapping" test_int_wrapping;
+    tc "float precision" test_float_precision;
+    tc "control flow" test_control_flow;
+    tc "short-circuit evaluation" test_short_circuit;
+    tc "conditional expressions" test_ternary;
+    tc "increment/decrement" test_incr_decr;
+    tc "functions and recursion" test_functions;
+    tc "function pointers" test_function_pointers;
+    tc "pointers and arrays" test_pointers_and_arrays;
+    tc "structs and struct copy" test_structs;
+    tc "heap allocation" test_heap;
+    tc "strings and builtins" test_strings_and_builtins;
+    tc "sizeof is architecture-dependent" test_sizeof_is_arch_dependent;
+    tc "runtime traps" test_traps;
+    tc "globals with initializers" test_globals_and_init;
+    tc "stack address reuse" test_stack_reuse;
+  ]

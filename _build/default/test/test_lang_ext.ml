@@ -1,0 +1,375 @@
+(** Tests for the extended language features: switch/case with C
+    fallthrough, goto/labels (the paper's poll-points are literally label
+    statements), and C89 block-scoped declarations (hoisted by
+    {!Hpm_lang.Scopes}). *)
+
+open Util
+
+let outp src = run_on src
+
+let test_switch_dispatch () =
+  let src =
+    {|
+int classify(int x) {
+  switch (x) {
+    case 0:
+      return 100;
+    case 1:
+    case 2:
+      return 200;
+    case -3:
+      return 300;
+    default:
+      return 400;
+  }
+}
+int main() {
+  print_int(classify(0));
+  print_int(classify(1));
+  print_int(classify(2));
+  print_int(classify(-3));
+  print_int(classify(99));
+  return 0;
+}
+|}
+  in
+  check_string "switch dispatch" "100\n200\n200\n300\n400\n" (outp src)
+
+let test_switch_fallthrough () =
+  let src =
+    {|
+int main() {
+  int x;
+  int acc;
+  for (x = 0; x < 4; x++) {
+    acc = 0;
+    switch (x) {
+      case 0:
+        acc = acc + 1;     /* falls through */
+      case 1:
+        acc = acc + 10;    /* falls through */
+      case 2:
+        acc = acc + 100;
+        break;
+      default:
+        acc = acc + 1000;
+    }
+    print_int(acc);
+  }
+  return 0;
+}
+|}
+  in
+  check_string "fallthrough" "111\n110\n100\n1000\n" (outp src)
+
+let test_switch_break_and_loops () =
+  let src =
+    {|
+int main() {
+  int i;
+  int hits;
+  hits = 0;
+  for (i = 0; i < 6; i++) {
+    switch (i % 3) {
+      case 0:
+        continue;         /* continue targets the loop, not the switch */
+      case 1:
+        hits = hits + 1;
+        break;            /* break targets the switch */
+      default:
+        hits = hits + 10;
+    }
+    hits = hits + 100;    /* reached for i%3 != 0 */
+  }
+  print_int(hits);
+  return 0;
+}
+|}
+  in
+  (* i=1,4: +1+100 each; i=2,5: +10+100 each; i=0,3: skipped *)
+  check_string "break/continue in switch" "422\n" (outp src)
+
+let test_switch_on_char_and_long () =
+  let src =
+    {|
+int main() {
+  char c;
+  c = 'b';
+  switch (c) {
+    case 'a': print_int(1); break;
+    case 'b': print_int(2); break;
+    default: print_int(3);
+  }
+  return 0;
+}
+|}
+  in
+  check_string "switch on char" "2\n" (outp src)
+
+let test_goto_forward_backward () =
+  let src =
+    {|
+int main() {
+  int i;
+  i = 0;
+again:
+  i = i + 1;
+  if (i < 5) goto again;        /* backward: a goto loop */
+  if (i == 5) goto done;        /* forward */
+  print_int(-1);
+done:
+  print_int(i);
+  return 0;
+}
+|}
+  in
+  check_string "goto loop" "5\n" (outp src)
+
+let test_goto_out_of_loop () =
+  let src =
+    {|
+int main() {
+  int i; int j;
+  for (i = 0; i < 10; i++) {
+    for (j = 0; j < 10; j++) {
+      if (i * j == 6) goto out;
+    }
+  }
+out:
+  print_int(i * 10 + j);
+  return 0;
+}
+|}
+  in
+  check_string "goto out of nested loops" "16\n" (outp src)
+
+let tc_error src =
+  match check_src src with
+  | _ -> false
+  | exception Hpm_lang.Typecheck.Error _ -> true
+
+let test_switch_goto_errors () =
+  check_bool "duplicate case" true
+    (tc_error "int main() { switch (1) { case 1: break; case 1: break; default: ; } return 0; }");
+  check_bool "float scrutinee" true
+    (tc_error "int main() { double d; switch (d) { default: ; } return 0; }");
+  check_bool "goto nowhere" true (tc_error "int main() { goto nowhere; return 0; }");
+  check_bool "duplicate label" true
+    (tc_error "int main() { x: print_int(1); x: return 0; }")
+
+(* ---- block-scoped declarations ---- *)
+
+let test_block_decls_basic () =
+  let src =
+    {|
+int main() {
+  int x;
+  x = 1;
+  {
+    int y;
+    y = x + 10;
+    print_int(y);
+  }
+  print_int(x);
+  return 0;
+}
+|}
+  in
+  check_string "block decl" "11\n1\n" (outp src)
+
+let test_block_decl_shadowing () =
+  let src =
+    {|
+int x = 5;
+int main() {
+  int a;
+  a = x;                   /* global x = 5 */
+  {
+    int x;                 /* shadows the global */
+    x = 100;
+    a = a + x;
+    {
+      int x;               /* shadows the shadower */
+      x = 1000;
+      a = a + x;
+    }
+    a = a + x;             /* inner shadow gone: 100 again */
+  }
+  a = a + x;               /* global again */
+  print_int(a);
+  return 0;
+}
+|}
+  in
+  check_string "shadowing" "1210\n" (outp src)
+
+let test_block_decl_initializer_each_entry () =
+  let src =
+    {|
+int main() {
+  int i;
+  for (i = 0; i < 3; i++) {
+    int acc = i * 10;      /* re-initialized every iteration */
+    acc = acc + 1;
+    print_int(acc);
+  }
+  return 0;
+}
+|}
+  in
+  check_string "initializer re-runs" "1\n11\n21\n" (outp src)
+
+let test_block_decls_in_branches () =
+  let src =
+    {|
+int main() {
+  int n;
+  n = 7;
+  if (n > 3) {
+    int big = n * n;
+    print_int(big);
+  } else {
+    int small = -n;
+    print_int(small);
+  }
+  while (n > 5) {
+    int step = 1;
+    n = n - step;
+  }
+  print_int(n);
+  return 0;
+}
+|}
+  in
+  check_string "branch-scoped decls" "49\n5\n" (outp src)
+
+let test_block_decls_migrate () =
+  (* hoisting/renaming is deterministic, so renamed locals keep their
+     identity across the migration boundary *)
+  let src =
+    {|
+int main() {
+  int i;
+  long total;
+  total = 0L;
+  for (i = 0; i < 50; i++) {
+    int sq = i * i;
+    {
+      int sq__1;           /* collides with the hoister's first choice */
+      sq__1 = sq + 1;
+      total = total + (long)sq__1;
+    }
+  }
+  print_long(total);
+  return 0;
+}
+|}
+  in
+  let m = prepare src in
+  let ref_out, _, _ = Hpm_core.Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  List.iter
+    (fun after ->
+      let o =
+        Hpm_core.Migration.run_migrating m ~src_arch:Hpm_arch.Arch.dec5000
+          ~dst_arch:Hpm_arch.Arch.x86_64 ~after_polls:after ()
+      in
+      check_string (Printf.sprintf "migrated at %d" after) ref_out o.Hpm_core.Migration.output)
+    [ 0; 7; 31 ]
+
+let test_switch_migrates () =
+  let src =
+    {|
+int main() {
+  int i;
+  int acc;
+  acc = 0;
+  for (i = 0; i < 40; i++) {
+    switch (i % 4) {
+      case 0: acc = acc + 1; break;
+      case 1:
+      case 2: acc = acc + 20; break;
+      default: acc = acc - 3;
+    }
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+  in
+  let m = prepare src in
+  let ref_out, _, _ = Hpm_core.Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  List.iter
+    (fun after ->
+      let o =
+        Hpm_core.Migration.run_migrating m ~src_arch:Hpm_arch.Arch.sparc20
+          ~dst_arch:Hpm_arch.Arch.i386 ~after_polls:after ()
+      in
+      check_string (Printf.sprintf "switch migrated at %d" after) ref_out
+        o.Hpm_core.Migration.output)
+    [ 0; 13; 37 ]
+
+let test_goto_loop_polls () =
+  (* a goto-formed loop still gets a loop-header poll (it is a back edge) *)
+  let src =
+    {|
+int main() {
+  int i;
+  i = 0;
+top:
+  i = i + 1;
+  if (i < 100000) goto top;
+  print_int(i);
+  return 0;
+}
+|}
+  in
+  let m = prepare src in
+  let _, _, stats = Hpm_core.Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  check_bool "polls fired in goto loop" true (stats.Hpm_machine.Mstats.polls > 10_000);
+  (* and migration inside it works *)
+  let o =
+    Hpm_core.Migration.run_migrating m ~src_arch:Hpm_arch.Arch.dec5000
+      ~dst_arch:Hpm_arch.Arch.sparc20 ~after_polls:50_000 ()
+  in
+  check_bool "migrated mid goto-loop" true o.Hpm_core.Migration.migrated;
+  check_string "correct" "100000\n" o.Hpm_core.Migration.output
+
+let test_roundtrip_new_syntax () =
+  let src =
+    {|
+int main() {
+  int i;
+  switch (i) {
+    case 1: print_int(1); break;
+    default: ;
+  }
+  goto fin;
+fin:
+  return 0;
+}
+|}
+  in
+  let p = Hpm_lang.Parser.parse_string src in
+  let printed = Hpm_lang.Pretty.program_to_string p in
+  let p2 = Hpm_lang.Parser.parse_string printed in
+  let printed2 = Hpm_lang.Pretty.program_to_string p2 in
+  check_string "print fixpoint with switch/goto" printed printed2
+
+let suite =
+  [
+    tc "switch dispatch" test_switch_dispatch;
+    tc "switch fallthrough" test_switch_fallthrough;
+    tc "break/continue inside switch" test_switch_break_and_loops;
+    tc "switch on char" test_switch_on_char_and_long;
+    tc "goto forward and backward" test_goto_forward_backward;
+    tc "goto out of nested loops" test_goto_out_of_loop;
+    tc "switch/goto static errors" test_switch_goto_errors;
+    tc "block declarations" test_block_decls_basic;
+    tc "shadowing" test_block_decl_shadowing;
+    tc "initializers re-run per entry" test_block_decl_initializer_each_entry;
+    tc "declarations in branches" test_block_decls_in_branches;
+    tc "block decls migrate" test_block_decls_migrate;
+    tc "switch migrates" test_switch_migrates;
+    tc "goto loop polls and migrates" test_goto_loop_polls;
+    tc "pretty round trip" test_roundtrip_new_syntax;
+  ]

@@ -1,0 +1,69 @@
+(** Lexer tests. *)
+
+open Hpm_lang
+open Util
+
+let toks src = Array.to_list (Array.map (fun l -> l.Lexer.tok) (Lexer.tokenize src))
+
+let test_numbers () =
+  check_bool "int" true (toks "42" = [ Lexer.INT_LIT 42L; Lexer.EOF ]);
+  check_bool "long" true (toks "42L" = [ Lexer.LONG_LIT 42L; Lexer.EOF ]);
+  check_bool "double" true (toks "1.5" = [ Lexer.DOUBLE_LIT 1.5; Lexer.EOF ]);
+  check_bool "float suffix" true (toks "1.5f" = [ Lexer.FLOAT_LIT 1.5; Lexer.EOF ]);
+  check_bool "exponent" true (toks "2e3" = [ Lexer.DOUBLE_LIT 2000.0; Lexer.EOF ]);
+  check_bool "neg exponent" true (toks "1e-2" = [ Lexer.DOUBLE_LIT 0.01; Lexer.EOF ]);
+  check_bool "trailing dot" true (toks "3." = [ Lexer.DOUBLE_LIT 3.0; Lexer.EOF ])
+
+let test_idents_keywords () =
+  check_bool "keywords" true
+    (toks "while sizeof struct" = [ Lexer.KW_WHILE; Lexer.KW_SIZEOF; Lexer.KW_STRUCT; Lexer.EOF ]);
+  check_bool "ident" true (toks "foo_1" = [ Lexer.IDENT "foo_1"; Lexer.EOF ]);
+  check_bool "ident prefix of keyword" true (toks "iff" = [ Lexer.IDENT "iff"; Lexer.EOF ])
+
+let test_operators () =
+  check_bool "compound" true
+    (toks "a += b" = [ Lexer.IDENT "a"; Lexer.PLUSEQ; Lexer.IDENT "b"; Lexer.EOF ]);
+  check_bool "arrow vs minus" true
+    (toks "a->b - c" = [ Lexer.IDENT "a"; Lexer.ARROW; Lexer.IDENT "b"; Lexer.MINUS; Lexer.IDENT "c"; Lexer.EOF ]);
+  check_bool "shifts" true (toks "<< >>" = [ Lexer.SHL; Lexer.SHR; Lexer.EOF ]);
+  check_bool "incr" true (toks "++ --" = [ Lexer.PLUSPLUS; Lexer.MINUSMINUS; Lexer.EOF ]);
+  check_bool "relops" true (toks "< <= == !=" = [ Lexer.LT; Lexer.LE; Lexer.EQ; Lexer.NE; Lexer.EOF ])
+
+let test_strings_chars () =
+  check_bool "string" true (toks {|"hi"|} = [ Lexer.STR_LIT "hi"; Lexer.EOF ]);
+  check_bool "escapes" true (toks {|"a\nb\t\\"|} = [ Lexer.STR_LIT "a\nb\t\\"; Lexer.EOF ]);
+  check_bool "char" true (toks "'x'" = [ Lexer.CHAR_LIT 'x'; Lexer.EOF ]);
+  check_bool "char escape" true (toks {|'\n'|} = [ Lexer.CHAR_LIT '\n'; Lexer.EOF ])
+
+let test_comments () =
+  check_bool "line comment" true (toks "a // b c\nd" = [ Lexer.IDENT "a"; Lexer.IDENT "d"; Lexer.EOF ]);
+  check_bool "block comment" true (toks "a /* b\nc */ d" = [ Lexer.IDENT "a"; Lexer.IDENT "d"; Lexer.EOF ])
+
+let test_pragma () =
+  check_bool "poll pragma" true (toks "#pragma poll here" = [ Lexer.PRAGMA_POLL "here"; Lexer.EOF ])
+
+let test_positions () =
+  let ls = Lexer.tokenize "a\n  b" in
+  check_int "line of b" 2 ls.(1).Lexer.line;
+  check_int "col of b" 3 ls.(1).Lexer.col
+
+let lex_error = function Lexer.Error _ -> true | _ -> false
+
+let test_errors () =
+  expect_raise "unterminated string" lex_error (fun () -> toks "\"abc");
+  expect_raise "unterminated comment" lex_error (fun () -> toks "/* abc");
+  expect_raise "bad escape" lex_error (fun () -> toks {|"\q"|});
+  expect_raise "stray char" lex_error (fun () -> toks "@");
+  expect_raise "bad pragma" lex_error (fun () -> toks "#include <stdio.h>")
+
+let suite =
+  [
+    tc "numeric literals" test_numbers;
+    tc "identifiers and keywords" test_idents_keywords;
+    tc "operators" test_operators;
+    tc "strings and chars" test_strings_chars;
+    tc "comments" test_comments;
+    tc "poll pragma" test_pragma;
+    tc "source positions" test_positions;
+    tc "lexical errors" test_errors;
+  ]

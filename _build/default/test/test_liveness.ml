@@ -1,0 +1,273 @@
+(** Liveness tests, including the exact live sets the paper's example
+    needs at its migration point. *)
+
+open Hpm_ir
+open Util
+
+let lower src =
+  let ast = check_src src in
+  Compile.lower ast
+
+let analyzed src name =
+  let prog, _ = lower src in
+  let f = Ir.find_func_exn prog name in
+  (f, Liveness.analyze f)
+
+(* live set at the first user poll of [name] *)
+let live_at_poll src name =
+  let ast = check_src src in
+  let prog, user_polls = Compile.lower ast in
+  let table = Pollpoint.insert prog user_polls Pollpoint.user_only_strategy in
+  match
+    List.find_opt (fun p -> String.equal p.Pollpoint.fn name) table.Pollpoint.polls
+  with
+  | Some p -> p.Pollpoint.live
+  | None -> Alcotest.failf "no poll in %s" name
+
+let test_dead_excluded () =
+  let live =
+    live_at_poll
+      {|
+int main() {
+  int used; int dead;
+  used = 1; dead = 2;
+  #pragma poll here
+  print_int(used);
+  return 0;
+}
+|}
+      "main"
+  in
+  check_bool "used live" true (List.mem "used" live);
+  check_bool "dead not live" false (List.mem "dead" live)
+
+let test_redefined_excluded () =
+  let live =
+    live_at_poll
+      {|
+int main() {
+  int x;
+  x = 1;
+  #pragma poll here
+  x = 2;              /* killed before use: old value not needed */
+  print_int(x);
+  return 0;
+}
+|}
+      "main"
+  in
+  check_bool "redefined not live" false (List.mem "x" live)
+
+let test_loop_carried () =
+  let live =
+    live_at_poll
+      {|
+int main() {
+  int i; int acc;
+  acc = 0;
+  for (i = 0; i < 10; i++) {
+    #pragma poll here
+    acc = acc + i;
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+      "main"
+  in
+  check_bool "i live" true (List.mem "i" live);
+  check_bool "acc live" true (List.mem "acc" live)
+
+let test_address_taken_is_use () =
+  (* b's content is read later through the alias, so taking &b keeps it live *)
+  let live =
+    live_at_poll
+      {|
+void bump(int **q) { (**q)++; }
+int main() {
+  int a; int *b;
+  a = 1;
+  b = &a;
+  #pragma poll here
+  bump(&b);
+  print_int(a);
+  return 0;
+}
+|}
+      "main"
+  in
+  check_bool "b live (address escapes later)" true (List.mem "b" live);
+  check_bool "a live (address taken then read)" true (List.mem "a" live)
+
+let test_partial_write_keeps_base () =
+  (* writing one element must not kill the array: other elements survive *)
+  let live =
+    live_at_poll
+      {|
+int main() {
+  int a[4];
+  int i;
+  a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+  i = 0;
+  #pragma poll here
+  a[2] = 99;
+  for (i = 0; i < 4; i++) print_int(a[i]);
+  return 0;
+}
+|}
+      "main"
+  in
+  check_bool "array live across partial write" true (List.mem "a" live)
+
+let test_paper_example_live_sets () =
+  (* Fig. 1: at the poll in foo, both parameters are needed afterwards *)
+  let src =
+    {|
+struct node { float data; struct node *link; };
+struct node *first, *last;
+void foo(struct node **p, int **q) {
+  #pragma poll before_malloc
+  *p = (struct node *) malloc(sizeof(struct node));
+  (*p)->data = 10.0;
+  (**q)++;
+}
+int main() {
+  int i; int a, *b;
+  struct node *parray[10];
+  a = 1; b = &a;
+  for (i = 0; i < 10; i++) {
+    foo(parray + i, &b);
+    first = parray[0];
+    last = parray[i];
+    first->link = last;
+    if (i > 0) parray[i]->link = parray[i - 1];
+  }
+  return 0;
+}
+|}
+  in
+  let live_foo = live_at_poll src "foo" in
+  check_bool "p live in foo" true (List.mem "p" live_foo);
+  check_bool "q live in foo" true (List.mem "q" live_foo);
+  (* at main's suspended call site, parray, i and b are needed beyond *)
+  let ast = check_src src in
+  let prog, _ = Compile.lower ast in
+  let main = Ir.find_func_exn prog "main" in
+  let live = Liveness.analyze main in
+  let found = ref false in
+  Array.iteri
+    (fun bi (b : Ir.block) ->
+      Array.iteri
+        (fun ii ins ->
+          match ins with
+          | Ir.Icall (_, Ir.Cfun "foo", _) ->
+              found := true;
+              let s = Liveness.live_suspended_call live ~block:bi ~index:ii in
+              check_bool "parray live at call" true (Liveness.SS.mem "parray" s);
+              check_bool "i live at call" true (Liveness.SS.mem "i" s);
+              check_bool "b live at call" true (Liveness.SS.mem "b" s)
+          | _ -> ())
+        b.Ir.instrs)
+    main.Ir.blocks;
+  check_bool "found the call" true !found
+
+let test_call_dst_not_saved () =
+  (* the destination of a suspended call is re-defined by the return *)
+  let src =
+    {|
+int id(int x) { return x; }
+int main() {
+  int r;
+  r = id(5);
+  print_int(r);
+  return 0;
+}
+|}
+  in
+  let prog, _ = lower src in
+  let main = Ir.find_func_exn prog "main" in
+  let live = Liveness.analyze main in
+  Array.iteri
+    (fun bi (b : Ir.block) ->
+      Array.iteri
+        (fun ii ins ->
+          match ins with
+          | Ir.Icall (Some (Ir.Lvar dst), Ir.Cfun "id", _) ->
+              let s = Liveness.live_suspended_call live ~block:bi ~index:ii in
+              check_bool "call dst excluded" false (Liveness.SS.mem dst s)
+          | _ -> ())
+        b.Ir.instrs)
+    main.Ir.blocks
+
+let test_params_live_at_entry () =
+  let f, live = analyzed "int add(int a, int b) { return a + b; } int main() { return add(1,2); }" "add" in
+  let s = Liveness.live_before live ~block:f.Ir.entry ~index:0 in
+  check_bool "a live at entry" true (Liveness.SS.mem "a" s);
+  check_bool "b live at entry" true (Liveness.SS.mem "b" s)
+
+let test_globals_not_tracked () =
+  let _, live =
+    analyzed "int g; int main() { g = 1; print_int(g); return 0; }" "main"
+  in
+  let s = Liveness.live_before live ~block:0 ~index:0 in
+  check_bool "globals excluded from live sets" false (Liveness.SS.mem "g" s)
+
+let test_switch_liveness () =
+  let live =
+    live_at_poll
+      {|
+int main() {
+  int x; int used_in_case; int dead_after;
+  x = 2; used_in_case = 10; dead_after = 5;
+  print_int(dead_after);
+  #pragma poll here
+  switch (x) {
+    case 1: print_int(0); break;
+    case 2: print_int(used_in_case); break;
+    default: ;
+  }
+  return 0;
+}
+|}
+      "main"
+  in
+  check_bool "scrutinee live" true (List.mem "x" live);
+  check_bool "case body var live" true (List.mem "used_in_case" live);
+  check_bool "finished var dead" false (List.mem "dead_after" live)
+
+let test_goto_liveness () =
+  (* a variable used only after a backward goto target is loop-carried *)
+  let live =
+    live_at_poll
+      {|
+int main() {
+  int n; int acc;
+  n = 10; acc = 0;
+again:
+  #pragma poll here
+  acc = acc + n;
+  n = n - 1;
+  if (n > 0) goto again;
+  print_int(acc);
+  return 0;
+}
+|}
+      "main"
+  in
+  check_bool "n live across goto loop" true (List.mem "n" live);
+  check_bool "acc live across goto loop" true (List.mem "acc" live)
+
+let suite =
+  [
+    tc "dead variables excluded" test_dead_excluded;
+    tc "redefined-before-use excluded" test_redefined_excluded;
+    tc "loop-carried variables live" test_loop_carried;
+    tc "address-taken counts as use" test_address_taken_is_use;
+    tc "partial writes keep base live" test_partial_write_keeps_base;
+    tc "paper Figure 1 live sets" test_paper_example_live_sets;
+    tc "suspended call dst excluded" test_call_dst_not_saved;
+    tc "parameters live at entry" test_params_live_at_entry;
+    tc "globals not tracked" test_globals_not_tracked;
+    tc "liveness through switch" test_switch_liveness;
+    tc "liveness through goto loops" test_goto_liveness;
+  ]

@@ -1,0 +1,33 @@
+(* Test runner: one alcotest binary aggregating every module's suite. *)
+
+let () =
+  Alcotest.run "hpm"
+    [
+      ("endian", Test_endian.suite);
+      ("arch", Test_arch.suite);
+      ("layout", Test_layout.suite);
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("typecheck", Test_typecheck.suite);
+      ("lang-ext", Test_lang_ext.suite);
+      ("scopes", Test_scopes.suite);
+      ("cfg", Test_cfg.suite);
+      ("liveness", Test_liveness.suite);
+      ("pollpoint", Test_pollpoint.suite);
+      ("unsafe", Test_unsafe.suite);
+      ("annotate", Test_annotate.suite);
+      ("mem", Test_mem.suite);
+      ("interp", Test_interp.suite);
+      ("xdr", Test_xdr.suite);
+      ("stream", Test_stream.suite);
+      ("msr", Test_msr.suite);
+      ("collect-restore", Test_collect_restore.suite);
+      ("migration", Test_migration.suite);
+      ("failure-injection", Test_failure.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("inspect", Test_inspect.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("netsim", Test_netsim.suite);
+      ("sched", Test_sched.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,147 @@
+(** Simulated memory tests: blocks, the address→block search, byte-level
+    representation, and faults. *)
+
+open Hpm_arch
+open Hpm_lang
+open Hpm_machine
+open Util
+
+let tenv =
+  Ty.add_struct Ty.empty_tenv
+    {
+      Ty.s_name = "node";
+      s_fields =
+        [ { Ty.fld_name = "data"; fld_ty = Ty.Float }; { Ty.fld_name = "link"; fld_ty = Ty.Ptr (Ty.Struct "node") } ];
+    }
+
+let fresh ?(arch = Arch.sparc20) () = Mem.create arch tenv
+
+let test_alloc_find () =
+  let m = fresh () in
+  let b1 = Mem.alloc m Mem.Heap Ty.Int Mem.Iheap in
+  let b2 = Mem.alloc m Mem.Heap (Ty.Array (Ty.Double, 10)) Mem.Iheap in
+  check_bool "distinct bases" true (not (Int64.equal b1.Mem.base b2.Mem.base));
+  check_bool "find base" true (Mem.find_block m b1.Mem.base == b1);
+  check_bool "find interior" true
+    (Mem.find_block m (Int64.add b2.Mem.base 24L) == b2);
+  check_int "sizes" 80 b2.Mem.size;
+  check_int "live blocks" 2 m.Mem.live_blocks
+
+let fault = function Mem.Fault _ -> true | _ -> false
+
+let test_wild_and_dangling () =
+  let m = fresh () in
+  let b = Mem.alloc m Mem.Heap Ty.Int Mem.Iheap in
+  expect_raise "wild" fault (fun () -> Mem.find_block m 0xdead0000L);
+  expect_raise "guard gap is wild" fault (fun () ->
+      Mem.find_block m (Int64.add b.Mem.base 4L));
+  Mem.free m b;
+  expect_raise "dangling" fault (fun () -> Mem.find_block m b.Mem.base);
+  expect_raise "double free" fault (fun () -> Mem.free m b)
+
+let test_zero_init () =
+  let m = fresh () in
+  let b = Mem.alloc m Mem.Stack (Ty.Array (Ty.Int, 4)) (Mem.Ilocal (0, "x")) in
+  check_bool "zeroed" true
+    (Mem.load_scalar m b 0 Ty.KInt = Mem.Vint 0L
+    && Mem.load_scalar m b 12 Ty.KInt = Mem.Vint 0L)
+
+let test_representation_is_endian () =
+  (* the same store leaves opposite byte orders on LE and BE machines *)
+  let mle = fresh ~arch:Arch.dec5000 () and mbe = fresh ~arch:Arch.sparc20 () in
+  let ble = Mem.alloc mle Mem.Heap Ty.Int Mem.Iheap in
+  let bbe = Mem.alloc mbe Mem.Heap Ty.Int Mem.Iheap in
+  Mem.store_scalar mle ble 0 Ty.KInt (Mem.Vint 0x11223344L);
+  Mem.store_scalar mbe bbe 0 Ty.KInt (Mem.Vint 0x11223344L);
+  check_int "LE low byte first" 0x44 (Char.code (Bytes.get ble.Mem.bytes 0));
+  check_int "BE high byte first" 0x11 (Char.code (Bytes.get bbe.Mem.bytes 0));
+  check_bool "same value reads back" true
+    (Mem.load_scalar mle ble 0 Ty.KInt = Mem.load_scalar mbe bbe 0 Ty.KInt)
+
+let test_pointer_width () =
+  let m32 = fresh ~arch:Arch.sparc20 () and m64 = fresh ~arch:Arch.x86_64 () in
+  let t = Ty.Ptr Ty.Int in
+  let b32 = Mem.alloc m32 Mem.Heap t Mem.Iheap in
+  let b64 = Mem.alloc m64 Mem.Heap t Mem.Iheap in
+  check_int "4-byte pointer block" 4 b32.Mem.size;
+  check_int "8-byte pointer block" 8 b64.Mem.size
+
+let test_bounds () =
+  let m = fresh () in
+  let b = Mem.alloc m Mem.Heap (Ty.Array (Ty.Int, 2)) Mem.Iheap in
+  expect_raise "load past end" fault (fun () -> Mem.load_scalar m b 8 Ty.KInt);
+  expect_raise "store before start" fault (fun () ->
+      Mem.store_scalar m b (-4) Ty.KInt (Mem.Vint 0L));
+  expect_raise "straddling load" fault (fun () -> Mem.load_scalar m b 6 Ty.KInt)
+
+let test_copy_region () =
+  let m = fresh () in
+  let a = Mem.alloc m Mem.Heap (Ty.Array (Ty.Int, 4)) Mem.Iheap in
+  let b = Mem.alloc m Mem.Heap (Ty.Array (Ty.Int, 4)) Mem.Iheap in
+  Mem.store_scalar m a 4 Ty.KInt (Mem.Vint 7L);
+  Mem.copy_region m ~dst:b.Mem.base ~src:a.Mem.base ~len:16;
+  check_bool "copied" true (Mem.load_scalar m b 4 Ty.KInt = Mem.Vint 7L)
+
+let test_cstring () =
+  let m = fresh () in
+  let b = Mem.alloc m Mem.Global (Ty.Array (Ty.Char, 6)) (Mem.Istring 0) in
+  String.iteri (fun i c -> Bytes.set b.Mem.bytes i c) "hi\000xx";
+  check_string "reads to NUL" "hi" (Mem.read_cstring m b.Mem.base);
+  check_string "from offset" "i" (Mem.read_cstring m (Int64.add b.Mem.base 1L))
+
+let test_stack_removal () =
+  let m = fresh () in
+  let sp = Mem.stack_top m in
+  let b = Mem.alloc m Mem.Stack Ty.Int (Mem.Ilocal (0, "x")) in
+  Mem.remove_block m b;
+  Mem.set_stack_top m sp;
+  check_int "no live blocks" 0 m.Mem.live_blocks;
+  expect_raise "removed is wild" fault (fun () -> Mem.find_block m b.Mem.base);
+  (* the address range is reusable *)
+  let b2 = Mem.alloc m Mem.Stack Ty.Int (Mem.Ilocal (0, "y")) in
+  check_bool "address reused" true (Int64.equal b2.Mem.base b.Mem.base)
+
+let test_search_counted () =
+  let m = fresh () in
+  let b = Mem.alloc m Mem.Heap Ty.Int Mem.Iheap in
+  let before = m.Mem.stats.Mstats.searches in
+  ignore (Mem.find_block m b.Mem.base);
+  ignore (Mem.find_block m b.Mem.base);
+  check_int "searches counted" (before + 2) m.Mem.stats.Mstats.searches
+
+(* property: scalar store/load round trip per kind, arch, offset *)
+let prop_scalar_roundtrip =
+  qt ~count:300 "scalar store/load roundtrip"
+    QCheck.(triple int64 (int_range 0 4) (int_range 0 2))
+    (fun (v, arch_i, kind_i) ->
+      let arch = List.nth Arch.all arch_i in
+      let kind = List.nth [ Ty.KInt; Ty.KLong; Ty.KDouble ] kind_i in
+      let m = fresh ~arch () in
+      let b = Mem.alloc m Mem.Heap (Ty.Array (Ty.Long, 4)) Mem.Iheap in
+      match kind with
+      | Ty.KDouble ->
+          let f = Int64.float_of_bits v in
+          Mem.store_scalar m b 8 kind (Mem.Vfloat f);
+          Mem.load_scalar m b 8 kind = Mem.Vfloat f
+          || Int64.bits_of_float
+               (match Mem.load_scalar m b 8 kind with Mem.Vfloat g -> g | _ -> 0.0)
+             = v
+      | _ ->
+          let width = Layout.scalar_size m.Mem.layout kind in
+          Mem.store_scalar m b 8 kind (Mem.Vint v);
+          Mem.load_scalar m b 8 kind = Mem.Vint (Hpm_arch.Endian.sign_extend width v))
+
+let suite =
+  [
+    tc "alloc and find" test_alloc_find;
+    tc "wild and dangling pointers fault" test_wild_and_dangling;
+    tc "fresh blocks zeroed" test_zero_init;
+    tc "representation is endian" test_representation_is_endian;
+    tc "pointer width per arch" test_pointer_width;
+    tc "bounds checking" test_bounds;
+    tc "copy region" test_copy_region;
+    tc "C strings" test_cstring;
+    tc "stack block removal and reuse" test_stack_removal;
+    tc "searches counted" test_search_counted;
+    prop_scalar_roundtrip;
+  ]

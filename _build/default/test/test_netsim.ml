@@ -1,0 +1,52 @@
+(** Network simulator tests. *)
+
+open Hpm_net
+open Util
+
+let test_tx_time () =
+  let ch = Netsim.make ~name:"t" ~bandwidth_bps:1e6 ~latency_s:0.001 in
+  (* 1000 bytes = 8000 bits over 1 Mb/s = 8 ms, plus 1 ms latency *)
+  Alcotest.(check (float 1e-9)) "tx math" 0.009 (Netsim.tx_time ch 1000);
+  Alcotest.(check (float 1e-9)) "latency only" 0.001 (Netsim.tx_time ch 0)
+
+let test_presets () =
+  let e10 = Netsim.ethernet_10 () and e100 = Netsim.ethernet_100 () in
+  (* 1 MB over 10 Mb/s Ethernet is on the order of a second; over 100 Mb/s
+     roughly a tenth of that *)
+  let t10 = Netsim.tx_time e10 1_000_000 and t100 = Netsim.tx_time e100 1_000_000 in
+  check_bool "e10 order of magnitude" true (t10 > 0.8 && t10 < 2.0);
+  check_bool "e100 about 10x faster" true (t100 < t10 /. 5.0);
+  check_bool "loopback free" true (Netsim.tx_time (Netsim.loopback ()) 1_000_000 < 1e-4)
+
+let test_delivery () =
+  let ch = Netsim.ethernet_100 () in
+  let delivered, t = Netsim.send ch "payload" in
+  check_string "lossless" "payload" delivered;
+  check_bool "positive time" true (t > 0.0);
+  check_int "accounting" 7 ch.Netsim.bytes_sent;
+  check_int "messages" 1 ch.Netsim.messages
+
+let test_faults () =
+  let ch = Netsim.loopback () in
+  let d, _ = Netsim.send ~fault:(Netsim.Truncate 3) ch "abcdef" in
+  check_string "truncate" "abc" d;
+  let d2, _ = Netsim.send ~fault:(Netsim.FlipByte 1) ch "abc" in
+  check_bool "flip changed byte" true (d2.[1] <> 'b' && d2.[0] = 'a' && d2.[2] = 'c');
+  let d3, _ = Netsim.send ~fault:(Netsim.FlipByte 99) ch "abc" in
+  check_string "flip out of range is identity" "abc" d3;
+  let d4, _ = Netsim.send ~fault:(Netsim.Truncate 99) ch "abc" in
+  check_string "truncate beyond length is identity" "abc" d4
+
+let test_monotone () =
+  let ch = Netsim.ethernet_10 () in
+  check_bool "more bytes, more time" true
+    (Netsim.tx_time ch 2_000 > Netsim.tx_time ch 1_000)
+
+let suite =
+  [
+    tc "transfer-time arithmetic" test_tx_time;
+    tc "ethernet presets" test_presets;
+    tc "delivery and accounting" test_delivery;
+    tc "fault injection" test_faults;
+    tc "monotonicity" test_monotone;
+  ]

@@ -1,0 +1,152 @@
+(** Parser tests: declarators, precedence, statements, round trips. *)
+
+open Hpm_lang
+open Util
+
+let parse = Parser.parse_string
+
+let first_global src =
+  match (parse src).Ast.globals with
+  | d :: _ -> d
+  | [] -> Alcotest.fail "no global parsed"
+
+let test_declarators () =
+  check_bool "plain" true (Ty.equal (first_global "int x; int main(){}").Ast.d_ty Ty.Int);
+  check_bool "pointer" true (Ty.equal (first_global "int *x; int main(){}").Ast.d_ty (Ty.Ptr Ty.Int));
+  check_bool "array" true
+    (Ty.equal (first_global "int x[10]; int main(){}").Ast.d_ty (Ty.Array (Ty.Int, 10)));
+  check_bool "array of pointers" true
+    (Ty.equal (first_global "struct n { int v; }; struct n *x[10]; int main(){}").Ast.d_ty
+       (Ty.Array (Ty.Ptr (Ty.Struct "n"), 10)));
+  check_bool "pointer to array" true
+    (Ty.equal (first_global "int (*x)[10]; int main(){}").Ast.d_ty
+       (Ty.Ptr (Ty.Array (Ty.Int, 10))));
+  check_bool "function pointer" true
+    (Ty.equal (first_global "int (*f)(int, double); int main(){}").Ast.d_ty
+       (Ty.Ptr (Ty.Func (Ty.Int, [ Ty.Int; Ty.Double ]))));
+  check_bool "2d array" true
+    (Ty.equal (first_global "double a[3][4]; int main(){}").Ast.d_ty
+       (Ty.Array (Ty.Array (Ty.Double, 4), 3)));
+  check_bool "multi declarators" true
+    (let p = parse "int a, *b, c[2]; int main(){}" in
+     List.map (fun d -> d.Ast.d_ty) p.Ast.globals
+     = [ Ty.Int; Ty.Ptr Ty.Int; Ty.Array (Ty.Int, 2) ])
+
+let expr_of src =
+  let p = parse (Printf.sprintf "int main() { %s; }" src) in
+  match (List.hd p.Ast.funcs).Ast.f_body with
+  | [ { Ast.sdesc = Ast.Sexpr e; _ } ] -> e
+  | _ -> Alcotest.fail "expected a single expression statement"
+
+let rec skeleton (e : Ast.expr) : string =
+  match e.Ast.desc with
+  | Ast.Const _ -> "k"
+  | Ast.Var v -> v
+  | Ast.Binop (op, a, b) -> Printf.sprintf "(%s%s%s)" (skeleton a) (Ast.binop_to_string op) (skeleton b)
+  | Ast.Unop (op, a) -> Printf.sprintf "(%s%s)" (Ast.unop_to_string op) (skeleton a)
+  | Ast.Assign (a, b) -> Printf.sprintf "(%s=%s)" (skeleton a) (skeleton b)
+  | Ast.Index (a, b) -> Printf.sprintf "%s[%s]" (skeleton a) (skeleton b)
+  | Ast.Deref a -> Printf.sprintf "(*%s)" (skeleton a)
+  | Ast.Addr a -> Printf.sprintf "(&%s)" (skeleton a)
+  | Ast.Cond (a, b, c) -> Printf.sprintf "(%s?%s:%s)" (skeleton a) (skeleton b) (skeleton c)
+  | Ast.Call (f, args) -> Printf.sprintf "%s(%s)" (skeleton f) (String.concat "," (List.map skeleton args))
+  | Ast.Field (a, f) -> Printf.sprintf "%s.%s" (skeleton a) f
+  | Ast.Arrow (a, f) -> Printf.sprintf "%s->%s" (skeleton a) f
+  | Ast.Cast (_, a) -> Printf.sprintf "(cast %s)" (skeleton a)
+  | Ast.Incr (true, a) -> Printf.sprintf "(++%s)" (skeleton a)
+  | Ast.Incr (false, a) -> Printf.sprintf "(%s++)" (skeleton a)
+  | Ast.Decr (true, a) -> Printf.sprintf "(--%s)" (skeleton a)
+  | Ast.Decr (false, a) -> Printf.sprintf "(%s--)" (skeleton a)
+  | Ast.Sizeof _ -> "sizeof"
+
+let test_precedence () =
+  check_string "mul over add" "(a+(b*c))" (skeleton (expr_of "a + b * c"));
+  check_string "left assoc" "((a-b)-c)" (skeleton (expr_of "a - b - c"));
+  check_string "cmp over and" "((a<b)&&(c>k))" (skeleton (expr_of "a < b && c > 1"));
+  check_string "or lowest" "((a&&b)||c)" (skeleton (expr_of "a && b || c"));
+  check_string "assign right assoc" "(a=(b=c))" (skeleton (expr_of "a = b = c"));
+  check_string "unary binds tight" "((-a)*b)" (skeleton (expr_of "-a * b"));
+  check_string "deref then index" "(*a)[b]" (skeleton (expr_of "(*a)[b]"));
+  check_string "postfix chain" "a->b.c" (skeleton (expr_of "a->b.c"));
+  check_string "ternary right assoc" "(a?b:(c?k:k))" (skeleton (expr_of "a ? b : c ? 1 : 2"))
+
+let test_compound_assign () =
+  check_string "plus-eq desugars" "(a=(a+b))" (skeleton (expr_of "a += b"));
+  check_string "star-eq desugars" "(a=(a*k))" (skeleton (expr_of "a *= 2"))
+
+let test_statements () =
+  let p =
+    parse
+      {|
+int main() {
+  int i;
+  for (i = 0; i < 10; i++) { if (i > 5) break; else continue; }
+  while (i) { i--; }
+  do { i++; } while (i < 3);
+  #pragma poll spot
+  return 0;
+}
+|}
+  in
+  let f = List.hd p.Ast.funcs in
+  check_int "five statements" 5 (List.length f.Ast.f_body);
+  check_int "one local" 1 (List.length f.Ast.f_locals)
+
+let test_struct_and_protos () =
+  let p =
+    parse
+      {|
+struct pair { int a; int b; };
+struct pair *make(int a, int b);
+struct pair *make(int a, int b) {
+  struct pair *p;
+  p = (struct pair *) malloc(sizeof(struct pair));
+  p->a = a; p->b = b;
+  return p;
+}
+int main() { return 0; }
+|}
+  in
+  check_int "one struct" 1 (List.length p.Ast.tenv.Ty.structs);
+  check_int "prototype not duplicated" 2 (List.length p.Ast.funcs)
+
+let test_kr_default_int () =
+  let p = parse "main() { return 0; }" in
+  check_bool "K&R main returns int" true (Ty.equal (List.hd p.Ast.funcs).Ast.f_ret Ty.Int)
+
+let parse_error = function Parser.Error _ -> true | _ -> false
+
+let test_errors () =
+  expect_raise "missing semi" parse_error (fun () -> parse "int main() { int x x }");
+  expect_raise "unbalanced paren" parse_error (fun () -> parse "int main() { return (1; }");
+  expect_raise "bad array size" parse_error (fun () -> parse "int a[x]; int main(){}");
+  expect_raise "decl after stmt" parse_error (fun () ->
+      (* C89 scoping: locals precede statements; a type name mid-body fails *)
+      parse "int main() { f(); int x; return 0; }")
+
+(* print -> reparse -> print fixpoint over a corpus incl. all workloads *)
+let corpus () =
+  List.map
+    (fun (w : Hpm_workloads.Registry.t) ->
+      (w.Hpm_workloads.Registry.name, w.Hpm_workloads.Registry.source w.Hpm_workloads.Registry.default_n))
+    Hpm_workloads.Registry.all
+
+let test_roundtrip () =
+  List.iter
+    (fun (name, src) ->
+      let printed = Pretty.program_to_string (check_src src) in
+      let reparsed = Pretty.program_to_string (check_src printed) in
+      check_string (name ^ " print fixpoint") printed reparsed)
+    (corpus ())
+
+let suite =
+  [
+    tc "declarators" test_declarators;
+    tc "operator precedence" test_precedence;
+    tc "compound assignment desugaring" test_compound_assign;
+    tc "statements" test_statements;
+    tc "structs and prototypes" test_struct_and_protos;
+    tc "K&R default-int functions" test_kr_default_int;
+    tc "syntax errors" test_errors;
+    tc "pretty-print round trip on all workloads" test_roundtrip;
+  ]

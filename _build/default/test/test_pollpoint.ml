@@ -1,0 +1,127 @@
+(** Poll-point insertion tests. *)
+
+open Hpm_ir
+open Util
+
+let table ?(strategy = Pollpoint.default_strategy) src =
+  let ast = check_src src in
+  let prog, user_polls = Compile.lower ast in
+  (prog, Pollpoint.insert prog user_polls strategy)
+
+let src_loops =
+  {|
+int work(int n) {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < n; i++) { s = s + i; }
+  return s;
+}
+int main() {
+  int i;
+  for (i = 0; i < 3; i++) { print_int(work(i)); }
+  return 0;
+}
+|}
+
+let test_default_strategy () =
+  let _, t = table src_loops in
+  (* 2 loop headers + 2 function entries *)
+  check_int "poll count" 4 (List.length t.Pollpoint.polls);
+  let kinds = List.map (fun p -> p.Pollpoint.kind) t.Pollpoint.polls in
+  check_int "loop polls" 2
+    (List.length (List.filter (function Pollpoint.Kloop -> true | _ -> false) kinds));
+  check_int "entry polls" 2
+    (List.length (List.filter (function Pollpoint.Kentry -> true | _ -> false) kinds))
+
+let test_user_only () =
+  let _, t = table ~strategy:Pollpoint.user_only_strategy src_loops in
+  check_int "no automatic polls" 0 (List.length t.Pollpoint.polls);
+  let _, t2 =
+    table ~strategy:Pollpoint.user_only_strategy
+      "int main() { int i; #pragma poll one\n for (i = 0; i < 3; i++) { #pragma poll two\n } return 0; }"
+  in
+  check_int "two user polls" 2 (List.length t2.Pollpoint.polls);
+  check_bool "names kept" true
+    (List.for_all
+       (fun p -> match p.Pollpoint.kind with Pollpoint.Kuser _ -> true | _ -> false)
+       t2.Pollpoint.polls)
+
+let test_ids_unique_and_dense () =
+  let _, t = table src_loops in
+  let ids = List.map (fun p -> p.Pollpoint.id) t.Pollpoint.polls in
+  check_int "dense ids" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let test_determinism () =
+  let _, t1 = table src_loops in
+  let _, t2 = table src_loops in
+  check_bool "identical tables" true
+    (List.for_all2
+       (fun a b ->
+         a.Pollpoint.id = b.Pollpoint.id
+         && String.equal a.Pollpoint.fn b.Pollpoint.fn
+         && a.Pollpoint.block = b.Pollpoint.block
+         && a.Pollpoint.index = b.Pollpoint.index
+         && a.Pollpoint.live = b.Pollpoint.live)
+       t1.Pollpoint.polls t2.Pollpoint.polls)
+
+let test_hot_threshold () =
+  let strategy = { Pollpoint.default_strategy with Pollpoint.hot_threshold = 1000 } in
+  let _, t = table ~strategy src_loops in
+  check_int "tiny functions skipped" 0 (List.length t.Pollpoint.polls)
+
+let test_max_loop_depth () =
+  let src =
+    {|
+int main() {
+  int i; int j; int s;
+  s = 0;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 3; j++) { s = s + 1; }
+  }
+  print_int(s);
+  return 0;
+}
+|}
+  in
+  let strategy =
+    { Pollpoint.default_strategy with Pollpoint.max_loop_depth = 1; fn_entries = false }
+  in
+  let _, t = table ~strategy src in
+  check_int "outer loop only" 1 (List.length t.Pollpoint.polls)
+
+let test_only_funcs () =
+  let strategy = { Pollpoint.default_strategy with Pollpoint.only_funcs = Some [ "work" ] } in
+  let _, t = table ~strategy src_loops in
+  check_bool "restricted to work" true
+    (List.for_all (fun p -> String.equal p.Pollpoint.fn "work") t.Pollpoint.polls)
+
+let test_polls_execute () =
+  (* inserted polls must actually fire during execution *)
+  let m = prepare src_loops in
+  let out, _, stats = Hpm_core.Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  check_string "output unaffected" "0\n0\n1\n" out;
+  check_bool "polls executed" true (stats.Hpm_machine.Mstats.polls > 0)
+
+let test_live_sets_attached () =
+  let _, t = table src_loops in
+  let loop_poll_in_work =
+    List.find
+      (fun p -> String.equal p.Pollpoint.fn "work" && p.Pollpoint.kind = Pollpoint.Kloop)
+      t.Pollpoint.polls
+  in
+  check_bool "s and i live at work's loop" true
+    (List.mem "s" loop_poll_in_work.Pollpoint.live
+    && List.mem "i" loop_poll_in_work.Pollpoint.live)
+
+let suite =
+  [
+    tc "default strategy places loop+entry polls" test_default_strategy;
+    tc "user-only strategy" test_user_only;
+    tc "ids unique" test_ids_unique_and_dense;
+    tc "insertion is deterministic" test_determinism;
+    tc "hot-function threshold" test_hot_threshold;
+    tc "max loop depth" test_max_loop_depth;
+    tc "function restriction" test_only_funcs;
+    tc "inserted polls fire at run time" test_polls_execute;
+    tc "live sets attached to polls" test_live_sets_attached;
+  ]

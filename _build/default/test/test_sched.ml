@@ -1,0 +1,133 @@
+(** Scheduler / distributed-environment tests. *)
+
+open Hpm_sched
+open Util
+
+let nqueens n = Util.prepare (Hpm_workloads.Nqueens.source n)
+
+let mk_env () =
+  let slow = Sched.node "slow" Hpm_arch.Arch.dec5000 in
+  let fast = Sched.node "fast" Hpm_arch.Arch.x86_64 in
+  let sim = Sched.create ~channel:(Hpm_net.Netsim.ethernet_10 ()) [ slow; fast ] in
+  (sim, slow, fast)
+
+let test_run_to_completion () =
+  let sim, slow, _ = mk_env () in
+  let p = Sched.spawn sim slow "q6" (nqueens 6) in
+  let _ = Sched.run sim in
+  check_bool "finished" true (match p.Sched.p_state with Sched.Finished _ -> true | _ -> false);
+  check_string "correct output" "4\n" (Sched.output p);
+  check_int "no migrations" 0 p.Sched.p_migrations
+
+let test_explicit_migration () =
+  let sim, slow, fast = mk_env () in
+  let p = Sched.spawn sim slow "q7" (nqueens 7) in
+  Sched.request_migration sim p fast;
+  let _ = Sched.run sim in
+  check_string "output survives" "40\n" (Sched.output p);
+  check_int "one migration" 1 p.Sched.p_migrations;
+  check_bool "ends on fast" true (p.Sched.p_node == fast);
+  (* the event log records request, migrate, finish in order *)
+  let evs = Sched.events sim in
+  let kinds =
+    List.filter_map
+      (function
+        | Sched.Requested _ -> Some "req"
+        | Sched.Migrated _ -> Some "mig"
+        | Sched.Finished_ev _ -> Some "fin"
+        | Sched.Spawned _ -> Some "spawn")
+      evs
+  in
+  check_bool "event order" true (kinds = [ "spawn"; "req"; "mig"; "fin" ])
+
+let test_migration_to_same_node_ignored () =
+  let sim, slow, _ = mk_env () in
+  let p = Sched.spawn sim slow "q5" (nqueens 5) in
+  Sched.request_migration sim p slow;
+  let _ = Sched.run sim in
+  check_int "no self-migration" 0 p.Sched.p_migrations;
+  check_string "still correct" "10\n" (Sched.output p)
+
+let test_load_balance_beats_none () =
+  let run policy =
+    let sim, slow, _ = mk_env () in
+    let procs = List.init 4 (fun i -> Sched.spawn sim slow (Printf.sprintf "j%d" i) (nqueens 7)) in
+    let _ = Sched.run ~policy sim in
+    List.iter (fun p -> check_string "each job correct" "40\n" (Sched.output p)) procs;
+    List.fold_left
+      (fun acc p -> max acc (Option.value ~default:infinity p.Sched.p_finish_time))
+      0.0 procs
+  in
+  let t_none = run (fun _ -> ()) in
+  let t_lb = run Sched.load_balance in
+  check_bool
+    (Printf.sprintf "load balancing helps (%.2f vs %.2f)" t_lb t_none)
+    true (t_lb < t_none)
+
+let test_seek_fastest () =
+  let sim, slow, fast = mk_env () in
+  let p = Sched.spawn sim slow "solo" (nqueens 8) in
+  let _ = Sched.run ~policy:Sched.seek_fastest sim in
+  check_string "correct" "92\n" (Sched.output p);
+  check_bool "moved to the fast node" true (p.Sched.p_node == fast);
+  check_int "exactly one migration" 1 p.Sched.p_migrations
+
+let test_heterogeneous_cluster () =
+  (* all five architectures in one cluster; a job hops through explicit
+     requests and still computes the right answer *)
+  let nodes = List.map (fun a -> Sched.node a.Hpm_arch.Arch.name a) Hpm_arch.Arch.all in
+  let sim = Sched.create ~channel:(Hpm_net.Netsim.ethernet_100 ()) nodes in
+  let p = Sched.spawn sim (List.hd nodes) "tour" (nqueens 8) in
+  (* chain requests: after each migration completes, request the next *)
+  let rec chase = function
+    | [] -> fun _ -> ()
+    | nd :: rest ->
+        fun sim ->
+          if p.Sched.p_node != nd && p.Sched.p_pending_dst = None
+             && p.Sched.p_state = Sched.Runnable
+          then Sched.request_migration sim p nd
+          else if p.Sched.p_node == nd then (chase rest) sim
+  in
+  let _ = Sched.run ~policy:(chase (List.tl nodes)) sim in
+  check_string "toured output" "92\n" (Sched.output p);
+  check_bool "migrated several times" true (p.Sched.p_migrations >= 2)
+
+let test_cpu_sharing () =
+  (* two processes on one node each get half the CPU: the pair's makespan
+     is roughly twice a solo run's *)
+  let solo =
+    let sim, slow, _ = mk_env () in
+    let p = Sched.spawn sim slow "solo" (nqueens 7) in
+    let _ = Sched.run sim in
+    Option.get p.Sched.p_finish_time
+  in
+  let paired =
+    let sim, slow, _ = mk_env () in
+    let ps = List.init 2 (fun i -> Sched.spawn sim slow (Printf.sprintf "p%d" i) (nqueens 7)) in
+    let _ = Sched.run sim in
+    List.fold_left (fun acc p -> max acc (Option.get p.Sched.p_finish_time)) 0.0 ps
+  in
+  check_bool
+    (Printf.sprintf "timesharing (solo %.2f, paired %.2f)" solo paired)
+    true
+    (paired > 1.5 *. solo && paired < 3.0 *. solo)
+
+let test_network_accounting () =
+  let sim, slow, fast = mk_env () in
+  let p = Sched.spawn sim slow "acct" (nqueens 7) in
+  Sched.request_migration sim p fast;
+  let _ = Sched.run sim in
+  check_int "one message on the wire" 1 sim.Sched.channel.Hpm_net.Netsim.messages;
+  check_bool "bytes accounted" true (sim.Sched.channel.Hpm_net.Netsim.bytes_sent > 100)
+
+let suite =
+  [
+    tc "run to completion" test_run_to_completion;
+    tc "explicit migration" test_explicit_migration;
+    tc "self-migration ignored" test_migration_to_same_node_ignored;
+    tc_slow "load balancing beats no policy" test_load_balance_beats_none;
+    tc "seek-fastest policy" test_seek_fastest;
+    tc "five-arch cluster tour" test_heterogeneous_cluster;
+    tc "CPU timesharing" test_cpu_sharing;
+    tc "network accounting" test_network_accounting;
+  ]

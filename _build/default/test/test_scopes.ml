@@ -1,0 +1,137 @@
+(** Scope-normalization unit tests (the hoisting pass itself; behavioural
+    tests live in test_lang_ext). *)
+
+open Hpm_lang
+open Util
+
+let normalize src = Scopes.normalize (Parser.parse_string src)
+
+let main_of p = Ast.find_func_exn p "main"
+
+let local_names p = List.map (fun d -> d.Ast.d_name) (main_of p).Ast.f_locals
+
+let rec has_sdecl_stmt (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Sdecl _ -> true
+  | Ast.Sif (_, a, b) -> List.exists has_sdecl_stmt a || List.exists has_sdecl_stmt b
+  | Ast.Swhile (_, b) | Ast.Sdo (b, _) | Ast.Sfor (_, _, _, b) | Ast.Sblock b ->
+      List.exists has_sdecl_stmt b
+  | Ast.Sswitch (_, arms, d) ->
+      List.exists (fun (_, b) -> List.exists has_sdecl_stmt b) arms
+      || List.exists has_sdecl_stmt d
+  | _ -> false
+
+let test_hoists_all () =
+  let p =
+    normalize
+      {|
+int main() {
+  int a;
+  { int b; { int c; c = 1; } b = 2; }
+  while (a) { int d; d = 3; }
+  return 0;
+}
+|}
+  in
+  check_bool "no Sdecl remains" false
+    (List.exists has_sdecl_stmt (main_of p).Ast.f_body);
+  (* block names may be suffixed; one hoisted local per declaration *)
+  let names = local_names p in
+  check_int "four locals" 4 (List.length names);
+  List.iter
+    (fun base ->
+      check_bool (base ^ " hoisted") true
+        (List.exists
+           (fun n -> String.equal n base || String.length n > String.length base
+                     && String.sub n 0 (String.length base) = base)
+           names))
+    [ "a"; "b"; "c"; "d" ]
+
+let test_renames_on_collision () =
+  let p =
+    normalize
+      {|
+int main() {
+  int x;
+  { int x; x = 1; }
+  { int x; x = 2; }
+  return 0;
+}
+|}
+  in
+  let names = local_names p in
+  check_int "three distinct locals" 3 (List.length (List.sort_uniq compare names));
+  check_bool "original kept" true (List.mem "x" names)
+
+let test_avoids_global_capture () =
+  let p =
+    normalize
+      {|
+int g;
+int main() {
+  { int g; g = 1; }
+  g = 2;
+  return 0;
+}
+|}
+  in
+  (* the block-local g must NOT be hoisted under the name "g", or the
+     later global assignment would bind to it *)
+  check_bool "renamed away from the global" false (List.mem "g" (local_names p))
+
+let test_initializer_becomes_assignment () =
+  let p =
+    normalize
+      {|
+int main() {
+  { int y = 41; print_int(y + 1); }
+  return 0;
+}
+|}
+  in
+  (* hoisted decl has no initializer; an assignment stays in the block *)
+  let d =
+    List.find
+      (fun d -> String.length d.Ast.d_name >= 1 && d.Ast.d_name.[0] = 'y')
+      (main_of p).Ast.f_locals
+  in
+  check_bool "initializer stripped" true (d.Ast.d_init = None);
+  check_string "behaviour preserved" "42\n"
+    (run_on "int main() { { int y = 41; print_int(y + 1); } return 0; }")
+
+let test_idempotent () =
+  let src =
+    {|
+int main() {
+  int a;
+  { int a; a = 1; { int b = a; print_int(b); } }
+  return 0;
+}
+|}
+  in
+  let once = Pretty.program_to_string (normalize src) in
+  let twice = Pretty.program_to_string (Scopes.normalize (Parser.parse_string once)) in
+  check_string "normalize is idempotent on its output" once twice
+
+let test_user_name_collision_with_suffix () =
+  (* a user variable already named like the hoister's suffix scheme *)
+  check_string "suffix collision handled" "1\n2\n"
+    (run_on
+       {|
+int main() {
+  int a__1;
+  a__1 = 1;
+  { int a = 2; print_int(a__1); print_int(a); }
+  return 0;
+}
+|})
+
+let suite =
+  [
+    tc "hoists every block decl" test_hoists_all;
+    tc "renames on collision" test_renames_on_collision;
+    tc "avoids capturing globals" test_avoids_global_capture;
+    tc "initializers become assignments" test_initializer_becomes_assignment;
+    tc "idempotent" test_idempotent;
+    tc "user names colliding with suffixes" test_user_name_collision_with_suffix;
+  ]

@@ -1,0 +1,89 @@
+(** Wire-format codec unit tests (header, ident, prim encodings). *)
+
+open Hpm_core
+open Hpm_lang
+open Hpm_machine
+open Util
+
+let test_header_roundtrip () =
+  let b = Buffer.create 64 in
+  Stream.put_header b ~src_arch:"dec5000" ~prog_hash:0x1234_5678_9abc_def0L
+    ~rng_state:42L ~poll_id:7;
+  let h = Stream.get_header (Hpm_xdr.Xdr.reader_of_string (Buffer.contents b)) in
+  check_string "arch" "dec5000" h.Stream.src_arch;
+  Alcotest.(check int64) "hash" 0x1234_5678_9abc_def0L h.Stream.prog_hash;
+  Alcotest.(check int64) "rng" 42L h.Stream.rng_state;
+  check_int "poll" 7 h.Stream.poll_id
+
+let test_header_rejects () =
+  let corrupt = function Stream.Corrupt _ -> true | _ -> false in
+  expect_raise "bad magic" corrupt (fun () ->
+      Stream.get_header (Hpm_xdr.Xdr.reader_of_string "NOPE1234567890123456789"));
+  expect_raise "empty" corrupt (fun () ->
+      Stream.get_header (Hpm_xdr.Xdr.reader_of_string ""));
+  (* wrong version *)
+  let b = Buffer.create 32 in
+  Buffer.add_string b Stream.magic;
+  Hpm_xdr.Xdr.put_u8 b 99;
+  expect_raise "bad version" corrupt (fun () ->
+      Stream.get_header (Hpm_xdr.Xdr.reader_of_string (Buffer.contents b)))
+
+let ident_roundtrip i =
+  let b = Buffer.create 16 in
+  Stream.put_ident b i;
+  Stream.get_ident (Hpm_xdr.Xdr.reader_of_string (Buffer.contents b))
+
+let test_ident_codec () =
+  check_bool "global" true (ident_roundtrip (Mem.Iglobal "first") = Mem.Iglobal "first");
+  check_bool "local" true
+    (ident_roundtrip (Mem.Ilocal (3, "parray")) = Mem.Ilocal (3, "parray"));
+  check_bool "heap" true (ident_roundtrip Mem.Iheap = Mem.Iheap);
+  check_bool "string" true (ident_roundtrip (Mem.Istring 9) = Mem.Istring 9)
+
+let test_prim_codec () =
+  let roundtrip k v =
+    let b = Buffer.create 16 in
+    Stream.put_prim b k v;
+    Stream.get_prim (Hpm_xdr.Xdr.reader_of_string (Buffer.contents b)) k
+  in
+  check_bool "char" true (roundtrip Ty.KChar (Mem.Vint (-5L)) = Mem.Vint (-5L));
+  check_bool "short" true (roundtrip Ty.KShort (Mem.Vint 1234L) = Mem.Vint 1234L);
+  check_bool "int" true (roundtrip Ty.KInt (Mem.Vint (-100000L)) = Mem.Vint (-100000L));
+  check_bool "long full width" true
+    (roundtrip Ty.KLong (Mem.Vint 0x7fff_ffff_ffff_ffffL)
+    = Mem.Vint 0x7fff_ffff_ffff_ffffL);
+  check_bool "double" true (roundtrip Ty.KDouble (Mem.Vfloat 2.5) = Mem.Vfloat 2.5);
+  expect_raise "pointer kinds are structured"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> roundtrip (Ty.KPtr Ty.Int) (Mem.Vptr 0L))
+
+let test_canonical_widths () =
+  check_int "char" 1 (Stream.canonical_width Ty.KChar);
+  check_int "short" 2 (Stream.canonical_width Ty.KShort);
+  check_int "int" 4 (Stream.canonical_width Ty.KInt);
+  check_int "long is 8 on the wire" 8 (Stream.canonical_width Ty.KLong);
+  check_int "float" 4 (Stream.canonical_width Ty.KFloat);
+  check_int "double" 8 (Stream.canonical_width Ty.KDouble)
+
+let test_prog_hash_stability () =
+  let m1 = prepare (Hpm_workloads.Nqueens.source 5) in
+  let m2 = prepare (Hpm_workloads.Nqueens.source 5) in
+  let m3 = prepare (Hpm_workloads.Nqueens.source 6) in
+  check_bool "same program, same hash" true
+    (Int64.equal (Stream.prog_hash m1.Migration.prog) (Stream.prog_hash m2.Migration.prog));
+  check_bool "different program, different hash" false
+    (Int64.equal (Stream.prog_hash m1.Migration.prog) (Stream.prog_hash m3.Migration.prog));
+  (* the poll strategy is part of the migratable format *)
+  let m4 = prepare_user (Hpm_workloads.Nqueens.source 5) in
+  check_bool "different annotation, different hash" false
+    (Int64.equal (Stream.prog_hash m1.Migration.prog) (Stream.prog_hash m4.Migration.prog))
+
+let suite =
+  [
+    tc "header roundtrip" test_header_roundtrip;
+    tc "header rejects corruption" test_header_rejects;
+    tc "ident codec" test_ident_codec;
+    tc "prim codec" test_prim_codec;
+    tc "canonical widths" test_canonical_widths;
+    tc "program fingerprint stability" test_prog_hash_stability;
+  ]

@@ -1,0 +1,113 @@
+(** Type checker tests: acceptance, rejection, and elaboration. *)
+
+open Hpm_lang
+open Util
+
+let accepts src =
+  match check_src src with _ -> true | exception Typecheck.Error _ -> false
+
+let rejects src = not (accepts src)
+
+let wrap body = Printf.sprintf "int main() { %s return 0; }" body
+let wrapd decls body = Printf.sprintf "int main() { %s %s return 0; }" decls body
+
+let test_accepts () =
+  check_bool "arith promo" true (accepts (wrapd "int i; double d;" "d = i + 2.5;"));
+  check_bool "ptr arith" true (accepts (wrapd "int a[5]; int *p;" "p = a + 2; p = p - 1;"));
+  check_bool "ptr diff" true (accepts (wrapd "int a[5]; long n;" "n = &a[4] - &a[0];"));
+  check_bool "null assign" true (accepts (wrapd "int *p;" "p = 0;"));
+  check_bool "null compare" true (accepts (wrapd "int *p;" "if (p == 0) p = 0;"));
+  check_bool "void fn" true (accepts "void f() { return; } int main() { f(); return 0; }");
+  check_bool "struct copy" true
+    (accepts "struct s { int a; double b; }; int main() { struct s x; struct s y; x = y; return 0; }");
+  check_bool "fn ptr" true
+    (accepts "int g(int x) { return x; } int main() { int (*f)(int); f = g; return f(1); }");
+  check_bool "string literal" true (accepts (wrap "print_str(\"hi\");"));
+  check_bool "scalar init" true (accepts (wrapd "int n = 3, m = n + 1;" "print_int(m);"))
+
+let test_rejects () =
+  check_bool "undefined var" true (rejects (wrap "x = 1;"));
+  check_bool "undefined fn" true (rejects (wrap "nope();"));
+  check_bool "wrong arity" true (rejects (wrap "print_int(1, 2);"));
+  check_bool "assign to array" true (rejects (wrapd "int a[3]; int b[3];" "a = b;"));
+  check_bool "assign to literal" true (rejects (wrap "3 = 4;"));
+  check_bool "deref int" true (rejects (wrapd "int i;" "i = *i;"));
+  check_bool "deref void*" true (rejects (wrapd "int i;" "i = *malloc(4L);"));
+  check_bool "bad field" true
+    (rejects "struct s { int a; }; int main() { struct s x; x.b = 1; return 0; }");
+  check_bool "arrow on struct" true
+    (rejects "struct s { int a; }; int main() { struct s x; x->a = 1; return 0; }");
+  check_bool "ptr mismatch" true (rejects (wrapd "int *p; double *q;" "p = q;"));
+  check_bool "non-null int to ptr" true (rejects (wrapd "int *p;" "p = 5;"));
+  check_bool "mod on double" true (rejects (wrapd "double d;" "d = d % 2.0;"));
+  check_bool "return value from void" true
+    (rejects "void f() { return 3; } int main() { return 0; }");
+  check_bool "missing return value" true
+    (rejects "int f() { return; } int main() { return 0; }");
+  check_bool "duplicate local" true (rejects (wrapd "int x; int x;" ""));
+  check_bool "duplicate function" true
+    (rejects "int f() { return 1; } int f() { return 2; } int main() { return 0; }");
+  check_bool "shadow builtin" true (rejects "int rand() { return 4; } int main() { return 0; }");
+  check_bool "no main" true (rejects "int f() { return 1; }");
+  check_bool "undefined struct" true (rejects "struct nope x; int main() { return 0; }");
+  check_bool "recursive struct by value" true
+    (rejects "struct s { int a; struct s inner; }; int main() { return 0; }");
+  check_bool "struct condition" true
+    (rejects "struct s { int a; }; int main() { struct s x; if (x) { } return 0; }")
+
+let test_param_adjustment () =
+  check_bool "struct param rejected" true
+    (rejects "struct s { int a; }; void f(struct s x) { } int main() { return 0; }");
+  check_bool "struct return rejected" true
+    (rejects "struct s { int a; }; struct s f() { } int main() { return 0; }");
+  (* array parameter adjusts to a pointer, so passing an array works *)
+  check_bool "array param adjusts" true
+    (accepts "int sum(int a[10]) { return a[0]; } int main() { int xs[10]; return sum(xs); }")
+
+let test_recursive_struct_via_ptr () =
+  check_bool "linked struct ok" true
+    (accepts "struct s { int a; struct s *next; }; int main() { return 0; }")
+
+(* elaboration: implicit conversions become explicit casts *)
+let body_expr src =
+  let p = check_src src in
+  match (Ast.find_func_exn p "main").Ast.f_body with
+  | { Ast.sdesc = Ast.Sexpr e; _ } :: _ -> e
+  | _ -> Alcotest.fail "expected expression statement"
+
+let test_elaboration () =
+  (* int + double: the int operand gets a cast to double *)
+  let e = body_expr "int main() { double d; int i; d + i; return 0; }" in
+  (match e.Ast.desc with
+  | Ast.Binop (Ast.Add, _, { Ast.desc = Ast.Cast (Ty.Double, _); _ }) -> ()
+  | _ -> Alcotest.fail "expected cast on the int operand");
+  check_bool "result typed double" true (Ty.equal (Ast.ty_of e) Ty.Double);
+  (* array decays to pointer when passed *)
+  let e2 = body_expr "void f(int *p) { } int main() { int a[3]; f(a); return 0; }" in
+  (match e2.Ast.desc with
+  | Ast.Call (_, [ arg ]) -> check_bool "decayed arg" true (Ty.equal (Ast.ty_of arg) (Ty.Ptr Ty.Int))
+  | _ -> Alcotest.fail "expected call");
+  (* null constant converts to the pointer type *)
+  let e3 = body_expr "int main() { int *p; p = 0; return 0; }" in
+  match e3.Ast.desc with
+  | Ast.Assign (_, rhs) -> check_bool "null typed" true (Ty.equal (Ast.ty_of rhs) (Ty.Ptr Ty.Int))
+  | _ -> Alcotest.fail "expected assignment"
+
+let test_cond_unify () =
+  let e = body_expr "int main() { int i; double d; i > 0 ? i : d; return 0; }" in
+  check_bool "?: joins to double" true (Ty.equal (Ast.ty_of e) Ty.Double)
+
+let test_compound_effect_rejected () =
+  check_bool "effectful compound lvalue" true
+    (rejects "int main() { int a[3]; int i; a[i++] += 1; return 0; }")
+
+let suite =
+  [
+    tc "well-typed programs accepted" test_accepts;
+    tc "ill-typed programs rejected" test_rejects;
+    tc "parameter adjustment" test_param_adjustment;
+    tc "recursive struct through pointer" test_recursive_struct_via_ptr;
+    tc "elaboration inserts casts" test_elaboration;
+    tc "conditional type unification" test_cond_unify;
+    tc "compound assignment with effects rejected" test_compound_effect_rejected;
+  ]

@@ -1,0 +1,69 @@
+(** Migration-unsafe feature detection tests. *)
+
+open Hpm_ir
+open Util
+
+let diags src = Unsafe.check (check_src src)
+let nerrors src = List.length (Unsafe.errors (diags src))
+let nwarnings src = List.length (Unsafe.warnings (diags src))
+
+let test_int_to_ptr () =
+  check_int "int to ptr" 1
+    (nerrors "int main() { int *p; p = (int *) 4096; return 0; }");
+  check_int "null cast ok" 0 (nerrors "int main() { int *p; p = (int *) 0; return 0; }")
+
+let test_ptr_to_int () =
+  check_int "ptr to long" 1
+    (nerrors "int main() { int x; long a; a = (long) &x; return 0; }")
+
+let test_untyped_malloc () =
+  check_int "uncast malloc" 1
+    (nerrors "int main() { int *p; long a; a = 0L; malloc(8L); return 0; }");
+  check_int "typed malloc ok" 0
+    (nerrors "int main() { int *p; p = (int *) malloc(4 * sizeof(int)); return 0; }");
+  check_int "char malloc ok" 0
+    (nerrors "int main() { char *p; p = (char *) malloc(32L); return 0; }")
+
+let test_unrelated_ptr_cast () =
+  check_int "double* as int*" 1
+    (nwarnings "int main() { double d; int *p; p = (int *) &d; return 0; }");
+  check_int "via void* ok" 0
+    (nwarnings
+       "int main() { double d; int *p; char *c; c = (char *) &d; return 0; }")
+
+let test_long_narrowing () =
+  check_int "long to int warning" 1
+    (nwarnings "int main() { long l; int i; l = 5L; i = (int) l; return 0; }")
+
+let test_clean_program () =
+  List.iter
+    (fun (w : Hpm_workloads.Registry.t) ->
+      check_int
+        (w.Hpm_workloads.Registry.name ^ " has no unsafe errors")
+        0
+        (nerrors (w.Hpm_workloads.Registry.source w.Hpm_workloads.Registry.default_n)))
+    Hpm_workloads.Registry.all
+
+let test_check_exn () =
+  expect_raise "rejects" (function Unsafe.Rejected _ -> true | _ -> false) (fun () ->
+      Unsafe.check_exn (check_src "int main() { int *p; p = (int *) 4096; return 0; }"));
+  (* prepare refuses unsafe programs end to end *)
+  expect_raise "prepare rejects" (function Unsafe.Rejected _ -> true | _ -> false)
+    (fun () -> prepare "int main() { long a; int x; a = (long) &x; return 0; }")
+
+let test_locations_reported () =
+  match diags "int main() { int *p;\n  p = (int *) 4096;\n  return 0; }" with
+  | [ d ] -> check_int "line number" 2 d.Unsafe.loc.Hpm_lang.Ast.line
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let suite =
+  [
+    tc "integer-to-pointer casts" test_int_to_ptr;
+    tc "pointer-to-integer casts" test_ptr_to_int;
+    tc "untyped malloc" test_untyped_malloc;
+    tc "unrelated pointer casts warn" test_unrelated_ptr_cast;
+    tc "long narrowing warns" test_long_narrowing;
+    tc "all workloads are migration-safe" test_clean_program;
+    tc "check_exn and prepare reject" test_check_exn;
+    tc "diagnostics carry locations" test_locations_reported;
+  ]

@@ -1,0 +1,144 @@
+(** Workload correctness on every architecture (no migration): the
+    workloads themselves must be right before migration claims mean
+    anything. *)
+
+open Util
+
+let test_linpack () =
+  List.iter
+    (fun arch ->
+      let out = run_on ~arch (Hpm_workloads.Linpack.source 16) in
+      check_bool ("linpack PASS on " ^ arch.Hpm_arch.Arch.name) true
+        (contains_sub out "linpack: PASS"))
+    arches
+
+let test_bitonic () =
+  List.iter
+    (fun arch ->
+      let out = run_on ~arch (Hpm_workloads.Bitonic.source 300) in
+      check_bool ("bitonic PASS on " ^ arch.Hpm_arch.Arch.name) true
+        (contains_sub out "bitonic: PASS");
+      check_bool "counts all" true (contains_sub out "300"))
+    arches
+
+let test_bitonic_duplicates_sorted () =
+  (* BSTs with duplicate keys must still produce a sorted traversal *)
+  let out = run_on (Hpm_workloads.Bitonic.source 1000) in
+  check_bool "large input sorted" true (contains_sub out "bitonic: PASS")
+
+let test_nqueens_table () =
+  List.iter
+    (fun (n, expected) ->
+      check_string
+        (Printf.sprintf "queens(%d)" n)
+        (string_of_int expected ^ "\n")
+        (run_on (Hpm_workloads.Nqueens.source n)))
+    (List.filter (fun (n, _) -> n <= 8) Hpm_workloads.Nqueens.solutions)
+
+let test_test_pointer_plain () =
+  List.iter
+    (fun arch ->
+      check_string
+        ("test_pointer on " ^ arch.Hpm_arch.Arch.name)
+        Hpm_workloads.Test_pointer.expected_output
+        (run_on ~arch (Hpm_workloads.Test_pointer.source 0)))
+    arches
+
+let test_listops () =
+  let out = run_on (Hpm_workloads.Listops.source 40) in
+  (* oracle: list 0..39 reversed then every 2nd dropped leaves 0,2,..38;
+     sum of values + shared[v mod 8] values *)
+  let expected =
+    let values = List.init 20 (fun i -> 2 * i) in
+    List.fold_left (fun acc v -> acc + v + (100 + (v mod 8))) 0 values
+  in
+  check_string "listops sum" (string_of_int expected ^ "\n") out
+
+let test_pooled_same_answer () =
+  (* the pooled variant computes the identical result with ~100x fewer
+     heap blocks *)
+  let n = 800 in
+  let naive = run_on (Hpm_workloads.Bitonic.source n) in
+  let pooled = run_on (Hpm_workloads.Bitonic_pooled.source n) in
+  check_string "same output" naive pooled;
+  let m = prepare (Hpm_workloads.Bitonic_pooled.source n) in
+  let _, _, stats = Hpm_core.Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  check_bool "few heap blocks" true (stats.Hpm_machine.Mstats.heap_allocs < 10)
+
+let test_qsort () =
+  List.iter
+    (fun arch ->
+      let out = run_on ~arch (Hpm_workloads.Qsort.source 1_000) in
+      check_bool ("qsort PASS on " ^ arch.Hpm_arch.Arch.name) true
+        (contains_sub out "qsort: PASS"))
+    arches
+
+let test_hashtab_oracle () =
+  (* differential oracle: replay the same operation stream against an
+     OCaml hash table and compare the final fold *)
+  let n = 1_500 in
+  let out = run_on (Hpm_workloads.Hashtab.source n) in
+  let rng = Hpm_machine.Rng.create 1 in
+  Hpm_machine.Rng.seed rng 777;
+  let tbl = Hashtbl.create 64 in
+  let acc = ref 0L in
+  for i = 0 to n - 1 do
+    let k = Int64.of_int (Hpm_machine.Rng.next_int rng mod 5000) in
+    match i mod 4 with
+    | 0 | 1 -> Hashtbl.replace tbl k (Int64.of_int i)
+    | 2 ->
+        let v = try Hashtbl.find tbl k with Not_found -> -1L in
+        acc := Int64.add !acc v
+    | _ -> Hashtbl.remove tbl k
+  done;
+  let pop = Hashtbl.length tbl in
+  Hashtbl.iter
+    (fun k v -> acc := Int64.add !acc (Int64.add (Int64.mul k 3L) v))
+    tbl;
+  (* the Mini-C fold iterates chains in bucket order; addition commutes,
+     so only the totals are compared *)
+  match String.split_on_char '\n' out with
+  | acc_line :: pop_line :: _ ->
+      check_string "hashtab sum" (Int64.to_string !acc) acc_line;
+      check_string "hashtab population" (string_of_int pop) pop_line
+  | _ -> Alcotest.fail "unexpected hashtab output"
+
+let test_jacobi_conserves () =
+  (* the hot edge is fixed; the interior total grows monotonically toward
+     equilibrium, and the run is deterministic across arches *)
+  let a = run_on ~arch:Hpm_arch.Arch.dec5000 (Hpm_workloads.Jacobi.source 6) in
+  let b = run_on ~arch:Hpm_arch.Arch.x86_64 (Hpm_workloads.Jacobi.source 6) in
+  check_string "deterministic across arches" a b;
+  check_bool "positive heat" true (float_of_string (String.trim a) > 0.0)
+
+let test_registry () =
+  check_int "nine workloads" 9 (List.length Hpm_workloads.Registry.all);
+  check_bool "find" true (Hpm_workloads.Registry.find "linpack" <> None);
+  check_bool "find missing" true (Hpm_workloads.Registry.find "nope" = None);
+  expect_raise "find_exn" (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> Hpm_workloads.Registry.find_exn "nope")
+
+let test_linpack_residual_small () =
+  (* the residual line is a tiny number: |x - 1| < 1e-4 enforced by PASS,
+     and typically far smaller; parse and check < 1e-6 for n=16 *)
+  let out = run_on (Hpm_workloads.Linpack.source 16) in
+  match String.split_on_char '\n' out with
+  | _pass :: res :: _ ->
+      check_bool "residual tiny" true (float_of_string res < 1e-6)
+  | _ -> Alcotest.fail "unexpected linpack output"
+
+let suite =
+  [
+    tc "linpack solves correctly everywhere" test_linpack;
+    tc "bitonic sorts everywhere" test_bitonic;
+    tc_slow "bitonic large input" test_bitonic_duplicates_sorted;
+    tc_slow "n-queens solution counts" test_nqueens_table;
+    tc "test_pointer oracle" test_test_pointer_plain;
+    tc "listops oracle" test_listops;
+    tc "pooled bitonic matches naive" test_pooled_same_answer;
+    tc "qsort sorts everywhere" test_qsort;
+    tc "hashtab differential oracle" test_hashtab_oracle;
+    tc "jacobi deterministic" test_jacobi_conserves;
+    tc "registry" test_registry;
+    tc "linpack residual accuracy" test_linpack_residual_small;
+  ]

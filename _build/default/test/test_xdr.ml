@@ -1,0 +1,88 @@
+(** XDR canonical-encoding tests. *)
+
+open Hpm_xdr
+open Util
+
+let roundtrip write read v =
+  let b = Buffer.create 16 in
+  write b v;
+  read (Xdr.reader_of_string (Buffer.contents b))
+
+let test_integers () =
+  Alcotest.(check int64) "i64" (-123456789012345L)
+    (roundtrip Xdr.put_i64 Xdr.get_i64 (-123456789012345L));
+  Alcotest.(check int32) "i32" (-70000l) (roundtrip Xdr.put_i32 Xdr.get_i32 (-70000l));
+  check_int "u8" 200 (roundtrip Xdr.put_u8 Xdr.get_u8 200)
+
+let test_floats () =
+  Alcotest.(check (float 0.0)) "f64" 3.14159 (roundtrip Xdr.put_f64 Xdr.get_f64 3.14159);
+  Alcotest.(check (float 0.0)) "f32" 0.5 (roundtrip Xdr.put_f32 Xdr.get_f32 0.5);
+  check_bool "f64 nan" true (Float.is_nan (roundtrip Xdr.put_f64 Xdr.get_f64 Float.nan));
+  check_bool "f64 inf" true (roundtrip Xdr.put_f64 Xdr.get_f64 Float.infinity = Float.infinity)
+
+let test_strings () =
+  check_string "string" "hello world" (roundtrip Xdr.put_string Xdr.get_string "hello world");
+  check_string "empty" "" (roundtrip Xdr.put_string Xdr.get_string "");
+  check_string "binary" "\000\001\255" (roundtrip Xdr.put_string Xdr.get_string "\000\001\255")
+
+let test_big_endian_on_wire () =
+  let b = Buffer.create 4 in
+  Xdr.put_i32 b 0x01020304l;
+  let s = Buffer.contents b in
+  check_int "network byte order" 0x01 (Char.code s.[0]);
+  check_int "lsb last" 0x04 (Char.code s.[3])
+
+let underflow = function Xdr.Underflow _ -> true | _ -> false
+
+let test_underflow () =
+  expect_raise "empty i64" underflow (fun () -> Xdr.get_i64 (Xdr.reader_of_string ""));
+  expect_raise "short i32" underflow (fun () -> Xdr.get_i32 (Xdr.reader_of_string "ab"));
+  expect_raise "string length lies" underflow (fun () ->
+      let b = Buffer.create 8 in
+      Xdr.put_int_as_i32 b 100;
+      Buffer.add_string b "short";
+      Xdr.get_string (Xdr.reader_of_string (Buffer.contents b)))
+
+let test_sequencing () =
+  let b = Buffer.create 32 in
+  Xdr.put_u8 b 7;
+  Xdr.put_string b "mid";
+  Xdr.put_i64 b 42L;
+  let r = Xdr.reader_of_string (Buffer.contents b) in
+  check_int "first" 7 (Xdr.get_u8 r);
+  check_string "second" "mid" (Xdr.get_string r);
+  Alcotest.(check int64) "third" 42L (Xdr.get_i64 r);
+  check_bool "at end" true (Xdr.at_end r)
+
+let prop_int_widths =
+  qt "put_int/get_int roundtrip at canonical widths"
+    QCheck.(pair int64 (int_range 1 8))
+    (fun (v, w) ->
+      let b = Buffer.create 8 in
+      Xdr.put_int b w v;
+      let got = Xdr.get_int (Xdr.reader_of_string (Buffer.contents b)) w "t" in
+      Int64.equal got (Hpm_arch.Endian.sign_extend w v))
+
+let prop_string_any =
+  qt "strings roundtrip" QCheck.string (fun s ->
+      String.equal s (roundtrip Xdr.put_string Xdr.get_string s))
+
+let prop_f64_bits =
+  qt "f64 preserves bits" QCheck.int64 (fun bits ->
+      let b = Buffer.create 8 in
+      Xdr.put_f64 b (Int64.float_of_bits bits);
+      Int64.equal bits
+        (Int64.bits_of_float (Xdr.get_f64 (Xdr.reader_of_string (Buffer.contents b)))))
+
+let suite =
+  [
+    tc "integers" test_integers;
+    tc "floats incl. nan and inf" test_floats;
+    tc "strings" test_strings;
+    tc "wire format is big-endian" test_big_endian_on_wire;
+    tc "underflow detection" test_underflow;
+    tc "sequenced reads" test_sequencing;
+    prop_int_widths;
+    prop_string_any;
+    prop_f64_bits;
+  ]
