@@ -25,7 +25,17 @@ let read_input (spec : string) : string =
       close_in ic;
       s
 
-let run file from_ to_ after report show_net save_ckpt load_ckpt =
+let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
+    max_retries net_seed =
+  if loss < 0.0 || loss > 1.0 then (
+    Fmt.epr "hpmrun: --loss must be in [0,1] (got %g)@." loss;
+    exit 1);
+  if corrupt < 0.0 || corrupt > 1.0 then (
+    Fmt.epr "hpmrun: --corrupt must be in [0,1] (got %g)@." corrupt;
+    exit 1);
+  if max_retries < 0 then (
+    Fmt.epr "hpmrun: --max-retries must be non-negative (got %d)@." max_retries;
+    exit 1);
   try
     let m = Migration.prepare (read_input file) in
     match (save_ckpt, load_ckpt) with
@@ -57,8 +67,36 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt =
     | Some toname ->
         let src_arch = Hpm_arch.Arch.by_name_exn from_ in
         let dst_arch = Hpm_arch.Arch.by_name_exn toname in
-        let o = Migration.run_migrating m ~src_arch ~dst_arch ~after_polls:after () in
+        (* any fault flag routes the stream through the chunked transport
+           over the paper's §4.1 10 Mb/s link, with a seeded (replayable)
+           fault schedule *)
+        let use_net = loss > 0.0 || corrupt > 0.0 in
+        let channel =
+          if use_net then
+            Some
+              (Hpm_net.Netsim.ethernet_10
+                 ~faults:
+                   (Hpm_net.Netsim.fault_model ~loss_rate:loss ~corrupt_rate:corrupt
+                      ~seed:net_seed ())
+                 ())
+          else None
+        in
+        let transport = { Hpm_net.Transport.default_config with max_retries } in
+        let o =
+          Migration.run_migrating m ~src_arch ~dst_arch ~after_polls:after ?channel
+            ~transport ()
+        in
         print_string o.Migration.output;
+        (match o.Migration.transfer_failure with
+        | Some f ->
+            Fmt.pr "; %a@." Migration.pp_transfer_failure f;
+            Fmt.pr "; process resumed on %s and completed locally@." from_
+        | None ->
+            if use_net then
+              match o.Migration.report with
+              | Some { Migration.transport_stats = Some ts; _ } ->
+                  Fmt.pr "; %a@." Hpm_net.Transport.pp_stats ts
+              | _ -> ());
         (if report then
            match o.Migration.report with
            | Some r ->
@@ -70,7 +108,9 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt =
                    (Hpm_net.Netsim.tx_time ch10 r.Migration.stream_bytes);
                  Fmt.pr "; Tx over 100Mb Ethernet: %.4f s@."
                    (Hpm_net.Netsim.tx_time ch100 r.Migration.stream_bytes))
-           | None -> Fmt.pr "; process finished before the migration triggered@.");
+           | None ->
+               if o.Migration.transfer_failure = None then
+                 Fmt.pr "; process finished before the migration triggered@.");
         0
   with
   | Hpm_lang.Lexer.Error (m, l, c) ->
@@ -118,9 +158,32 @@ let () =
          & info [ "restore-from" ] ~docv:"FILE"
              ~doc:"resume a checkpoint file on --from and run to completion")
   in
+  let loss =
+    Arg.(value & opt float 0.0
+         & info [ "loss" ] ~docv:"P"
+             ~doc:"per-chunk truncation probability; routes the migration through \
+                   the chunked transport over a lossy 10 Mb/s link")
+  in
+  let corrupt =
+    Arg.(value & opt float 0.0
+         & info [ "corrupt" ] ~docv:"P"
+             ~doc:"per-chunk byte-flip probability on the simulated link")
+  in
+  let max_retries =
+    Arg.(value & opt int Hpm_net.Transport.default_config.Hpm_net.Transport.max_retries
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:"retransmissions per chunk before the transfer aborts and the \
+                   process resumes on the source machine")
+  in
+  let net_seed =
+    Arg.(value & opt int 1
+         & info [ "net-seed" ] ~docv:"SEED"
+             ~doc:"seed of the deterministic fault schedule (replays exactly)")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "hpmrun" ~doc:"run Mini-C programs with heterogeneous process migration")
-      Term.(const run $ file $ from_ $ to_ $ after $ report $ show_net $ save_ckpt $ load_ckpt)
+      Term.(const run $ file $ from_ $ to_ $ after $ report $ show_net $ save_ckpt
+            $ load_ckpt $ loss $ corrupt $ max_retries $ net_seed)
   in
   exit (Cmd.eval' cmd)

@@ -6,7 +6,28 @@
     transfer time analytically — the Tx column of Table 1 is exactly
     [latency + bytes/bandwidth] — while the payload itself is handed over
     as an OCaml string (the "wire" is lossless unless a fault is
-    injected). *)
+    injected).
+
+    Faults come in two forms: a one-shot [?fault] argument to {!send}
+    (the original failure-injection tests), and a per-channel
+    probabilistic {!fault_model} whose schedule is driven by a seeded
+    {!Hpm_machine.Rng}, so a lossy run is deterministic and replayable
+    from its seed alone. *)
+
+open Hpm_machine
+
+type fault_model = {
+  loss_rate : float;     (** probability a message is truncated in flight *)
+  corrupt_rate : float;  (** probability one byte of a message is flipped *)
+  f_rng : Rng.t;         (** drives the fault schedule deterministically *)
+}
+
+let fault_model ?(loss_rate = 0.0) ?(corrupt_rate = 0.0) ~seed () =
+  if loss_rate < 0.0 || loss_rate > 1.0 then
+    invalid_arg "Netsim.fault_model: loss_rate outside [0,1]";
+  if corrupt_rate < 0.0 || corrupt_rate > 1.0 then
+    invalid_arg "Netsim.fault_model: corrupt_rate outside [0,1]";
+  { loss_rate; corrupt_rate; f_rng = Rng.create seed }
 
 type t = {
   name : string;
@@ -14,48 +35,71 @@ type t = {
   latency_s : float;       (** per-message latency (propagation + setup) *)
   mutable bytes_sent : int;
   mutable messages : int;
+  mutable faults : fault_model option;
 }
 
-let make ~name ~bandwidth_bps ~latency_s =
-  { name; bandwidth_bps; latency_s; bytes_sent = 0; messages = 0 }
+let make ?faults ~name ~bandwidth_bps ~latency_s () =
+  { name; bandwidth_bps; latency_s; bytes_sent = 0; messages = 0; faults }
+
+let set_faults t fm = t.faults <- fm
 
 (** 10 Mbit/s shared Ethernet, as between the paper's DEC 5000 and
     Sparc 20 (§4.1).  Effective throughput of classic coax Ethernet is
     well below line rate; 70% utilization is the usual rule of thumb. *)
-let ethernet_10 () =
-  make ~name:"10Mb Ethernet" ~bandwidth_bps:(10e6 *. 0.7) ~latency_s:2e-3
+let ethernet_10 ?faults () =
+  make ?faults ~name:"10Mb Ethernet" ~bandwidth_bps:(10e6 *. 0.7) ~latency_s:2e-3 ()
 
 (** 100 Mbit/s switched Ethernet, as between the paper's Ultra 5s
     (Table 1, Figure 2). *)
-let ethernet_100 () =
-  make ~name:"100Mb Ethernet" ~bandwidth_bps:(100e6 *. 0.85) ~latency_s:0.5e-3
+let ethernet_100 ?faults () =
+  make ?faults ~name:"100Mb Ethernet" ~bandwidth_bps:(100e6 *. 0.85) ~latency_s:0.5e-3 ()
 
 (** A channel so fast Tx vanishes, for isolating collect/restore costs. *)
-let loopback () = make ~name:"loopback" ~bandwidth_bps:1e12 ~latency_s:0.
+let loopback ?faults () =
+  make ?faults ~name:"loopback" ~bandwidth_bps:1e12 ~latency_s:0. ()
 
 (** Transfer time in seconds for a [bytes]-byte message. *)
 let tx_time t bytes = t.latency_s +. (8.0 *. float_of_int bytes /. t.bandwidth_bps)
 
 type fault = Truncate of int | FlipByte of int
 
+(* uniform draw in [0,1): Rng.next_int is uniform over 30 bits *)
+let uniform rng = float_of_int (Rng.next_int rng) /. 1073741824.0
+
+(* Draw this message's fate from the channel's fault model.  Loss
+   (truncation, as a dropped segment would leave the reassembled stream)
+   takes precedence over corruption; each draw advances the RNG the same
+   number of steps regardless of outcome, keeping schedules aligned. *)
+let scheduled_fault fm len : fault option =
+  let u_loss = uniform fm.f_rng in
+  let u_corr = uniform fm.f_rng in
+  let pos = if len = 0 then 0 else Rng.next_int fm.f_rng mod len in
+  if len > 0 && u_loss < fm.loss_rate then Some (Truncate pos)
+  else if len > 0 && u_corr < fm.corrupt_rate then Some (FlipByte pos)
+  else None
+
+let apply_fault data = function
+  | None -> data
+  | Some (Truncate n) -> String.sub data 0 (min n (String.length data))
+  | Some (FlipByte i) when i < String.length data ->
+      let b = Bytes.of_string data in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+      Bytes.to_string b
+  | Some (FlipByte _) -> data
+
 (** Send [data] over the channel: returns the delivered payload and the
-    simulated transfer time.  [fault] optionally injects corruption, used
-    by the failure-injection tests to prove the restore side rejects bad
-    streams instead of building garbage processes. *)
+    simulated transfer time.  [fault] injects one-shot corruption (used by
+    the failure-injection tests); otherwise the channel's own
+    {!fault_model}, if any, decides this message's fate. *)
 let send ?fault t (data : string) : string * float =
   t.bytes_sent <- t.bytes_sent + String.length data;
   t.messages <- t.messages + 1;
-  let delivered =
+  let effective =
     match fault with
-    | None -> data
-    | Some (Truncate n) -> String.sub data 0 (min n (String.length data))
-    | Some (FlipByte i) when i < String.length data ->
-        let b = Bytes.of_string data in
-        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
-        Bytes.to_string b
-    | Some (FlipByte _) -> data
+    | Some _ -> fault
+    | None -> ( match t.faults with None -> None | Some fm -> scheduled_fault fm (String.length data))
   in
-  (delivered, tx_time t (String.length data))
+  (apply_fault data effective, tx_time t (String.length data))
 
 let pp ppf t =
   Fmt.pf ppf "%s (%.0f Mb/s, %.1f ms): %d msgs, %d bytes" t.name

@@ -2,7 +2,22 @@
 
     A channel is bandwidth + latency; transfer time is analytic
     ([latency + bits/bandwidth]) and the payload is delivered as an OCaml
-    string, optionally corrupted for failure-injection tests. *)
+    string, optionally corrupted — either by a one-shot [?fault] argument
+    or by a per-channel probabilistic {!fault_model} whose schedule is
+    deterministic in its seed. *)
+
+(** Probabilistic per-message fault schedule.  Each message independently
+    suffers truncation with probability [loss_rate], else a one-byte flip
+    with probability [corrupt_rate]; positions are drawn from the same
+    seeded RNG, so the whole schedule replays from the seed. *)
+type fault_model = {
+  loss_rate : float;     (** probability a message is truncated in flight *)
+  corrupt_rate : float;  (** probability one byte of a message is flipped *)
+  f_rng : Hpm_machine.Rng.t;
+}
+
+(** @raise Invalid_argument if a rate is outside [0,1]. *)
+val fault_model : ?loss_rate:float -> ?corrupt_rate:float -> seed:int -> unit -> fault_model
 
 type t = {
   name : string;
@@ -10,19 +25,23 @@ type t = {
   latency_s : float;       (** per-message latency *)
   mutable bytes_sent : int;
   mutable messages : int;
+  mutable faults : fault_model option;
 }
 
-val make : name:string -> bandwidth_bps:float -> latency_s:float -> t
+val make : ?faults:fault_model -> name:string -> bandwidth_bps:float -> latency_s:float -> unit -> t
+
+(** Install (or clear) the channel's fault model. *)
+val set_faults : t -> fault_model option -> unit
 
 (** 10 Mbit/s shared Ethernet at ~70% utilization — the link between the
     paper's DEC 5000 and Sparc 20 (§4.1). *)
-val ethernet_10 : unit -> t
+val ethernet_10 : ?faults:fault_model -> unit -> t
 
 (** 100 Mbit/s switched Ethernet — the Ultra 5 pair of Table 1/Figure 2. *)
-val ethernet_100 : unit -> t
+val ethernet_100 : ?faults:fault_model -> unit -> t
 
 (** A channel so fast Tx vanishes, for isolating collect/restore costs. *)
-val loopback : unit -> t
+val loopback : ?faults:fault_model -> unit -> t
 
 (** Transfer time in seconds for a message of the given byte count. *)
 val tx_time : t -> int -> float
@@ -32,7 +51,8 @@ type fault =
   | FlipByte of int   (** invert the byte at the given offset *)
 
 (** [send ?fault t data] is [(delivered, seconds)].  Accounting
-    ([bytes_sent], [messages]) reflects the original payload. *)
+    ([bytes_sent], [messages]) reflects the original payload.  An explicit
+    [?fault] overrides the channel's {!fault_model} for this message. *)
 val send : ?fault:fault -> t -> string -> string * float
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,194 @@
+(** Resilient chunked transfer over {!Netsim} — the reliability layer the
+    paper's §2/§4.1 transport assumes but never spells out.
+
+    The migration stream is split into fixed-size chunks, each framed
+    with a sequence number, the chunk count, the payload length, and a
+    CRC-32 of the payload.  The receiver verifies every frame on receipt;
+    a frame that is short, misnumbered, or fails its CRC is NAKed and the
+    sender retransmits after an exponential backoff, up to
+    [max_retries] attempts per chunk.  When a chunk exhausts its retries
+    the transfer aborts: the destination discards everything and the
+    *source* still holds the suspended process, so migration degrades to
+    "keep running where you are" instead of losing the process.
+
+    Both endpoints live in this process, so the protocol is driven as a
+    single loop; all timing is simulated and accounted through
+    {!Netsim.tx_time} plus the explicit backoff waits.  Control messages
+    (ACK/NAK) travel on a perfect reverse channel — a deliberate
+    simplification, documented in docs/FORMAT.md. *)
+
+open Hpm_xdr
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), pure OCaml              *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 1 to 8 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(** CRC-32 of [len] bytes of [s] starting at [pos], as an unsigned int in
+    [0, 2^32).  Matches the standard IEEE checksum (zlib's [crc32]). *)
+let crc32 ?(pos = 0) ?len (s : string) : int =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* frame := magic "HPCK" | seq i32 | total i32 | len i32 | crc i32 | payload *)
+let frame_magic = "HPCK"
+let header_bytes = 4 + (4 * 4)
+
+(* ACK/NAK control messages: status byte + seq i32 + crc i32 (of those
+   five bytes), 9 bytes on the reverse channel. *)
+let control_bytes = 9
+
+let encode_frame ~seq ~total (payload : string) : string =
+  let b = Buffer.create (header_bytes + String.length payload) in
+  Buffer.add_string b frame_magic;
+  Xdr.put_int_as_i32 b seq;
+  Xdr.put_int_as_i32 b total;
+  Xdr.put_int_as_i32 b (String.length payload);
+  Xdr.put_int_as_i32 b (crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(** Validate a delivered frame against the chunk the receiver expects.
+    Returns the payload, or a reason for the NAK. *)
+let decode_frame ~expect_seq ~expect_total (wire : string) : (string, string) result =
+  if String.length wire < header_bytes then
+    Error (Printf.sprintf "short frame: %d bytes" (String.length wire))
+  else if String.sub wire 0 4 <> frame_magic then Error "bad frame magic"
+  else
+    let r = Xdr.reader_of_string wire in
+    Xdr.skip r 4;
+    let seq = Xdr.get_int_of_i32 r in
+    let total = Xdr.get_int_of_i32 r in
+    let len = Xdr.get_int_of_i32 r in
+    (* the i32 read sign-extends; the CRC is unsigned 32-bit *)
+    let crc = Xdr.get_int_of_i32 r land 0xFFFFFFFF in
+    if seq <> expect_seq then Error (Printf.sprintf "sequence %d, expected %d" seq expect_seq)
+    else if total <> expect_total then
+      Error (Printf.sprintf "chunk count %d, expected %d" total expect_total)
+    else if len <> String.length wire - header_bytes then
+      Error
+        (Printf.sprintf "length %d but %d payload bytes arrived" len
+           (String.length wire - header_bytes))
+    else
+      let payload = String.sub wire header_bytes len in
+      let actual = crc32 payload in
+      if actual <> crc then Error (Printf.sprintf "CRC mismatch (got %08x, want %08x)" actual crc)
+      else Ok payload
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  chunk_size : int;        (** payload bytes per chunk *)
+  max_retries : int;       (** retransmissions allowed per chunk *)
+  backoff_base_s : float;  (** first retry waits this; doubles per attempt *)
+}
+
+let default_config = { chunk_size = 4096; max_retries = 8; backoff_base_s = 1e-3 }
+
+(** Transfer accounting — the transport-layer sibling of
+    {!Hpm_core.Cstats}. *)
+type stats = {
+  mutable t_chunks : int;        (** data chunks in the stream *)
+  mutable t_sent : int;          (** frame transmissions, retries included *)
+  mutable t_retries : int;       (** retransmissions (NAK-triggered) *)
+  mutable t_resent_bytes : int;  (** wire bytes of retransmitted frames *)
+  mutable t_payload_bytes : int; (** stream bytes delivered *)
+  mutable t_wire_bytes : int;    (** frames + control messages, all attempts *)
+  mutable t_backoff_s : float;   (** simulated time spent backing off *)
+  mutable t_time_s : float;      (** total simulated transfer time *)
+}
+
+let stats_zero () =
+  {
+    t_chunks = 0;
+    t_sent = 0;
+    t_retries = 0;
+    t_resent_bytes = 0;
+    t_payload_bytes = 0;
+    t_wire_bytes = 0;
+    t_backoff_s = 0.0;
+    t_time_s = 0.0;
+  }
+
+type outcome =
+  | Delivered of string * stats
+  | Aborted of { failed_seq : int; attempts : int; reason : string; stats : stats }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "transport: %d chunks, %d sent (%d retries, %d B resent), %d B payload / %d B wire, %.4f s (%.4f s backoff)"
+    s.t_chunks s.t_sent s.t_retries s.t_resent_bytes s.t_payload_bytes s.t_wire_bytes
+    s.t_time_s s.t_backoff_s
+
+(** [transfer ?config channel data] runs the chunked protocol and either
+    delivers a byte-verified copy of [data] or aborts after a chunk
+    exhausts its retries.  Deterministic given the channel's fault
+    schedule. *)
+let transfer ?(config = default_config) (ch : Netsim.t) (data : string) : outcome =
+  if config.chunk_size <= 0 then invalid_arg "Transport.transfer: chunk_size must be positive";
+  if config.max_retries < 0 then invalid_arg "Transport.transfer: max_retries must be >= 0";
+  let n = String.length data in
+  let total = max 1 ((n + config.chunk_size - 1) / config.chunk_size) in
+  let st = stats_zero () in
+  st.t_chunks <- total;
+  let out = Buffer.create n in
+  let control () =
+    (* ACK or NAK on the perfect reverse channel *)
+    st.t_wire_bytes <- st.t_wire_bytes + control_bytes;
+    st.t_time_s <- st.t_time_s +. Netsim.tx_time ch control_bytes
+  in
+  let rec chunk seq =
+    if seq >= total then Delivered (Buffer.contents out, st)
+    else
+      let off = seq * config.chunk_size in
+      let payload = String.sub data off (min config.chunk_size (n - off)) in
+      let frame = encode_frame ~seq ~total payload in
+      let rec attempt k =
+        let delivered, tx = Netsim.send ch frame in
+        st.t_sent <- st.t_sent + 1;
+        st.t_wire_bytes <- st.t_wire_bytes + String.length frame;
+        st.t_time_s <- st.t_time_s +. tx;
+        if k > 0 then (
+          st.t_retries <- st.t_retries + 1;
+          st.t_resent_bytes <- st.t_resent_bytes + String.length frame);
+        match decode_frame ~expect_seq:seq ~expect_total:total delivered with
+        | Ok good ->
+            control ();
+            (* the *verified* bytes enter the stream, not the original:
+               byte-identity of the delivered stream is a protocol
+               guarantee, not an artifact of sharing memory *)
+            Buffer.add_string out good;
+            st.t_payload_bytes <- st.t_payload_bytes + String.length good;
+            chunk (seq + 1)
+        | Error reason ->
+            control ();
+            if k >= config.max_retries then
+              Aborted { failed_seq = seq; attempts = k + 1; reason; stats = st }
+            else (
+              let wait = config.backoff_base_s *. (2.0 ** float_of_int k) in
+              st.t_backoff_s <- st.t_backoff_s +. wait;
+              st.t_time_s <- st.t_time_s +. wait;
+              attempt (k + 1))
+      in
+      attempt 0
+  in
+  chunk 0

@@ -1,0 +1,64 @@
+(** Resilient chunked transfer over {!Netsim}.
+
+    Splits a migration stream into framed chunks (sequence number, chunk
+    count, length, CRC-32), verifies each on receipt, NAK-retries bad
+    chunks with exponential backoff, and aborts after [max_retries] so
+    the source can resume the suspended process locally.  All timing is
+    simulated ({!Netsim.tx_time} + backoff) and the whole run is
+    deterministic given the channel's seeded fault schedule.
+
+    Frame layout (see docs/FORMAT.md):
+    {v magic "HPCK" | seq i32 | total i32 | len i32 | crc32 i32 | payload v} *)
+
+(** CRC-32 (IEEE 802.3 polynomial, zlib-compatible) of [len] bytes of the
+    string starting at [pos]; whole string by default.  Unsigned, in
+    [0, 2^32). *)
+val crc32 : ?pos:int -> ?len:int -> string -> int
+
+(** Per-frame overhead in wire bytes (magic + seq/total/len/crc). *)
+val header_bytes : int
+
+(** ACK/NAK control-message size on the reverse channel. *)
+val control_bytes : int
+
+val encode_frame : seq:int -> total:int -> string -> string
+
+(** Validate a delivered frame against the expected position; [Error]
+    carries the NAK reason. *)
+val decode_frame : expect_seq:int -> expect_total:int -> string -> (string, string) result
+
+type config = {
+  chunk_size : int;        (** payload bytes per chunk *)
+  max_retries : int;       (** retransmissions allowed per chunk *)
+  backoff_base_s : float;  (** first retry waits this; doubles per attempt *)
+}
+
+(** 4 KiB chunks, 8 retries, 1 ms initial backoff. *)
+val default_config : config
+
+(** Transfer accounting — the transport-layer sibling of
+    [Hpm_core.Cstats]. *)
+type stats = {
+  mutable t_chunks : int;        (** data chunks in the stream *)
+  mutable t_sent : int;          (** frame transmissions, retries included *)
+  mutable t_retries : int;       (** retransmissions (NAK-triggered) *)
+  mutable t_resent_bytes : int;  (** wire bytes of retransmitted frames *)
+  mutable t_payload_bytes : int; (** stream bytes delivered *)
+  mutable t_wire_bytes : int;    (** frames + control messages, all attempts *)
+  mutable t_backoff_s : float;   (** simulated time spent backing off *)
+  mutable t_time_s : float;      (** total simulated transfer time *)
+}
+
+type outcome =
+  | Delivered of string * stats
+      (** the delivered bytes are re-read from verified frames and are
+          byte-identical to the input *)
+  | Aborted of { failed_seq : int; attempts : int; reason : string; stats : stats }
+      (** a chunk exhausted its retries; nothing was handed to the
+          destination *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Run the protocol.  @raise Invalid_argument on a non-positive
+    [chunk_size] or negative [max_retries]. *)
+val transfer : ?config:config -> Netsim.t -> string -> outcome

@@ -46,6 +46,7 @@ type proc = {
   mutable p_state : proc_state;
   mutable p_pending_dst : node option;  (** where the scheduler wants it *)
   mutable p_migrations : int;
+  mutable p_failed_migrations : int;    (** transfers aborted by the transport *)
   mutable p_finish_time : float option;
   mutable p_output : Buffer.t;          (** output accumulated across hosts *)
 }
@@ -55,11 +56,14 @@ type event =
   | Requested of float * string * string * string (* time, proc, from, to *)
   | Migrated of float * string * string * string * int * float
       (* time, proc, from, to, bytes, tx seconds *)
+  | Migration_failed of float * string * string * string * int * float
+      (* time, proc, from, to, retries spent, seconds wasted *)
   | Finished_ev of float * string * string        (* time, proc, node *)
 
 type t = {
   nodes : node list;
   channel : Netsim.t;
+  transport : Transport.config;
   quantum_s : float;
   base_ips : float;            (** instructions/simulated-second at speed 1.0 *)
   mutable procs : proc list;
@@ -68,8 +72,19 @@ type t = {
   mutable events : event list; (** newest first *)
 }
 
-let create ?(quantum_s = 0.01) ?(base_ips = 1e6) ~channel nodes =
-  { nodes; channel; quantum_s; base_ips; procs = []; now = 0.; next_pid = 0; events = [] }
+let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
+    ?(transport = Transport.default_config) ~channel nodes =
+  {
+    nodes;
+    channel;
+    transport;
+    quantum_s;
+    base_ips;
+    procs = [];
+    now = 0.;
+    next_pid = 0;
+    events = [];
+  }
 
 let log t e = t.events <- e :: t.events
 
@@ -84,6 +99,7 @@ let spawn t (nd : node) name (m : Migration.migratable) : proc =
       p_state = Runnable;
       p_pending_dst = None;
       p_migrations = 0;
+      p_failed_migrations = 0;
       p_finish_time = None;
       p_output = Buffer.create 64;
     }
@@ -102,22 +118,40 @@ let request_migration t (p : proc) (dst : node) =
     Interp.request_migration p.p_interp;
     log t (Requested (t.now, p.p_name, p.p_node.n_name, dst.n_name)))
 
+(** Move [p]'s state to [dst] through the chunked transport.  A delivered
+    stream re-homes the process and blocks it until the simulated transfer
+    completes; an aborted transfer re-queues the process on the *source*
+    node — it stays where it is, loses only the simulated time the failed
+    attempts cost, and keeps running (§2's migrating process must never be
+    lost to a bad link). *)
 let perform_migration t (p : proc) (dst : node) =
   let src_name = p.p_node.n_name in
-  Buffer.add_string p.p_output (Interp.output p.p_interp);
   let data, _cstats = Collect.collect p.p_interp p.p_m.Migration.ti in
-  let delivered, tx = Netsim.send t.channel data in
-  let interp, _rstats =
-    Restore.restore p.p_m.Migration.prog dst.n_arch p.p_m.Migration.ti delivered
-  in
-  p.p_node.n_procs <- p.p_node.n_procs - 1;
-  dst.n_procs <- dst.n_procs + 1;
-  p.p_interp <- interp;
-  p.p_node <- dst;
-  p.p_pending_dst <- None;
-  p.p_migrations <- p.p_migrations + 1;
-  p.p_state <- Blocked_until (t.now +. tx);
-  log t (Migrated (t.now, p.p_name, src_name, dst.n_name, String.length data, tx))
+  match Transport.transfer ~config:t.transport t.channel data with
+  | Transport.Delivered (delivered, ts) ->
+      Buffer.add_string p.p_output (Interp.output p.p_interp);
+      let interp, _rstats =
+        Restore.restore p.p_m.Migration.prog dst.n_arch p.p_m.Migration.ti delivered
+      in
+      p.p_node.n_procs <- p.p_node.n_procs - 1;
+      dst.n_procs <- dst.n_procs + 1;
+      p.p_interp <- interp;
+      p.p_node <- dst;
+      p.p_pending_dst <- None;
+      p.p_migrations <- p.p_migrations + 1;
+      p.p_state <- Blocked_until (t.now +. ts.Transport.t_time_s);
+      log t
+        (Migrated (t.now, p.p_name, src_name, dst.n_name, String.length data,
+                   ts.Transport.t_time_s))
+  | Transport.Aborted { stats; _ } ->
+      p.p_pending_dst <- None;
+      p.p_failed_migrations <- p.p_failed_migrations + 1;
+      Interp.clear_migration_request p.p_interp;
+      (* the process stayed put; it only wasted the transfer attempt's time *)
+      p.p_state <- Blocked_until (t.now +. stats.Transport.t_time_s);
+      log t
+        (Migration_failed (t.now, p.p_name, src_name, dst.n_name,
+                           stats.Transport.t_retries, stats.Transport.t_time_s))
 
 let finish t (p : proc) v =
   Buffer.add_string p.p_output (Interp.output p.p_interp);
@@ -212,6 +246,9 @@ let pp_event ppf = function
   | Migrated (ts, p, a, b, bytes, tx) ->
       Fmt.pf ppf "[%8.3fs] migrate  %s: %s -> %s (%d bytes, %.2f ms)" ts p a b bytes
         (tx *. 1e3)
+  | Migration_failed (ts, p, a, b, retries, wasted) ->
+      Fmt.pf ppf "[%8.3fs] FAILED   %s: %s -> %s (%d retries, %.2f ms wasted; re-queued on %s)"
+        ts p a b retries (wasted *. 1e3) a
   | Finished_ev (ts, p, n) -> Fmt.pf ppf "[%8.3fs] finish   %s on %s" ts p n
 
 let events t = List.rev t.events

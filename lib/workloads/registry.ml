@@ -6,6 +6,11 @@ type t = {
   describe : string;
   source : int -> string;   (** source text for problem size n *)
   default_n : int;          (** a size that runs quickly *)
+  wide_safe : bool;
+      (** output is independent of the machine's [long] width: all long
+          arithmetic stays within 32 bits, so migrating between ILP32 and
+          LP64 machines preserves the output exactly (C promises no more
+          for overflowing programs) *)
 }
 
 let all =
@@ -15,54 +20,63 @@ let all =
       describe = "synthetic pointer structures: tree, pointer-to-array, sharing, cycle";
       source = Test_pointer.source;
       default_n = 0;
+      wide_safe = true;
     };
     {
       name = Linpack.name;
       describe = "solve Ax=b by Gaussian elimination (large dense arrays)";
       source = Linpack.source;
       default_n = Linpack.test_size;
+      wide_safe = true;
     };
     {
       name = Bitonic.name;
       describe = "binary-tree sort of random integers (many small heap blocks)";
       source = Bitonic.source;
       default_n = Bitonic.test_size;
+      wide_safe = false;
     };
     {
       name = Bitonic_pooled.name;
       describe = "bitonic with pooled node allocation (the §4.3 mitigation)";
       source = Bitonic_pooled.source;
       default_n = Bitonic_pooled.test_size;
+      wide_safe = false;
     };
     {
       name = Nqueens.name;
       describe = "n-queens backtracking (deep recursion, no heap)";
       source = Nqueens.source;
       default_n = Nqueens.test_size;
+      wide_safe = true;
     };
     {
       name = Listops.name;
       describe = "linked-list build/reverse/free (list-shaped heap, frees)";
       source = Listops.source;
       default_n = Listops.test_size;
+      wide_safe = false;
     };
     {
       name = Hashtab.name;
       describe = "chained hash table with mixed put/get/delete (switch dispatch)";
       source = Hashtab.source;
       default_n = Hashtab.test_size;
+      wide_safe = true;
     };
     {
       name = Qsort.name;
       describe = "recursive quicksort of a heap array (data-dependent stack)";
       source = Qsort.source;
       default_n = Qsort.test_size;
+      wide_safe = true;
     };
     {
       name = Jacobi.name;
       describe = "2-D heat-diffusion stencil over swappable heap grids";
       source = Jacobi.source;
       default_n = Jacobi.test_size;
+      wide_safe = true;
     };
   ]
 

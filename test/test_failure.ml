@@ -115,6 +115,57 @@ int main() {
   check_bool "migrated" true o.Migration.migrated;
   check_string "output" "7\n" o.Migration.output
 
+(* ---- targeted header-field corruption (not just random flips) ---- *)
+
+let patched data off bytes =
+  let b = Bytes.of_string data in
+  String.iteri (fun i c -> Bytes.set b (off + i) c) bytes;
+  Bytes.to_string b
+
+(* header layout: magic(4) version(1) src-arch(i32 len + bytes) hash(8) *)
+let version_off = 4
+let hash_off data =
+  let r = Hpm_xdr.Xdr.reader_of_string data in
+  let h = Stream.get_header r in
+  5 + 4 + String.length h.Stream.src_arch
+
+let test_wrong_version_byte () =
+  let m, data = bitonic_stream () in
+  (* every wrong version number, not only a bit-flip of the current one *)
+  List.iter
+    (fun v ->
+      if v <> Stream.version then
+        check_bool
+          (Printf.sprintf "version byte %d rejected" v)
+          true
+          (restore_raises m (patched data version_off (String.make 1 (Char.chr v)))))
+    [ 0; 2; 3; 127; 255 ]
+
+let test_wrong_prog_hash () =
+  let m, data = bitonic_stream () in
+  let off = hash_off data in
+  (* flip each byte of the fingerprint in turn: every one must matter *)
+  for i = 0 to 7 do
+    let orig = data.[off + i] in
+    let patch = String.make 1 (Char.chr (Char.code orig lxor 0x01)) in
+    check_bool
+      (Printf.sprintf "prog-hash byte %d rejected" i)
+      true
+      (restore_raises m (patched data (off + i) patch))
+  done
+
+let test_wrong_trailer_magic () =
+  let m, data = bitonic_stream () in
+  let n = String.length data in
+  check_bool "trailer magic rejected" true (restore_raises m (patched data (n - 4) "XEND"));
+  (* single-character damage anywhere in the trailer is caught too *)
+  for i = 1 to 4 do
+    check_bool
+      (Printf.sprintf "trailer byte %d rejected" i)
+      true
+      (restore_raises m (patched data (n - i) "?"))
+  done
+
 let test_netsim_fault_injection_path () =
   (* the whole pipeline through the simulated network with faults *)
   let m, data = bitonic_stream () in
@@ -130,6 +181,9 @@ let suite =
     tc "bit flips detected" test_bitflips;
     tc "garbage rejected" test_garbage;
     tc "trailing junk rejected" test_trailing_junk;
+    tc "wrong version byte rejected" test_wrong_version_byte;
+    tc "wrong prog-hash rejected" test_wrong_prog_hash;
+    tc "wrong trailer magic rejected" test_wrong_trailer_magic;
     tc "collecting a non-suspended process fails" test_collect_not_suspended;
     tc "live dangling pointer refused" test_live_dangling_pointer_refused;
     tc "dead dangling pointer tolerated" test_dead_dangling_pointer_ok;

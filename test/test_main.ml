@@ -23,7 +23,9 @@ let () =
       ("msr", Test_msr.suite);
       ("collect-restore", Test_collect_restore.suite);
       ("migration", Test_migration.suite);
+      ("matrix", Test_matrix.suite);
       ("failure-injection", Test_failure.suite);
+      ("transport", Test_transport.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("inspect", Test_inspect.suite);
       ("fuzz", Test_fuzz.suite);

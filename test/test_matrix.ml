@@ -1,0 +1,83 @@
+(** Cross-architecture conformance matrix — the systematic version of
+    the spot checks in [Test_migration].
+
+    Every registry workload is migrated across *every* ordered pair of
+    the five architecture profiles (self-pairs included: Table 1's
+    homogeneous setting) at an early, middle, and late poll point.  The
+    oracle is the §4.1 consistency criterion: combined output equals an
+    unmigrated run on the source machine.
+
+    Width caveat, faithful to C: a workload whose [long] arithmetic
+    overflows 32 bits is width-dependent, so when such a workload crosses
+    an ILP32/LP64 boundary the byte-for-byte oracle does not apply —
+    those cells instead assert that the migration itself completes and
+    the process runs to a normal exit (no cell may crash, whatever the
+    pair). *)
+
+open Hpm_core
+open Util
+
+let arch_pairs =
+  List.concat_map (fun a -> List.map (fun b -> (a, b)) arches) arches
+
+(* early / middle / late migration points; a workload that finishes
+   before a point simply completes on the source machine, and the
+   equality oracle still applies to that cell *)
+let poll_points = [ 0; 19; 67 ]
+
+let width_compatible (a : Hpm_arch.Arch.t) (b : Hpm_arch.Arch.t) =
+  a.Hpm_arch.Arch.long_size = b.Hpm_arch.Arch.long_size
+  && a.Hpm_arch.Arch.ptr_size = b.Hpm_arch.Arch.ptr_size
+
+let cell_name w (a : Hpm_arch.Arch.t) (b : Hpm_arch.Arch.t) k =
+  Printf.sprintf "%s %s->%s @%d" w a.Hpm_arch.Arch.name b.Hpm_arch.Arch.name k
+
+let run_matrix_for (w : Hpm_workloads.Registry.t) () =
+  let name = w.Hpm_workloads.Registry.name in
+  let m = prepare (w.Hpm_workloads.Registry.source w.Hpm_workloads.Registry.default_n) in
+  (* one reference output per source machine; equal-width machines agree,
+     so the src-arch reference is the right oracle for every exact cell *)
+  let refs = Hashtbl.create 5 in
+  let ref_on (a : Hpm_arch.Arch.t) =
+    match Hashtbl.find_opt refs a.Hpm_arch.Arch.name with
+    | Some r -> r
+    | None ->
+        let out, ret, _ = Migration.run_plain m a in
+        Hashtbl.add refs a.Hpm_arch.Arch.name (out, ret);
+        (out, ret)
+  in
+  let cells = ref 0 and exact = ref 0 in
+  List.iter
+    (fun (a, b) ->
+      List.iter
+        (fun k ->
+          incr cells;
+          let o = Migration.run_migrating m ~src_arch:a ~dst_arch:b ~after_polls:k () in
+          if width_compatible a b || w.Hpm_workloads.Registry.wide_safe then (
+            incr exact;
+            let ref_out, ref_ret = ref_on a in
+            check_string (cell_name name a b k) ref_out o.Migration.output;
+            check_bool (cell_name name a b k ^ " return") true
+              (match (ref_ret, o.Migration.return_value) with
+              | Some x, Some y -> Hpm_machine.Mem.value_equal x y
+              | None, None -> true
+              | _ -> false))
+          else
+            (* width-dependent workload across a width boundary: the
+               migration must still complete into a normal exit *)
+            check_bool (cell_name name a b k ^ " completes") true
+              (o.Migration.return_value <> None || String.length o.Migration.output > 0))
+        poll_points)
+    arch_pairs;
+  (* the matrix really is total: 5x5 ordered pairs x 3 poll points *)
+  check_int (name ^ " cells") (5 * 5 * List.length poll_points) !cells;
+  if w.Hpm_workloads.Registry.wide_safe then
+    check_int (name ^ " all cells exact") !cells !exact
+
+(* one test case per workload so a failure names its workload and the
+   suite parallelizes naturally *)
+let suite =
+  List.map
+    (fun (w : Hpm_workloads.Registry.t) ->
+      tc_slow ("matrix " ^ w.Hpm_workloads.Registry.name) (run_matrix_for w))
+    Hpm_workloads.Registry.all

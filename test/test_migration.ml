@@ -44,10 +44,15 @@ let test_same_width_all_workloads () =
     Hpm_workloads.Registry.all
 
 let test_cross_width_safe_workloads () =
-  (* linpack, nqueens, test_pointer stay within 31-bit longs *)
+  (* workloads whose long arithmetic stays within 32 bits, per the
+     registry's [wide_safe] flag *)
   List.iter
-    (fun name -> equivalence_everywhere cross_width_pairs name (workload name))
-    [ "linpack"; "nqueens"; "test_pointer"; "hashtab"; "qsort"; "jacobi" ]
+    (fun (w : Hpm_workloads.Registry.t) ->
+      equivalence_everywhere cross_width_pairs w.Hpm_workloads.Registry.name
+        (w.Hpm_workloads.Registry.source w.Hpm_workloads.Registry.default_n))
+    (List.filter
+       (fun (w : Hpm_workloads.Registry.t) -> w.Hpm_workloads.Registry.wide_safe)
+       Hpm_workloads.Registry.all)
 
 let test_test_pointer_oracle () =
   (* the full §4.1 consistency checklist, on the destination machine:

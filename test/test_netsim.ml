@@ -4,7 +4,7 @@ open Hpm_net
 open Util
 
 let test_tx_time () =
-  let ch = Netsim.make ~name:"t" ~bandwidth_bps:1e6 ~latency_s:0.001 in
+  let ch = Netsim.make ~name:"t" ~bandwidth_bps:1e6 ~latency_s:0.001 () in
   (* 1000 bytes = 8000 bits over 1 Mb/s = 8 ms, plus 1 ms latency *)
   Alcotest.(check (float 1e-9)) "tx math" 0.009 (Netsim.tx_time ch 1000);
   Alcotest.(check (float 1e-9)) "latency only" 0.001 (Netsim.tx_time ch 0)

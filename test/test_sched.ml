@@ -34,6 +34,7 @@ let test_explicit_migration () =
       (function
         | Sched.Requested _ -> Some "req"
         | Sched.Migrated _ -> Some "mig"
+        | Sched.Migration_failed _ -> Some "fail"
         | Sched.Finished_ev _ -> Some "fin"
         | Sched.Spawned _ -> Some "spawn")
       evs
@@ -112,6 +113,45 @@ let test_cpu_sharing () =
     true
     (paired > 1.5 *. solo && paired < 3.0 *. solo)
 
+let test_failed_migration_requeues_on_source () =
+  (* a dead link: the transfer aborts and the scheduler re-queues the
+     process on its source node, which finishes it correctly *)
+  let slow = Sched.node "slow" Hpm_arch.Arch.dec5000 in
+  let fast = Sched.node "fast" Hpm_arch.Arch.x86_64 in
+  let faults = Hpm_net.Netsim.fault_model ~corrupt_rate:1.0 ~seed:7 () in
+  let sim =
+    Sched.create ~channel:(Hpm_net.Netsim.ethernet_10 ~faults ()) [ slow; fast ]
+  in
+  let p = Sched.spawn sim slow "doomed" (nqueens 7) in
+  Sched.request_migration sim p fast;
+  let _ = Sched.run sim in
+  check_string "output still correct" "40\n" (Sched.output p);
+  check_bool "stayed on source" true (p.Sched.p_node == slow);
+  check_int "no migration counted" 0 p.Sched.p_migrations;
+  check_int "one failed migration" 1 p.Sched.p_failed_migrations;
+  check_bool "failure event logged" true
+    (List.exists
+       (function Sched.Migration_failed _ -> true | _ -> false)
+       (Sched.events sim))
+
+let test_lossy_migration_still_succeeds () =
+  (* a merely bad link: retries absorb the faults and the migration lands *)
+  let slow = Sched.node "slow" Hpm_arch.Arch.dec5000 in
+  let fast = Sched.node "fast" Hpm_arch.Arch.x86_64 in
+  let faults = Hpm_net.Netsim.fault_model ~loss_rate:0.15 ~corrupt_rate:0.15 ~seed:11 () in
+  let sim =
+    Sched.create
+      ~channel:(Hpm_net.Netsim.ethernet_10 ~faults ())
+      ~transport:{ Hpm_net.Transport.default_config with Hpm_net.Transport.chunk_size = 512 }
+      [ slow; fast ]
+  in
+  let p = Sched.spawn sim slow "bumpy" (nqueens 7) in
+  Sched.request_migration sim p fast;
+  let _ = Sched.run sim in
+  check_string "output survives faults" "40\n" (Sched.output p);
+  check_int "migration succeeded" 1 p.Sched.p_migrations;
+  check_bool "ends on fast" true (p.Sched.p_node == fast)
+
 let test_network_accounting () =
   let sim, slow, fast = mk_env () in
   let p = Sched.spawn sim slow "acct" (nqueens 7) in
@@ -129,5 +169,7 @@ let suite =
     tc "seek-fastest policy" test_seek_fastest;
     tc "five-arch cluster tour" test_heterogeneous_cluster;
     tc "CPU timesharing" test_cpu_sharing;
+    tc "failed migration re-queues on source" test_failed_migration_requeues_on_source;
+    tc "lossy migration still succeeds" test_lossy_migration_still_succeeds;
     tc "network accounting" test_network_accounting;
   ]

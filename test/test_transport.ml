@@ -1,0 +1,243 @@
+(** Chunked-transport tests: framing, CRC-32, the retry/abort protocol,
+    and the end-to-end guarantee that a lossy link either delivers a
+    byte-identical stream or leaves the source process runnable. *)
+
+open Hpm_net
+open Hpm_core
+open Util
+
+(* ---- CRC-32 ---- *)
+
+let test_crc32_vectors () =
+  (* standard IEEE CRC-32 check values (zlib-compatible) *)
+  check_int "empty" 0 (Transport.crc32 "");
+  check_int "check value" 0xCBF43926 (Transport.crc32 "123456789");
+  check_int "a" 0xE8B7BE43 (Transport.crc32 "a");
+  check_int "abc" 0x352441C2 (Transport.crc32 "abc");
+  (* windowed digest matches the digest of the substring *)
+  check_int "windowed" (Transport.crc32 "234567")
+    (Transport.crc32 ~pos:1 ~len:6 "123456789")
+
+let test_crc32_detects_flips () =
+  let s = String.init 257 (fun i -> Char.chr (i * 31 mod 256)) in
+  let c = Transport.crc32 s in
+  for i = 0 to String.length s - 1 do
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    if Transport.crc32 (Bytes.to_string b) = c then
+      Alcotest.failf "flip at %d not detected" i
+  done
+
+(* ---- framing ---- *)
+
+let test_frame_roundtrip () =
+  let payload = "the quick brown fox" in
+  let f = Transport.encode_frame ~seq:3 ~total:7 payload in
+  check_int "frame overhead" (String.length payload + Transport.header_bytes)
+    (String.length f);
+  (match Transport.decode_frame ~expect_seq:3 ~expect_total:7 f with
+  | Ok p -> check_string "payload back" payload p
+  | Error e -> Alcotest.failf "rejected good frame: %s" e);
+  (* wrong expectations are NAKed *)
+  check_bool "wrong seq" true
+    (Result.is_error (Transport.decode_frame ~expect_seq:4 ~expect_total:7 f));
+  check_bool "wrong total" true
+    (Result.is_error (Transport.decode_frame ~expect_seq:3 ~expect_total:8 f))
+
+let test_frame_rejects_damage () =
+  let f = Transport.encode_frame ~seq:0 ~total:1 "payload bytes here" in
+  let reject s = Result.is_error (Transport.decode_frame ~expect_seq:0 ~expect_total:1 s) in
+  (* every single-byte flip anywhere in the frame is caught *)
+  for i = 0 to String.length f - 1 do
+    let b = Bytes.of_string f in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    if not (reject (Bytes.to_string b)) then Alcotest.failf "flip at %d accepted" i
+  done;
+  (* every truncation is caught *)
+  for k = 0 to String.length f - 1 do
+    if not (reject (String.sub f 0 k)) then Alcotest.failf "truncation to %d accepted" k
+  done;
+  check_bool "empty" true (reject "")
+
+(* ---- protocol: zero-fault path ---- *)
+
+let test_zero_fault_no_overhead () =
+  let data = String.init 10_000 (fun i -> Char.chr (i mod 251)) in
+  let ch = Netsim.loopback () in
+  match Transport.transfer ch data with
+  | Transport.Aborted _ -> Alcotest.fail "perfect link aborted"
+  | Transport.Delivered (got, ts) ->
+      check_string "byte-identical" data got;
+      check_int "chunks" 3 ts.Transport.t_chunks;
+      (* a clean link resends nothing *)
+      check_int "no retries" 0 ts.Transport.t_retries;
+      check_int "no resent bytes" 0 ts.Transport.t_resent_bytes;
+      check_int "sent = chunks" ts.Transport.t_chunks ts.Transport.t_sent;
+      check_int "payload accounted" (String.length data) ts.Transport.t_payload_bytes;
+      check_bool "no backoff" true (ts.Transport.t_backoff_s = 0.0)
+
+let test_empty_and_boundary_sizes () =
+  let ch = Netsim.loopback () in
+  let cfg = { Transport.default_config with Transport.chunk_size = 64 } in
+  List.iter
+    (fun n ->
+      let data = String.init n (fun i -> Char.chr (i mod 256)) in
+      match Transport.transfer ~config:cfg ch data with
+      | Transport.Delivered (got, ts) ->
+          check_string (Printf.sprintf "size %d" n) data got;
+          check_int
+            (Printf.sprintf "chunk count for %d" n)
+            (max 1 ((n + 63) / 64))
+            ts.Transport.t_chunks
+      | Transport.Aborted _ -> Alcotest.failf "size %d aborted" n)
+    [ 0; 1; 63; 64; 65; 128; 1000 ]
+
+(* ---- protocol: faulty links ---- *)
+
+let transfer_with ~loss ~corrupt ~seed ?(config = Transport.default_config) data =
+  let faults = Netsim.fault_model ~loss_rate:loss ~corrupt_rate:corrupt ~seed () in
+  let ch = Netsim.ethernet_10 ~faults () in
+  Transport.transfer ~config ch data
+
+let test_deterministic_schedule () =
+  let data = String.init 5_000 (fun i -> Char.chr (i * 7 mod 256)) in
+  let run () =
+    match transfer_with ~loss:0.2 ~corrupt:0.2 ~seed:77 data with
+    | Transport.Delivered (_, ts) -> ("ok", ts.Transport.t_sent, ts.Transport.t_retries)
+    | Transport.Aborted { failed_seq; attempts; stats; _ } ->
+        (Printf.sprintf "abort@%d/%d" failed_seq attempts, stats.Transport.t_sent,
+         stats.Transport.t_retries)
+  in
+  check_bool "same seed, same run" true (run () = run ())
+
+(* For any seeded schedule with per-chunk failure probability < 1, the
+   transfer either completes byte-identically or aborts cleanly — never
+   delivers garbage. *)
+let prop_deliver_or_abort =
+  qt ~count:120 "lossy transfer: byte-identical or clean abort"
+    QCheck.(
+      quad (int_range 0 100_000) (int_range 0 80) (int_range 0 80) (int_range 1 9000))
+    (fun (seed, loss_pct, corrupt_pct, size) ->
+      let data = String.init size (fun i -> Char.chr ((i * 131 + seed) mod 256)) in
+      let config = { Transport.default_config with Transport.chunk_size = 512 } in
+      match
+        transfer_with
+          ~loss:(float_of_int loss_pct /. 100.0)
+          ~corrupt:(float_of_int corrupt_pct /. 100.0)
+          ~seed ~config data
+      with
+      | Transport.Delivered (got, ts) ->
+          String.equal got data
+          && ts.Transport.t_payload_bytes = size
+          && ts.Transport.t_sent = ts.Transport.t_chunks + ts.Transport.t_retries
+      | Transport.Aborted { attempts; stats; _ } ->
+          attempts = Transport.default_config.Transport.max_retries + 1
+          && stats.Transport.t_retries >= Transport.default_config.Transport.max_retries)
+
+(* With moderate fault rates and bounded retries, transfers overwhelmingly
+   succeed: P(chunk fails 9 straight times at 30%) ~ 2e-5. *)
+let test_moderate_faults_deliver () =
+  let data = String.init 20_000 (fun i -> Char.chr (i mod 256)) in
+  let delivered = ref 0 in
+  for seed = 1 to 20 do
+    match transfer_with ~loss:0.15 ~corrupt:0.15 ~seed data with
+    | Transport.Delivered (got, _) ->
+        if String.equal got data then incr delivered
+    | Transport.Aborted _ -> ()
+  done;
+  check_bool "most transfers survive a 30% fault rate" true (!delivered >= 18)
+
+let test_backoff_accounted () =
+  let data = String.init 8_000 (fun i -> Char.chr (i mod 256)) in
+  (* find a seed that retries at least once *)
+  let rec go seed =
+    if seed > 50 then Alcotest.fail "no retrying seed found"
+    else
+      match transfer_with ~loss:0.3 ~corrupt:0.3 ~seed data with
+      | Transport.Delivered (_, ts) when ts.Transport.t_retries > 0 -> ts
+      | _ -> go (seed + 1)
+  in
+  let ts = go 1 in
+  check_bool "backoff adds simulated time" true (ts.Transport.t_backoff_s > 0.0);
+  check_bool "time includes backoff" true (ts.Transport.t_time_s > ts.Transport.t_backoff_s);
+  check_bool "resends accounted" true
+    (ts.Transport.t_resent_bytes >= ts.Transport.t_retries * Transport.header_bytes)
+
+(* ---- end-to-end: migration over a lossy link ---- *)
+
+let bitonic_m = lazy (prepare ((Hpm_workloads.Registry.find_exn "bitonic").Hpm_workloads.Registry.source 300))
+
+let test_migration_survives_lossy_link () =
+  let m = Lazy.force bitonic_m in
+  let expected, _, _ = Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  let faults = Netsim.fault_model ~loss_rate:0.2 ~corrupt_rate:0.2 ~seed:5 () in
+  let channel = Netsim.ethernet_10 ~faults () in
+  let transport = { Transport.default_config with Transport.chunk_size = 256 } in
+  let o =
+    Migration.run_migrating m ~src_arch:Hpm_arch.Arch.dec5000
+      ~dst_arch:Hpm_arch.Arch.sparc20 ~after_polls:400 ~channel ~transport ()
+  in
+  check_bool "migrated" true o.Migration.migrated;
+  check_string "output correct across the lossy link" expected o.Migration.output;
+  match o.Migration.report with
+  | Some { Migration.transport_stats = Some ts; _ } ->
+      check_bool "chunked" true (ts.Transport.t_chunks > 1)
+  | _ -> Alcotest.fail "expected transport stats in the report"
+
+let test_abort_leaves_source_runnable () =
+  (* 100% corruption: every chunk fails every time; the destination aborts
+     and the source resumes from its suspended state and completes *)
+  let m = Lazy.force bitonic_m in
+  let expected, _, _ = Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  let faults = Netsim.fault_model ~corrupt_rate:1.0 ~seed:3 () in
+  let channel = Netsim.ethernet_10 ~faults () in
+  let o =
+    Migration.run_migrating m ~src_arch:Hpm_arch.Arch.dec5000
+      ~dst_arch:Hpm_arch.Arch.sparc20 ~after_polls:400 ~channel ()
+  in
+  check_bool "not migrated" false o.Migration.migrated;
+  (match o.Migration.transfer_failure with
+  | Some f ->
+      check_int "first chunk exhausted" 0 f.Migration.f_seq;
+      check_int "all attempts used" (Transport.default_config.Transport.max_retries + 1)
+        f.Migration.f_attempts
+  | None -> Alcotest.fail "expected a transfer failure");
+  check_string "source finished the work itself" expected o.Migration.output
+
+let test_abort_source_can_retry_later () =
+  (* after an abort the suspended source is intact: a later migration over
+     a clean link still works from the same suspension *)
+  let m = Lazy.force bitonic_m in
+  let expected, _, _ = Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  let src, _ = suspend m Hpm_arch.Arch.dec5000 400 in
+  let bad = Netsim.ethernet_10 ~faults:(Netsim.fault_model ~corrupt_rate:1.0 ~seed:9 ()) () in
+  (match Migration.migrate_over ~channel:bad m src Hpm_arch.Arch.sparc20 with
+  | Ok _ -> Alcotest.fail "fully corrupted link delivered"
+  | Error _ -> ());
+  let good = Netsim.ethernet_10 () in
+  match Migration.migrate_over ~channel:good m src Hpm_arch.Arch.sparc20 with
+  | Error f -> Alcotest.failf "clean retry failed: %s" f.Migration.f_reason
+  | Ok (dst, _) -> (
+      match Hpm_machine.Interp.run dst with
+      | Hpm_machine.Interp.RDone _ ->
+          check_string "second attempt delivered"
+            expected
+            (Hpm_machine.Interp.output src ^ Hpm_machine.Interp.output dst)
+      | _ -> Alcotest.fail "destination did not finish")
+
+let suite =
+  [
+    tc "crc32 known vectors" test_crc32_vectors;
+    tc "crc32 detects every single-byte flip" test_crc32_detects_flips;
+    tc "frame round-trip and expectations" test_frame_roundtrip;
+    tc "damaged frames rejected" test_frame_rejects_damage;
+    tc "zero-fault path has no resends" test_zero_fault_no_overhead;
+    tc "boundary sizes chunk correctly" test_empty_and_boundary_sizes;
+    tc "fault schedules are deterministic" test_deterministic_schedule;
+    prop_deliver_or_abort;
+    tc "moderate fault rates deliver" test_moderate_faults_deliver;
+    tc "backoff and resends accounted" test_backoff_accounted;
+    tc "migration survives a lossy link" test_migration_survives_lossy_link;
+    tc "abort leaves the source runnable" test_abort_leaves_source_runnable;
+    tc "aborted source can retry on a clean link" test_abort_source_can_retry_later;
+  ]
