@@ -122,9 +122,9 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
   | Hpm_lang.Typecheck.Error (m, loc) ->
       Fmt.epr "type error at %a: %s@." Hpm_lang.Ast.pp_loc loc m;
       1
-  | Hpm_ir.Unsafe.Rejected diags ->
-      Fmt.epr "program uses migration-unsafe features:@.";
-      List.iter (fun d -> Fmt.epr "  %a@." Hpm_ir.Unsafe.pp_diag d) diags;
+  | Hpm_ir.Diag.Rejected diags ->
+      Fmt.epr "program rejected by static analysis:@.";
+      List.iter (fun d -> Fmt.epr "  %a@." Hpm_ir.Diag.pp d) diags;
       1
   | Hpm_machine.Interp.Trap m | Hpm_machine.Mem.Fault m ->
       Fmt.epr "runtime fault: %s@." m;

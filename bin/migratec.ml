@@ -2,6 +2,10 @@
 
    Subcommands:
      check FILE     - parse, type-check, and report migration-unsafe features
+     lint FILE      - the full static analysis: unsafe features plus the
+                      flow-sensitive checks (uninitialized/dangling values
+                      live at poll-points, double frees, dead stores) and
+                      an optional per-poll migration-footprint report
      ir FILE        - dump the annotated IR (after poll-point insertion)
      polls FILE     - list poll-points with their live-variable sets
      graph FILE     - run to a poll-point and print the MSR graph (or dot)
@@ -44,10 +48,13 @@ let with_errors f =
   | Hpm_lang.Typecheck.Error (m, loc) ->
       Fmt.epr "type error at %a: %s@." Hpm_lang.Ast.pp_loc loc m;
       exit 1
-  | Hpm_ir.Unsafe.Rejected diags ->
-      Fmt.epr "program uses migration-unsafe features:@.";
-      List.iter (fun d -> Fmt.epr "  %a@." Hpm_ir.Unsafe.pp_diag d) diags;
+  | Hpm_ir.Diag.Rejected diags ->
+      Fmt.epr "program rejected by static analysis:@.";
+      List.iter (fun d -> Fmt.epr "  %a@." Hpm_ir.Diag.pp d) diags;
       exit 1
+  | Invalid_argument m ->
+      Fmt.epr "error: %s@." m;
+      exit 2
 
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Mini-C source file, or workload:NAME[:N]")
@@ -55,40 +62,120 @@ let file_arg =
 let strategy_arg =
   Arg.(value & opt string "default" & info [ "strategy" ] ~docv:"S" ~doc:"poll-point strategy: default, outer, or user")
 
+let werror_arg =
+  Arg.(value & flag & info [ "werror" ] ~doc:"treat warnings as errors (exit 1)")
+
+let suppress_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "suppress" ] ~docv:"CODE"
+        ~doc:"suppress a diagnostic code (repeatable; comma-separated lists accepted)")
+
+let no_lint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lint" ]
+        ~doc:"skip the flow-sensitive lint gate (accept programs the lint would reject)")
+
+let diag_config werror suppress =
+  {
+    Hpm_ir.Diag.werror;
+    suppress = List.concat_map (String.split_on_char ',') suppress;
+  }
+
 let cmd_check =
-  let run file =
+  let run file werror suppress =
     with_errors (fun () ->
         let src = read_input file in
         let ast = Hpm_lang.Parser.parse_string src in
         let ast = Hpm_lang.Typecheck.check_program ast in
-        let diags = Hpm_ir.Unsafe.check ast in
+        let diags =
+          Hpm_ir.Diag.apply (diag_config werror suppress) (Hpm_ir.Unsafe.check ast)
+        in
         if diags = [] then Fmt.pr "%s: migration-safe, no warnings@." file
-        else (
-          List.iter (fun d -> Fmt.pr "%a@." Hpm_ir.Unsafe.pp_diag d) diags;
-          if Hpm_ir.Unsafe.errors diags <> [] then exit 1))
+        else List.iter (fun d -> Fmt.pr "%a@." Hpm_ir.Diag.pp d) diags;
+        exit (Hpm_ir.Diag.exit_code diags))
   in
   Cmd.v (Cmd.info "check" ~doc:"type-check and scan for migration-unsafe features")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ werror_arg $ suppress_arg)
+
+let cmd_lint =
+  let format_arg =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ] ~docv:"F" ~doc:"output format: text or json")
+  in
+  let footprint_arg =
+    Arg.(
+      value & flag
+      & info [ "footprint" ] ~doc:"also report per-poll migration footprints (live bytes)")
+  in
+  let arch_arg =
+    Arg.(
+      value & opt string "ultra5"
+      & info [ "arch" ] ~docv:"A" ~doc:"architecture for footprint sizes")
+  in
+  let run file strategy format werror suppress footprint archname =
+    with_errors (fun () ->
+        let a =
+          Hpm_ir.Lint.analyze_source ~strategy:(strategy_of_string strategy)
+            (read_input file)
+        in
+        let diags = Hpm_ir.Diag.apply (diag_config werror suppress) a.Hpm_ir.Lint.a_diags in
+        let fp =
+          match (footprint, a.Hpm_ir.Lint.a_prog) with
+          | true, Some (prog, polls) ->
+              Some (Hpm_ir.Lint.footprint prog polls (Hpm_arch.Arch.by_name_exn archname))
+          | _ -> None
+        in
+        (match format with
+        | "json" -> print_endline (Hpm_ir.Lint.report_json ~file diags fp)
+        | "text" ->
+            List.iter (fun d -> Fmt.pr "%a@." Hpm_ir.Diag.pp d) diags;
+            Option.iter
+              (List.iter (fun e -> Fmt.pr "%a@." Hpm_ir.Lint.pp_footprint_entry e))
+              fp;
+            Fmt.pr "%s: %d error(s), %d warning(s)@." file
+              (List.length (Hpm_ir.Diag.errors diags))
+              (List.length (Hpm_ir.Diag.warnings diags))
+        | f -> failwith (Printf.sprintf "unknown format %S (text|json)" f));
+        exit (Hpm_ir.Diag.exit_code diags))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "run the full static analysis: unsafe features plus flow-sensitive \
+          migratability checks")
+    Term.(
+      const run $ file_arg $ strategy_arg $ format_arg $ werror_arg $ suppress_arg
+      $ footprint_arg $ arch_arg)
 
 let cmd_ir =
-  let run file strategy =
+  let run file strategy no_lint =
     with_errors (fun () ->
-        let m = Migration.prepare ~strategy:(strategy_of_string strategy) (read_input file) in
+        let m =
+          Migration.prepare ~strategy:(strategy_of_string strategy) ~lint:(not no_lint)
+            (read_input file)
+        in
         Fmt.pr "%a@." Hpm_ir.Ir.pp_prog m.Migration.prog)
   in
-  Cmd.v (Cmd.info "ir" ~doc:"dump annotated IR") Term.(const run $ file_arg $ strategy_arg)
+  Cmd.v (Cmd.info "ir" ~doc:"dump annotated IR")
+    Term.(const run $ file_arg $ strategy_arg $ no_lint_arg)
 
 let cmd_polls =
-  let run file strategy =
+  let run file strategy no_lint =
     with_errors (fun () ->
-        let m = Migration.prepare ~strategy:(strategy_of_string strategy) (read_input file) in
+        let m =
+          Migration.prepare ~strategy:(strategy_of_string strategy) ~lint:(not no_lint)
+            (read_input file)
+        in
         List.iter
           (fun p -> Fmt.pr "%a@." Hpm_ir.Pollpoint.pp_info p)
           m.Migration.polls.Hpm_ir.Pollpoint.polls;
         Fmt.pr "%d poll-points@." (List.length m.Migration.polls.Hpm_ir.Pollpoint.polls))
   in
   Cmd.v (Cmd.info "polls" ~doc:"list poll-points and live sets")
-    Term.(const run $ file_arg $ strategy_arg)
+    Term.(const run $ file_arg $ strategy_arg $ no_lint_arg)
 
 let cmd_source =
   let run file =
@@ -120,10 +207,10 @@ let cmd_graph =
   let reachable_arg =
     Arg.(value & flag & info [ "reachable" ] ~doc:"restrict to blocks reachable from roots")
   in
-  let run file after dot archname reachable =
+  let run file after dot archname reachable no_lint =
     with_errors (fun () ->
         let arch = Hpm_arch.Arch.by_name_exn archname in
-        let m = Migration.prepare (read_input file) in
+        let m = Migration.prepare ~lint:(not no_lint) (read_input file) in
         let p = Migration.start m arch in
         Hpm_machine.Interp.request_migration_after p after;
         match Hpm_machine.Interp.run p with
@@ -140,7 +227,7 @@ let cmd_graph =
               Fmt.pr "%a" Hpm_msr.Graph.pp g))
   in
   Cmd.v (Cmd.info "graph" ~doc:"print the MSR graph at a poll-point")
-    Term.(const run $ file_arg $ after_arg $ dot_arg $ arch_arg $ reachable_arg)
+    Term.(const run $ file_arg $ after_arg $ dot_arg $ arch_arg $ reachable_arg $ no_lint_arg)
 
 let cmd_stream =
   let after_arg =
@@ -149,10 +236,10 @@ let cmd_stream =
   let arch_arg =
     Arg.(value & opt string "ultra5" & info [ "arch" ] ~docv:"A" ~doc:"architecture to run on")
   in
-  let run file after archname =
+  let run file after archname no_lint =
     with_errors (fun () ->
         let arch = Hpm_arch.Arch.by_name_exn archname in
-        let m = Migration.prepare (read_input file) in
+        let m = Migration.prepare ~lint:(not no_lint) (read_input file) in
         let p = Migration.start m arch in
         Hpm_machine.Interp.request_migration_after p after;
         match Hpm_machine.Interp.run p with
@@ -166,8 +253,8 @@ let cmd_stream =
   in
   Cmd.v
     (Cmd.info "stream" ~doc:"collect at a poll-point and dump the decoded migration stream")
-    Term.(const run $ file_arg $ after_arg $ arch_arg)
+    Term.(const run $ file_arg $ after_arg $ arch_arg $ no_lint_arg)
 
 let () =
   let doc = "pre-compiler for heterogeneous process migration" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "migratec" ~doc) [ cmd_check; cmd_ir; cmd_polls; cmd_source; cmd_annotate; cmd_graph; cmd_stream ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "migratec" ~doc) [ cmd_check; cmd_lint; cmd_ir; cmd_polls; cmd_source; cmd_annotate; cmd_graph; cmd_stream ]))

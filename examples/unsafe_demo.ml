@@ -1,10 +1,11 @@
-(* Migration-unsafe feature detection (§1: "identify the subset of
-   language features which do not prevent process migration", after Smith
-   & Hutchinson).
+(* Static analysis demo (§1: "identify the subset of language features
+   which do not prevent process migration", after Smith & Hutchinson).
 
    Feeds the pre-compiler a program full of hazards and shows the
-   diagnostics; then shows that the same program with the hazards removed
-   is accepted.
+   diagnostics of the syntactic scan; then a program the type system
+   accepts but whose *dataflow* is unmigratable (a freed pointer live at
+   a poll-point), caught by the flow-sensitive lint; and finally shows
+   that the safe version is accepted and migrates.
 
      dune exec examples/unsafe_demo.exe
 *)
@@ -27,6 +28,22 @@ int main() {
 }
 |}
 
+let dangling_source =
+  {|
+int main() {
+  int i;
+  int *p;
+  p = (int *) malloc(4 * sizeof(int));
+  p[0] = 7;
+  free(p);
+  for (i = 0; i < 10; i = i + 1) {
+    print_int(i);
+  }
+  print_int(p[0]);
+  return 0;
+}
+|}
+
 let good_source =
   {|
 int main() {
@@ -40,13 +57,22 @@ int main() {
 |}
 
 let () =
-  Fmt.pr "=== scanning the hazardous program ===@.";
+  Fmt.pr "=== scanning the hazardous program (syntactic scan) ===@.";
   let ast = Hpm_lang.Typecheck.check_program (Hpm_lang.Parser.parse_string bad_source) in
   let diags = Hpm_ir.Unsafe.check ast in
-  List.iter (fun d -> Fmt.pr "  %a@." Hpm_ir.Unsafe.pp_diag d) diags;
+  List.iter (fun d -> Fmt.pr "  %a@." Hpm_ir.Diag.pp d) diags;
   Fmt.pr "=> %d errors, %d warnings: rejected by the pre-compiler@.@."
-    (List.length (Hpm_ir.Unsafe.errors diags))
-    (List.length (Hpm_ir.Unsafe.warnings diags));
+    (List.length (Hpm_ir.Diag.errors diags))
+    (List.length (Hpm_ir.Diag.warnings diags));
+  Fmt.pr "=== a well-typed program the dataflow lint still refuses ===@.";
+  (* no unsafe casts anywhere — but the freed pointer p is live at the
+     loop's poll-point, where collection would traverse the dead block *)
+  let a = Hpm_ir.Lint.analyze_source dangling_source in
+  List.iter (fun d -> Fmt.pr "  %a@." Hpm_ir.Diag.pp d) a.Hpm_ir.Lint.a_diags;
+  (try
+     ignore (Hpm_core.Migration.prepare dangling_source);
+     Fmt.pr "BUG: prepare accepted it@."
+   with Hpm_ir.Diag.Rejected _ -> Fmt.pr "=> Migration.prepare rejects it@.@.");
   Fmt.pr "=== scanning the safe version ===@.";
   let m = Hpm_core.Migration.prepare good_source in
   Fmt.pr "accepted: %d poll-points inserted; running with migration...@."

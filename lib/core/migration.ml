@@ -29,20 +29,32 @@ type migratable = {
   prog : Ir.prog;                 (** annotated IR *)
   polls : Pollpoint.table;
   ti : Ti.t;
-  diags : Unsafe.diag list;       (** warnings from the unsafe checker *)
+  diags : Unsafe.diag list;
+      (** warnings from the unsafe checker and the flow-sensitive lint *)
 }
 
-(** Run the pre-compiler on Mini-C source text.
+(** Run the pre-compiler on Mini-C source text.  After poll-point
+    insertion the flow-sensitive {!Lint} analyses run over the IR and any
+    lint *error* (e.g. a wild pointer live at a poll-point) rejects the
+    program just like an unsafe feature does; pass [~lint:false] to opt
+    out (the dynamic-defect experiments do, deliberately migrating broken
+    programs).
     @raise Hpm_lang.Lexer.Error, Hpm_lang.Parser.Error on syntax errors
     @raise Hpm_lang.Typecheck.Error on type errors
-    @raise Hpm_ir.Unsafe.Rejected when migration-unsafe features are found *)
-let prepare ?(strategy = Pollpoint.default_strategy) (source : string) : migratable =
+    @raise Hpm_ir.Unsafe.Rejected when migration-unsafe features or lint
+    errors are found *)
+let prepare ?(strategy = Pollpoint.default_strategy) ?(lint = true) (source : string) :
+    migratable =
   let ast = Hpm_lang.Parser.parse_string source in
   let ast = Hpm_lang.Scopes.normalize ast in
   let ast = Hpm_lang.Typecheck.check_program ast in
   let diags = Unsafe.check_exn ast in
   let prog, user_polls = Compile.lower ast in
   let polls = Pollpoint.insert prog user_polls strategy in
+  let diags =
+    if lint then diags @ Diag.reject_on_errors (Lint.check_ir prog)
+    else diags
+  in
   let ti = Ti.build prog in
   { source; ast; prog; polls; ti; diags }
 

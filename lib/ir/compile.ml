@@ -19,9 +19,10 @@ exception Error of string * Ast.loc
 
 let err loc fmt = Fmt.kstr (fun msg -> raise (Error (msg, loc))) fmt
 
-(* Growable function-body builder. *)
+(* Growable function-body builder.  Each block carries the instruction
+   list and a parallel source-location list (both reversed). *)
 type builder = {
-  mutable blocks : (Ir.instr list ref * Ir.term option ref) array;
+  mutable blocks : (Ir.instr list ref * Ast.loc list ref * Ir.term option ref) array;
   mutable cur : int;
   mutable temps : (string * Ty.t) list;
   mutable ntemp : int;
@@ -35,23 +36,25 @@ type builder = {
 
 let new_block b =
   let id = Array.length b.blocks in
-  b.blocks <- Array.append b.blocks [| (ref [], ref None) |];
+  b.blocks <- Array.append b.blocks [| (ref [], ref [], ref None) |];
   id
 
 let switch_to b id = b.cur <- id
 
-let emit b i =
-  let instrs, term = b.blocks.(b.cur) in
+let emit b ~loc i =
+  let instrs, locs, term = b.blocks.(b.cur) in
   match !term with
   | Some _ -> () (* unreachable code after return/break: drop *)
-  | None -> instrs := i :: !instrs
+  | None ->
+      instrs := i :: !instrs;
+      locs := loc :: !locs
 
 let finish b t =
-  let _, term = b.blocks.(b.cur) in
+  let _, _, term = b.blocks.(b.cur) in
   match !term with Some _ -> () | None -> term := Some t
 
 let is_finished b =
-  let _, term = b.blocks.(b.cur) in
+  let _, _, term = b.blocks.(b.cur) in
   !term <> None
 
 let fresh_temp b ty =
@@ -181,7 +184,7 @@ and lower_rv env b (e : Ast.expr) : Ir.rv =
       | Some count_e ->
           let count = lower_rv env b count_e in
           let tmp = fresh_temp b (Ty.Ptr elem) in
-          emit b (Ir.Imalloc (Ir.Lvar tmp, elem, count));
+          emit b ~loc (Ir.Imalloc (Ir.Lvar tmp, elem, count));
           Ir.Rload (Ir.Lvar tmp, Ty.Ptr elem)
       | None ->
           err loc
@@ -194,18 +197,18 @@ and lower_rv env b (e : Ast.expr) : Ir.rv =
   | Ast.Call ({ Ast.desc = Ast.Var "malloc"; _ }, _) ->
       err loc "malloc must be cast to a typed pointer: (T*)malloc(k * sizeof(T))"
   | Ast.Call ({ Ast.desc = Ast.Var "free"; _ }, [ arg ]) ->
-      emit b (Ir.Ifree (lower_rv env b arg));
+      emit b ~loc (Ir.Ifree (lower_rv env b arg));
       Ir.Rconst (Ir.Kint (Ty.Int, 0L))
   | Ast.Call (callee, args) ->
       let args = List.map (lower_rv env b) args in
       let cal = lower_callee env b callee in
       (match ty with
       | Ty.Void ->
-          emit b (Ir.Icall (None, cal, args));
+          emit b ~loc (Ir.Icall (None, cal, args));
           Ir.Rconst (Ir.Kint (Ty.Int, 0L))
       | _ ->
           let tmp = fresh_temp b ty in
-          emit b (Ir.Icall (Some (Ir.Lvar tmp), cal, args));
+          emit b ~loc (Ir.Icall (Some (Ir.Lvar tmp), cal, args));
           Ir.Rload (Ir.Lvar tmp, ty))
   | Ast.Index _ | Ast.Field _ | Ast.Arrow _ | Ast.Deref _ ->
       Ir.Rload (lower_lv env b e, ty)
@@ -220,11 +223,11 @@ and lower_rv env b (e : Ast.expr) : Ir.rv =
       finish b (Ir.Tif (lower_rv env b c, bt, bf));
       switch_to b bt;
       let vx = lower_rv env b x in
-      emit b (Ir.Iassign (Ir.Lvar tmp, vx));
+      emit b ~loc (Ir.Iassign (Ir.Lvar tmp, vx));
       finish b (Ir.Tgoto join);
       switch_to b bf;
       let vy = lower_rv env b y in
-      emit b (Ir.Iassign (Ir.Lvar tmp, vy));
+      emit b ~loc (Ir.Iassign (Ir.Lvar tmp, vy));
       finish b (Ir.Tgoto join);
       switch_to b join;
       Ir.Rload (Ir.Lvar tmp, ty)
@@ -241,25 +244,27 @@ and lower_callee env b (callee : Ast.expr) : Ir.callee =
    read back is the value written, independent of aliasing. *)
 and lower_assign env b (lhs : Ast.expr) (rhs : Ast.expr) : Ir.rv =
   let ty = Ast.ty_of lhs in
+  let loc = lhs.Ast.loc in
   match ty with
   | Ty.Struct _ ->
       let dst = lower_lv env b lhs in
       let src = lower_lv env b rhs in
-      emit b (Ir.Icopy (dst, src, ty));
+      emit b ~loc (Ir.Icopy (dst, src, ty));
       Ir.Rconst (Ir.Kint (Ty.Int, 0L))
   | _ ->
       let v = lower_rv env b rhs in
       let dst = lower_lv env b lhs in
       let tmp = fresh_temp b ty in
-      emit b (Ir.Iassign (Ir.Lvar tmp, v));
-      emit b (Ir.Iassign (dst, Ir.Rload (Ir.Lvar tmp, ty)));
+      emit b ~loc (Ir.Iassign (Ir.Lvar tmp, v));
+      emit b ~loc (Ir.Iassign (dst, Ir.Rload (Ir.Lvar tmp, ty)));
       Ir.Rload (Ir.Lvar tmp, ty)
 
 and lower_incdec env b ~pre ~down (a : Ast.expr) : Ir.rv =
   let ty = Ast.ty_of a in
+  let loc = a.Ast.loc in
   let lv = lower_lv env b a in
   let old = fresh_temp b ty in
-  emit b (Ir.Iassign (Ir.Lvar old, Ir.Rload (lv, ty)));
+  emit b ~loc (Ir.Iassign (Ir.Lvar old, Ir.Rload (lv, ty)));
   let one =
     match ty with
     | Ty.Float | Ty.Double -> Ir.Rconst (Ir.Kfloat (ty, 1.0))
@@ -270,14 +275,15 @@ and lower_incdec env b ~pre ~down (a : Ast.expr) : Ir.rv =
   let updated = Ir.Rbinop (op, Ir.Rload (Ir.Lvar old, ty), one, ty) in
   if pre then (
     let nw = fresh_temp b ty in
-    emit b (Ir.Iassign (Ir.Lvar nw, updated));
-    emit b (Ir.Iassign (lv, Ir.Rload (Ir.Lvar nw, ty)));
+    emit b ~loc (Ir.Iassign (Ir.Lvar nw, updated));
+    emit b ~loc (Ir.Iassign (lv, Ir.Rload (Ir.Lvar nw, ty)));
     Ir.Rload (Ir.Lvar nw, ty))
   else (
-    emit b (Ir.Iassign (lv, updated));
+    emit b ~loc (Ir.Iassign (lv, updated));
     Ir.Rload (Ir.Lvar old, ty))
 
 and lower_shortcircuit env b ~is_and (x : Ast.expr) (y : Ast.expr) : Ir.rv =
+  let loc = x.Ast.loc in
   let tmp = fresh_temp b Ty.Int in
   let brhs = new_block b and bshort = new_block b and join = new_block b in
   let vx = lower_rv env b x in
@@ -286,13 +292,13 @@ and lower_shortcircuit env b ~is_and (x : Ast.expr) (y : Ast.expr) : Ir.rv =
   switch_to b brhs;
   let vy = lower_rv env b y in
   (* normalize to 0/1 *)
-  emit b
+  emit b ~loc
     (Ir.Iassign
        ( Ir.Lvar tmp,
          Ir.Rbinop (Ast.Ne, vy, Ir.Rconst (Ir.Kint (Ty.Int, 0L)), Ty.Int) ));
   finish b (Ir.Tgoto join);
   switch_to b bshort;
-  emit b
+  emit b ~loc
     (Ir.Iassign (Ir.Lvar tmp, Ir.Rconst (Ir.Kint (Ty.Int, if is_and then 0L else 1L))));
   finish b (Ir.Tgoto join);
   switch_to b join;
@@ -387,7 +393,7 @@ let rec lower_stmt env b (s : Ast.stmt) : unit =
       let id = b.npoll in
       b.npoll <- b.npoll + 1;
       b.user_polls <- b.user_polls @ [ (id, name) ];
-      emit b (Ir.Ipoll id)
+      emit b ~loc:s.Ast.sloc (Ir.Ipoll id)
   | Ast.Sdecl d ->
       err s.Ast.sloc "internal: block declaration of %s survived Scopes.normalize"
         d.Ast.d_name
@@ -406,7 +412,7 @@ let rec lower_stmt env b (s : Ast.stmt) : unit =
       let sty = Ast.ty_of scrut in
       let v = lower_rv env b scrut in
       let tmp = fresh_temp b sty in
-      emit b (Ir.Iassign (Ir.Lvar tmp, v));
+      emit b ~loc:s.Ast.sloc (Ir.Iassign (Ir.Lvar tmp, v));
       let exit_ = new_block b in
       let arm_blocks = List.map (fun _ -> new_block b) arms in
       let default_block = new_block b in
@@ -478,7 +484,7 @@ let lower_func prog strings npoll (f : Ast.func) : Ir.func * (int * string) list
       | None -> ()
       | Some e ->
           let v = lower_rv env b e in
-          emit b (Ir.Iassign (Ir.Lvar d.Ast.d_name, v)))
+          emit b ~loc:d.Ast.d_loc (Ir.Iassign (Ir.Lvar d.Ast.d_name, v)))
     f.Ast.f_locals;
   List.iter (lower_stmt env b) f.Ast.f_body;
   (* implicit return: 0 for int main-style functions, plain ret otherwise *)
@@ -490,9 +496,10 @@ let lower_func prog strings npoll (f : Ast.func) : Ir.func * (int * string) list
   (* seal any dangling empty blocks (created after return/break) *)
   let blocks =
     Array.map
-      (fun (instrs, term) ->
+      (fun (instrs, locs, term) ->
         {
           Ir.instrs = Array.of_list (List.rev !instrs);
+          locs = Array.of_list (List.rev !locs);
           term = (match !term with Some t -> t | None -> Ir.Tret None);
         })
       b.blocks

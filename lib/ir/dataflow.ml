@@ -1,0 +1,139 @@
+(** Generic dataflow framework over {!Cfg}.
+
+    The pre-compiler is, at heart, a static analyzer: liveness decides
+    which variables each poll-point must save (§2), and the lint analyses
+    decide whether those saves are even meaningful (an uninitialized or
+    freed pointer handed to [Save_pointer] derails the depth-first
+    collection).  All of them are monotone fixpoints over the same CFG,
+    so they share this one engine: a problem supplies a join-semilattice
+    and per-instruction transfer functions; the engine iterates blocks in
+    reverse-postorder (or its reverse, for backward problems) until the
+    facts stabilize, and answers queries at instruction granularity.
+
+    Facts are always reported in *program order*: [before ~block ~index]
+    is the fact immediately before executing that instruction, whatever
+    the propagation direction.  Unreachable blocks keep [L.bottom]. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** the fact for not-yet-reached program points; must be a unit of
+      [join] ([join bottom x = x]) *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module type PROBLEM = sig
+  module L : LATTICE
+
+  val direction : direction
+
+  val boundary : Ir.func -> L.t
+  (** the fact entering the CFG: at the entry-block head for a forward
+      problem, at every function exit ([Tret]) for a backward one *)
+
+  val transfer_instr : Ir.func -> Ir.instr -> L.t -> L.t
+  (** [transfer_instr fn ins fact] maps the fact across [ins] in the
+      propagation direction (for a backward problem, [fact] is the fact
+      *after* the instruction in program order) *)
+
+  val transfer_term : Ir.func -> Ir.term -> L.t -> L.t
+end
+
+module Make (P : PROBLEM) = struct
+  type result = {
+    fn : Ir.func;
+    entry_facts : P.L.t array;
+        (** forward: fact at each block head; backward: fact at each
+            block exit (both in program order) *)
+  }
+
+  (* Fact at the block head (forward) after pushing through the whole
+     block; or at the block exit (backward) after pulling through
+     terminator and instructions in reverse. *)
+  let block_transfer (fn : Ir.func) (b : Ir.block) (fact : P.L.t) : P.L.t =
+    match P.direction with
+    | Forward ->
+        let fact = Array.fold_left (fun acc i -> P.transfer_instr fn i acc) fact b.Ir.instrs in
+        P.transfer_term fn b.Ir.term fact
+    | Backward ->
+        let fact = ref (P.transfer_term fn b.Ir.term fact) in
+        for i = Array.length b.Ir.instrs - 1 downto 0 do
+          fact := P.transfer_instr fn b.Ir.instrs.(i) !fact
+        done;
+        !fact
+
+  let solve (fn : Ir.func) : result =
+    let n = Array.length fn.Ir.blocks in
+    let entry_facts = Array.make n P.L.bottom in
+    let rpo = Cfg.reverse_postorder fn in
+    let order, edges_in, is_boundary =
+      match P.direction with
+      | Forward ->
+          (rpo, Cfg.pred_map fn, fun b -> b = fn.Ir.entry)
+      | Backward ->
+          ( List.rev rpo,
+            Cfg.succ_map fn,
+            fun b -> Cfg.successors fn.Ir.blocks.(b).Ir.term = [] )
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun bi ->
+          let incoming =
+            List.fold_left
+              (fun acc src ->
+                P.L.join acc
+                  (block_transfer fn fn.Ir.blocks.(src) entry_facts.(src)))
+              P.L.bottom edges_in.(bi)
+          in
+          let incoming =
+            if is_boundary bi then P.L.join incoming (P.boundary fn) else incoming
+          in
+          if not (P.L.equal incoming entry_facts.(bi)) then (
+            entry_facts.(bi) <- incoming;
+            changed := true))
+        order
+    done;
+    { fn; entry_facts }
+
+  (** Program-order fact at the head of [block] (before instruction 0). *)
+  let block_entry (r : result) block =
+    match P.direction with
+    | Forward -> r.entry_facts.(block)
+    | Backward ->
+        block_transfer r.fn r.fn.Ir.blocks.(block) r.entry_facts.(block)
+
+  (** Program-order fact at the exit of [block] (after the terminator). *)
+  let block_exit (r : result) block =
+    match P.direction with
+    | Forward ->
+        block_transfer r.fn r.fn.Ir.blocks.(block) r.entry_facts.(block)
+    | Backward -> r.entry_facts.(block)
+
+  (** Fact immediately before instruction [index] of [block] in program
+      order ([index = length] means before the terminator). *)
+  let before (r : result) ~block ~index : P.L.t =
+    let b = r.fn.Ir.blocks.(block) in
+    match P.direction with
+    | Forward ->
+        let fact = ref r.entry_facts.(block) in
+        for i = 0 to index - 1 do
+          fact := P.transfer_instr r.fn b.Ir.instrs.(i) !fact
+        done;
+        !fact
+    | Backward ->
+        let fact = ref (P.transfer_term r.fn b.Ir.term r.entry_facts.(block)) in
+        for i = Array.length b.Ir.instrs - 1 downto index do
+          fact := P.transfer_instr r.fn b.Ir.instrs.(i) !fact
+        done;
+        !fact
+
+  (** Fact immediately after instruction [index] of [block]. *)
+  let after (r : result) ~block ~index : P.L.t = before r ~block ~index:(index + 1)
+end

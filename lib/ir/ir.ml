@@ -57,7 +57,14 @@ type term =
   | Tif of rv * int * int          (** cond, then-block, else-block *)
   | Tret of rv option
 
-type block = { mutable instrs : instr array; mutable term : term }
+type block = {
+  mutable instrs : instr array;
+  mutable locs : Ast.loc array;
+      (** source location of each instruction, parallel to [instrs];
+          lowering records the statement/expression each instruction came
+          from, so diagnostics on IR facts point back into the source *)
+  mutable term : term;
+}
 
 type func = {
   name : string;
@@ -95,6 +102,11 @@ let var_ty (f : func) (p : prog) name : Ty.t option =
 
 let is_local (f : func) name =
   List.mem_assoc name f.params || List.mem_assoc name f.locals
+
+(** Source location of instruction [index] of [b]; {!Ast.no_loc} when the
+    block predates loc threading (hand-built IR). *)
+let instr_loc (b : block) index =
+  if index >= 0 && index < Array.length b.locs then b.locs.(index) else Ast.no_loc
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing (for migratec dumps and debugging)                  *)

@@ -1,10 +1,11 @@
 (** Live-variable analysis on the IR.
 
-    Classic backward may-analysis at instruction granularity.  At each
-    poll-point the pre-compiler records the variables whose values are
-    "needed for computation beyond the poll-point" (§2); those — and only
-    those — are passed to [Save_variable]/[Save_pointer] at a migration,
-    with everything else recovered by MSR-graph reachability.
+    Classic backward may-analysis at instruction granularity, expressed
+    as a {!Dataflow} problem (sets of variable names under union).  At
+    each poll-point the pre-compiler records the variables whose values
+    are "needed for computation beyond the poll-point" (§2); those — and
+    only those — are passed to [Save_variable]/[Save_pointer] at a
+    migration, with everything else recovered by MSR-graph reachability.
 
     Soundness notes (see DESIGN.md):
     - Taking a variable's address ({!Ir.Raddr}) counts as a *use*: the
@@ -17,12 +18,6 @@
       depth-first traversal collects them when a live pointer leads there. *)
 
 module SS = Set.Make (String)
-
-type t = {
-  fn : Ir.func;
-  live_out_block : SS.t array;  (** fixpoint live-out of each block *)
-  vars : SS.t;                  (** all params + locals of [fn] *)
-}
 
 (* --- use/def extraction ------------------------------------------- *)
 
@@ -86,57 +81,46 @@ let term_uses (t : Ir.term) : SS.t =
   | Ir.Tret None -> SS.empty
   | Ir.Tret (Some rv) -> uses_rv SS.empty rv
 
-(* --- fixpoint ------------------------------------------------------ *)
+(* --- the dataflow problem ------------------------------------------ *)
 
-let block_transfer (b : Ir.block) (live_out : SS.t) : SS.t =
-  let live = ref (SS.union live_out (term_uses b.Ir.term)) in
-  for i = Array.length b.Ir.instrs - 1 downto 0 do
-    let ins = b.Ir.instrs.(i) in
-    live := SS.union (SS.diff !live (instr_defs ins)) (instr_uses ins)
-  done;
-  !live
+module Flow = Dataflow.Make (struct
+  module L = struct
+    type t = SS.t
+
+    let bottom = SS.empty
+    let equal = SS.equal
+    let join = SS.union
+  end
+
+  let direction = Dataflow.Backward
+  let boundary _ = SS.empty
+
+  let transfer_instr _ ins live =
+    SS.union (SS.diff live (instr_defs ins)) (instr_uses ins)
+
+  let transfer_term _ t live = SS.union live (term_uses t)
+end)
+
+type t = {
+  fn : Ir.func;
+  flow : Flow.result;
+  vars : SS.t;  (** all params + locals of [fn] *)
+}
 
 (* Restrict to the function's own variables (globals are always collection
    roots, not tracked by liveness). *)
 let restrict vars s = SS.inter vars s
 
 let analyze (fn : Ir.func) : t =
-  let n = Array.length fn.Ir.blocks in
   let vars =
     SS.of_list (List.map fst fn.Ir.params @ List.map fst fn.Ir.locals)
   in
-  let live_out = Array.make n SS.empty in
-  let succs = Cfg.succ_map fn in
-  let order = List.rev (Cfg.reverse_postorder fn) in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun bi ->
-        let out =
-          List.fold_left
-            (fun acc s ->
-              SS.union acc (block_transfer fn.Ir.blocks.(s) live_out.(s)))
-            SS.empty succs.(bi)
-        in
-        let out = restrict vars out in
-        if not (SS.equal out live_out.(bi)) then (
-          live_out.(bi) <- out;
-          changed := true))
-      order
-  done;
-  { fn; live_out_block = live_out; vars }
+  { fn; flow = Flow.solve fn; vars }
 
 (** Live variables immediately *before* instruction [index] of [block]
     (index = length means before the terminator). *)
 let live_before (t : t) ~block ~index : SS.t =
-  let b = t.fn.Ir.blocks.(block) in
-  let live = ref (SS.union t.live_out_block.(block) (term_uses b.Ir.term)) in
-  for i = Array.length b.Ir.instrs - 1 downto index do
-    let ins = b.Ir.instrs.(i) in
-    live := SS.union (SS.diff !live (instr_defs ins)) (instr_uses ins)
-  done;
-  restrict t.vars !live
+  restrict t.vars (Flow.before t.flow ~block ~index)
 
 (** Live variables immediately *after* instruction [index] of [block]: what
     must survive a suspension at that instruction.  For an {!Ir.Ipoll} this

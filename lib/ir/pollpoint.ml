@@ -83,9 +83,13 @@ let pp_info ppf p =
     (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
     p.live
 
-(* Insert an instruction at the head of a block, in place. *)
+(* Insert an instruction at the head of a block, in place, keeping the
+   parallel source-location array aligned: the poll inherits the location
+   of the instruction it now precedes (the loop-body or function head). *)
 let insert_at_head (b : Ir.block) (ins : Ir.instr) =
-  b.Ir.instrs <- Array.append [| ins |] b.Ir.instrs
+  let loc = Ir.instr_loc b 0 in
+  b.Ir.instrs <- Array.append [| ins |] b.Ir.instrs;
+  b.Ir.locs <- Array.append [| loc |] b.Ir.locs
 
 (** Insert poll-points per [strategy] into [prog] (mutating block
     instruction arrays), then run liveness and build the poll table.

@@ -3,36 +3,42 @@
     Smith & Hutchinson catalogued the C features that defeat heterogeneous
     migration; the paper's pre-compiler (§1) detects and rejects them.
     Mini-C already lacks unions, varargs and bit-fields by construction;
-    this pass checks the remaining, value-level hazards on the typed AST:
+    this pass checks the remaining, value-level hazards on the typed AST
+    and reports them through the {!Diag} engine:
 
-    - casts between pointers and integers (an address is meaningless on
-      the destination machine);
-    - casts between unrelated pointer types (the TI table would save the
-      block under one type and the program would read it as another) —
-      [void*] and [char*] are exempt as the conventional "raw memory"
-      types;
-    - untyped [malloc] (an allocation whose element type cannot be
-      recovered never gets a TI entry);
-    - integer overflow *assumptions*: arithmetic on [long] values stored
-      into [int] is flagged as a warning, since the widths differ across
-      architectures (e.g. ILP32 → LP64). *)
+    - [HPM-E002]/[HPM-E003]: casts between pointers and integers (an
+      address is meaningless on the destination machine);
+    - [HPM-W004]: casts between unrelated pointer types (the TI table
+      would save the block under one type and the program would read it
+      as another) — [void*] and [char*] are exempt as the conventional
+      "raw memory" types;
+    - [HPM-E001]: untyped [malloc] (an allocation whose element type
+      cannot be recovered never gets a TI entry);
+    - [HPM-W005]: integer overflow *assumptions*: a [long] value narrowed
+      to any smaller integer type, since [long] widths differ across
+      architectures (e.g. ILP32 → LP64).  The type checker materializes
+      implicit conversions as {!Ast.Cast} nodes, so plain assignments,
+      initializers, arguments and returns are caught exactly like
+      explicit casts. *)
 
 open Hpm_lang
 
-type severity = Error | Warning
+type severity = Diag.severity = Error | Warning
 
-type diag = { sev : severity; loc : Ast.loc; msg : string }
+type diag = Diag.t = { code : string; sev : severity; loc : Ast.loc; msg : string }
 
-let pp_diag ppf d =
-  Fmt.pf ppf "%s at %a: %s"
-    (match d.sev with Error -> "error" | Warning -> "warning")
-    Ast.pp_loc d.loc d.msg
+let pp_diag = Diag.pp
 
 let is_charlike = function Ty.Ptr Ty.Void | Ty.Ptr Ty.Char -> true | _ -> false
 
 let is_null_const (e : Ast.expr) =
   match e.Ast.desc with
   | Ast.Const (Ast.Cint 0L) | Ast.Const (Ast.Clong 0L) -> true
+  | _ -> false
+
+(* Integer types strictly narrower than [long] on every architecture. *)
+let is_narrower_than_long = function
+  | Ty.Char | Ty.Short | Ty.Int -> true
   | _ -> false
 
 let rec check_expr acc (e : Ast.expr) : diag list =
@@ -50,58 +56,40 @@ and check_expr_general acc (e : Ast.expr) : diag list =
   let acc =
     match e.Ast.desc with
     | Ast.Call ({ Ast.desc = Ast.Var "malloc"; _ }, _) ->
-        {
-          sev = Error;
-          loc;
-          msg =
-            "untyped malloc: result must be cast immediately, as in (T*)malloc(k * sizeof(T))";
-        }
+        Diag.make ~code:"HPM-E001" ~loc
+          "untyped malloc: result must be cast immediately, as in (T*)malloc(k * sizeof(T))"
         :: acc
     | Ast.Cast ((Ty.Ptr _ as t), inner) when Ty.is_integer (Ast.ty_of inner) ->
         if is_null_const inner then acc
         else
-          {
-            sev = Error;
-            loc;
-            msg =
-              Fmt.str
-                "cast of integer to %s: machine addresses do not survive migration"
-                (Ty.to_string t);
-          }
+          Diag.make ~code:"HPM-E002" ~loc
+            "cast of integer to %s: machine addresses do not survive migration"
+            (Ty.to_string t)
           :: acc
     | Ast.Cast (t, inner) when Ty.is_integer t && Ty.is_pointer (Ast.ty_of inner) ->
-        {
-          sev = Error;
-          loc;
-          msg =
-            Fmt.str "cast of %s to %s: machine addresses do not survive migration"
-              (Ty.to_string (Ast.ty_of inner))
-              (Ty.to_string t);
-        }
+        Diag.make ~code:"HPM-E003" ~loc
+          "cast of %s to %s: machine addresses do not survive migration"
+          (Ty.to_string (Ast.ty_of inner))
+          (Ty.to_string t)
         :: acc
     | Ast.Cast ((Ty.Ptr _ as t), inner)
       when Ty.is_pointer (Ast.ty_of inner)
            && (not (Ty.equal t (Ast.ty_of inner)))
            && (not (is_charlike t))
            && not (is_charlike (Ast.ty_of inner)) ->
-        {
-          sev = Warning;
-          loc;
-          msg =
-            Fmt.str
-              "cast between unrelated pointer types %s and %s: the block will be \
-               collected under its allocation type"
-              (Ty.to_string (Ast.ty_of inner))
-              (Ty.to_string t);
-        }
+        Diag.make ~code:"HPM-W004" ~loc
+          "cast between unrelated pointer types %s and %s: the block will be \
+           collected under its allocation type"
+          (Ty.to_string (Ast.ty_of inner))
+          (Ty.to_string t)
         :: acc
-    | Ast.Cast (Ty.Int, inner)
-      when Ty.equal (Ast.ty_of inner) Ty.Long && not (is_null_const inner) ->
-        {
-          sev = Warning;
-          loc;
-          msg = "long value narrowed to int: widths differ across architectures";
-        }
+    | Ast.Cast (t, inner)
+      when is_narrower_than_long t
+           && Ty.equal (Ast.ty_of inner) Ty.Long
+           && not (is_null_const inner) ->
+        Diag.make ~code:"HPM-W005" ~loc
+          "long value narrowed to %s: long widths differ across architectures"
+          (Ty.to_string t)
         :: acc
     | _ -> acc
   in
@@ -174,12 +162,10 @@ let check (p : Ast.program) : diag list =
   in
   List.rev acc
 
-let errors diags = List.filter (fun d -> d.sev = Error) diags
-let warnings diags = List.filter (fun d -> d.sev = Warning) diags
+let errors = Diag.errors
+let warnings = Diag.warnings
 
 (** Raise-on-error convenience used by the migration pipeline. *)
-exception Rejected of diag list
+exception Rejected = Diag.Rejected
 
-let check_exn p =
-  let diags = check p in
-  match errors diags with [] -> diags | errs -> raise (Rejected errs)
+let check_exn p = Diag.reject_on_errors (check p)

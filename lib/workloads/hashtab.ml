@@ -24,17 +24,17 @@ struct entry {
 struct entry *table[%d];
 int population;
 
-int bucket_of(long key) {
+long bucket_of(long key) {
   long h;
   h = key %% %dL;
   if (h < 0L) {
     h = h + %dL;
   }
-  return (int) h;
+  return h;
 }
 
 void ht_put(long key, long value) {
-  int b;
+  long b;
   struct entry *e;
   b = bucket_of(key);
   e = table[b];
@@ -66,7 +66,7 @@ long ht_get(long key, long missing) {
 }
 
 void ht_del(long key) {
-  int b;
+  long b;
   struct entry *e;
   struct entry *prev;
   b = bucket_of(key);

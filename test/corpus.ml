@@ -1,0 +1,245 @@
+(** Seeded-defect corpus for the migratability lint.
+
+    Each entry is a small Mini-C program with a known defect and the
+    diagnostics the lint must produce for it: [(code, line)] pairs that
+    must all appear, with no diagnostic of any *other* code allowed (the
+    same code may legitimately fire at several poll-points).  The [clean]
+    list are realistic programs the lint must stay silent on — the
+    zero-false-positive half of the contract. *)
+
+type case = {
+  c_name : string;
+  c_strategy : Hpm_ir.Pollpoint.strategy;
+  c_source : string;
+  c_expected : (string * int) list;  (** diagnostic code, 1-based line *)
+}
+
+let default = Hpm_ir.Pollpoint.default_strategy
+let user_only = Hpm_ir.Pollpoint.user_only_strategy
+
+let defects =
+  [
+    {
+      c_name = "uninit-scalar-at-poll";
+      c_strategy = default;
+      c_source =
+        {|int main() {
+  int i;
+  int sum;
+  for (i = 0; i < 10; i = i + 1) {
+    sum = sum + i;
+  }
+  print_int(sum);
+  return 0;
+}
+|};
+      (* flagged at the loop-header poll (line 5, first body instruction)
+         and at main's entry poll (line 4, the for-init) *)
+      c_expected = [ ("HPM-E101", 5); ("HPM-E101", 4) ];
+    };
+    {
+      c_name = "wild-pointer-at-poll";
+      c_strategy = default;
+      c_source =
+        {|int main() {
+  int i;
+  int *p;
+  for (i = 0; i < 10; i = i + 1) {
+    print_int(i);
+  }
+  print_int(*p);
+  return 0;
+}
+|};
+      c_expected = [ ("HPM-E103", 5); ("HPM-E103", 4) ];
+    };
+    {
+      c_name = "use-after-free-at-poll";
+      c_strategy = default;
+      c_source =
+        {|int main() {
+  int i;
+  int *p;
+  p = (int *) malloc(4 * sizeof(int));
+  p[0] = 7;
+  free(p);
+  for (i = 0; i < 10; i = i + 1) {
+    print_int(i);
+  }
+  print_int(p[0]);
+  return 0;
+}
+|};
+      c_expected = [ ("HPM-E102", 8) ];
+    };
+    {
+      c_name = "use-after-free-at-user-poll";
+      c_strategy = user_only;
+      c_source =
+        {|int main() {
+  int *p;
+  p = (int *) malloc(sizeof(int));
+  *p = 5;
+  free(p);
+  #pragma poll here
+  print_int(*p);
+  return 0;
+}
+|};
+      c_expected = [ ("HPM-E102", 6) ];
+    };
+    {
+      c_name = "double-free";
+      c_strategy = user_only;
+      c_source =
+        {|int main() {
+  int *p;
+  p = (int *) malloc(4 * sizeof(int));
+  p[0] = 7;
+  print_int(p[0]);
+  free(p);
+  free(p);
+  return 0;
+}
+|};
+      c_expected = [ ("HPM-W104", 7) ];
+    };
+    {
+      c_name = "double-free-in-branch";
+      c_strategy = user_only;
+      c_source =
+        {|int main() {
+  int *p;
+  p = (int *) malloc(sizeof(int));
+  *p = 1;
+  if (*p > 0) {
+    free(p);
+  }
+  free(p);
+  return 0;
+}
+|};
+      c_expected = [ ("HPM-W104", 8) ];
+    };
+    {
+      c_name = "dead-store-before-poll";
+      c_strategy = default;
+      c_source =
+        {|int main() {
+  int i;
+  int r;
+  r = 42;
+  r = 7;
+  for (i = 0; i < 10; i = i + 1) {
+    print_int(r);
+  }
+  return 0;
+}
+|};
+      c_expected = [ ("HPM-W105", 4) ];
+    };
+    {
+      c_name = "uninit-at-suspended-call";
+      c_strategy = default;
+      c_source =
+        {|void helper(int n) {
+  int j;
+  for (j = 0; j < n; j = j + 1) {
+    print_int(j);
+  }
+}
+int main() {
+  int x;
+  helper(3);
+  print_int(x);
+  return 0;
+}
+|};
+      (* the call to helper may suspend (helper polls); x is garbage in
+         main's suspended frame and read after the call returns.  Also
+         flagged at main's own entry poll, same line. *)
+      c_expected = [ ("HPM-E101", 9) ];
+    };
+  ]
+
+(** Programs that exercise the idioms most likely to trip a naive
+    analysis; the lint must report nothing on any of them. *)
+let clean =
+  [
+    ( "branch-init",
+      default,
+      {|int main() {
+  int i;
+  int x;
+  if (rand() > 0) { x = 1; } else { x = 2; }
+  for (i = 0; i < 10; i = i + 1) {
+    x = x + i;
+  }
+  print_int(x);
+  return 0;
+}
+|} );
+    ( "array-fill-in-polled-loop",
+      default,
+      {|int main() {
+  int a[100];
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 100; i = i + 1) {
+    a[i] = i;
+  }
+  for (i = 0; i < 100; i = i + 1) {
+    s = s + a[i];
+  }
+  print_int(s);
+  return 0;
+}
+|} );
+    ( "out-param-init",
+      default,
+      {|void init(int *out) {
+  *out = 5;
+}
+int main() {
+  int i;
+  int x;
+  init(&x);
+  for (i = 0; i < 10; i = i + 1) {
+    x = x + 1;
+  }
+  print_int(x);
+  return 0;
+}
+|} );
+    ( "free-then-reassign",
+      default,
+      {|int main() {
+  int i;
+  int *p;
+  p = (int *) malloc(sizeof(int));
+  *p = 1;
+  free(p);
+  p = (int *) malloc(sizeof(int));
+  *p = 2;
+  for (i = 0; i < 5; i = i + 1) {
+    *p = *p + i;
+  }
+  print_int(*p);
+  free(p);
+  return 0;
+}
+|} );
+    ( "dangling-but-dead",
+      user_only,
+      {|int main() {
+  int *p;
+  p = (int *) malloc(sizeof(int));
+  *p = 5;
+  free(p);
+  #pragma poll here
+  print_int(7);
+  return 0;
+}
+|} );
+  ]

@@ -65,6 +65,70 @@ let test_rpo () =
   (* rpo contains no duplicates *)
   check_int "no duplicates" (List.length rpo) (List.length (List.sort_uniq compare rpo))
 
+let test_rpo_excludes_unreachable () =
+  let f = func_of "int main() { return 1; print_int(2); return 3; }" "main" in
+  let reach = Cfg.reachable f in
+  let rpo = Cfg.reverse_postorder f in
+  check_bool "every rpo block is reachable" true
+    (List.for_all (fun b -> reach.(b)) rpo);
+  check_int "rpo covers exactly the reachable blocks"
+    (Array.fold_left (fun n r -> if r then n + 1 else n) 0 reach)
+    (List.length rpo);
+  check_bool "rpo omits dead blocks" true
+    (List.length rpo < Array.length f.Ir.blocks)
+
+let test_back_edge_endpoints_do_while () =
+  let f =
+    func_of "int main() { int i; i = 0; do { i++; } while (i < 4); return i; }" "main"
+  in
+  match Cfg.back_edges f with
+  | [ ((src, dst) as e) ] ->
+      check_bool "target is a loop header" true (List.mem dst (Cfg.loop_headers f));
+      let body = Cfg.natural_loop f e in
+      check_bool "source inside its own loop" true (List.mem src body);
+      check_bool "header inside its own loop" true (List.mem dst body)
+  | es -> Alcotest.failf "expected one back edge, got %d" (List.length es)
+
+let test_back_edge_endpoints_nested () =
+  let f =
+    func_of
+      {|
+int main() {
+  int i; int j; int s;
+  s = 0;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 3; j++) {
+      s = s + i * j;
+    }
+  }
+  print_int(s);
+  return 0;
+}
+|}
+      "main"
+  in
+  let headers = Cfg.loop_headers f in
+  let bes = Cfg.back_edges f in
+  check_int "two back edges" 2 (List.length bes);
+  check_bool "every back edge targets a loop header" true
+    (List.for_all (fun (_, dst) -> List.mem dst headers) bes);
+  List.iter
+    (fun ((src, dst) as e) ->
+      let body = Cfg.natural_loop f e in
+      check_bool "back-edge source inside its loop" true (List.mem src body);
+      check_bool "back-edge target inside its loop" true (List.mem dst body))
+    bes;
+  (* the loops nest: one natural loop strictly contains the other *)
+  (match List.map (Cfg.natural_loop f) bes with
+  | [ a; b ] ->
+      let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+      check_bool "inner loop nests inside the outer" true
+        ((subset a b && List.length a < List.length b)
+        || (subset b a && List.length b < List.length a))
+  | _ -> Alcotest.fail "expected two natural loops");
+  let depth = Cfg.loop_depth f in
+  check_int "innermost depth 2" 2 (Array.fold_left max 0 depth)
+
 let test_natural_loop_membership () =
   let f =
     func_of "int main() { int i; for (i = 0; i < 5; i++) { if (i > 2) print_int(i); } return 0; }"
@@ -85,5 +149,8 @@ let suite =
     tc "do-while" test_do_while;
     tc "unreachable blocks" test_unreachable_blocks;
     tc "reverse postorder" test_rpo;
+    tc "rpo excludes unreachable blocks" test_rpo_excludes_unreachable;
+    tc "back-edge endpoints (do-while)" test_back_edge_endpoints_do_while;
+    tc "back-edge endpoints (nested loops)" test_back_edge_endpoints_nested;
     tc "natural loop membership" test_natural_loop_membership;
   ]

@@ -86,7 +86,11 @@ int main() {
 }
 |}
   in
-  let m = prepare_user src in
+  (* the static lint would reject this at prepare time (HPM-E102); opt
+     out to prove the *runtime* collection guard also catches it *)
+  let m =
+    Migration.prepare ~strategy:Hpm_ir.Pollpoint.user_only_strategy ~lint:false src
+  in
   let p, _ = suspend m Hpm_arch.Arch.ultra5 0 in
   expect_raise "dangling live pointer" (function Collect.Error _ -> true | _ -> false)
     (fun () -> Collect.collect p m.Migration.ti)

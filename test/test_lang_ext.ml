@@ -129,7 +129,7 @@ let test_goto_out_of_loop () =
   let src =
     {|
 int main() {
-  int i; int j;
+  int i; int j = 0;
   for (i = 0; i < 10; i++) {
     for (j = 0; j < 10; j++) {
       if (i * j == 6) goto out;

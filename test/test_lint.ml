@@ -1,0 +1,276 @@
+(** Migratability-lint tests: the seeded-defect corpus must be flagged
+    with the right code at the right location, every workload and example
+    program must lint clean, and the diagnostics engine must honor
+    [-Werror], suppression and the JSON contract. *)
+
+open Hpm_ir
+open Util
+
+let analyze ?(strategy = Pollpoint.default_strategy) src =
+  (Lint.analyze_source ~strategy src).Lint.a_diags
+
+let code_lines ds =
+  List.map (fun (d : Diag.t) -> (d.Diag.code, d.Diag.loc.Hpm_lang.Ast.line)) ds
+
+let show_code_lines cl =
+  String.concat ", " (List.map (fun (c, l) -> Printf.sprintf "%s@%d" c l) cl)
+
+(* --- the seeded-defect corpus --------------------------------------- *)
+
+let test_defect_corpus () =
+  List.iter
+    (fun (c : Corpus.case) ->
+      let actual = code_lines (analyze ~strategy:c.Corpus.c_strategy c.Corpus.c_source) in
+      check_bool (c.Corpus.c_name ^ " produces diagnostics") true (actual <> []);
+      List.iter
+        (fun (code, line) ->
+          check_bool
+            (Printf.sprintf "%s: %s at line %d (got: %s)" c.Corpus.c_name code
+               line (show_code_lines actual))
+            true
+            (List.mem (code, line) actual))
+        c.Corpus.c_expected;
+      (* no diagnostic of a code the corpus entry does not predict: the
+         lint may flag the same defect at several poll-points, but a
+         different code would be a false positive *)
+      let allowed = List.map fst c.Corpus.c_expected in
+      List.iter
+        (fun (code, line) ->
+          check_bool
+            (Printf.sprintf "%s: unexpected %s at line %d" c.Corpus.c_name code line)
+            true (List.mem code allowed))
+        actual)
+    Corpus.defects
+
+let test_clean_corpus () =
+  List.iter
+    (fun (name, strategy, src) ->
+      let actual = code_lines (analyze ~strategy src) in
+      check_bool
+        (Printf.sprintf "%s lints clean (got: %s)" name (show_code_lines actual))
+        true (actual = []))
+    Corpus.clean
+
+(* --- zero false positives on the whole built-in program suite ------- *)
+
+let test_workloads_lint_clean () =
+  List.iter
+    (fun (w : Hpm_workloads.Registry.t) ->
+      let src = w.Hpm_workloads.Registry.source w.Hpm_workloads.Registry.default_n in
+      let actual = code_lines (analyze src) in
+      check_bool
+        (Printf.sprintf "workload %s lints clean (got: %s)"
+           w.Hpm_workloads.Registry.name (show_code_lines actual))
+        true (actual = []))
+    Hpm_workloads.Registry.all
+
+(* The inline sources of examples/quickstart.ml, examples/fig1_example.ml
+   and examples/unsafe_demo.ml (good_source), kept in sync by hand; fig1
+   is linted under the user-only strategy it actually runs with. *)
+let example_sources =
+  [
+    ( "quickstart",
+      Pollpoint.default_strategy,
+      {|
+struct point { double x; double y; struct point *next; };
+
+struct point *path;
+
+double length(struct point *p) {
+  double d;
+  d = 0.0;
+  while (p != 0 && p->next != 0) {
+    d = d + sqrt((p->x - p->next->x) * (p->x - p->next->x)
+               + (p->y - p->next->y) * (p->y - p->next->y));
+    p = p->next;
+  }
+  return d;
+}
+
+int main() {
+  struct point *p;
+  int i;
+  path = 0;
+  for (i = 0; i < 1000; i++) {
+    p = (struct point *) malloc(sizeof(struct point));
+    p->x = (double)(i % 97);
+    p->y = (double)((i * 7) % 89);
+    p->next = path;
+    path = p;
+  }
+  print_str("path length:\n");
+  print_double(length(path));
+  return 0;
+}
+|} );
+    ( "fig1_example",
+      Pollpoint.user_only_strategy,
+      {|
+struct node {
+  float data;
+  struct node *link;
+};
+struct node *first, *last;
+
+void foo(struct node **p, int **q) {
+  #pragma poll before_malloc
+  *p = (struct node *) malloc(sizeof(struct node));
+  (*p)->data = 10.0;
+  (**q)++;
+}
+
+int main() {
+  int i;
+  int a, *b;
+  struct node *parray[10];
+  a = 1;
+  b = &a;
+  for (i = 0; i < 10; i++) {
+    foo(parray + i, &b);
+    first = parray[0];
+    last = parray[i];
+    first->link = last;
+    if (i > 0) {
+      parray[i]->link = parray[i - 1];
+    }
+  }
+  return 0;
+}
+|} );
+    ( "unsafe_demo-good",
+      Pollpoint.default_strategy,
+      {|
+int main() {
+  int x;
+  int *p;
+  x = 5;
+  p = &x;
+  print_int(*p);
+  return 0;
+}
+|} );
+  ]
+
+let test_examples_lint_clean () =
+  List.iter
+    (fun (name, strategy, src) ->
+      let actual = code_lines (analyze ~strategy src) in
+      check_bool
+        (Printf.sprintf "example %s lints clean (got: %s)" name
+           (show_code_lines actual))
+        true (actual = []))
+    example_sources
+
+(* --- pipeline gate --------------------------------------------------- *)
+
+let defect_src name =
+  let c = List.find (fun c -> c.Corpus.c_name = name) Corpus.defects in
+  (c.Corpus.c_strategy, c.Corpus.c_source)
+
+let test_prepare_rejects_lint_errors () =
+  let strategy, src = defect_src "wild-pointer-at-poll" in
+  expect_raise "prepare rejects a wild pointer at a poll"
+    (function Diag.Rejected _ -> true | _ -> false)
+    (fun () -> Hpm_core.Migration.prepare ~strategy src);
+  (* the explicit opt-out accepts the same program *)
+  let m = Hpm_core.Migration.prepare ~strategy ~lint:false src in
+  check_bool "opt-out prepared it" true (m.Hpm_core.Migration.prog.Ir.funcs <> [])
+
+let test_prepare_keeps_lint_warnings () =
+  let strategy, src = defect_src "double-free" in
+  let m = Hpm_core.Migration.prepare ~strategy src in
+  check_bool "double-free is a warning, program accepted" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "HPM-W104")
+       m.Hpm_core.Migration.diags)
+
+(* --- diagnostics engine --------------------------------------------- *)
+
+let some_warning () =
+  Diag.make ~code:"HPM-W104" ~loc:{ Hpm_lang.Ast.line = 3; col = 1 } "w"
+
+let test_werror_promotion () =
+  let ds = [ some_warning () ] in
+  check_int "warning by default" 0 (List.length (Diag.errors ds));
+  let ds' = Diag.apply { Diag.werror = true; suppress = [] } ds in
+  check_int "promoted to error" 1 (List.length (Diag.errors ds'));
+  check_int "werror exit code" 1 (Diag.exit_code ds')
+
+let test_suppression () =
+  let ds = [ some_warning () ] in
+  check_int "suppressed away" 0
+    (List.length (Diag.apply { Diag.werror = false; suppress = [ "HPM-W104" ] } ds));
+  check_int "other codes untouched" 1
+    (List.length (Diag.apply { Diag.werror = false; suppress = [ "HPM-W105" ] } ds));
+  expect_raise "unknown suppress code rejected"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> Diag.apply { Diag.werror = false; suppress = [ "HPM-W999" ] } ds)
+
+let test_unregistered_code_rejected () =
+  expect_raise "Diag.make checks the registry"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> Diag.make ~code:"HPM-E999" ~loc:Hpm_lang.Ast.no_loc "nope")
+
+let test_json_shape () =
+  let ds = analyze (snd (defect_src "double-free")) in
+  let js = Diag.to_json ~file:"x.c" ds in
+  check_bool "has file" true (contains_sub js {|"file":"x.c"|});
+  check_bool "has code" true (contains_sub js {|"code":"HPM-W104"|});
+  check_bool "has severity" true (contains_sub js {|"severity":"warning"|});
+  check_bool "counts errors" true (contains_sub js {|"errors":0|});
+  check_bool "counts warnings" true (contains_sub js {|"warnings":1|});
+  (* escaping: quotes and newlines in messages stay valid JSON *)
+  let d = Diag.make ~code:"HPM-W105" ~loc:Hpm_lang.Ast.no_loc "a %s b" "\"x\"\n" in
+  check_bool "escaped" true (contains_sub (Diag.to_json_one d) {|a \"x\"\n b|})
+
+(* --- migration footprint -------------------------------------------- *)
+
+let test_footprint () =
+  let src =
+    {|int main() {
+  int i;
+  double d;
+  d = 0.0;
+  for (i = 0; i < 4; i = i + 1) {
+    d = d + 1.0;
+  }
+  print_double(d);
+  return 0;
+}
+|}
+  in
+  let a = Lint.analyze_source src in
+  check_bool "clean" true (a.Lint.a_diags = []);
+  match a.Lint.a_prog with
+  | None -> Alcotest.fail "expected a lowered program"
+  | Some (prog, polls) ->
+      let fp = Lint.footprint prog polls Hpm_arch.Arch.ultra5 in
+      check_int "one entry per poll" (List.length polls.Pollpoint.polls)
+        (List.length fp);
+      (* at the loop-header poll both i (int, 4) and d (double, 8) are
+         live: 12 bytes of Save_variable payload *)
+      let loop_fp =
+        List.find
+          (fun (e : Lint.footprint_entry) ->
+            e.Lint.fp_poll.Pollpoint.kind = Pollpoint.Kloop)
+          fp
+      in
+      check_int "live vars at loop poll" 2 (List.length loop_fp.Lint.fp_vars);
+      check_int "bytes at loop poll" 12 loop_fp.Lint.fp_bytes;
+      let js = Lint.report_json ~file:"f.c" a.Lint.a_diags (Some fp) in
+      check_bool "json has footprint" true (contains_sub js {|"footprint":[{|});
+      check_bool "json has bytes" true (contains_sub js {|"bytes":12|})
+
+let suite =
+  [
+    tc "seeded defects are flagged" test_defect_corpus;
+    tc "clean idioms stay quiet" test_clean_corpus;
+    tc "all workloads lint clean" test_workloads_lint_clean;
+    tc "example programs lint clean" test_examples_lint_clean;
+    tc "prepare rejects lint errors (opt-out works)" test_prepare_rejects_lint_errors;
+    tc "prepare keeps lint warnings" test_prepare_keeps_lint_warnings;
+    tc "-Werror promotes" test_werror_promotion;
+    tc "per-code suppression" test_suppression;
+    tc "unregistered codes rejected" test_unregistered_code_rejected;
+    tc "json report shape" test_json_shape;
+    tc "migration footprint" test_footprint;
+  ]

@@ -15,6 +15,7 @@ let () =
       ("liveness", Test_liveness.suite);
       ("pollpoint", Test_pollpoint.suite);
       ("unsafe", Test_unsafe.suite);
+      ("lint", Test_lint.suite);
       ("annotate", Test_annotate.suite);
       ("mem", Test_mem.suite);
       ("interp", Test_interp.suite);

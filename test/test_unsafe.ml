@@ -33,7 +33,35 @@ let test_unrelated_ptr_cast () =
 
 let test_long_narrowing () =
   check_int "long to int warning" 1
-    (nwarnings "int main() { long l; int i; l = 5L; i = (int) l; return 0; }")
+    (nwarnings "int main() { long l; int i; l = 5L; i = (int) l; return 0; }");
+  (* narrowing to any shorter integer type warns, not just (int) *)
+  check_int "long to short warning" 1
+    (nwarnings "int main() { long l; short s; l = 5L; s = (short) l; return 0; }");
+  check_int "long to char warning" 1
+    (nwarnings "int main() { long l; char c; l = 5L; c = (char) l; return 0; }");
+  (* implicit coercions (assignment, initializer, return) warn too *)
+  check_int "implicit long-to-int assignment" 1
+    (nwarnings "int main() { long l; int i; l = 5L; i = l; return 0; }");
+  check_int "implicit narrowing in initializer" 1
+    (nwarnings "int main() { long l; l = 70000L; { int i = l; return i; } }");
+  check_int "implicit narrowing at return" 1
+    (nwarnings "int f(long l) { return l; } int main() { return f(5L); }");
+  (* widening and same-width moves stay quiet *)
+  check_int "int to long is fine" 0
+    (nwarnings "int main() { int i; long l; i = 3; l = i; return 0; }");
+  check_int "int to int is fine" 0
+    (nwarnings "int main() { int a; int b; a = 1; b = a; return 0; }")
+
+let test_diag_codes () =
+  (match diags "int main() { int *p; p = (int *) 4096; return 0; }" with
+  | [ d ] -> check_string "int-to-ptr code" "HPM-E002" d.Diag.code
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+  (match diags "int main() { long l; int i; l = 5L; i = l; return 0; }" with
+  | [ d ] -> check_string "narrowing code" "HPM-W005" d.Diag.code
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+  match diags "int main() { int x; long a; a = (long) &x; return 0; }" with
+  | [ d ] -> check_string "ptr-to-int code" "HPM-E003" d.Diag.code
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
 
 let test_clean_program () =
   List.iter
@@ -63,6 +91,7 @@ let suite =
     tc "untyped malloc" test_untyped_malloc;
     tc "unrelated pointer casts warn" test_unrelated_ptr_cast;
     tc "long narrowing warns" test_long_narrowing;
+    tc "stable diagnostic codes" test_diag_codes;
     tc "all workloads are migration-safe" test_clean_program;
     tc "check_exn and prepare reject" test_check_exn;
     tc "diagnostics carry locations" test_locations_reported;
