@@ -447,6 +447,87 @@ let bench_faults () =
   pr "and the process completes on the source machine — degraded, never lost.@."
 
 (* ------------------------------------------------------------------ *)
+(* Extension: recovery latency of the two-phase handoff                *)
+(* ------------------------------------------------------------------ *)
+
+(* What does a node crash cost?  Each row runs one bitonic handoff with a
+   crash or message loss injected at a given protocol point and reports
+   the recovery path taken, the simulated protocol time (transfers plus
+   watchdog waits plus reboots), and whether the surviving copy still
+   computes the right answer exactly once. *)
+let bench_recovery () =
+  hr "Extension: recovery latency of the crash-consistent handoff";
+  pr "bitonic 2000, dec5000 -> sparc20 over 10 Mb/s; deadline %.2fs, reboot %.2fs.@."
+    Handoff.default_config.Handoff.ack_deadline_s
+    Handoff.default_config.Handoff.restart_delay_s;
+  pr "'sim time' is the full protocol latency the process is blocked for.@.@.";
+  pr "%-26s %-22s %10s %10s %6s@." "fault injected" "recovery path" "sim t(s)"
+    "stream B" "ok";
+  let w = Hpm_workloads.Registry.find_exn "bitonic" in
+  let m = Migration.prepare (w.Hpm_workloads.Registry.source 2000) in
+  let expected, _, _ = Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  let scenarios =
+    [
+      ("none (baseline)", Hpm_net.Netsim.node_faults ());
+      ("COMMIT ack dropped", Hpm_net.Netsim.node_faults ~drop_commit_acks:1 ());
+      ( "src crash after collect",
+        Hpm_net.Netsim.node_faults ~crash_source_after:Hpm_net.Netsim.Ph_collect () );
+      ( "src crash after transfer",
+        Hpm_net.Netsim.node_faults ~crash_source_after:Hpm_net.Netsim.Ph_transfer () );
+      ( "src crash after commit",
+        Hpm_net.Netsim.node_faults ~crash_source_after:Hpm_net.Netsim.Ph_commit () );
+      ( "dst crash after transfer",
+        Hpm_net.Netsim.node_faults ~crash_dest_after:Hpm_net.Netsim.Ph_transfer () );
+      ( "dst crash after restore",
+        Hpm_net.Netsim.node_faults ~crash_dest_after:Hpm_net.Netsim.Ph_restore () );
+      ( "dst crash after commit",
+        Hpm_net.Netsim.node_faults ~crash_dest_after:Hpm_net.Netsim.Ph_commit () );
+    ]
+  in
+  List.iter
+    (fun (name, faults) ->
+      let src = suspend m Hpm_arch.Arch.dec5000 6000 in
+      let pre = Hpm_machine.Interp.output src in
+      let channel = Hpm_net.Netsim.ethernet_10 () in
+      let res = Handoff.execute ~faults ~channel ~epoch:1 m src Hpm_arch.Arch.sparc20 in
+      let finish (p : Hpm_machine.Interp.t) =
+        match Hpm_machine.Interp.run p with
+        | Hpm_machine.Interp.RDone _ -> pre ^ Hpm_machine.Interp.output p
+        | _ -> "<did not finish>"
+      in
+      let path, sim_t, bytes, out =
+        match res.Handoff.outcome with
+        | Handoff.Committed c ->
+            let path =
+              if c.Handoff.c_src_crashed then "commit (src rebooted)"
+              else if c.Handoff.c_dest_restarted then "commit (dst rebooted)"
+              else if c.Handoff.c_ack_recovered then "commit (probe)"
+              else "commit"
+            in
+            (path, c.Handoff.c_time_s, c.Handoff.c_stream_bytes, finish c.Handoff.c_dst)
+        | Handoff.Source_recovered r ->
+            ("resume from ckpt", r.Handoff.r_time_s,
+             r.Handoff.r_cstats.Cstats.c_stream_bytes, finish r.Handoff.r_interp)
+        | Handoff.Abort_requeue q ->
+            let interp, _ =
+              Handoff.resume_from_checkpoint m Hpm_arch.Arch.dec5000
+                ~epoch:q.Handoff.q_epoch q.Handoff.q_ckpt
+            in
+            ("abort + requeue", q.Handoff.q_time_s, String.length q.Handoff.q_ckpt,
+             finish interp)
+        | Handoff.Stalled { s_time_s; s_ckpt; _ } ->
+            ("stalled", s_time_s, String.length s_ckpt, "<blocked>")
+        | Handoff.Link_failed l -> ("resume live", l.Handoff.l_time_s, 0, finish src)
+      in
+      pr "%-26s %-22s %10.4f %10d %6s@." name path sim_t bytes
+        (if String.equal out expected then "yes" else "NO!");
+      if not (String.equal out expected) then exit 1)
+    scenarios;
+  pr "@.reading: pre-commit faults pay the watchdog deadline (plus a reboot)@.";
+  pr "and fall back to the retained checkpoint; post-commit faults finish on@.";
+  pr "the destination.  Every row ends with the process run exactly once.@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -509,13 +590,16 @@ let all () =
   bench_ablation ();
   bench_latency ();
   bench_faults ();
+  bench_recovery ();
   bench_census ();
   bench_micro ()
 
-(* CI smoke run: the fault-tolerance table plus the all-workload census,
-   both at small sizes — finishes in well under a minute. *)
+(* CI smoke run: the fault-tolerance and recovery tables plus the
+   all-workload census, at small sizes — finishes in well under a
+   minute. *)
 let quick () =
   bench_faults ();
+  bench_recovery ();
   bench_census ()
 
 let () =
@@ -530,6 +614,7 @@ let () =
   | "census" -> bench_census ()
   | "latency" -> bench_latency ()
   | "faults" -> bench_faults ()
+  | "recovery" -> bench_recovery ()
   | "micro" -> bench_micro ()
   | "quick" -> quick ()
   | "all" -> all ()

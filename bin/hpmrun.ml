@@ -4,11 +4,16 @@
      hpmrun FILE                          run on ultra5, no migration
      hpmrun FILE --from dec5000 --to sparc20 --after-polls 100
      hpmrun workload:bitonic:5000 --from sparc20 --to x86_64 --report
+     hpmrun workload:nqueens:6 --to x86_64 --crash-dst-after restore --report
 
-   FILE may be "workload:NAME[:N]" for a built-in workload. *)
+   FILE may be "workload:NAME[:N]" for a built-in workload.  Node-fault
+   flags (--crash-src-after, --crash-dst-after, --drop-ack, --drop-probe)
+   route the migration through the crash-consistent two-phase handoff
+   (docs/PROTOCOL.md) and print the protocol trace under --report. *)
 
 open Cmdliner
 open Hpm_core
+open Hpm_net
 
 let read_input (spec : string) : string =
   match String.split_on_char ':' spec with
@@ -25,8 +30,69 @@ let read_input (spec : string) : string =
       close_in ic;
       s
 
+let parse_phase flag = function
+  | None -> None
+  | Some s -> (
+      match Netsim.phase_of_string s with
+      | Some p -> Some p
+      | None ->
+          Fmt.epr "hpmrun: %s must be one of %s (got %S)@." flag
+            (String.concat ", " (List.map Netsim.phase_name Netsim.all_phases))
+            s;
+          exit 1)
+
+(* Run to the poll-point on the source, hand off under the two-phase
+   protocol, then finish the surviving copy and print its output. *)
+let run_handoff m ~src_arch ~dst_arch ~after ~channel ~config ~report =
+  let p = Migration.start m src_arch in
+  Hpm_machine.Interp.request_migration_after p after;
+  match Hpm_machine.Interp.run p with
+  | Hpm_machine.Interp.RDone _ ->
+      print_string (Hpm_machine.Interp.output p);
+      Fmt.pr "; process finished before the migration triggered@.";
+      0
+  | Hpm_machine.Interp.RFuel -> assert false
+  | Hpm_machine.Interp.RPolled _ -> (
+      let res = Handoff.execute ~config ~channel ~epoch:1 m p dst_arch in
+      if report then Fmt.pr "%a" Handoff.pp_trace res.Handoff.trace;
+      Fmt.pr "; %a@." Handoff.pp_outcome res.Handoff.outcome;
+      (* output produced before the handoff, on the source *)
+      print_string (Hpm_machine.Interp.output p);
+      let finish interp =
+        match Hpm_machine.Interp.run interp with
+        | Hpm_machine.Interp.RDone _ ->
+            print_string (Hpm_machine.Interp.output interp);
+            0
+        | _ ->
+            Fmt.epr "hpmrun: process did not run to completion after the handoff@.";
+            2
+      in
+      match res.Handoff.outcome with
+      | Handoff.Committed c ->
+          if report then
+            Fmt.pr "; %a@.; %a@.; %a@." Hpm_core.Cstats.pp_collect c.Handoff.c_cstats
+              Hpm_core.Cstats.pp_restore c.Handoff.c_rstats Transport.pp_stats
+              c.Handoff.c_tstats;
+          finish c.Handoff.c_dst
+      | Handoff.Source_recovered r -> finish r.Handoff.r_interp
+      | Handoff.Abort_requeue q ->
+          Fmt.pr "; source copy resumes locally@.";
+          let interp, _ =
+            Handoff.resume_from_checkpoint m src_arch ~epoch:q.Handoff.q_epoch
+              q.Handoff.q_ckpt
+          in
+          finish interp
+      | Handoff.Stalled { s_ckpt; s_epoch; _ } ->
+          Fmt.pr "; resuming retained checkpoint on the source@.";
+          let interp, _ = Handoff.resume_from_checkpoint m src_arch ~epoch:s_epoch s_ckpt in
+          finish interp
+      | Handoff.Link_failed _ ->
+          Hpm_machine.Interp.clear_migration_request p;
+          finish p)
+
 let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
-    max_retries net_seed =
+    max_retries net_seed crash_src crash_dst drop_ack drop_probe ack_deadline
+    probe_retries =
   if loss < 0.0 || loss > 1.0 then (
     Fmt.epr "hpmrun: --loss must be in [0,1] (got %g)@." loss;
     exit 1);
@@ -36,6 +102,21 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
   if max_retries < 0 then (
     Fmt.epr "hpmrun: --max-retries must be non-negative (got %d)@." max_retries;
     exit 1);
+  if drop_ack < 0 then (
+    Fmt.epr "hpmrun: --drop-ack must be non-negative (got %d)@." drop_ack;
+    exit 1);
+  if drop_probe < 0 then (
+    Fmt.epr "hpmrun: --drop-probe must be non-negative (got %d)@." drop_probe;
+    exit 1);
+  if ack_deadline <= 0.0 then (
+    Fmt.epr "hpmrun: --ack-deadline must be positive (got %g)@." ack_deadline;
+    exit 1);
+  if probe_retries < 0 then (
+    Fmt.epr "hpmrun: --probe-retries must be non-negative (got %d)@." probe_retries;
+    exit 1);
+  let crash_src = parse_phase "--crash-src-after" crash_src in
+  let crash_dst = parse_phase "--crash-dst-after" crash_dst in
+  let node_faulty = crash_src <> None || crash_dst <> None || drop_ack > 0 || drop_probe > 0 in
   try
     let m = Migration.prepare (read_input file) in
     match (save_ckpt, load_ckpt) with
@@ -72,7 +153,7 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
            fault schedule *)
         let use_net = loss > 0.0 || corrupt > 0.0 in
         let channel =
-          if use_net then
+          if use_net || node_faulty then
             Some
               (Hpm_net.Netsim.ethernet_10
                  ~faults:
@@ -82,6 +163,23 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
           else None
         in
         let transport = { Hpm_net.Transport.default_config with max_retries } in
+        if node_faulty then (
+          let channel = Option.get channel in
+          Netsim.set_node_faults channel
+            (Some
+               (Netsim.node_faults ?crash_source_after:crash_src
+                  ?crash_dest_after:crash_dst ~drop_commit_acks:drop_ack
+                  ~drop_probe_replies:drop_probe ()));
+          let config =
+            {
+              Handoff.default_config with
+              Handoff.transport;
+              ack_deadline_s = ack_deadline;
+              probe_retries;
+            }
+          in
+          run_handoff m ~src_arch ~dst_arch ~after ~channel ~config ~report)
+        else
         let o =
           Migration.run_migrating m ~src_arch ~dst_arch ~after_polls:after ?channel
             ~transport ()
@@ -146,7 +244,7 @@ let () =
   let after =
     Arg.(value & opt int 0 & info [ "after-polls" ] ~docv:"K" ~doc:"migrate at the (K+1)-th poll event")
   in
-  let report = Arg.(value & flag & info [ "report" ] ~doc:"print migration statistics") in
+  let report = Arg.(value & flag & info [ "report" ] ~doc:"print migration statistics (and the handoff trace under node faults)") in
   let show_net = Arg.(value & flag & info [ "net" ] ~doc:"print simulated network transfer times") in
   let save_ckpt =
     Arg.(value & opt (some string) None
@@ -180,10 +278,46 @@ let () =
          & info [ "net-seed" ] ~docv:"SEED"
              ~doc:"seed of the deterministic fault schedule (replays exactly)")
   in
+  let crash_src =
+    Arg.(value & opt (some string) None
+         & info [ "crash-src-after" ] ~docv:"PHASE"
+             ~doc:"crash the source node after PHASE (collect, transfer, restore, \
+                   commit, release); it restarts and recovers per the handoff protocol")
+  in
+  let crash_dst =
+    Arg.(value & opt (some string) None
+         & info [ "crash-dst-after" ] ~docv:"PHASE"
+             ~doc:"crash the destination node after PHASE; a pre-commit crash aborts \
+                   the epoch, a post-commit crash restarts from the durable image")
+  in
+  let drop_ack =
+    Arg.(value & opt int 0
+         & info [ "drop-ack" ] ~docv:"N"
+             ~doc:"drop the first N COMMIT acks (the lost-ack ambiguity, resolved by \
+                   epoch probes)")
+  in
+  let drop_probe =
+    Arg.(value & opt int 0
+         & info [ "drop-probe" ] ~docv:"N"
+             ~doc:"drop the first N epoch-probe replies; exhausting every probe \
+                   stalls the handoff with the checkpoint retained")
+  in
+  let ack_deadline =
+    Arg.(value & opt float Hpm_core.Handoff.default_config.Hpm_core.Handoff.ack_deadline_s
+         & info [ "ack-deadline" ] ~docv:"S"
+             ~doc:"watchdog: simulated seconds the source waits for the COMMIT ack")
+  in
+  let probe_retries =
+    Arg.(value & opt int Hpm_core.Handoff.default_config.Hpm_core.Handoff.probe_retries
+         & info [ "probe-retries" ] ~docv:"N"
+             ~doc:"epoch probes after a watchdog timeout before declaring the \
+                   handoff stalled")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "hpmrun" ~doc:"run Mini-C programs with heterogeneous process migration")
       Term.(const run $ file $ from_ $ to_ $ after $ report $ show_net $ save_ckpt
-            $ load_ckpt $ loss $ corrupt $ max_retries $ net_seed)
+            $ load_ckpt $ loss $ corrupt $ max_retries $ net_seed $ crash_src
+            $ crash_dst $ drop_ack $ drop_probe $ ack_deadline $ probe_retries)
   in
   exit (Cmd.eval' cmd)

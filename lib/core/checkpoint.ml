@@ -17,9 +17,10 @@ open Hpm_machine
 exception Error of string
 
 (** Checkpoint a process suspended at a poll-point into [path].
-    Returns the §4.2 collection statistics. *)
-let save (m : Migration.migratable) (p : Interp.t) (path : string) : Cstats.collect =
-  let data, stats = Collect.collect p m.Migration.ti in
+    Returns the §4.2 collection statistics.  [epoch] stamps a handoff
+    incarnation number into the image (default 0 for plain checkpoints). *)
+let save ?epoch (m : Migration.migratable) (p : Interp.t) (path : string) : Cstats.collect =
+  let data, stats = Collect.collect ?epoch p m.Migration.ti in
   let oc =
     try open_out_bin path
     with Sys_error e -> raise (Error (Printf.sprintf "cannot write checkpoint: %s" e))

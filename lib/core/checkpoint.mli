@@ -15,8 +15,9 @@ open Hpm_machine
 exception Error of string
 
 (** Checkpoint a process suspended at a poll-point into a file; returns
-    the §4.2 collection statistics. *)
-val save : Migration.migratable -> Interp.t -> string -> Cstats.collect
+    the §4.2 collection statistics.  [epoch] stamps a handoff incarnation
+    number into the image (default 0 for plain checkpoints). *)
+val save : ?epoch:int -> Migration.migratable -> Interp.t -> string -> Cstats.collect
 
 (** Rebuild a process from a checkpoint file on the given architecture.
     The program must be the same migratable program that saved it (the

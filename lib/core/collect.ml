@@ -175,8 +175,10 @@ let frame_live ctx (fr : Interp.frame) ~is_top : string list =
 
 (** Collect the full process state of [interp], which must be suspended at
     a poll-point (i.e. {!Interp.run} just returned [RPolled]).  Returns
-    the machine-independent stream and the §4.2 cost decomposition. *)
-let collect (interp : Interp.t) (ti : Ti.t) : string * Cstats.collect =
+    the machine-independent stream and the §4.2 cost decomposition.
+    [epoch] is the handoff incarnation number stamped into the header
+    (default 0 for plain collections and checkpoints). *)
+let collect ?(epoch = 0) (interp : Interp.t) (ti : Ti.t) : string * Cstats.collect =
   let ctx = make_ctx interp ti in
   let frames = interp.Interp.stack in
   if frames = [] then error "cannot collect a terminated process";
@@ -192,7 +194,7 @@ let collect (interp : Interp.t) (ti : Ti.t) : string * Cstats.collect =
       | Ir.Ipoll id -> id
       | _ -> error "process is not suspended at a poll point"
   in
-  Stream.put_header ctx.buf
+  Stream.put_header ~epoch ctx.buf
     ~src_arch:interp.Interp.arch.Hpm_arch.Arch.name
     ~prog_hash:(Stream.prog_hash interp.Interp.prog)
     ~rng_state:(Rng.get_state interp.Interp.rng)

@@ -93,8 +93,9 @@ let dump ?(ppf = Format.std_formatter) (prog : Hpm_ir.Ir.prog) (ti : Ti.t)
   let r = Xdr.reader_of_string data in
   let header = try Stream.get_header r with Stream.Corrupt m -> error "header: %s" m in
   let ctx = { ti; r; ppf; next_id = 0; blocks = 0; pointers = 0 } in
-  Fmt.pf ppf "stream: %d bytes, from %s, poll #%d, rng=0x%Lx@." (String.length data)
-    header.Stream.src_arch header.Stream.poll_id header.Stream.rng_state;
+  Fmt.pf ppf "stream: %d bytes, from %s, poll #%d, epoch %d, rng=0x%Lx@."
+    (String.length data) header.Stream.src_arch header.Stream.poll_id
+    header.Stream.epoch header.Stream.rng_state;
   if not (Int64.equal header.Stream.prog_hash (Stream.prog_hash prog)) then
     Fmt.pf ppf "WARNING: program fingerprint does not match the given program@.";
   let nframes = Xdr.get_int_of_i32 r in

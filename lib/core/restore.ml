@@ -168,9 +168,12 @@ let restore_variable ctx (expected : Mem.block) name =
 
 (** Rebuild a full process on [arch] from a migration stream.  The
     returned interpreter is ready to [run]: it resumes right after the
-    poll-point where the source was suspended. *)
-let restore (prog : Ir.prog) (arch : Hpm_arch.Arch.t) (ti : Ti.t) (data : string) :
-    Interp.t * Cstats.restore =
+    poll-point where the source was suspended.  [expect_epoch] asserts the
+    header's handoff incarnation number — a recovery path restoring a
+    retained checkpoint passes the epoch it aborted, so a stale image from
+    an earlier attempt can never be resurrected. *)
+let restore ?expect_epoch (prog : Ir.prog) (arch : Hpm_arch.Arch.t) (ti : Ti.t)
+    (data : string) : Interp.t * Cstats.restore =
   let r = Xdr.reader_of_string data in
   let header =
     try Stream.get_header r with Stream.Corrupt m -> error "bad header: %s" m
@@ -180,6 +183,10 @@ let restore (prog : Ir.prog) (arch : Hpm_arch.Arch.t) (ti : Ti.t) (data : string
     error
       "program fingerprint mismatch: the stream was produced by a different \
        migratable program";
+  (match expect_epoch with
+  | Some e when e <> header.Stream.epoch ->
+      error "epoch mismatch: stream carries epoch %d, expected %d" header.Stream.epoch e
+  | _ -> ());
   let interp = Interp.create_base prog arch in
   Rng.set_state interp.Interp.rng header.Stream.rng_state;
   let ctx =

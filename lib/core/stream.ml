@@ -4,7 +4,7 @@
 
     {v
     header   : magic "HPMG", version u8, src-arch string, prog-hash i64,
-               rng-state i64, poll-id i32
+               rng-state i64, poll-id i32, epoch i32
     frames   : count i32, then per frame TOP-DOWN: fname string,
                block i32, index i32
     data     : per frame TOP-DOWN: live-var count i32, then per var:
@@ -38,7 +38,9 @@ open Hpm_machine
 
 let magic = "HPMG"
 let trailer = "GEND"
-let version = 1
+
+(* version 2 added the epoch/incarnation field (crash-consistent handoff) *)
+let version = 2
 
 exception Corrupt of string
 
@@ -116,19 +118,24 @@ let get_prim r (k : Ty.scalar_kind) : Mem.value =
   | Ty.KDouble -> Mem.Vfloat (Xdr.get_f64 r)
   | Ty.KPtr _ | Ty.KFunc _ -> invalid_arg "Stream.get_prim: pointer kinds are structured"
 
-let put_header b ~src_arch ~prog_hash ~rng_state ~poll_id =
+let put_header ?(epoch = 0) b ~src_arch ~prog_hash ~rng_state ~poll_id =
+  if epoch < 0 then invalid_arg "Stream.put_header: negative epoch";
   Buffer.add_string b magic;
   Xdr.put_u8 b version;
   Xdr.put_string b src_arch;
   Xdr.put_i64 b prog_hash;
   Xdr.put_i64 b rng_state;
-  Xdr.put_int_as_i32 b poll_id
+  Xdr.put_int_as_i32 b poll_id;
+  Xdr.put_int_as_i32 b epoch
 
 type header = {
   src_arch : string;
   prog_hash : int64;
   rng_state : int64;
   poll_id : int;
+  epoch : int;
+      (** incarnation number of the migration attempt that produced this
+          stream; 0 for plain (non-handoff) collections *)
 }
 
 let get_header r : header =
@@ -141,7 +148,9 @@ let get_header r : header =
   let prog_hash = Xdr.get_i64 r in
   let rng_state = Xdr.get_i64 r in
   let poll_id = Xdr.get_int_of_i32 r in
-  { src_arch; prog_hash; rng_state; poll_id }
+  let epoch = Xdr.get_int_of_i32 r in
+  if epoch < 0 then corrupt "negative epoch %d" epoch;
+  { src_arch; prog_hash; rng_state; poll_id; epoch }
 
 let put_trailer b = Buffer.add_string b trailer
 

@@ -29,6 +29,47 @@ let fault_model ?(loss_rate = 0.0) ?(corrupt_rate = 0.0) ~seed () =
     invalid_arg "Netsim.fault_model: corrupt_rate outside [0,1]";
   { loss_rate; corrupt_rate; f_rng = Rng.create seed }
 
+(* Node-level fault injection for the two-phase handoff protocol
+   (Hpm_core.Handoff).  Message faults above model a bad *link*; these
+   model a dying *endpoint*: a node crashes immediately after completing
+   a named protocol phase (crash-restart semantics — memory wiped,
+   durable store intact), or the commit ack / an epoch-probe reply is
+   dropped in flight. *)
+
+type protocol_phase = Ph_collect | Ph_transfer | Ph_restore | Ph_commit | Ph_release
+
+let phase_name = function
+  | Ph_collect -> "collect"
+  | Ph_transfer -> "transfer"
+  | Ph_restore -> "restore"
+  | Ph_commit -> "commit"
+  | Ph_release -> "release"
+
+let phase_of_string = function
+  | "collect" -> Some Ph_collect
+  | "transfer" -> Some Ph_transfer
+  | "restore" -> Some Ph_restore
+  | "commit" -> Some Ph_commit
+  | "release" -> Some Ph_release
+  | _ -> None
+
+let all_phases = [ Ph_collect; Ph_transfer; Ph_restore; Ph_commit; Ph_release ]
+
+type node_faults = {
+  mutable crash_source_after : protocol_phase option;
+      (** source node crashes right after this phase completes (one-shot) *)
+  mutable crash_dest_after : protocol_phase option;
+      (** destination node crashes right after this phase completes (one-shot) *)
+  mutable drop_commit_acks : int;   (** drop the next N COMMIT acks *)
+  mutable drop_probe_replies : int; (** drop the next N epoch-probe replies *)
+}
+
+let node_faults ?crash_source_after ?crash_dest_after ?(drop_commit_acks = 0)
+    ?(drop_probe_replies = 0) () =
+  if drop_commit_acks < 0 then invalid_arg "Netsim.node_faults: drop_commit_acks < 0";
+  if drop_probe_replies < 0 then invalid_arg "Netsim.node_faults: drop_probe_replies < 0";
+  { crash_source_after; crash_dest_after; drop_commit_acks; drop_probe_replies }
+
 type t = {
   name : string;
   bandwidth_bps : float;   (** usable bits per second *)
@@ -36,12 +77,14 @@ type t = {
   mutable bytes_sent : int;
   mutable messages : int;
   mutable faults : fault_model option;
+  mutable node_faults : node_faults option;
 }
 
-let make ?faults ~name ~bandwidth_bps ~latency_s () =
-  { name; bandwidth_bps; latency_s; bytes_sent = 0; messages = 0; faults }
+let make ?faults ?node_faults ~name ~bandwidth_bps ~latency_s () =
+  { name; bandwidth_bps; latency_s; bytes_sent = 0; messages = 0; faults; node_faults }
 
 let set_faults t fm = t.faults <- fm
+let set_node_faults t nf = t.node_faults <- nf
 
 (** 10 Mbit/s shared Ethernet, as between the paper's DEC 5000 and
     Sparc 20 (§4.1).  Effective throughput of classic coax Ethernet is

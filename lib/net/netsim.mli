@@ -19,6 +19,44 @@ type fault_model = {
 (** @raise Invalid_argument if a rate is outside [0,1]. *)
 val fault_model : ?loss_rate:float -> ?corrupt_rate:float -> seed:int -> unit -> fault_model
 
+(** {1 Node-level fault injection}
+
+    The message faults above model a bad {e link}; these model a dying
+    {e endpoint} of the two-phase handoff protocol ({!Hpm_core.Handoff}).
+    Crash semantics are crash-restart: the node's memory is wiped, its
+    durable store (retained checkpoint, committed-epoch record) survives,
+    and the restarted node answers epoch probes from that store. *)
+
+(** The phases of the handoff protocol, in order. *)
+type protocol_phase = Ph_collect | Ph_transfer | Ph_restore | Ph_commit | Ph_release
+
+val phase_name : protocol_phase -> string
+
+(** Inverse of {!phase_name}; [None] for unknown names. *)
+val phase_of_string : string -> protocol_phase option
+
+(** All phases, protocol order — drives the crash-injection matrices. *)
+val all_phases : protocol_phase list
+
+type node_faults = {
+  mutable crash_source_after : protocol_phase option;
+      (** source node crashes right after this phase completes (one-shot:
+          consumed when it fires, so the restarted node does not re-crash) *)
+  mutable crash_dest_after : protocol_phase option;
+      (** destination node crashes right after this phase completes (one-shot) *)
+  mutable drop_commit_acks : int;   (** drop the next N COMMIT acks *)
+  mutable drop_probe_replies : int; (** drop the next N epoch-probe replies *)
+}
+
+(** @raise Invalid_argument on negative drop counts. *)
+val node_faults :
+  ?crash_source_after:protocol_phase ->
+  ?crash_dest_after:protocol_phase ->
+  ?drop_commit_acks:int ->
+  ?drop_probe_replies:int ->
+  unit ->
+  node_faults
+
 type t = {
   name : string;
   bandwidth_bps : float;   (** usable bits per second *)
@@ -26,12 +64,19 @@ type t = {
   mutable bytes_sent : int;
   mutable messages : int;
   mutable faults : fault_model option;
+  mutable node_faults : node_faults option;
 }
 
-val make : ?faults:fault_model -> name:string -> bandwidth_bps:float -> latency_s:float -> unit -> t
+val make :
+  ?faults:fault_model -> ?node_faults:node_faults ->
+  name:string -> bandwidth_bps:float -> latency_s:float -> unit -> t
 
 (** Install (or clear) the channel's fault model. *)
 val set_faults : t -> fault_model option -> unit
+
+(** Install (or clear) the channel's node-fault plan; {!Hpm_core.Handoff}
+    consumes it when not given an explicit plan. *)
+val set_node_faults : t -> node_faults option -> unit
 
 (** 10 Mbit/s shared Ethernet at ~70% utilization — the link between the
     paper's DEC 5000 and Sparc 20 (§4.1). *)

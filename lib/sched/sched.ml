@@ -10,13 +10,33 @@
     placement commands and a simple load balancer), which is what the
     load-balancing example and the scheduler tests exercise.
 
+    Migrations run through {!Hpm_core.Handoff}'s crash-consistent
+    two-phase protocol, so the scheduler also owns the recovery actions
+    the protocol can demand of "process management":
+
+    - [Source_recovered]: the source node crashed pre-commit and came
+      back; the process resumes there from its retained checkpoint;
+    - [Abort_requeue]: the destination died before committing; the
+      retained checkpoint is re-queued to the least-loaded other node
+      (or, in a two-node cluster, the source simply resumes);
+    - [Stalled]: the destination's fate is unknowable (every probe reply
+      lost); the scheduler resumes the source copy from the checkpoint —
+      a stand-in for the operator intervention classic 2PC blocking
+      requires, safe here because a destination that never heard a
+      RELEASE keeps its copy suspended forever;
+    - [Link_failed]: the transport gave up; the still-live source process
+      keeps running where it is (§2's migrating process must never be
+      lost to a bad link).
+
+    In every case the process runs exactly once and loses no output.
+
     Simulation model: discrete ticks of [quantum_s] simulated seconds.  A
     node executes [speed × 1e6 × quantum_s] IR instructions per runnable
     process per tick (its [Arch.speed] making fast and slow machines
     real).  A migration requested by the scheduler is noticed at the
-    process's next poll-point; the stream then occupies the network for
-    {!Hpm_net.Netsim.tx_time} and the process stays blocked until
-    delivery, after which it resumes on the destination node. *)
+    process's next poll-point; the handoff then occupies the network for
+    its simulated protocol time (transfers, watchdog waits, reboots) and
+    the process stays blocked until that completes. *)
 
 open Hpm_arch
 open Hpm_machine
@@ -45,25 +65,45 @@ type proc = {
   mutable p_node : node;
   mutable p_state : proc_state;
   mutable p_pending_dst : node option;  (** where the scheduler wants it *)
+  mutable p_epoch : int;                (** next handoff incarnation number *)
   mutable p_migrations : int;
-  mutable p_failed_migrations : int;    (** transfers aborted by the transport *)
+  mutable p_failed_migrations : int;    (** epochs aborted (link or node faults) *)
+  mutable p_recoveries : int;           (** resumes from a retained checkpoint *)
+  mutable p_requeues : int;             (** checkpoints re-queued to a third node *)
+  mutable p_bytes_collected : int;      (** Σ Dᵢ collected across migrations *)
+  mutable p_bytes_restored : int;       (** Σ Dᵢ restored across migrations *)
+  mutable p_retries : int;              (** transport chunk retries, cumulative *)
   mutable p_finish_time : float option;
   mutable p_output : Buffer.t;          (** output accumulated across hosts *)
+}
+
+(** What one completed handoff cost, surfaced per [Migrated] event (the
+    per-migration view of the cumulative [p_*] counters). *)
+type mig_stats = {
+  ms_epoch : int;
+  ms_stream_bytes : int;    (** encoded stream size on the wire *)
+  ms_collected_bytes : int; (** Σ Dᵢ the collector encoded *)
+  ms_restored_bytes : int;  (** Σ Dᵢ the restorer decoded *)
+  ms_retries : int;         (** transport chunk retries *)
+  ms_time_s : float;        (** simulated protocol time, waits included *)
 }
 
 type event =
   | Spawned of float * string * string            (* time, proc, node *)
   | Requested of float * string * string * string (* time, proc, from, to *)
-  | Migrated of float * string * string * string * int * float
-      (* time, proc, from, to, bytes, tx seconds *)
+  | Migrated of float * string * string * string * mig_stats
+      (* time, proc, from, to, cost *)
   | Migration_failed of float * string * string * string * int * float
       (* time, proc, from, to, retries spent, seconds wasted *)
+  | Recovered of float * string * string * string (* time, proc, node, why *)
+  | Requeued of float * string * string * string * string
+      (* time, proc, source, dead dst, new dst *)
   | Finished_ev of float * string * string        (* time, proc, node *)
 
 type t = {
   nodes : node list;
   channel : Netsim.t;
-  transport : Transport.config;
+  handoff : Handoff.config;
   quantum_s : float;
   base_ips : float;            (** instructions/simulated-second at speed 1.0 *)
   mutable procs : proc list;
@@ -73,11 +113,16 @@ type t = {
 }
 
 let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
-    ?(transport = Transport.default_config) ~channel nodes =
+    ?(transport = Transport.default_config) ?handoff ~channel nodes =
+  let handoff =
+    match handoff with
+    | Some h -> h
+    | None -> { Handoff.default_config with Handoff.transport }
+  in
   {
     nodes;
     channel;
-    transport;
+    handoff;
     quantum_s;
     base_ips;
     procs = [];
@@ -98,8 +143,14 @@ let spawn t (nd : node) name (m : Migration.migratable) : proc =
       p_node = nd;
       p_state = Runnable;
       p_pending_dst = None;
+      p_epoch = 1;
       p_migrations = 0;
       p_failed_migrations = 0;
+      p_recoveries = 0;
+      p_requeues = 0;
+      p_bytes_collected = 0;
+      p_bytes_restored = 0;
+      p_retries = 0;
       p_finish_time = None;
       p_output = Buffer.create 64;
     }
@@ -118,40 +169,143 @@ let request_migration t (p : proc) (dst : node) =
     Interp.request_migration p.p_interp;
     log t (Requested (t.now, p.p_name, p.p_node.n_name, dst.n_name)))
 
-(** Move [p]'s state to [dst] through the chunked transport.  A delivered
-    stream re-homes the process and blocks it until the simulated transfer
-    completes; an aborted transfer re-queues the process on the *source*
-    node — it stays where it is, loses only the simulated time the failed
-    attempts cost, and keeps running (§2's migrating process must never be
-    lost to a bad link). *)
+let least_loaded_except t (avoid : node list) : node option =
+  List.fold_left
+    (fun acc n ->
+      if List.memq n avoid then acc
+      else
+        match acc with
+        | Some best when best.n_procs <= n.n_procs -> acc
+        | _ -> Some n)
+    None t.nodes
+
+(* Re-home [p]'s bookkeeping onto [dst] with a freshly restored
+   interpreter.  The old interpreter's output is folded first: a restored
+   image carries no output buffer (in a real system that output already
+   reached the terminal before the move). *)
+let rehome p (dst : node) interp =
+  Buffer.add_string p.p_output (Interp.output p.p_interp);
+  p.p_node.n_procs <- p.p_node.n_procs - 1;
+  dst.n_procs <- dst.n_procs + 1;
+  p.p_interp <- interp;
+  p.p_node <- dst;
+  p.p_pending_dst <- None
+
+(* Resume on the source from a retained checkpoint (crash recovery or
+   blocked-protocol stand-in).  Same-node rehome: only the interp swaps. *)
+let resume_from_ckpt t p ~epoch ~why ckpt busy_s =
+  let interp, rstats =
+    Handoff.resume_from_checkpoint p.p_m p.p_node.n_arch ~epoch ckpt
+  in
+  rehome p p.p_node interp;
+  p.p_recoveries <- p.p_recoveries + 1;
+  p.p_bytes_restored <- p.p_bytes_restored + rstats.Cstats.r_data_bytes;
+  p.p_state <- Blocked_until (t.now +. busy_s);
+  log t (Recovered (t.now, p.p_name, p.p_node.n_name, why))
+
+(** Move [p]'s state to [dst] through the two-phase handoff, then apply
+    whatever recovery its outcome demands (see the module header). *)
 let perform_migration t (p : proc) (dst : node) =
-  let src_name = p.p_node.n_name in
-  let data, _cstats = Collect.collect p.p_interp p.p_m.Migration.ti in
-  match Transport.transfer ~config:t.transport t.channel data with
-  | Transport.Delivered (delivered, ts) ->
-      Buffer.add_string p.p_output (Interp.output p.p_interp);
-      let interp, _rstats =
-        Restore.restore p.p_m.Migration.prog dst.n_arch p.p_m.Migration.ti delivered
-      in
-      p.p_node.n_procs <- p.p_node.n_procs - 1;
-      dst.n_procs <- dst.n_procs + 1;
-      p.p_interp <- interp;
-      p.p_node <- dst;
-      p.p_pending_dst <- None;
+  let src = p.p_node in
+  let epoch = p.p_epoch in
+  p.p_epoch <- epoch + 1;
+  let res =
+    Handoff.execute ~config:t.handoff ~channel:t.channel ~epoch p.p_m p.p_interp
+      dst.n_arch
+  in
+  match res.Handoff.outcome with
+  | Handoff.Committed c ->
+      rehome p dst c.Handoff.c_dst;
       p.p_migrations <- p.p_migrations + 1;
-      p.p_state <- Blocked_until (t.now +. ts.Transport.t_time_s);
+      p.p_bytes_collected <- p.p_bytes_collected + c.Handoff.c_cstats.Cstats.c_data_bytes;
+      p.p_bytes_restored <- p.p_bytes_restored + c.Handoff.c_rstats.Cstats.r_data_bytes;
+      p.p_retries <- p.p_retries + c.Handoff.c_tstats.Transport.t_retries;
+      p.p_state <- Blocked_until (t.now +. c.Handoff.c_time_s);
       log t
-        (Migrated (t.now, p.p_name, src_name, dst.n_name, String.length data,
-                   ts.Transport.t_time_s))
-  | Transport.Aborted { stats; _ } ->
+        (Migrated
+           ( t.now, p.p_name, src.n_name, dst.n_name,
+             {
+               ms_epoch = epoch;
+               ms_stream_bytes = c.Handoff.c_stream_bytes;
+               ms_collected_bytes = c.Handoff.c_cstats.Cstats.c_data_bytes;
+               ms_restored_bytes = c.Handoff.c_rstats.Cstats.r_data_bytes;
+               ms_retries = c.Handoff.c_tstats.Transport.t_retries;
+               ms_time_s = c.Handoff.c_time_s;
+             } ))
+  | Handoff.Source_recovered r ->
+      p.p_failed_migrations <- p.p_failed_migrations + 1;
+      p.p_bytes_collected <- p.p_bytes_collected + r.Handoff.r_cstats.Cstats.c_data_bytes;
+      rehome p src r.Handoff.r_interp;
+      p.p_recoveries <- p.p_recoveries + 1;
+      p.p_state <- Blocked_until (t.now +. r.Handoff.r_time_s);
+      log t
+        (Recovered
+           ( t.now, p.p_name, src.n_name,
+             Printf.sprintf "source crashed after %s; resumed from checkpoint (epoch %d)"
+               (Netsim.phase_name r.Handoff.r_crash_phase) epoch ))
+  | Handoff.Abort_requeue q -> (
+      p.p_failed_migrations <- p.p_failed_migrations + 1;
+      p.p_bytes_collected <- p.p_bytes_collected + q.Handoff.q_cstats.Cstats.c_data_bytes;
+      let resume_locally why =
+        (* the source copy is still live and suspended: just keep it *)
+        p.p_pending_dst <- None;
+        Interp.clear_migration_request p.p_interp;
+        p.p_recoveries <- p.p_recoveries + 1;
+        p.p_state <- Blocked_until (t.now +. q.Handoff.q_time_s);
+        log t (Recovered (t.now, p.p_name, src.n_name, why))
+      in
+      match least_loaded_except t [ dst; src ] with
+      | None ->
+          resume_locally
+            (Printf.sprintf "%s; no other node, source copy resumes" q.Handoff.q_reason)
+      | Some alt -> (
+          (* ship the retained checkpoint to a third node *)
+          match
+            Transport.transfer ~config:t.handoff.Handoff.transport t.channel
+              q.Handoff.q_ckpt
+          with
+          | Transport.Delivered (delivered, ts) ->
+              let interp, rstats =
+                Handoff.resume_from_checkpoint p.p_m alt.n_arch
+                  ~epoch:q.Handoff.q_epoch delivered
+              in
+              rehome p alt interp;
+              p.p_requeues <- p.p_requeues + 1;
+              p.p_migrations <- p.p_migrations + 1;
+              p.p_bytes_restored <- p.p_bytes_restored + rstats.Cstats.r_data_bytes;
+              p.p_retries <- p.p_retries + ts.Transport.t_retries;
+              p.p_state <-
+                Blocked_until (t.now +. q.Handoff.q_time_s +. ts.Transport.t_time_s);
+              log t (Requeued (t.now, p.p_name, src.n_name, dst.n_name, alt.n_name))
+          | Transport.Aborted { stats; _ } ->
+              p.p_retries <- p.p_retries + stats.Transport.t_retries;
+              resume_locally
+                (Printf.sprintf "%s; re-queue link also failed, source copy resumes"
+                   q.Handoff.q_reason)))
+  | Handoff.Stalled { s_ckpt; s_epoch; s_time_s } ->
+      p.p_failed_migrations <- p.p_failed_migrations + 1;
+      p.p_pending_dst <- None;
+      (* destination unreachable and its committed epoch unknown: classic
+         2PC blocking.  The simulation stands in for the operator by
+         resuming the checkpoint on the source — safe because an unheard
+         destination never got a RELEASE and keeps its copy suspended. *)
+      resume_from_ckpt t p ~epoch:s_epoch
+        ~why:
+          (Printf.sprintf
+             "handoff stalled (epoch %d unresolved); checkpoint resumed on source"
+             s_epoch)
+        s_ckpt s_time_s
+  | Handoff.Link_failed l ->
       p.p_pending_dst <- None;
       p.p_failed_migrations <- p.p_failed_migrations + 1;
+      p.p_retries <- p.p_retries + l.Handoff.l_stats.Transport.t_retries;
       Interp.clear_migration_request p.p_interp;
       (* the process stayed put; it only wasted the transfer attempt's time *)
-      p.p_state <- Blocked_until (t.now +. stats.Transport.t_time_s);
+      p.p_state <- Blocked_until (t.now +. l.Handoff.l_time_s);
       log t
-        (Migration_failed (t.now, p.p_name, src_name, dst.n_name,
-                           stats.Transport.t_retries, stats.Transport.t_time_s))
+        (Migration_failed
+           ( t.now, p.p_name, src.n_name, dst.n_name,
+             l.Handoff.l_stats.Transport.t_retries, l.Handoff.l_time_s ))
 
 let finish t (p : proc) v =
   Buffer.add_string p.p_output (Interp.output p.p_interp);
@@ -243,12 +397,19 @@ let seek_fastest (t : t) =
 let pp_event ppf = function
   | Spawned (ts, p, n) -> Fmt.pf ppf "[%8.3fs] spawn    %s on %s" ts p n
   | Requested (ts, p, a, b) -> Fmt.pf ppf "[%8.3fs] request  %s: %s -> %s" ts p a b
-  | Migrated (ts, p, a, b, bytes, tx) ->
-      Fmt.pf ppf "[%8.3fs] migrate  %s: %s -> %s (%d bytes, %.2f ms)" ts p a b bytes
-        (tx *. 1e3)
+  | Migrated (ts, p, a, b, ms) ->
+      Fmt.pf ppf
+        "[%8.3fs] migrate  %s: %s -> %s (epoch %d: %d stream B, %dB collected, %dB restored, %d retries, %.2f ms)"
+        ts p a b ms.ms_epoch ms.ms_stream_bytes ms.ms_collected_bytes
+        ms.ms_restored_bytes ms.ms_retries (ms.ms_time_s *. 1e3)
   | Migration_failed (ts, p, a, b, retries, wasted) ->
       Fmt.pf ppf "[%8.3fs] FAILED   %s: %s -> %s (%d retries, %.2f ms wasted; re-queued on %s)"
         ts p a b retries (wasted *. 1e3) a
+  | Recovered (ts, p, n, why) ->
+      Fmt.pf ppf "[%8.3fs] RECOVER  %s on %s: %s" ts p n why
+  | Requeued (ts, p, src, dead, alt) ->
+      Fmt.pf ppf "[%8.3fs] REQUEUE  %s: %s -> %s dead, checkpoint re-queued to %s" ts p
+        src dead alt
   | Finished_ev (ts, p, n) -> Fmt.pf ppf "[%8.3fs] finish   %s on %s" ts p n
 
 let events t = List.rev t.events

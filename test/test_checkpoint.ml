@@ -73,6 +73,51 @@ let test_missing_file () =
   expect_raise "missing file" (function Checkpoint.Error _ -> true | _ -> false)
     (fun () -> Checkpoint.load m Hpm_arch.Arch.ultra5 "/nonexistent/ckpt.img")
 
+let test_truncation_fuzz () =
+  (* exhaustive truncation sweep: EVERY prefix of a checkpoint file either
+     restores fully (the whole file) or raises a typed error — never a
+     crash, and never a silently partial process *)
+  let m = prepare (Hpm_workloads.Nqueens.source 5) in
+  let expected, _, _ = Migration.run_plain m Hpm_arch.Arch.ultra5 in
+  let path = tmpfile () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let before = Checkpoint.run_and_save m Hpm_arch.Arch.dec5000 ~after_polls:5 path in
+      let ic = open_in_bin path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let n = String.length data in
+      (* every prefix when the image is small; stride-with-boundaries
+         otherwise (all tail positions, where truncation is subtlest) *)
+      let cuts =
+        if n <= 1500 then List.init n Fun.id
+        else
+          List.init (n / 3) (fun i -> i * 3)
+          @ List.init (min 64 n) (fun i -> n - 1 - i)
+      in
+      List.iter
+        (fun k ->
+          let oc = open_out_bin path in
+          output_string oc (String.sub data 0 k);
+          close_out oc;
+          match Checkpoint.load m Hpm_arch.Arch.sparc20 path with
+          | _ -> Alcotest.failf "prefix of %d/%d bytes restored successfully" k n
+          | exception
+              ( Checkpoint.Error _ | Restore.Error _ | Stream.Corrupt _
+              | Hpm_xdr.Xdr.Underflow _ ) ->
+              ()
+          | exception e ->
+              Alcotest.failf "prefix of %d/%d bytes: untyped exception %s" k n
+                (Printexc.to_string e))
+        cuts;
+      (* and the untruncated file still restores to a correct process *)
+      let oc = open_out_bin path in
+      output_string oc data;
+      close_out oc;
+      let after = Checkpoint.resume_and_finish m Hpm_arch.Arch.sparc20 path in
+      check_string "full file restores" expected (before ^ after))
+
 let suite =
   [
     tc "save little-endian, resume big-endian" test_roundtrip_heterogeneous;
@@ -80,4 +125,5 @@ let suite =
     tc "wrong program rejected" test_wrong_program;
     tc "corrupted file rejected" test_corrupted_file;
     tc "missing file" test_missing_file;
+    tc_slow "truncation fuzz: every prefix rejected cleanly" test_truncation_fuzz;
   ]

@@ -28,6 +28,7 @@ let () =
       ("failure-injection", Test_failure.suite);
       ("transport", Test_transport.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("handoff", Test_handoff.suite);
       ("inspect", Test_inspect.suite);
       ("fuzz", Test_fuzz.suite);
       ("netsim", Test_netsim.suite);

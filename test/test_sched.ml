@@ -35,6 +35,8 @@ let test_explicit_migration () =
         | Sched.Requested _ -> Some "req"
         | Sched.Migrated _ -> Some "mig"
         | Sched.Migration_failed _ -> Some "fail"
+        | Sched.Recovered _ -> Some "rec"
+        | Sched.Requeued _ -> Some "requeue"
         | Sched.Finished_ev _ -> Some "fin"
         | Sched.Spawned _ -> Some "spawn")
       evs
