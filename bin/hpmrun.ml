@@ -14,6 +14,7 @@
 open Cmdliner
 open Hpm_core
 open Hpm_net
+open Hpm_store
 
 let read_input (spec : string) : string =
   match String.split_on_char ':' spec with
@@ -30,6 +31,13 @@ let read_input (spec : string) : string =
       close_in ic;
       s
 
+(* Store process names mirror the file spec with anything outside the
+   manifest-safe alphabet mapped to '_'. *)
+let store_proc_name (spec : string) : string =
+  String.map
+    (function ('A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '-') as c -> c | _ -> '_')
+    spec
+
 let parse_phase flag = function
   | None -> None
   | Some s -> (
@@ -40,6 +48,45 @@ let parse_phase flag = function
             (String.concat ", " (List.map Netsim.phase_name Netsim.all_phases))
             s;
           exit 1)
+
+(* Print the handoff trace and outcome, then finish the surviving copy
+   and print its output.  [p] is the (suspended) source interpreter. *)
+let conclude_handoff m ~src_arch p (res : Handoff.result) ~report =
+  if report then Fmt.pr "%a" Handoff.pp_trace res.Handoff.trace;
+  Fmt.pr "; %a@." Handoff.pp_outcome res.Handoff.outcome;
+  (* output produced before the handoff, on the source *)
+  print_string (Hpm_machine.Interp.output p);
+  let finish interp =
+    match Hpm_machine.Interp.run interp with
+    | Hpm_machine.Interp.RDone _ ->
+        print_string (Hpm_machine.Interp.output interp);
+        0
+    | _ ->
+        Fmt.epr "hpmrun: process did not run to completion after the handoff@.";
+        2
+  in
+  match res.Handoff.outcome with
+  | Handoff.Committed c ->
+      if report then
+        Fmt.pr "; %a@.; %a@.; %a@." Hpm_core.Cstats.pp_collect c.Handoff.c_cstats
+          Hpm_core.Cstats.pp_restore c.Handoff.c_rstats Transport.pp_stats
+          c.Handoff.c_tstats;
+      finish c.Handoff.c_dst
+  | Handoff.Source_recovered r -> finish r.Handoff.r_interp
+  | Handoff.Abort_requeue q ->
+      Fmt.pr "; source copy resumes locally@.";
+      let interp, _ =
+        Handoff.resume_from_checkpoint m src_arch ~epoch:q.Handoff.q_epoch
+          q.Handoff.q_ckpt
+      in
+      finish interp
+  | Handoff.Stalled { s_ckpt; s_epoch; _ } ->
+      Fmt.pr "; resuming retained checkpoint on the source@.";
+      let interp, _ = Handoff.resume_from_checkpoint m src_arch ~epoch:s_epoch s_ckpt in
+      finish interp
+  | Handoff.Link_failed _ ->
+      Hpm_machine.Interp.clear_migration_request p;
+      finish p
 
 (* Run to the poll-point on the source, hand off under the two-phase
    protocol, then finish the surviving copy and print its output. *)
@@ -52,47 +99,63 @@ let run_handoff m ~src_arch ~dst_arch ~after ~channel ~config ~report =
       Fmt.pr "; process finished before the migration triggered@.";
       0
   | Hpm_machine.Interp.RFuel -> assert false
-  | Hpm_machine.Interp.RPolled _ -> (
+  | Hpm_machine.Interp.RPolled _ ->
       let res = Handoff.execute ~config ~channel ~epoch:1 m p dst_arch in
-      if report then Fmt.pr "%a" Handoff.pp_trace res.Handoff.trace;
-      Fmt.pr "; %a@." Handoff.pp_outcome res.Handoff.outcome;
-      (* output produced before the handoff, on the source *)
+      conclude_handoff m ~src_arch p res ~report
+
+(* Iterative pre-copy migration through the store: ship a full snapshot
+   and converging deltas while the source runs, then hand off under the
+   two-phase protocol carrying only the final delta on the wire. *)
+let run_precopy m ~src_arch ~dst_arch ~after ~channel ~config ~report ~st ~proc
+    ~rounds ~threshold =
+  let p = Migration.start m src_arch in
+  Hpm_machine.Interp.request_migration_after p after;
+  match Hpm_machine.Interp.run p with
+  | Hpm_machine.Interp.RDone _ ->
       print_string (Hpm_machine.Interp.output p);
-      let finish interp =
-        match Hpm_machine.Interp.run interp with
-        | Hpm_machine.Interp.RDone _ ->
-            print_string (Hpm_machine.Interp.output interp);
-            0
-        | _ ->
-            Fmt.epr "hpmrun: process did not run to completion after the handoff@.";
-            2
+      Fmt.pr "; process finished before the migration triggered@.";
+      0
+  | Hpm_machine.Interp.RFuel -> assert false
+  | Hpm_machine.Interp.RPolled _ -> (
+      let epoch0 =
+        match Store.latest_manifest st ~proc with
+        | Some mf -> mf.Store.mf_epoch + 1
+        | None -> 1
       in
-      match res.Handoff.outcome with
-      | Handoff.Committed c ->
-          if report then
-            Fmt.pr "; %a@.; %a@.; %a@." Hpm_core.Cstats.pp_collect c.Handoff.c_cstats
-              Hpm_core.Cstats.pp_restore c.Handoff.c_rstats Transport.pp_stats
-              c.Handoff.c_tstats;
-          finish c.Handoff.c_dst
-      | Handoff.Source_recovered r -> finish r.Handoff.r_interp
-      | Handoff.Abort_requeue q ->
-          Fmt.pr "; source copy resumes locally@.";
-          let interp, _ =
-            Handoff.resume_from_checkpoint m src_arch ~epoch:q.Handoff.q_epoch
-              q.Handoff.q_ckpt
-          in
-          finish interp
-      | Handoff.Stalled { s_ckpt; s_epoch; _ } ->
-          Fmt.pr "; resuming retained checkpoint on the source@.";
-          let interp, _ = Handoff.resume_from_checkpoint m src_arch ~epoch:s_epoch s_ckpt in
-          finish interp
-      | Handoff.Link_failed _ ->
-          Hpm_machine.Interp.clear_migration_request p;
-          finish p)
+      let pconfig =
+        { Precopy.default_config with Precopy.rounds; threshold; handoff = config }
+      in
+      let pres =
+        Precopy.execute ~config:pconfig ~channel ~dst_store:st ~proc ~epoch0 m p
+          dst_arch
+      in
+      if report then (
+        List.iter (fun r -> Fmt.pr "; %a@." Precopy.pp_round r) pres.Precopy.p_rounds;
+        Fmt.pr "; pre-copy %s after %d round(s); %a@."
+          (if pres.Precopy.p_converged then "converged" else "did not converge")
+          (List.length pres.Precopy.p_rounds)
+          Hpm_core.Cstats.pp_delta pres.Precopy.p_stats);
+      match pres.Precopy.p_outcome with
+      | Precopy.Handed_off hres -> conclude_handoff m ~src_arch p hres ~report
+      | Precopy.Finished_before_handoff ->
+          print_string (Hpm_machine.Interp.output p);
+          Fmt.pr "; process finished during pre-copy; nothing migrated@.";
+          0
+      | Precopy.Round_link_failed { rl_round; rl_reason; _ } -> (
+          Fmt.pr "; pre-copy round %d failed (%s); source copy resumes locally@."
+            rl_round rl_reason;
+          match Hpm_machine.Interp.run p with
+          | Hpm_machine.Interp.RDone _ ->
+              print_string (Hpm_machine.Interp.output p);
+              0
+          | _ ->
+              Fmt.epr "hpmrun: process did not run to completion after the failed round@.";
+              2))
 
 let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
     max_retries net_seed crash_src crash_dst drop_ack drop_probe ack_deadline
-    probe_retries =
+    probe_retries store_dir delta precopy_rounds precopy_threshold restore_store
+    store_gc =
   if loss < 0.0 || loss > 1.0 then (
     Fmt.epr "hpmrun: --loss must be in [0,1] (got %g)@." loss;
     exit 1);
@@ -114,11 +177,132 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
   if probe_retries < 0 then (
     Fmt.epr "hpmrun: --probe-retries must be non-negative (got %d)@." probe_retries;
     exit 1);
+  (match precopy_rounds with
+  | Some r when r < 1 ->
+      Fmt.epr "hpmrun: --precopy-rounds must be >= 1 (got %d)@." r;
+      exit 1
+  | _ -> ());
+  if precopy_threshold < 0.0 then (
+    Fmt.epr "hpmrun: --precopy-threshold must be non-negative (got %g)@."
+      precopy_threshold;
+    exit 1);
+  (match store_gc with
+  | Some k when k < 0 ->
+      Fmt.epr "hpmrun: --store-gc must be non-negative (got %d)@." k;
+      exit 1
+  | _ -> ());
+  if
+    store_dir = None
+    && (delta || restore_store || precopy_rounds <> None || store_gc <> None)
+  then (
+    Fmt.epr
+      "hpmrun: --delta, --restore-latest, --precopy-rounds and --store-gc need \
+       --store-dir@.";
+    exit 1);
+  if precopy_rounds <> None && to_ = None then (
+    Fmt.epr "hpmrun: --precopy-rounds needs --to@.";
+    exit 1);
   let crash_src = parse_phase "--crash-src-after" crash_src in
   let crash_dst = parse_phase "--crash-dst-after" crash_dst in
   let node_faulty = crash_src <> None || crash_dst <> None || drop_ack > 0 || drop_probe > 0 in
+  let store =
+    match store_dir with
+    | None -> None
+    | Some dir -> (
+        try Some (Store.open_store dir)
+        with Store.Error msg ->
+          Fmt.epr "hpmrun: %s@." msg;
+          exit 1)
+  in
+  match (store_gc, store) with
+  | Some keep, Some st ->
+      (* maintenance mode: no program involved *)
+      List.iter (fun proc -> ignore (Store.retain st ~proc ~keep : int)) (Store.procs st);
+      Fmt.pr "%a@." Store.pp_gc (Store.gc st);
+      0
+  | _ -> (
+  let file =
+    match file with
+    | Some f -> f
+    | None ->
+        Fmt.epr "hpmrun: FILE is required@.";
+        exit 1
+  in
   try
     let m = Migration.prepare (read_input file) in
+    let proc = store_proc_name file in
+    match store with
+    | Some st when restore_store -> (
+        (* resume the newest committed snapshot on --from *)
+        let arch = Hpm_arch.Arch.by_name_exn from_ in
+        match Snapshot.restore_latest m arch st ~proc with
+        | None ->
+            Fmt.epr "hpmrun: no recoverable snapshot for %s in the store@." proc;
+            3
+        | Some (interp, rstats, mf) -> (
+            if report || delta then
+              Fmt.pr "; restored store epoch %d@.; %a@." mf.Store.mf_epoch
+                Hpm_core.Cstats.pp_restore rstats;
+            match Hpm_machine.Interp.run interp with
+            | Hpm_machine.Interp.RDone _ ->
+                print_string (Hpm_machine.Interp.output interp);
+                0
+            | _ ->
+                Fmt.epr "hpmrun: process did not run to completion after the restore@.";
+                2))
+    | Some st when to_ = None && save_ckpt = None && load_ckpt = None -> (
+        (* incremental snapshot mode: run to the poll, commit, stop *)
+        let arch = Hpm_arch.Arch.by_name_exn from_ in
+        let p = Migration.start m arch in
+        Hpm_machine.Interp.request_migration_after p after;
+        match Hpm_machine.Interp.run p with
+        | Hpm_machine.Interp.RDone _ ->
+            print_string (Hpm_machine.Interp.output p);
+            Fmt.pr "; process finished before the snapshot point@.";
+            0
+        | Hpm_machine.Interp.RFuel -> assert false
+        | Hpm_machine.Interp.RPolled _ ->
+            let epoch =
+              match Store.latest_manifest st ~proc with
+              | Some mf -> mf.Store.mf_epoch + 1
+              | None -> 1
+            in
+            let mf, chunks, stats = Snapshot.collect ~epoch ~proc p m.Migration.ti in
+            Snapshot.persist st mf chunks stats;
+            print_string (Hpm_machine.Interp.output p);
+            Fmt.pr "; snapshot epoch %d committed (manifest %s)@." epoch
+              (Store.hash_hex (Store.manifest_hash mf));
+            if report || delta then Fmt.pr "; %a@." Hpm_core.Cstats.pp_delta stats;
+            0)
+    | Some st when precopy_rounds <> None ->
+        let rounds = Option.get precopy_rounds in
+        let src_arch = Hpm_arch.Arch.by_name_exn from_ in
+        let dst_arch = Hpm_arch.Arch.by_name_exn (Option.get to_) in
+        let channel =
+          Hpm_net.Netsim.ethernet_10
+            ~faults:
+              (Hpm_net.Netsim.fault_model ~loss_rate:loss ~corrupt_rate:corrupt
+                 ~seed:net_seed ())
+            ()
+        in
+        if node_faulty then
+          Netsim.set_node_faults channel
+            (Some
+               (Netsim.node_faults ?crash_source_after:crash_src
+                  ?crash_dest_after:crash_dst ~drop_commit_acks:drop_ack
+                  ~drop_probe_replies:drop_probe ()));
+        let transport = { Hpm_net.Transport.default_config with max_retries } in
+        let config =
+          {
+            Handoff.default_config with
+            Handoff.transport;
+            ack_deadline_s = ack_deadline;
+            probe_retries;
+          }
+        in
+        run_precopy m ~src_arch ~dst_arch ~after ~channel ~config ~report ~st ~proc
+          ~rounds ~threshold:precopy_threshold
+    | Some _ | None -> (
     match (save_ckpt, load_ckpt) with
     | Some path, _ ->
         (* run on --from, checkpoint at the poll, stop *)
@@ -209,7 +393,7 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
            | None ->
                if o.Migration.transfer_failure = None then
                  Fmt.pr "; process finished before the migration triggered@.");
-        0
+        0)
   with
   | Hpm_lang.Lexer.Error (m, l, c) ->
       Fmt.epr "lexical error at %d:%d: %s@." l c m;
@@ -230,10 +414,17 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
   | Checkpoint.Error m | Restore.Error m | Collect.Error m ->
       Fmt.epr "migration error: %s@." m;
       3
+  | Store.Error m | Store.Corrupt m ->
+      Fmt.epr "store error: %s@." m;
+      3
+  | Store.Base_mismatch (want, got) ->
+      Fmt.epr "store error: delta base mismatch (destination holds %s, delta against %s)@."
+        want got;
+      3)
 
 let () =
   let file =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"source file or workload:NAME[:N]")
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"source file or workload:NAME[:N] (optional under --store-gc)")
   in
   let from_ =
     Arg.(value & opt string "ultra5" & info [ "from" ] ~docv:"ARCH" ~doc:"source machine")
@@ -313,11 +504,49 @@ let () =
              ~doc:"epoch probes after a watchdog timeout before declaring the \
                    handoff stalled")
   in
+  let store_dir =
+    Arg.(value & opt (some string) None
+         & info [ "store-dir" ] ~docv:"DIR"
+             ~doc:"content-addressed checkpoint store; without --to, commit an \
+                   incremental snapshot at the poll and stop")
+  in
+  let delta =
+    Arg.(value & flag
+         & info [ "delta" ]
+             ~doc:"print incremental checkpoint statistics (needs --store-dir)")
+  in
+  let precopy_rounds =
+    Arg.(value & opt (some int) None
+         & info [ "precopy-rounds" ] ~docv:"N"
+             ~doc:"migrate by iterative pre-copy: up to N delta rounds while the \
+                   source keeps running, then a final two-phase handoff shipping \
+                   only the last delta (needs --store-dir and --to)")
+  in
+  let precopy_threshold =
+    Arg.(value & opt float Precopy.default_config.Precopy.threshold
+         & info [ "precopy-threshold" ] ~docv:"F"
+             ~doc:"stop pre-copying once a round's wire size falls below F times \
+                   the full snapshot's")
+  in
+  let restore_store =
+    Arg.(value & flag
+         & info [ "restore-latest" ]
+             ~doc:"resume the newest committed snapshot in --store-dir on --from \
+                   and run to completion")
+  in
+  let store_gc =
+    Arg.(value & opt (some int) None
+         & info [ "store-gc" ] ~docv:"KEEP"
+             ~doc:"retain the newest KEEP epochs per process in --store-dir, sweep \
+                   unreferenced chunks, and print the report (FILE not needed)")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "hpmrun" ~doc:"run Mini-C programs with heterogeneous process migration")
       Term.(const run $ file $ from_ $ to_ $ after $ report $ show_net $ save_ckpt
             $ load_ckpt $ loss $ corrupt $ max_retries $ net_seed $ crash_src
-            $ crash_dst $ drop_ack $ drop_probe $ ack_deadline $ probe_retries)
+            $ crash_dst $ drop_ack $ drop_probe $ ack_deadline $ probe_retries
+            $ store_dir $ delta $ precopy_rounds $ precopy_threshold $ restore_store
+            $ store_gc)
   in
   exit (Cmd.eval' cmd)

@@ -155,9 +155,10 @@ let save_variable ctx (block : Mem.block) : unit =
       save_block ctx block;
       Xdr.put_int_as_i32 ctx.buf 0
 
-(* The live set of a suspended frame, per its suspension instruction. *)
-let frame_live ctx (fr : Interp.frame) ~is_top : string list =
-  let live = liveness_of ctx fr.Interp.func in
+(* The live set of a suspended frame, per its suspension instruction.
+   [liveness_of] memoizes per-function liveness analyses. *)
+let frame_live_of liveness_of (fr : Interp.frame) ~is_top : string list =
+  let live = liveness_of fr.Interp.func in
   let block = fr.Interp.block and index = fr.Interp.index in
   if index = 0 then
     (* suspended at a block boundary cannot happen: polls and calls are
@@ -173,6 +174,44 @@ let frame_live ctx (fr : Interp.frame) ~is_top : string list =
   | _, false ->
       error "frame %s is not suspended at a call site" fr.Interp.func.Ir.name
 
+let frame_live ctx (fr : Interp.frame) ~is_top : string list =
+  frame_live_of (liveness_of ctx) fr ~is_top
+
+(** The live-variable names of every suspended frame, top-down, in the
+    exact order {!collect} saves them.  Shared with the incremental
+    snapshot collector ([Hpm_store.Snapshot]), whose chunked traversal
+    must replicate this module's root order bit-for-bit.
+    @raise Error unless the process is suspended at a poll-point. *)
+let live_frames (interp : Interp.t) : (Interp.frame * string list) list =
+  let cache = Hashtbl.create 8 in
+  let liveness_of (f : Ir.func) =
+    match Hashtbl.find_opt cache f.Ir.name with
+    | Some l -> l
+    | None ->
+        let l = Liveness.analyze f in
+        Hashtbl.add cache f.Ir.name l;
+        l
+  in
+  List.mapi
+    (fun i (fr : Interp.frame) -> (fr, frame_live_of liveness_of fr ~is_top:(i = 0)))
+    interp.Interp.stack
+
+(** Poll id of the top frame's suspension point — the same check and
+    extraction {!collect} performs, shared with the snapshot collector.
+    @raise Error unless suspended just past an [Ipoll]. *)
+let suspended_poll_id (interp : Interp.t) : int =
+  match interp.Interp.stack with
+  | [] -> error "cannot collect a terminated process"
+  | top :: _ ->
+      if top.Interp.index = 0 then
+        error "top frame %s not suspended after an instruction" top.Interp.func.Ir.name
+      else (
+        match
+          top.Interp.func.Ir.blocks.(top.Interp.block).Ir.instrs.(top.Interp.index - 1)
+        with
+        | Ir.Ipoll id -> id
+        | _ -> error "process is not suspended at a poll point")
+
 (** Collect the full process state of [interp], which must be suspended at
     a poll-point (i.e. {!Interp.run} just returned [RPolled]).  Returns
     the machine-independent stream and the §4.2 cost decomposition.
@@ -181,19 +220,7 @@ let frame_live ctx (fr : Interp.frame) ~is_top : string list =
 let collect ?(epoch = 0) (interp : Interp.t) (ti : Ti.t) : string * Cstats.collect =
   let ctx = make_ctx interp ti in
   let frames = interp.Interp.stack in
-  if frames = [] then error "cannot collect a terminated process";
-  (* poll id from the top frame's suspension point *)
-  let top = List.hd frames in
-  let poll_id =
-    if top.Interp.index = 0 then
-      error "top frame %s not suspended after an instruction" top.Interp.func.Ir.name
-    else
-      match
-        top.Interp.func.Ir.blocks.(top.Interp.block).Ir.instrs.(top.Interp.index - 1)
-      with
-      | Ir.Ipoll id -> id
-      | _ -> error "process is not suspended at a poll point"
-  in
+  let poll_id = suspended_poll_id interp in
   Stream.put_header ~epoch ctx.buf
     ~src_arch:interp.Interp.arch.Hpm_arch.Arch.name
     ~prog_hash:(Stream.prog_hash interp.Interp.prog)

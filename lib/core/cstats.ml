@@ -39,6 +39,38 @@ type restore = {
 let restore_zero () =
   { r_blocks = 0; r_data_bytes = 0; r_heap_allocs = 0; r_updates = 0; r_pointers = 0 }
 
+(** Incremental-collection decomposition: what a dirty-block epoch scanned
+    versus what it actually serialized and shipped.  The win of the
+    checkpoint store is visible as [d_delta_bytes ≪ d_full_bytes] and a
+    high cache/dedup hit rate when little memory changed. *)
+type delta = {
+  mutable d_blocks_scanned : int;  (** MSR blocks visited this epoch (n) *)
+  mutable d_blocks_dirty : int;    (** of those, written since the base epoch *)
+  mutable d_data_bytes : int;      (** Σ Dᵢ over all visited blocks *)
+  mutable d_cache_hits : int;      (** serializations skipped via write-generation tracking *)
+  mutable d_chunks_shipped : int;  (** chunks actually sent / written this epoch *)
+  mutable d_chunks_reused : int;   (** chunks deduplicated against the base/store *)
+  mutable d_delta_bytes : int;     (** wire bytes of the delta section(s) *)
+  mutable d_full_bytes : int;      (** monolithic v2 stream equivalent (0 if not measured) *)
+}
+
+let delta_zero () =
+  {
+    d_blocks_scanned = 0;
+    d_blocks_dirty = 0;
+    d_data_bytes = 0;
+    d_cache_hits = 0;
+    d_chunks_shipped = 0;
+    d_chunks_reused = 0;
+    d_delta_bytes = 0;
+    d_full_bytes = 0;
+  }
+
+(** Fraction of referenced chunks satisfied without shipping. *)
+let dedup_rate d =
+  let total = d.d_chunks_shipped + d.d_chunks_reused in
+  if total = 0 then 0.0 else float_of_int d.d_chunks_reused /. float_of_int total
+
 let pp_collect ppf c =
   Fmt.pf ppf
     "collect: n=%d blocks, data=%dB, stream=%dB, searches=%d, pointers=%d, live=%d vars / %d frames"
@@ -48,3 +80,14 @@ let pp_collect ppf c =
 let pp_restore ppf r =
   Fmt.pf ppf "restore: n=%d blocks, data=%dB, heap_allocs=%d, updates=%d, pointers=%d"
     r.r_blocks r.r_data_bytes r.r_heap_allocs r.r_updates r.r_pointers
+
+let pp_delta ppf d =
+  Fmt.pf ppf
+    "delta: scanned=%d blocks (%d dirty), data=%dB, cache_hits=%d, chunks=%d shipped / %d \
+     reused (dedup %.0f%%), wire=%dB%a"
+    d.d_blocks_scanned d.d_blocks_dirty d.d_data_bytes d.d_cache_hits d.d_chunks_shipped
+    d.d_chunks_reused
+    (100.0 *. dedup_rate d)
+    d.d_delta_bytes
+    (fun ppf full -> if full > 0 then Fmt.pf ppf " (full=%dB)" full)
+    d.d_full_bytes

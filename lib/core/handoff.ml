@@ -190,9 +190,19 @@ exception Error of string
     poll-point) to a fresh process on [dst_arch].  Node faults come from
     [faults] or, failing that, the channel's installed plan.  [tamper] is
     a test hook that corrupts the restored image before verification.
+
+    Delta-transfer hooks (used by [Hpm_store.Precopy]): [collect_fn]
+    replaces the phase-1 collection, returning the full stream that serves
+    as the durable checkpoint; [encode] maps that stream to what actually
+    crosses the wire (e.g. a v3 delta against state the destination
+    already holds); [decode] inverts it at the destination — it must be
+    idempotent, since a destination restarting after commit decodes its
+    durable image a second time.  A decode failure NAKs the epoch exactly
+    like a corrupt stream.
     @raise Invalid_argument on a non-positive deadline, negative retries
     or a negative epoch. *)
-let execute ?(config = default_config) ?faults ?tamper ~(channel : Netsim.t)
+let execute ?(config = default_config) ?faults ?tamper ?collect_fn
+    ?(encode = fun s -> s) ?(decode = fun s -> Ok s) ~(channel : Netsim.t)
     ~(epoch : int) (m : Migration.migratable) (src : Interp.t)
     (dst_arch : Hpm_arch.Arch.t) : result =
   if config.ack_deadline_s <= 0.0 then
@@ -343,7 +353,11 @@ let execute ?(config = default_config) ?faults ?tamper ~(channel : Netsim.t)
   in
 
   (* ---------------- Phase 1: COLLECT ---------------- *)
-  let ckpt, cstats = Collect.collect ~epoch src m.Migration.ti in
+  let ckpt, cstats =
+    match collect_fn with
+    | Some f -> f ()
+    | None -> Collect.collect ~epoch src m.Migration.ti
+  in
   durable.src_ckpt <- Some (epoch, ckpt);
   step Ph_collect "src" "checkpoint persisted: %d bytes, epoch %d" (String.length ckpt)
     epoch;
@@ -353,7 +367,7 @@ let execute ?(config = default_config) ?faults ?tamper ~(channel : Netsim.t)
       ~tstats_opt:None)
   else
     (* ---------------- Phase 2: TRANSFER ---------------- *)
-    match Transport.transfer ~config:config.transport channel ckpt with
+    match Transport.transfer ~config:config.transport channel (encode ckpt) with
     | Transport.Aborted { failed_seq; attempts; reason; stats } ->
         time := !time +. stats.Transport.t_time_s;
         step Ph_transfer "src" "transport aborted at chunk #%d (%s); epoch %d aborted"
@@ -380,8 +394,14 @@ let execute ?(config = default_config) ?faults ?tamper ~(channel : Netsim.t)
         else
           (* ---------------- Phase 3: RESTORE + verify ---------------- *)
           let restored =
-            match Restore.restore ~expect_epoch:epoch m.Migration.prog dst_arch
-                    m.Migration.ti delivered with
+            match
+              match decode delivered with
+              | Ok plain ->
+                  Restore.restore ~expect_epoch:epoch m.Migration.prog dst_arch
+                    m.Migration.ti plain
+              | Error reason ->
+                  raise (Restore.Error (Printf.sprintf "delta decode failed: %s" reason))
+            with
             | dst, rstats -> (
                 (match tamper with Some f -> f dst | None -> ());
                 match Verify.check_result dst m.Migration.ti with
@@ -428,9 +448,17 @@ let execute ?(config = default_config) ?faults ?tamper ~(channel : Netsim.t)
                   if crash `Dst Ph_commit then (
                     step Ph_commit "dst" "CRASH after commit; restarting from durable image";
                     time := !time +. config.restart_delay_s;
+                    let plain =
+                      (* committed, so the image decoded once already;
+                         decode is idempotent by contract *)
+                      match decode delivered with
+                      | Ok s -> s
+                      | Error reason ->
+                          raise (Error ("delta decode failed on restart: " ^ reason))
+                    in
                     let rebuilt, _ =
                       Restore.restore ~expect_epoch:epoch m.Migration.prog dst_arch
-                        m.Migration.ti delivered
+                        m.Migration.ti plain
                     in
                     (rebuilt, true))
                   else (dst, false)

@@ -49,6 +49,11 @@ type block = {
   seg : seg;
   ident : ident;
   mutable freed : bool;
+  mutable wgen : int;
+      (** write generation: the memory's write tick at the last store into
+          this block (or its allocation).  An incremental collector that
+          remembers the tick of its previous epoch can tell a dirty block
+          ([wgen > mark]) from a clean one without touching its bytes. *)
 }
 
 module AddrMap = Map.Make (Int64)
@@ -63,6 +68,7 @@ type t = {
   mutable nblocks : int;
   mutable live_blocks : int;
   mutable cache : block option;  (** last block hit, for access locality *)
+  mutable write_tick : int;      (** monotonic counter of mutating operations *)
   stats : Mstats.t;
 }
 
@@ -81,8 +87,17 @@ let create arch tenv =
     nblocks = 0;
     live_blocks = 0;
     cache = None;
+    write_tick = 0;
     stats = Mstats.create ();
   }
+
+(** Current write tick.  A snapshot taken now is invalidated for a block
+    [b] exactly when a later operation leaves [b.wgen > write_mark t]. *)
+let write_mark t = t.write_tick
+
+let touch t (b : block) =
+  t.write_tick <- t.write_tick + 1;
+  b.wgen <- t.write_tick
 
 let align_addr addr align =
   let a = Int64.of_int align in
@@ -125,8 +140,10 @@ let alloc t seg (ty : Ty.t) (ident : ident) : block =
       seg;
       ident;
       freed = false;
+      wgen = 0;
     }
   in
+  touch t block;
   t.nblocks <- t.nblocks + 1;
   t.live_blocks <- t.live_blocks + 1;
   t.by_base <- AddrMap.add base block t.by_base;
@@ -139,6 +156,7 @@ let alloc t seg (ty : Ty.t) (ident : ident) : block =
 let free t (block : block) =
   if block.freed then
     fault "double free of block #%d (%s)" block.bid (Fmt.str "%a" pp_ident block.ident);
+  t.write_tick <- t.write_tick + 1;
   block.freed <- true;
   t.live_blocks <- t.live_blocks - 1;
   t.cache <- None;
@@ -151,6 +169,7 @@ let free t (block : block) =
     faults as "wild" (or silently aliases a newer frame if the range was
     reused — which is the authentic C behaviour). *)
 let remove_block t (b : block) =
+  t.write_tick <- t.write_tick + 1;
   b.freed <- true;
   t.by_base <- AddrMap.remove b.base t.by_base;
   t.live_blocks <- t.live_blocks - 1;
@@ -234,6 +253,7 @@ let store_scalar t (b : block) off (kind : Ty.scalar_kind) (v : value) =
   let size = Layout.scalar_size t.layout kind in
   check_range b off size "store";
   if b.freed then fault "store to freed block #%d" b.bid;
+  touch t b;
   match (kind, v) with
   | (Ty.KChar | Ty.KShort | Ty.KInt | Ty.KLong), Vint x ->
       Endian.set_int order size b.bytes off x
@@ -263,6 +283,7 @@ let copy_region t ~dst ~src ~len =
   and soff = Int64.to_int (Int64.sub src sb.base) in
   check_range db doff len "copy dst";
   check_range sb soff len "copy src";
+  touch t db;
   Bytes.blit sb.bytes soff db.bytes doff len
 
 (** Read a NUL-terminated C string starting at [addr] (for [print_str]). *)

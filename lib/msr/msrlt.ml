@@ -24,9 +24,24 @@ type collect_side = {
   ids : (int, int) Hashtbl.t;  (** runtime block id → mi_id *)
   mutable next_id : int;
   mutable searches : int;      (** address → block searches performed *)
+  since : int;
+      (** write mark of the previous collection epoch; blocks whose write
+          generation is newer are dirty.  [-1] (the default) marks every
+          block dirty — a full collection. *)
+  mutable scanned : int;       (** blocks examined for dirtiness *)
+  mutable dirty : int;         (** of those, blocks written since [since] *)
 }
 
-let collector mem = { mem; ids = Hashtbl.create 64; next_id = 0; searches = 0 }
+let collector ?(since = -1) mem =
+  { mem; ids = Hashtbl.create 64; next_id = 0; searches = 0; since; scanned = 0; dirty = 0 }
+
+(** Has [block] been written (or allocated) since the epoch this collector
+    tracks from?  Counts the scan. *)
+let note_dirty c (block : Mem.block) : bool =
+  c.scanned <- c.scanned + 1;
+  let d = block.Mem.wgen > c.since in
+  if d then c.dirty <- c.dirty + 1;
+  d
 
 (** Translate an address to its containing block (O(log n) search).
     @raise Mem.Fault on wild or dangling addresses. *)

@@ -16,9 +16,21 @@ type collect_side = {
   ids : (int, int) Hashtbl.t;  (** runtime block id → mi_id *)
   mutable next_id : int;
   mutable searches : int;
+  since : int;
+      (** write mark of the previous collection epoch ([-1] = none: every
+          block counts as dirty, i.e. a full collection) *)
+  mutable scanned : int;
+  mutable dirty : int;
 }
 
-val collector : Mem.t -> collect_side
+(** [collector ?since mem] starts a collection epoch.  [since] is the
+    {!Mem.write_mark} observed at the previous epoch, enabling dirty-block
+    enumeration for incremental snapshots. *)
+val collector : ?since:int -> Mem.t -> collect_side
+
+(** Whether the block was written since [since]; increments the
+    scanned/dirty counters. *)
+val note_dirty : collect_side -> Mem.block -> bool
 
 (** Address → containing live block (O(log n); counted).
     @raise Mem.Fault on wild or dangling addresses. *)

@@ -42,6 +42,7 @@ open Hpm_arch
 open Hpm_machine
 open Hpm_core
 open Hpm_net
+open Hpm_store
 
 type node = {
   n_name : string;
@@ -75,7 +76,18 @@ type proc = {
   mutable p_retries : int;              (** transport chunk retries, cumulative *)
   mutable p_finish_time : float option;
   mutable p_output : Buffer.t;          (** output accumulated across hosts *)
+  mutable p_cache : Snapshot.cache;     (** incremental-snapshot cache, per interpreter *)
+  mutable p_next_ckpt : float;          (** next periodic checkpoint is due at this time *)
+  mutable p_ckpt_pending : bool;        (** a checkpoint suspension has been requested *)
+  mutable p_ckpt_epoch : int;           (** next store-manifest epoch for this process *)
 }
+
+(* Store manifests restrict process names to [A-Za-z0-9_-]. *)
+let store_name (p : proc) =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> c | _ -> '_')
+    p.p_name
 
 (** What one completed handoff cost, surfaced per [Migrated] event (the
     per-migration view of the cumulative [p_*] counters). *)
@@ -86,6 +98,8 @@ type mig_stats = {
   ms_restored_bytes : int;  (** Σ Dᵢ the restorer decoded *)
   ms_retries : int;         (** transport chunk retries *)
   ms_time_s : float;        (** simulated protocol time, waits included *)
+  ms_delta : Cstats.delta option;
+      (** incremental decomposition when the move ran as a pre-copy *)
 }
 
 type event =
@@ -96,6 +110,8 @@ type event =
   | Migration_failed of float * string * string * string * int * float
       (* time, proc, from, to, retries spent, seconds wasted *)
   | Recovered of float * string * string * string (* time, proc, node, why *)
+  | Checkpointed of float * string * int * Cstats.delta
+      (* time, proc, store epoch, incremental stats *)
   | Requeued of float * string * string * string * string
       (* time, proc, source, dead dst, new dst *)
   | Finished_ev of float * string * string        (* time, proc, node *)
@@ -106,6 +122,10 @@ type t = {
   handoff : Handoff.config;
   quantum_s : float;
   base_ips : float;            (** instructions/simulated-second at speed 1.0 *)
+  store : Store.t option;      (** shared checkpoint store (cluster storage) *)
+  ckpt_every_s : float option; (** periodic background checkpoint interval *)
+  precopy : Precopy.config option;
+      (** when set (and a store is), migrations run as iterative pre-copy *)
   mutable procs : proc list;
   mutable now : float;
   mutable next_pid : int;
@@ -113,18 +133,29 @@ type t = {
 }
 
 let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
-    ?(transport = Transport.default_config) ?handoff ~channel nodes =
+    ?(transport = Transport.default_config) ?handoff ?store ?ckpt_every_s ?precopy
+    ~channel nodes =
   let handoff =
     match handoff with
     | Some h -> h
     | None -> { Handoff.default_config with Handoff.transport }
   in
+  (match ckpt_every_s with
+  | Some d when d <= 0.0 -> invalid_arg "Sched.create: ckpt_every_s must be positive"
+  | _ -> ());
+  (match (ckpt_every_s, precopy, store) with
+  | (Some _, _, None) | (_, Some _, None) ->
+      invalid_arg "Sched.create: checkpointing and pre-copy need a store"
+  | _ -> ());
   {
     nodes;
     channel;
     handoff;
     quantum_s;
     base_ips;
+    store;
+    ckpt_every_s;
+    precopy;
     procs = [];
     now = 0.;
     next_pid = 0;
@@ -153,6 +184,11 @@ let spawn t (nd : node) name (m : Migration.migratable) : proc =
       p_retries = 0;
       p_finish_time = None;
       p_output = Buffer.create 64;
+      p_cache = Snapshot.new_cache ();
+      p_next_ckpt =
+        (match t.ckpt_every_s with Some d -> t.now +. d | None -> infinity);
+      p_ckpt_pending = false;
+      p_ckpt_epoch = 1;
     }
   in
   t.next_pid <- t.next_pid + 1;
@@ -191,6 +227,76 @@ let rehome p (dst : node) interp =
   p.p_node <- dst;
   p.p_pending_dst <- None
 
+(* Checkpoint [p]'s interpreter (suspended at a poll-point) into the
+   shared store, incrementally against its snapshot cache.  Folding the
+   interpreter's output into [p_output] and clearing its buffer here
+   makes the manifest a durable point: after a crash, [p_output] holds
+   exactly the output up to the newest manifest and replay regenerates
+   exactly the rest — output is neither lost nor duplicated.  No-op
+   without a store. *)
+let checkpoint_now t (p : proc) =
+  p.p_ckpt_pending <- false;
+  match t.store with
+  | None -> ()
+  | Some st ->
+      let epoch = p.p_ckpt_epoch in
+      p.p_ckpt_epoch <- epoch + 1;
+      let mf, chunks, stats =
+        Snapshot.collect ~epoch ~proc:(store_name p) ~cache:p.p_cache p.p_interp
+          p.p_m.Migration.ti
+      in
+      Snapshot.persist st mf chunks stats;
+      Buffer.add_string p.p_output (Interp.output p.p_interp);
+      Buffer.clear p.p_interp.Interp.out;
+      (match t.ckpt_every_s with
+      | Some d -> p.p_next_ckpt <- t.now +. d
+      | None -> ());
+      log t (Checkpointed (t.now, p.p_name, epoch, stats))
+
+(** Crash-restart [p] on its current node from durable state: the
+    in-memory interpreter is lost (its unfolded output buffer is
+    discarded, {e not} folded — replay regenerates it).  Prefers the
+    newest {e committed} store manifest; falls back to [legacy], a
+    monolithic checkpoint file from the pre-store era; returns [false]
+    when neither yields a process.  Damaged manifests and files are
+    skipped silently — recovery never trusts a torn write. *)
+let recover_from_store t (p : proc) ?legacy () : bool =
+  match p.p_state with
+  | Finished _ -> false
+  | _ -> (
+      let recovered interp restored_bytes why =
+        p.p_interp <- interp;
+        p.p_cache <- Snapshot.new_cache ();
+        p.p_pending_dst <- None;
+        p.p_ckpt_pending <- false;
+        p.p_recoveries <- p.p_recoveries + 1;
+        p.p_bytes_restored <- p.p_bytes_restored + restored_bytes;
+        p.p_state <- Blocked_until (t.now +. t.handoff.Handoff.restart_delay_s);
+        log t (Recovered (t.now, p.p_name, p.p_node.n_name, "crash recovery: " ^ why));
+        true
+      in
+      let from_store =
+        match t.store with
+        | None -> None
+        | Some st ->
+            Snapshot.restore_latest p.p_m p.p_node.n_arch st ~proc:(store_name p)
+      in
+      match from_store with
+      | Some (interp, rstats, mf) ->
+          recovered interp rstats.Cstats.r_data_bytes
+            (Printf.sprintf "store manifest epoch %d" mf.Store.mf_epoch)
+      | None -> (
+          match legacy with
+          | None -> false
+          | Some path -> (
+              match Checkpoint.load p.p_m p.p_node.n_arch path with
+              | interp, rstats ->
+                  recovered interp rstats.Cstats.r_data_bytes "legacy checkpoint file"
+              | exception
+                  ( Checkpoint.Error _ | Restore.Error _ | Stream.Corrupt _
+                  | Hpm_xdr.Xdr.Underflow _ ) ->
+                  false)))
+
 (* Resume on the source from a retained checkpoint (crash recovery or
    blocked-protocol stand-in).  Same-node rehome: only the interp swaps. *)
 let resume_from_ckpt t p ~epoch ~why ckpt busy_s =
@@ -203,15 +309,29 @@ let resume_from_ckpt t p ~epoch ~why ckpt busy_s =
   p.p_state <- Blocked_until (t.now +. busy_s);
   log t (Recovered (t.now, p.p_name, p.p_node.n_name, why))
 
-(** Move [p]'s state to [dst] through the two-phase handoff, then apply
-    whatever recovery its outcome demands (see the module header). *)
-let perform_migration t (p : proc) (dst : node) =
+let finish t (p : proc) v =
+  Buffer.add_string p.p_output (Interp.output p.p_interp);
+  p.p_state <- Finished v;
+  p.p_node.n_procs <- p.p_node.n_procs - 1;
+  p.p_finish_time <- Some t.now;
+  log t (Finished_ev (t.now, p.p_name, p.p_node.n_name))
+
+(* Apply whatever recovery a completed handoff's outcome demands (see the
+   module header).  [extra_s] is protocol time already spent before the
+   handoff (pre-copy rounds); [delta] the incremental stats to surface on
+   the [Migrated] event; [already_durable] suppresses the post-migration
+   store checkpoint when the destination store already holds a manifest at
+   this very suspension (the pre-copy path). *)
+let apply_handoff_outcome t (p : proc) (dst : node) ~epoch ?delta
+    ?(extra_s = 0.0) ?(already_durable = false) (res : Handoff.result) =
   let src = p.p_node in
-  let epoch = p.p_epoch in
-  p.p_epoch <- epoch + 1;
-  let res =
-    Handoff.execute ~config:t.handoff ~channel:t.channel ~epoch p.p_m p.p_interp
-      dst.n_arch
+  (* Any branch that swaps the interpreter for a restored copy starts a
+     fresh snapshot-cache lineage, and — with a store — immediately makes
+     the new suspension durable so crash recovery replays from here. *)
+  let fresh_lineage () =
+    p.p_cache <- Snapshot.new_cache ();
+    if not already_durable then checkpoint_now t p
+    else p.p_ckpt_pending <- false
   in
   match res.Handoff.outcome with
   | Handoff.Committed c ->
@@ -220,7 +340,7 @@ let perform_migration t (p : proc) (dst : node) =
       p.p_bytes_collected <- p.p_bytes_collected + c.Handoff.c_cstats.Cstats.c_data_bytes;
       p.p_bytes_restored <- p.p_bytes_restored + c.Handoff.c_rstats.Cstats.r_data_bytes;
       p.p_retries <- p.p_retries + c.Handoff.c_tstats.Transport.t_retries;
-      p.p_state <- Blocked_until (t.now +. c.Handoff.c_time_s);
+      p.p_state <- Blocked_until (t.now +. c.Handoff.c_time_s +. extra_s);
       log t
         (Migrated
            ( t.now, p.p_name, src.n_name, dst.n_name,
@@ -230,19 +350,22 @@ let perform_migration t (p : proc) (dst : node) =
                ms_collected_bytes = c.Handoff.c_cstats.Cstats.c_data_bytes;
                ms_restored_bytes = c.Handoff.c_rstats.Cstats.r_data_bytes;
                ms_retries = c.Handoff.c_tstats.Transport.t_retries;
-               ms_time_s = c.Handoff.c_time_s;
-             } ))
+               ms_time_s = c.Handoff.c_time_s +. extra_s;
+               ms_delta = delta;
+             } ));
+      fresh_lineage ()
   | Handoff.Source_recovered r ->
       p.p_failed_migrations <- p.p_failed_migrations + 1;
       p.p_bytes_collected <- p.p_bytes_collected + r.Handoff.r_cstats.Cstats.c_data_bytes;
       rehome p src r.Handoff.r_interp;
       p.p_recoveries <- p.p_recoveries + 1;
-      p.p_state <- Blocked_until (t.now +. r.Handoff.r_time_s);
+      p.p_state <- Blocked_until (t.now +. r.Handoff.r_time_s +. extra_s);
       log t
         (Recovered
            ( t.now, p.p_name, src.n_name,
              Printf.sprintf "source crashed after %s; resumed from checkpoint (epoch %d)"
-               (Netsim.phase_name r.Handoff.r_crash_phase) epoch ))
+               (Netsim.phase_name r.Handoff.r_crash_phase) epoch ));
+      fresh_lineage ()
   | Handoff.Abort_requeue q -> (
       p.p_failed_migrations <- p.p_failed_migrations + 1;
       p.p_bytes_collected <- p.p_bytes_collected + q.Handoff.q_cstats.Cstats.c_data_bytes;
@@ -251,7 +374,7 @@ let perform_migration t (p : proc) (dst : node) =
         p.p_pending_dst <- None;
         Interp.clear_migration_request p.p_interp;
         p.p_recoveries <- p.p_recoveries + 1;
-        p.p_state <- Blocked_until (t.now +. q.Handoff.q_time_s);
+        p.p_state <- Blocked_until (t.now +. q.Handoff.q_time_s +. extra_s);
         log t (Recovered (t.now, p.p_name, src.n_name, why))
       in
       match least_loaded_except t [ dst; src ] with
@@ -275,8 +398,11 @@ let perform_migration t (p : proc) (dst : node) =
               p.p_bytes_restored <- p.p_bytes_restored + rstats.Cstats.r_data_bytes;
               p.p_retries <- p.p_retries + ts.Transport.t_retries;
               p.p_state <-
-                Blocked_until (t.now +. q.Handoff.q_time_s +. ts.Transport.t_time_s);
-              log t (Requeued (t.now, p.p_name, src.n_name, dst.n_name, alt.n_name))
+                Blocked_until
+                  (t.now +. q.Handoff.q_time_s +. ts.Transport.t_time_s +. extra_s);
+              log t (Requeued (t.now, p.p_name, src.n_name, dst.n_name, alt.n_name));
+              p.p_cache <- Snapshot.new_cache ();
+              checkpoint_now t p
           | Transport.Aborted { stats; _ } ->
               p.p_retries <- p.p_retries + stats.Transport.t_retries;
               resume_locally
@@ -294,25 +420,78 @@ let perform_migration t (p : proc) (dst : node) =
           (Printf.sprintf
              "handoff stalled (epoch %d unresolved); checkpoint resumed on source"
              s_epoch)
-        s_ckpt s_time_s
+        s_ckpt (s_time_s +. extra_s);
+      p.p_cache <- Snapshot.new_cache ();
+      checkpoint_now t p
   | Handoff.Link_failed l ->
       p.p_pending_dst <- None;
       p.p_failed_migrations <- p.p_failed_migrations + 1;
       p.p_retries <- p.p_retries + l.Handoff.l_stats.Transport.t_retries;
       Interp.clear_migration_request p.p_interp;
       (* the process stayed put; it only wasted the transfer attempt's time *)
-      p.p_state <- Blocked_until (t.now +. l.Handoff.l_time_s);
+      p.p_state <- Blocked_until (t.now +. l.Handoff.l_time_s +. extra_s);
       log t
         (Migration_failed
            ( t.now, p.p_name, src.n_name, dst.n_name,
-             l.Handoff.l_stats.Transport.t_retries, l.Handoff.l_time_s ))
+             l.Handoff.l_stats.Transport.t_retries, l.Handoff.l_time_s +. extra_s ))
 
-let finish t (p : proc) v =
-  Buffer.add_string p.p_output (Interp.output p.p_interp);
-  p.p_state <- Finished v;
-  p.p_node.n_procs <- p.p_node.n_procs - 1;
-  p.p_finish_time <- Some t.now;
-  log t (Finished_ev (t.now, p.p_name, p.p_node.n_name))
+(* One-shot stop-and-copy migration: the classic path. *)
+let perform_handoff t (p : proc) (dst : node) =
+  let epoch = p.p_epoch in
+  p.p_epoch <- epoch + 1;
+  let res =
+    Handoff.execute ~config:t.handoff ~channel:t.channel ~epoch p.p_m p.p_interp
+      dst.n_arch
+  in
+  apply_handoff_outcome t p dst ~epoch res
+
+(* Iterative pre-copy migration through the shared store. *)
+let perform_precopy t (p : proc) (dst : node) (pcfg : Precopy.config) (st : Store.t) =
+  let src = p.p_node in
+  (* one epoch sequence serves store manifests and handoff incarnations,
+     keeping both monotonic per process *)
+  let epoch0 = max p.p_epoch p.p_ckpt_epoch in
+  let pres =
+    Precopy.execute
+      ~config:{ pcfg with Precopy.handoff = t.handoff }
+      ~channel:t.channel ~dst_store:st ~proc:(store_name p) ~epoch0 p.p_m p.p_interp
+      dst.n_arch
+  in
+  p.p_epoch <- pres.Precopy.p_final_epoch + 1;
+  p.p_ckpt_epoch <- pres.Precopy.p_final_epoch + 1;
+  match pres.Precopy.p_outcome with
+  | Precopy.Handed_off hres ->
+      apply_handoff_outcome t p dst ~epoch:pres.Precopy.p_final_epoch
+        ~delta:pres.Precopy.p_stats ~extra_s:pres.Precopy.p_precopy_s
+        ~already_durable:true hres
+  | Precopy.Finished_before_handoff -> (
+      (* the source completed while pre-copying; nothing migrated *)
+      p.p_pending_dst <- None;
+      match p.p_interp.Interp.result with
+      | Some v -> finish t p v
+      | None -> p.p_state <- Runnable (* defensive; cannot happen *))
+  | Precopy.Round_link_failed { rl_round; rl_reason; rl_stats } ->
+      p.p_pending_dst <- None;
+      p.p_failed_migrations <- p.p_failed_migrations + 1;
+      (match rl_stats with
+      | Some s -> p.p_retries <- p.p_retries + s.Transport.t_retries
+      | None -> ());
+      p.p_state <- Blocked_until (t.now +. pres.Precopy.p_precopy_s);
+      log t
+        (Migration_failed
+           ( t.now, p.p_name, src.n_name, dst.n_name,
+             (match rl_stats with Some s -> s.Transport.t_retries | None -> 0),
+             pres.Precopy.p_precopy_s ));
+      ignore rl_round;
+      ignore rl_reason
+
+(** Move [p]'s state to [dst] — through iterative pre-copy when the
+    scheduler was created with a store and a pre-copy config, otherwise
+    through the one-shot two-phase handoff. *)
+let perform_migration t (p : proc) (dst : node) =
+  match (t.precopy, t.store) with
+  | Some pcfg, Some st -> perform_precopy t p dst pcfg st
+  | _ -> perform_handoff t p dst
 
 (** One simulation tick: give every runnable process its quantum. *)
 let tick t =
@@ -323,6 +502,12 @@ let tick t =
       | Blocked_until until ->
           if t.now >= until then p.p_state <- Runnable
       | Runnable -> (
+          (* periodic durability: ask for the next poll-point so we can
+             checkpoint at a consistent suspension *)
+          (if t.store <> None && t.now >= p.p_next_ckpt && p.p_pending_dst = None
+              && not p.p_ckpt_pending then (
+             p.p_ckpt_pending <- true;
+             Interp.request_migration p.p_interp));
           (* the node's CPU is shared equally by its runnable processes *)
           let share = max 1 p.p_node.n_procs in
           let fuel =
@@ -338,8 +523,8 @@ let tick t =
               match p.p_pending_dst with
               | Some dst -> perform_migration t p dst
               | None ->
-                  (* spurious: request was cancelled; continue *)
-                  Interp.clear_migration_request p.p_interp)))
+                  Interp.clear_migration_request p.p_interp;
+                  if p.p_ckpt_pending then checkpoint_now t p)))
     t.procs;
   t.now <- t.now +. t.quantum_s
 
@@ -399,9 +584,11 @@ let pp_event ppf = function
   | Requested (ts, p, a, b) -> Fmt.pf ppf "[%8.3fs] request  %s: %s -> %s" ts p a b
   | Migrated (ts, p, a, b, ms) ->
       Fmt.pf ppf
-        "[%8.3fs] migrate  %s: %s -> %s (epoch %d: %d stream B, %dB collected, %dB restored, %d retries, %.2f ms)"
+        "[%8.3fs] migrate  %s: %s -> %s (epoch %d: %d stream B, %dB collected, %dB restored, %d retries, %.2f ms)%a"
         ts p a b ms.ms_epoch ms.ms_stream_bytes ms.ms_collected_bytes
         ms.ms_restored_bytes ms.ms_retries (ms.ms_time_s *. 1e3)
+        (Fmt.option (fun ppf d -> Fmt.pf ppf " [pre-copy: %a]" Cstats.pp_delta d))
+        ms.ms_delta
   | Migration_failed (ts, p, a, b, retries, wasted) ->
       Fmt.pf ppf "[%8.3fs] FAILED   %s: %s -> %s (%d retries, %.2f ms wasted; re-queued on %s)"
         ts p a b retries (wasted *. 1e3) a
@@ -411,6 +598,8 @@ let pp_event ppf = function
       Fmt.pf ppf "[%8.3fs] REQUEUE  %s: %s -> %s dead, checkpoint re-queued to %s" ts p
         src dead alt
   | Finished_ev (ts, p, n) -> Fmt.pf ppf "[%8.3fs] finish   %s on %s" ts p n
+  | Checkpointed (ts, p, epoch, d) ->
+      Fmt.pf ppf "[%8.3fs] ckpt     %s (epoch %d: %a)" ts p epoch Cstats.pp_delta d
 
 let events t = List.rev t.events
 

@@ -1,0 +1,454 @@
+(** Chunked, incremental checkpoint collection — and its inverse.
+
+    {!collect} performs {e exactly} the depth-first traversal of
+    {!Hpm_core.Collect.collect} (same roots in the same order, same
+    first-visit mi_id assignment, same one-past-the-end pointer handling),
+    but instead of one monolithic stream it produces a {!Store.manifest}
+    plus one content-addressed chunk per block.  {!materialize} replays
+    the traversal from the manifest and reconstructs the monolithic v2
+    stream {e byte for byte}, so the stock {!Hpm_core.Restore} consumes
+    checkpoints from the store with no new restore path.
+
+    Chunk payloads reference pointer targets by {e runtime block id}
+    ({!Hpm_machine.Mem.block}'s [bid]), not by the stream's mi_id:
+    mi_ids depend on traversal order, so heap churn would renumber them
+    and invalidate the hash of every payload holding a pointer even when
+    the pointed-to data never changed.  bids are stable for the lifetime
+    of a block, so an untouched subgraph hashes identically across
+    epochs; {!materialize} maps bids back to this manifest's mi_ids.
+
+    Incrementality comes from write-generation tracking: a per-block
+    counter ({!Hpm_machine.Mem.touch}) records the memory's write tick at
+    the last store into each block.  A {!cache} carries the previous
+    epoch's per-block hashes; a block whose generation is unchanged —
+    and whose outgoing pointers resolved to the same target bids — reuses
+    its hash without re-serializing or re-hashing (the paper's §4.2
+    encode term drops out; the MSRLT search term remains, since the
+    traversal must still walk every reachable pointer to reproduce the
+    collection order). *)
+
+open Hpm_lang
+open Hpm_xdr
+open Hpm_ir
+open Hpm_machine
+open Hpm_msr
+open Hpm_core
+
+(* ------------------------------------------------------------------ *)
+(* The serialization cache                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cache_entry = {
+  ce_wgen : int;  (** block's write generation when the payload was built *)
+  ce_hash : string;
+  ce_size : int;
+  ce_deps : int list;
+      (** target bid of each outgoing reference, in walk order: an
+          unchanged pointer can land on a {e different} block when its
+          old target was freed and the address reallocated, so reuse
+          also requires every pointer to resolve to the same block *)
+}
+
+type cache = {
+  mutable mark : int;  (** {!Mem.write_mark} at the last collection; -1 = none *)
+  entries : (int, cache_entry) Hashtbl.t;  (** runtime bid → entry *)
+}
+
+let new_cache () = { mark = -1; entries = Hashtbl.create 64 }
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type cctx = {
+  interp : Interp.t;
+  ti : Ti.t;
+  col : Msrlt.collect_side;
+  cache : cache option;
+  chunks : (string, string) Hashtbl.t;  (** hash → freshly-built payload *)
+  binfos : (int, Store.binfo) Hashtbl.t;  (** mi_id → entry, filled post-order *)
+  stats : Cstats.delta;
+  elems_cache : (string, Layout.elems) Hashtbl.t;
+}
+
+let elems_of ctx (ty : Ty.t) : Layout.elems =
+  let key = Ty.to_string ty in
+  match Hashtbl.find_opt ctx.elems_cache key with
+  | Some e -> e
+  | None ->
+      let e = Layout.elems ctx.interp.Interp.mem.Mem.layout ty in
+      Hashtbl.add ctx.elems_cache key e;
+      e
+
+let ordinal_at ctx (block : Mem.block) (addr : int64) : int =
+  let off = Int64.to_int (Int64.sub addr block.Mem.base) in
+  let elems = elems_of ctx block.Mem.ty in
+  if off = block.Mem.size then Layout.elem_count elems
+  else
+    match Layout.ordinal_of_byte elems off with
+    | Some o -> o
+    | None ->
+        Store.corrupt "pointer 0x%Lx lands at byte %d of block #%d, not an element boundary"
+          addr off block.Mem.bid
+
+(* Address → block, with Collect.save_ptr's one-past-the-end retry. *)
+let search_block ctx (addr : int64) : Mem.block =
+  try Msrlt.search ctx.col addr
+  with Mem.Fault m -> (
+    match Msrlt.search ctx.col (Int64.sub addr 1L) with
+    | b when Int64.equal addr (Int64.add b.Mem.base (Int64.of_int b.Mem.size)) -> b
+    | _ -> Store.err "collection reached a bad pointer: %s" m
+    | exception Mem.Fault _ -> Store.err "collection reached a bad pointer: %s" m)
+
+(* Visit [block] first: assign its mi_id, walk its pointer elements in
+   ordinal order (recursing into unvisited targets immediately, exactly
+   like Collect.save_ptr), then decide whether the cached payload is
+   still valid; serialize + hash only on a miss.  Returns the mi_id. *)
+let rec visit_block ctx (block : Mem.block) : int =
+  let id = Msrlt.register ctx.col block in
+  ignore (Msrlt.note_dirty ctx.col block : bool);
+  ctx.stats.Cstats.d_data_bytes <- ctx.stats.Cstats.d_data_bytes + block.Mem.size;
+  let elems = elems_of ctx block.Mem.ty in
+  let n = Layout.elem_count elems in
+  let mem = ctx.interp.Interp.mem in
+  (* pointer datums by ordinal, and outgoing deps in walk order *)
+  let datums = Array.make n Store.Dnull in
+  let deps = ref [] in
+  for ord = 0 to n - 1 do
+    let kind = Layout.kind_of_ordinal elems ord in
+    match kind with
+    | Ty.KPtr _ | Ty.KFunc _ -> (
+        let off = Layout.byte_of_ordinal elems ord in
+        match Mem.load_scalar mem block off kind with
+        | Mem.Vptr 0L -> datums.(ord) <- Store.Dnull
+        | Mem.Vptr addr when Interp.is_func_addr ctx.interp.Interp.prog addr ->
+            datums.(ord) <-
+              Store.Dfunc (Int64.to_int (Int64.div (Int64.sub addr Interp.text_base) 64L))
+        | Mem.Vptr addr ->
+            let target = search_block ctx addr in
+            let tord = ordinal_at ctx target addr in
+            (match Msrlt.lookup ctx.col target with
+            | Some _ -> ()
+            | None -> ignore (visit_block ctx target : int));
+            deps := target.Mem.bid :: !deps;
+            datums.(ord) <- Store.Dref (target.Mem.bid, tord)
+        | v -> Store.err "pointer element holds %s" (Fmt.str "%a" Mem.pp_value v))
+    | _ -> ()
+  done;
+  let deps = List.rev !deps in
+  let cached =
+    match ctx.cache with
+    | None -> None
+    | Some c -> (
+        match Hashtbl.find_opt c.entries block.Mem.bid with
+        | Some ce when ce.ce_wgen = block.Mem.wgen && ce.ce_deps = deps -> Some ce
+        | _ -> None)
+  in
+  let hash, size =
+    match cached with
+    | Some ce ->
+        ctx.stats.Cstats.d_cache_hits <- ctx.stats.Cstats.d_cache_hits + 1;
+        (ce.ce_hash, ce.ce_size)
+    | None ->
+        let b = Buffer.create (block.Mem.size + 16) in
+        for ord = 0 to n - 1 do
+          let kind = Layout.kind_of_ordinal elems ord in
+          match kind with
+          | Ty.KPtr _ | Ty.KFunc _ -> (
+              match datums.(ord) with
+              | Store.Dnull -> Xdr.put_u8 b Stream.tag_null
+              | Store.Dref (bid, tord) ->
+                  Xdr.put_u8 b Stream.tag_ref;
+                  Xdr.put_int_as_i32 b bid;
+                  Xdr.put_int_as_i32 b tord
+              | Store.Dfunc i ->
+                  Xdr.put_u8 b Stream.tag_func;
+                  Xdr.put_int_as_i32 b i)
+          | k ->
+              let off = Layout.byte_of_ordinal elems ord in
+              Stream.put_prim b k (Mem.load_scalar mem block off k)
+        done;
+        let payload = Buffer.contents b in
+        let hash = Digest.string payload in
+        Hashtbl.replace ctx.chunks hash payload;
+        (match ctx.cache with
+        | Some c ->
+            Hashtbl.replace c.entries block.Mem.bid
+              {
+                ce_wgen = block.Mem.wgen;
+                ce_hash = hash;
+                ce_size = String.length payload;
+                ce_deps = deps;
+              }
+        | None -> ());
+        (hash, String.length payload)
+  in
+  let tid, count = Ti.encode_block_ty ctx.ti block.Mem.ty in
+  Hashtbl.replace ctx.binfos id
+    {
+      Store.b_ident = block.Mem.ident;
+      b_bid = block.Mem.bid;
+      b_tid = tid;
+      b_count = count;
+      b_size = size;
+      b_hash = hash;
+    };
+  id
+
+(* A collection root: Collect.save_variable without the stream. *)
+let root_datum ctx (block : Mem.block) : Store.datum =
+  (match Msrlt.lookup ctx.col block with
+  | Some _ -> ()
+  | None -> ignore (visit_block ctx block : int));
+  Store.Dref (block.Mem.bid, 0)
+
+(** Collect the suspended process [interp] into a manifest plus a table
+    of freshly-serialized chunk payloads (cache-reused blocks appear in
+    the manifest but not in the table).  With [cache], only blocks whose
+    write generation or outgoing ids changed are re-encoded; the cache's
+    mark is advanced to the current {!Mem.write_mark}.
+    @raise Collect.Error unless suspended at a poll-point *)
+let collect ?(epoch = 0) ?(proc = "proc") ?cache (interp : Interp.t) (ti : Ti.t) :
+    Store.manifest * (string, string) Hashtbl.t * Cstats.delta =
+  let since = match cache with Some c -> c.mark | None -> -1 in
+  let ctx =
+    {
+      interp;
+      ti;
+      col = Msrlt.collector ~since interp.Interp.mem;
+      cache;
+      chunks = Hashtbl.create 64;
+      binfos = Hashtbl.create 64;
+      stats = Cstats.delta_zero ();
+      elems_cache = Hashtbl.create 32;
+    }
+  in
+  let poll_id = Collect.suspended_poll_id interp in
+  let frames = Collect.live_frames interp in
+  let mf_frames =
+    List.map
+      (fun ((fr : Interp.frame), _) -> (fr.Interp.func.Ir.name, fr.Interp.block, fr.Interp.index))
+      frames
+  in
+  let mf_live =
+    List.map
+      (fun ((fr : Interp.frame), live) ->
+        List.map
+          (fun name ->
+            match Hashtbl.find_opt fr.Interp.locals name with
+            | Some block -> (name, root_datum ctx block)
+            | None ->
+                Store.err "live variable %s has no block in frame %s" name
+                  fr.Interp.func.Ir.name)
+          live)
+      frames
+  in
+  let mf_globals =
+    List.map
+      (fun (name, _, _) ->
+        match Hashtbl.find_opt interp.Interp.globals name with
+        | Some block -> (name, root_datum ctx block)
+        | None -> Store.err "global %s has no block" name)
+      interp.Interp.prog.Ir.globals
+  in
+  let mf_blocks =
+    Array.init ctx.col.Msrlt.next_id (fun id ->
+        match Hashtbl.find_opt ctx.binfos id with
+        | Some bi -> bi
+        | None -> Store.err "collection left mi_id %d undefined" id)
+  in
+  ctx.stats.Cstats.d_blocks_scanned <- ctx.col.Msrlt.scanned;
+  ctx.stats.Cstats.d_blocks_dirty <- ctx.col.Msrlt.dirty;
+  (match cache with Some c -> c.mark <- Mem.write_mark interp.Interp.mem | None -> ());
+  let mf =
+    {
+      Store.mf_proc = proc;
+      mf_epoch = epoch;
+      mf_src_arch = interp.Interp.arch.Hpm_arch.Arch.name;
+      mf_prog_hash = Stream.prog_hash interp.Interp.prog;
+      mf_rng_state = Rng.get_state interp.Interp.rng;
+      mf_poll_id = poll_id;
+      mf_frames;
+      mf_live;
+      mf_globals;
+      mf_blocks;
+    }
+  in
+  (mf, ctx.chunks, ctx.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Materialization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Reconstruct the monolithic v2 migration stream from a manifest,
+    byte-identical to what {!Hpm_core.Collect.collect} would have
+    produced at the same suspension: replay the roots in order, emitting
+    each block's definition inline at its first visit and (mi_id,
+    ordinal) references thereafter.  [lookup] resolves a chunk hash to
+    its payload (typically {!Store.get_chunk}).
+    @raise Store.Corrupt on damaged chunks or a self-inconsistent manifest *)
+let materialize ~(ti : Ti.t) ~(lookup : string -> string) (mf : Store.manifest) : string =
+  (* Chunk payloads use canonical widths, so any layout yields the same
+     element-kind sequence; use a fixed one rather than the source's. *)
+  let layout = Layout.make Hpm_arch.Arch.ultra5 ti.Ti.tenv in
+  let elems_cache = Hashtbl.create 32 in
+  let elems_of ty =
+    let key = Ty.to_string ty in
+    match Hashtbl.find_opt elems_cache key with
+    | Some e -> e
+    | None ->
+        let e = Layout.elems layout ty in
+        Hashtbl.add elems_cache key e;
+        e
+  in
+  let nblocks = Array.length mf.Store.mf_blocks in
+  let emitted = Array.make nblocks false in
+  let bid2mi = Hashtbl.create (max 16 nblocks) in
+  Array.iteri (fun i (bi : Store.binfo) -> Hashtbl.replace bid2mi bi.Store.b_bid i) mf.Store.mf_blocks;
+  let buf = Buffer.create 4096 in
+  let rec emit_datum (d : Store.datum) : unit =
+    match d with
+    | Store.Dnull -> Xdr.put_u8 buf Stream.tag_null
+    | Store.Dfunc i ->
+        Xdr.put_u8 buf Stream.tag_func;
+        Xdr.put_int_as_i32 buf i
+    | Store.Dref (bid, ord) ->
+        let id =
+          match Hashtbl.find_opt bid2mi bid with
+          | Some i -> i
+          | None -> Store.corrupt "datum references unknown bid %d" bid
+        in
+        if emitted.(id) then (
+          Xdr.put_u8 buf Stream.tag_ref;
+          Xdr.put_int_as_i32 buf id;
+          Xdr.put_int_as_i32 buf ord)
+        else (
+          Xdr.put_u8 buf Stream.tag_block;
+          emit_block id;
+          Xdr.put_int_as_i32 buf ord)
+  and emit_block (id : int) : unit =
+    emitted.(id) <- true;
+    let bi = mf.Store.mf_blocks.(id) in
+    let payload = lookup bi.Store.b_hash in
+    if String.length payload <> bi.Store.b_size then
+      Store.corrupt "chunk %s has %d bytes, manifest says %d"
+        (Store.hash_hex bi.Store.b_hash) (String.length payload) bi.Store.b_size;
+    if Digest.string payload <> bi.Store.b_hash then
+      Store.corrupt "chunk %s content does not match its hash" (Store.hash_hex bi.Store.b_hash);
+    Xdr.put_int_as_i32 buf id;
+    Stream.put_ident buf bi.Store.b_ident;
+    Xdr.put_int_as_i32 buf bi.Store.b_tid;
+    Xdr.put_int_as_i32 buf bi.Store.b_count;
+    let ty =
+      try Ti.decode_block_ty ti (bi.Store.b_tid, bi.Store.b_count)
+      with Invalid_argument m -> Store.corrupt "block %d has a bad type id: %s" id m
+    in
+    let elems = elems_of ty in
+    let n = Layout.elem_count elems in
+    let r = Xdr.reader_of_string payload in
+    (try
+       for ord = 0 to n - 1 do
+         match Layout.kind_of_ordinal elems ord with
+         | Ty.KPtr _ | Ty.KFunc _ -> (
+             match Xdr.get_u8 r with
+             | t when t = Stream.tag_null -> Xdr.put_u8 buf Stream.tag_null
+             | t when t = Stream.tag_func ->
+                 Xdr.put_u8 buf Stream.tag_func;
+                 Xdr.put_int_as_i32 buf (Xdr.get_int_of_i32 r)
+             | t when t = Stream.tag_ref ->
+                 let tbid = Xdr.get_int_of_i32 r in
+                 let tord = Xdr.get_int_of_i32 r in
+                 emit_datum (Store.Dref (tbid, tord))
+             | t -> Store.corrupt "chunk of block %d has bad datum tag %d" id t)
+         | k ->
+             let w = Stream.canonical_width k in
+             if Xdr.remaining r < w then
+               Store.corrupt "chunk of block %d is short at ordinal %d" id ord;
+             Buffer.add_subbytes buf r.Xdr.data r.Xdr.pos w;
+             Xdr.skip r w
+       done
+     with Xdr.Underflow m -> Store.corrupt "chunk of block %d is truncated: %s" id m);
+    if not (Xdr.at_end r) then
+      Store.corrupt "chunk of block %d has %d trailing bytes" id (Xdr.remaining r)
+  in
+  Stream.put_header ~epoch:mf.Store.mf_epoch buf ~src_arch:mf.Store.mf_src_arch
+    ~prog_hash:mf.Store.mf_prog_hash ~rng_state:mf.Store.mf_rng_state
+    ~poll_id:mf.Store.mf_poll_id;
+  Xdr.put_int_as_i32 buf (List.length mf.Store.mf_frames);
+  List.iter
+    (fun (fname, blk, idx) ->
+      Xdr.put_string buf fname;
+      Xdr.put_int_as_i32 buf blk;
+      Xdr.put_int_as_i32 buf idx)
+    mf.Store.mf_frames;
+  List.iter
+    (fun live ->
+      Xdr.put_int_as_i32 buf (List.length live);
+      List.iter
+        (fun (name, d) ->
+          Xdr.put_string buf name;
+          emit_datum d)
+        live)
+    mf.Store.mf_live;
+  Xdr.put_int_as_i32 buf (List.length mf.Store.mf_globals);
+  List.iter
+    (fun (name, d) ->
+      Xdr.put_string buf name;
+      emit_datum d)
+    mf.Store.mf_globals;
+  Stream.put_trailer buf;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Store round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Persist a collection into [st]: write every chunk not already stored
+    (counting ship/reuse and bytes written into [stats]) and commit the
+    manifest.  Payloads may come from the fresh [chunks] table or already
+    be on disk from a previous epoch.
+    @raise Store.Error when a needed payload is in neither place *)
+let persist (st : Store.t) (mf : Store.manifest) (chunks : (string, string) Hashtbl.t)
+    (stats : Cstats.delta) : unit =
+  List.iter
+    (fun h ->
+      if Store.has_chunk st h then
+        stats.Cstats.d_chunks_reused <- stats.Cstats.d_chunks_reused + 1
+      else
+        match Hashtbl.find_opt chunks h with
+        | Some payload ->
+            ignore (Store.put_chunk st payload);
+            stats.Cstats.d_chunks_shipped <- stats.Cstats.d_chunks_shipped + 1;
+            stats.Cstats.d_delta_bytes <- stats.Cstats.d_delta_bytes + String.length payload
+        | None ->
+            Store.err "chunk %s is neither freshly collected nor stored" (Store.hash_hex h))
+    (Store.manifest_hashes mf);
+  Store.save_manifest st mf;
+  stats.Cstats.d_delta_bytes <-
+    stats.Cstats.d_delta_bytes + String.length (Store.serialize_manifest mf)
+
+(** Materialize [mf] and restore it on [arch] via the stock v2 path. *)
+let restore_manifest (m : Migration.migratable) (arch : Hpm_arch.Arch.t)
+    ~(lookup : string -> string) (mf : Store.manifest) : Interp.t * Cstats.restore =
+  let stream = materialize ~ti:m.Migration.ti ~lookup mf in
+  Restore.restore ~expect_epoch:mf.Store.mf_epoch m.Migration.prog arch m.Migration.ti stream
+
+(** Restore [proc] from the newest manifest in [st] that materializes and
+    restores cleanly, skipping damaged epochs.  [None] when no epoch of
+    the process is recoverable. *)
+let restore_latest (m : Migration.migratable) (arch : Hpm_arch.Arch.t) (st : Store.t)
+    ~(proc : string) : (Interp.t * Cstats.restore * Store.manifest) option =
+  let rec go = function
+    | [] -> None
+    | epoch :: older -> (
+        match
+          let mf = Store.load_manifest st ~proc ~epoch in
+          let interp, rstats = restore_manifest m arch ~lookup:(Store.get_chunk st) mf in
+          (interp, rstats, mf)
+        with
+        | result -> Some result
+        | exception (Store.Corrupt _ | Store.Error _ | Restore.Error _ | Stream.Corrupt _ | Xdr.Underflow _)
+          ->
+            go older)
+  in
+  go (List.rev (Store.manifest_epochs st ~proc))

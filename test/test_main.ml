@@ -33,5 +33,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("netsim", Test_netsim.suite);
       ("sched", Test_sched.suite);
+      ("store", Test_store.suite);
+      ("precopy", Test_precopy.suite);
       ("workloads", Test_workloads.suite);
     ]

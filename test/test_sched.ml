@@ -38,7 +38,8 @@ let test_explicit_migration () =
         | Sched.Recovered _ -> Some "rec"
         | Sched.Requeued _ -> Some "requeue"
         | Sched.Finished_ev _ -> Some "fin"
-        | Sched.Spawned _ -> Some "spawn")
+        | Sched.Spawned _ -> Some "spawn"
+        | Sched.Checkpointed _ -> Some "ckpt")
       evs
   in
   check_bool "event order" true (kinds = [ "spawn"; "req"; "mig"; "fin" ])
