@@ -604,6 +604,250 @@ let bench_delta () =
   pr "only for blocks the program actually wrote.@."
 
 (* ------------------------------------------------------------------ *)
+(* Observability: deterministic traces + §4.2 metric identities        *)
+(* ------------------------------------------------------------------ *)
+
+(* A circular singly-linked list: every pointer field in the heap (and
+   every live stack pointer) is non-null at the suspension point, so the
+   §4.2 identity is exact — one MSRLT search per pointer translated on
+   collection, one MSRLT update per block on restoration. *)
+let ring_source n =
+  Printf.sprintf
+    {|
+/* ring: fully connected circular list */
+struct node {
+  int value;
+  struct node *next;
+};
+
+int main() {
+  struct node *first;
+  struct node *p;
+  struct node *c;
+  int i;
+  long sum;
+
+  first = (struct node *) malloc(sizeof(struct node));
+  first->value = 0;
+  first->next = first;
+  p = first;
+  for (i = 1; i < %d; i++) {
+    c = (struct node *) malloc(sizeof(struct node));
+    c->value = i;
+    c->next = first;
+    p->next = c;
+    p = c;
+  }
+  sum = 0;
+  c = first;
+  for (i = 0; i < %d; i++) {
+    sum = sum + c->value;
+    c = c->next;
+  }
+  print_long(sum);
+  return 0;
+}
+|}
+    n (4 * n)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let bench_obs () =
+  let module Obs = Hpm_obs.Obs in
+  hr "Observability: deterministic handoff traces + the §4.2 metric identities";
+  pr "Every scenario runs twice with the same seed under a fresh trace and@.";
+  pr "metrics sink; the traces must be byte-identical, span nesting must@.";
+  pr "follow the handoff state machine, and the exported metrics must equal@.";
+  pr "the pre-existing statistics counters exactly (docs/OBSERVABILITY.md).@.@.";
+  let failures = ref 0 in
+  let check name ok =
+    pr "  %-58s %s@." name (if ok then "ok" else "NO!");
+    if not ok then incr failures
+  in
+  let run_with_sinks scenario =
+    Obs.reset ();
+    let tr = Obs.Trace.create () and reg = Obs.Metrics.create () in
+    Obs.set_trace (Some tr);
+    Obs.set_metrics (Some reg);
+    let r = scenario () in
+    Obs.reset ();
+    (tr, reg, r)
+  in
+  (* Span nesting: B/E balanced, exactly one root "migration" span, and
+     its direct children drawn from the handoff state machine. *)
+  let validate_spans name tr =
+    let machine = [ "collect"; "encode"; "transfer"; "restore"; "verify"; "commit" ] in
+    let stack = ref [] and bad = ref false and roots = ref [] and children = ref [] in
+    List.iter
+      (fun (e : Obs.Trace.ev) ->
+        match e.Obs.Trace.e_ph with
+        | 'B' ->
+            (match !stack with
+            | [] -> roots := e.Obs.Trace.e_name :: !roots
+            | parent :: _ when String.equal parent "migration" ->
+                children := e.Obs.Trace.e_name :: !children
+            | _ -> ());
+            stack := e.Obs.Trace.e_name :: !stack
+        | 'E' -> (
+            match !stack with
+            | top :: rest when String.equal top e.Obs.Trace.e_name -> stack := rest
+            | _ -> bad := true)
+        | _ -> ())
+      (Obs.Trace.events tr);
+    check (name ^ ": spans balanced") ((not !bad) && !stack = []);
+    check
+      (name ^ ": one root migration span")
+      (List.length (List.filter (String.equal "migration") !roots) = 1);
+    check
+      (name ^ ": children within the state machine")
+      (List.for_all (fun c -> List.mem c machine) !children)
+  in
+  let w = Hpm_workloads.Registry.find_exn "bitonic" in
+  let bitonic_src = w.Hpm_workloads.Registry.source 2000 in
+  let tmp_counter = ref 0 in
+  let fresh_store () =
+    incr tmp_counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hpm-bench-obs-%d-%d" (Unix.getpid ()) !tmp_counter)
+    in
+    Hpm_store.Store.open_store dir
+  in
+  let clean () =
+    let m = Migration.prepare bitonic_src in
+    let src = suspend m Hpm_arch.Arch.dec5000 6000 in
+    Handoff.execute ~channel:(Hpm_net.Netsim.ethernet_10 ()) ~epoch:1 m src
+      Hpm_arch.Arch.sparc20
+  in
+  let lossy () =
+    let m = Migration.prepare bitonic_src in
+    let src = suspend m Hpm_arch.Arch.dec5000 6000 in
+    let faults = Hpm_net.Netsim.fault_model ~loss_rate:0.15 ~corrupt_rate:0.1 ~seed:42 () in
+    Handoff.execute
+      ~channel:(Hpm_net.Netsim.ethernet_10 ~faults ())
+      ~epoch:1 m src Hpm_arch.Arch.sparc20
+  in
+  let crash () =
+    let m = Migration.prepare bitonic_src in
+    let src = suspend m Hpm_arch.Arch.dec5000 6000 in
+    Handoff.execute
+      ~faults:(Hpm_net.Netsim.node_faults ~crash_dest_after:Hpm_net.Netsim.Ph_restore ())
+      ~channel:(Hpm_net.Netsim.ethernet_10 ()) ~epoch:1 m src Hpm_arch.Arch.sparc20
+  in
+  let precopy () =
+    let st = fresh_store () in
+    let m = Migration.prepare bitonic_src in
+    let src = suspend m Hpm_arch.Arch.dec5000 6000 in
+    Hpm_store.Precopy.execute
+      ~channel:(Hpm_net.Netsim.ethernet_10 ())
+      ~dst_store:st ~proc:"bitonic" ~epoch0:1 m src Hpm_arch.Arch.sparc20
+  in
+  (try Unix.mkdir "obs-traces" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun (name, slug, scenario) ->
+      let tr1, _, _ = run_with_sinks scenario in
+      let tr2, _, _ = run_with_sinks scenario in
+      let j1 = Obs.Trace.to_json tr1 and j2 = Obs.Trace.to_json tr2 in
+      validate_spans name tr1;
+      check (name ^ ": same-seed trace byte-identical") (String.equal j1 j2);
+      write_file (Filename.concat "obs-traces" (slug ^ ".json")) j1)
+    [
+      ("clean handoff", "clean", (fun () -> ignore (clean ())));
+      ("lossy link", "lossy", (fun () -> ignore (lossy ())));
+      ("dst crash after restore", "crash-dst-restore", (fun () -> ignore (crash ())));
+      ("pre-copy migration", "precopy", (fun () -> ignore (precopy ())));
+    ];
+  (* The exported metrics are the same counters the stats records carry. *)
+  let _, reg, res = run_with_sinks clean in
+  (match res.Handoff.outcome with
+  | Handoff.Committed c ->
+      let lab = [ ("arch_pair", "dec5000->sparc20"); ("epoch", "1") ] in
+      let v name = Obs.Metrics.value reg name lab in
+      check "metrics: transport wire bytes equal stats"
+        (v "hpm_transport_wire_bytes_total"
+        = Some (float_of_int c.Handoff.c_tstats.Hpm_net.Transport.t_wire_bytes));
+      check "metrics: MSRLT searches equal stats"
+        (v "hpm_msrlt_searches_total"
+        = Some (float_of_int c.Handoff.c_cstats.Cstats.c_searches));
+      check "metrics: MSRLT updates equal stats"
+        (v "hpm_msrlt_updates_total"
+        = Some (float_of_int c.Handoff.c_rstats.Cstats.r_updates))
+  | _ -> check "clean handoff committed" false);
+  (* Snapshot the same suspension twice: every chunk of epoch 2 is already
+     stored, so the dedup-hit metric must equal d_chunks_reused exactly. *)
+  let dedup () =
+    let st = fresh_store () in
+    let m = Migration.prepare bitonic_src in
+    let p = suspend m Hpm_arch.Arch.ultra5 6000 in
+    let snap epoch =
+      let mf, chunks, stats =
+        Hpm_store.Snapshot.collect ~epoch ~proc:"bitonic" p m.Migration.ti
+      in
+      Hpm_store.Snapshot.persist st mf chunks stats;
+      stats
+    in
+    ignore (snap 1);
+    snap 2
+  in
+  let _, reg, st2 = run_with_sinks dedup in
+  check "metrics: store dedup hits equal d_chunks_reused"
+    (Obs.Metrics.value reg "hpm_store_chunk_dedup_hits_total" []
+    = Some (float_of_int st2.Cstats.d_chunks_reused));
+  (* §4.2 decomposition.  On the fully connected ring every translated
+     pointer costs exactly one search; on bitonic the null leaf pointers
+     are translated without a search, so searches < pointers there. *)
+  pr "@.§4.2 identities (Collect = MSRLT_search + copy; Restore = MSRLT_update + copy):@.";
+  pr "%-14s %8s %10s %10s %10s %12s@." "workload" "blocks" "pointers" "searches"
+    "updates" "search/ptr";
+  List.iter
+    (fun n ->
+      let m = Migration.prepare (ring_source n) in
+      let src = suspend m Hpm_arch.Arch.ultra5 (n + (n / 2)) in
+      let _, reg, (cs, rs) =
+        run_with_sinks (fun () ->
+            let data, cs = Collect.collect src m.Migration.ti in
+            let _, rs =
+              Restore.restore m.Migration.prog Hpm_arch.Arch.sparc20 m.Migration.ti data
+            in
+            (cs, rs))
+      in
+      pr "%-14s %8d %10d %10d %10d %12.3f@."
+        (Printf.sprintf "ring %d" n)
+        cs.Cstats.c_blocks cs.Cstats.c_pointers cs.Cstats.c_searches rs.Cstats.r_updates
+        (float_of_int cs.Cstats.c_searches /. float_of_int cs.Cstats.c_pointers);
+      check
+        (Printf.sprintf "ring %d: searches = pointers (fully connected)" n)
+        (cs.Cstats.c_searches = cs.Cstats.c_pointers);
+      check
+        (Printf.sprintf "ring %d: updates = blocks" n)
+        (rs.Cstats.r_updates = cs.Cstats.c_blocks);
+      check
+        (Printf.sprintf "ring %d: metrics equal stats" n)
+        (Obs.Metrics.value reg "hpm_msrlt_searches_total" []
+         = Some (float_of_int cs.Cstats.c_searches)
+        && Obs.Metrics.value reg "hpm_msrlt_updates_total" []
+           = Some (float_of_int rs.Cstats.r_updates)
+        && Obs.Metrics.value reg "hpm_collect_pointers_total" []
+           = Some (float_of_int cs.Cstats.c_pointers)))
+    [ 64; 256; 1024 ];
+  (let m = Migration.prepare (w.Hpm_workloads.Registry.source 4000) in
+   let src = suspend m Hpm_arch.Arch.ultra5 24_000 in
+   let data, cs = Collect.collect src m.Migration.ti in
+   let _, rs = Restore.restore m.Migration.prog Hpm_arch.Arch.sparc20 m.Migration.ti data in
+   pr "%-14s %8d %10d %10d %10d %12.3f@." "bitonic 4000" cs.Cstats.c_blocks
+     cs.Cstats.c_pointers cs.Cstats.c_searches rs.Cstats.r_updates
+     (float_of_int cs.Cstats.c_searches /. float_of_int cs.Cstats.c_pointers);
+   check "bitonic: searches <= pointers (null leaves skip the search)"
+     (cs.Cstats.c_searches <= cs.Cstats.c_pointers);
+   check "bitonic: updates = blocks" (rs.Cstats.r_updates = cs.Cstats.c_blocks));
+  pr "@.per-scenario traces written to obs-traces/*.json (chrome://tracing)@.";
+  if !failures > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -669,6 +913,7 @@ let all () =
   bench_recovery ();
   bench_delta ();
   bench_census ();
+  bench_obs ();
   bench_micro ()
 
 (* CI smoke run: the fault-tolerance and recovery tables plus the
@@ -678,7 +923,8 @@ let quick () =
   bench_faults ();
   bench_recovery ();
   bench_delta ();
-  bench_census ()
+  bench_census ();
+  bench_obs ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -694,6 +940,7 @@ let () =
   | "faults" -> bench_faults ()
   | "recovery" -> bench_recovery ()
   | "delta" -> bench_delta ()
+  | "obs" -> bench_obs ()
   | "micro" -> bench_micro ()
   | "quick" -> quick ()
   | "all" -> all ()

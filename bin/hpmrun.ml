@@ -38,6 +38,11 @@ let store_proc_name (spec : string) : string =
     (function ('A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '-') as c -> c | _ -> '_')
     spec
 
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
 let parse_phase flag = function
   | None -> None
   | Some s -> (
@@ -155,7 +160,41 @@ let run_precopy m ~src_arch ~dst_arch ~after ~channel ~config ~report ~st ~proc
 let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
     max_retries net_seed crash_src crash_dst drop_ack drop_probe ack_deadline
     probe_retries store_dir delta precopy_rounds precopy_threshold restore_store
-    store_gc =
+    store_gc trace_file metrics_file =
+  let module Obs = Hpm_obs.Obs in
+  let obs_on = trace_file <> None || metrics_file <> None in
+  if obs_on then begin
+    if trace_file <> None then Obs.set_trace (Some (Obs.Trace.create ()));
+    if metrics_file <> None then Obs.set_metrics (Some (Obs.Metrics.create ()));
+    Hpm_xdr.Xdr.reset_io_counters ();
+    Hpm_xdr.Xdr.count_io := true;
+    match file with
+    | Some f -> Obs.set_labels [ ("proc", store_proc_name f) ]
+    | None -> ()
+  end;
+  (* On exit, fold the XDR byte counters into the registry and write the
+     requested sinks.  Error paths that [exit] early skip the dump. *)
+  let finish_obs rc =
+    if obs_on then begin
+      if Obs.metrics_on () then begin
+        Obs.inc "hpm_xdr_encoded_bytes_total" []
+          ~by:(float_of_int !Hpm_xdr.Xdr.encoded_bytes);
+        Obs.inc "hpm_xdr_decoded_bytes_total" []
+          ~by:(float_of_int !Hpm_xdr.Xdr.decoded_bytes)
+      end;
+      (match (metrics_file, !Obs.cur_metrics) with
+      | Some path, Some reg -> write_file path (Obs.Metrics.render reg)
+      | _ -> ());
+      (match (trace_file, !Obs.cur_trace) with
+      | Some path, Some tr -> write_file path (Obs.Trace.to_json tr)
+      | _ -> ());
+      Hpm_xdr.Xdr.count_io := false;
+      Obs.reset ()
+    end;
+    rc
+  in
+  finish_obs
+  @@ (
   if loss < 0.0 || loss > 1.0 then (
     Fmt.epr "hpmrun: --loss must be in [0,1] (got %g)@." loss;
     exit 1);
@@ -337,7 +376,7 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
            fault schedule *)
         let use_net = loss > 0.0 || corrupt > 0.0 in
         let channel =
-          if use_net || node_faulty then
+          if use_net || node_faulty || obs_on then
             Some
               (Hpm_net.Netsim.ethernet_10
                  ~faults:
@@ -347,13 +386,16 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
           else None
         in
         let transport = { Hpm_net.Transport.default_config with max_retries } in
-        if node_faulty then (
+        (* node faults need the two-phase protocol; so does observability,
+           which traces the handoff state machine end to end *)
+        if node_faulty || obs_on then (
           let channel = Option.get channel in
-          Netsim.set_node_faults channel
-            (Some
-               (Netsim.node_faults ?crash_source_after:crash_src
-                  ?crash_dest_after:crash_dst ~drop_commit_acks:drop_ack
-                  ~drop_probe_replies:drop_probe ()));
+          if node_faulty then
+            Netsim.set_node_faults channel
+              (Some
+                 (Netsim.node_faults ?crash_source_after:crash_src
+                    ?crash_dest_after:crash_dst ~drop_commit_acks:drop_ack
+                    ~drop_probe_replies:drop_probe ()));
           let config =
             {
               Handoff.default_config with
@@ -420,7 +462,7 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
   | Store.Base_mismatch (want, got) ->
       Fmt.epr "store error: delta base mismatch (destination holds %s, delta against %s)@."
         want got;
-      3)
+      3))
 
 let () =
   let file =
@@ -540,6 +582,20 @@ let () =
              ~doc:"retain the newest KEEP epochs per process in --store-dir, sweep \
                    unreferenced chunks, and print the report (FILE not needed)")
   in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"write a Chrome trace_event JSON trace of the run to FILE; \
+                   timestamps come from the simulated clock, so same-seed runs \
+                   produce byte-identical traces (routes --to migrations through \
+                   the two-phase handoff)")
+  in
+  let metrics_file =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"write the metrics registry to FILE in Prometheus text format \
+                   on exit (see docs/OBSERVABILITY.md for the catalogue)")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "hpmrun" ~doc:"run Mini-C programs with heterogeneous process migration")
@@ -547,6 +603,6 @@ let () =
             $ load_ckpt $ loss $ corrupt $ max_retries $ net_seed $ crash_src
             $ crash_dst $ drop_ack $ drop_probe $ ack_deadline $ probe_retries
             $ store_dir $ delta $ precopy_rounds $ precopy_threshold $ restore_store
-            $ store_gc)
+            $ store_gc $ trace_file $ metrics_file)
   in
   exit (Cmd.eval' cmd)

@@ -260,4 +260,14 @@ let collect ?(epoch = 0) (interp : Interp.t) (ti : Ti.t) : string * Cstats.colle
   Stream.put_trailer ctx.buf;
   ctx.stats.Cstats.c_searches <- ctx.col.Msrlt.searches;
   ctx.stats.Cstats.c_stream_bytes <- Buffer.length ctx.buf;
+  let module Obs = Hpm_obs.Obs in
+  if Obs.metrics_on () then begin
+    Msrlt.publish_collect ctx.col;
+    let inc name v = Obs.inc name [] ~by:(float_of_int v) in
+    inc "hpm_collect_blocks_total" ctx.stats.Cstats.c_blocks;
+    inc "hpm_collect_data_bytes_total" ctx.stats.Cstats.c_data_bytes;
+    inc "hpm_collect_stream_bytes_total" ctx.stats.Cstats.c_stream_bytes;
+    inc "hpm_collect_pointers_total" ctx.stats.Cstats.c_pointers;
+    inc "hpm_collect_frames_total" ctx.stats.Cstats.c_frames
+  end;
   (Buffer.contents ctx.buf, ctx.stats)

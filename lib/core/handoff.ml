@@ -47,6 +47,7 @@
 
 open Hpm_machine
 open Hpm_net
+module Obs = Hpm_obs.Obs
 
 (* Re-export so callers can name phases without reaching into Hpm_net. *)
 type phase = Netsim.protocol_phase =
@@ -212,14 +213,84 @@ let execute ?(config = default_config) ?faults ?tamper ?collect_fn
   if epoch < 0 then invalid_arg "Handoff.execute: negative epoch";
   let faults = match faults with Some _ as f -> f | None -> channel.Netsim.node_faults in
   let time = ref 0.0 in
+  (* Observability.  The protocol clock [time] only advances on network
+     transfers and waits; spans additionally charge the modelled CPU
+     costs of {!Obs.Model} into [cpu], so the trace timeline is
+     [t0 + !time + !cpu] with [t0] the ambient simulated start time.
+     [cpu] never feeds back into [time] or any [*_time_s] result — the
+     protocol outcome is byte-identical with or without a sink. *)
+  let t0 = Obs.now () in
+  let cpu = ref 0.0 in
+  let ts () = t0 +. !time +. !cpu in
+  (* Open-span stack: [finish] is the single exit point, so whatever is
+     still open there (crash/abort paths) is closed then, keeping every
+     exported trace's B/E events balanced. *)
+  let open_spans = ref [] in
+  let span_b ?args name =
+    if Obs.tracing () then begin
+      open_spans := name :: !open_spans;
+      Obs.span_b ~ts:(ts ()) ?args ~cat:"handoff" name
+    end
+  in
+  let span_e ?args name =
+    if Obs.tracing () then
+      match !open_spans with
+      | top :: rest when String.equal top name ->
+          open_spans := rest;
+          Obs.span_e ~ts:(ts ()) ?args name
+      | _ -> ()
+  in
+  let prev_labels = Obs.labels () in
+  if Obs.on () then
+    Obs.set_labels
+      (("arch_pair",
+        src.Interp.arch.Hpm_arch.Arch.name ^ "->" ^ dst_arch.Hpm_arch.Arch.name)
+      :: ("epoch", string_of_int epoch)
+      :: prev_labels);
+  span_b "migration"
+    ~args:
+      [
+        ("epoch", Obs.Trace.I epoch);
+        ("src_arch", Obs.Trace.S src.Interp.arch.Hpm_arch.Arch.name);
+        ("dst_arch", Obs.Trace.S dst_arch.Hpm_arch.Arch.name);
+      ];
   let trace = ref [] in
   let step phase actor fmt =
     Fmt.kstr
       (fun note ->
-        trace := { s_phase = phase; s_actor = actor; s_note = note; s_at = !time } :: !trace)
+        trace := { s_phase = phase; s_actor = actor; s_note = note; s_at = !time } :: !trace;
+        if Obs.tracing () then
+          Obs.instant ~ts:(ts ()) ~cat:"handoff.step"
+            ~args:
+              [
+                ("phase", Obs.Trace.S (Netsim.phase_name phase));
+                ("actor", Obs.Trace.S actor);
+              ]
+            note)
       fmt
   in
-  let finish outcome = { outcome; trace = List.rev !trace } in
+  let finish outcome =
+    if Obs.tracing () then begin
+      List.iter
+        (fun n ->
+          if String.equal n "migration" then
+            Obs.span_e ~ts:(ts ())
+              ~args:[ ("outcome", Obs.Trace.S (outcome_name outcome)) ]
+              n
+          else Obs.span_e ~ts:(ts ()) n)
+        !open_spans;
+      open_spans := []
+    end;
+    if Obs.metrics_on () then begin
+      Obs.inc "hpm_handoff_outcomes_total" [ ("outcome", outcome_name outcome) ];
+      Obs.observe "hpm_handoff_time_seconds" [] !time
+    end;
+    if Obs.on () then begin
+      Obs.set_now (ts ());
+      Obs.set_labels prev_labels
+    end;
+    { outcome; trace = List.rev !trace }
+  in
   (* one-shot crash hooks: consumed when they fire, so the restarted node
      does not crash again during recovery *)
   let crash who phase =
@@ -353,11 +424,23 @@ let execute ?(config = default_config) ?faults ?tamper ?collect_fn
   in
 
   (* ---------------- Phase 1: COLLECT ---------------- *)
+  span_b "collect";
   let ckpt, cstats =
     match collect_fn with
     | Some f -> f ()
     | None -> Collect.collect ~epoch src m.Migration.ti
   in
+  cpu :=
+    !cpu
+    +. Obs.Model.collect_s ~searches:cstats.Cstats.c_searches
+         ~blocks:cstats.Cstats.c_blocks ~bytes:cstats.Cstats.c_data_bytes;
+  span_e "collect"
+    ~args:
+      [
+        ("blocks", Obs.Trace.I cstats.Cstats.c_blocks);
+        ("searches", Obs.Trace.I cstats.Cstats.c_searches);
+        ("stream_bytes", Obs.Trace.I cstats.Cstats.c_stream_bytes);
+      ];
   durable.src_ckpt <- Some (epoch, ckpt);
   step Ph_collect "src" "checkpoint persisted: %d bytes, epoch %d" (String.length ckpt)
     epoch;
@@ -367,9 +450,17 @@ let execute ?(config = default_config) ?faults ?tamper ?collect_fn
       ~tstats_opt:None)
   else
     (* ---------------- Phase 2: TRANSFER ---------------- *)
-    match Transport.transfer ~config:config.transport channel (encode ckpt) with
+    match
+      span_b "encode";
+      let wire = encode ckpt in
+      cpu := !cpu +. Obs.Model.encode_s ~bytes:(String.length wire);
+      span_e "encode" ~args:[ ("wire_bytes", Obs.Trace.I (String.length wire)) ];
+      span_b "transfer";
+      Transport.transfer ~config:config.transport ~ts0:(ts ()) channel wire
+    with
     | Transport.Aborted { failed_seq; attempts; reason; stats } ->
         time := !time +. stats.Transport.t_time_s;
+        span_e "transfer" ~args:[ ("aborted_at_chunk", Obs.Trace.I failed_seq) ];
         step Ph_transfer "src" "transport aborted at chunk #%d (%s); epoch %d aborted"
           failed_seq reason epoch;
         finish
@@ -378,6 +469,13 @@ let execute ?(config = default_config) ?faults ?tamper ?collect_fn
                l_stats = stats; l_time_s = !time })
     | Transport.Delivered (delivered, tstats) -> (
         time := !time +. tstats.Transport.t_time_s;
+        span_e "transfer"
+          ~args:
+            [
+              ("chunks", Obs.Trace.I tstats.Transport.t_chunks);
+              ("retries", Obs.Trace.I tstats.Transport.t_retries);
+              ("wire_bytes", Obs.Trace.I tstats.Transport.t_wire_bytes);
+            ];
         durable.dst_image <- Some (epoch, delivered);
         step Ph_transfer "dst" "image persisted: %d chunks, %d retries, %.4fs"
           tstats.Transport.t_chunks tstats.Transport.t_retries
@@ -416,6 +514,12 @@ let execute ?(config = default_config) ?faults ?tamper ?collect_fn
           in
           match restored with
           | Error reason ->
+              (* the [restored] computation never advances [time], so
+                 opening the span here, after the fact, lands its B event
+                 at the exact simulated instant restoration started *)
+              span_b "restore";
+              cpu := !cpu +. Obs.Model.decode_s ~bytes:(String.length delivered);
+              span_e "restore" ~args:[ ("error", Obs.Trace.S reason) ];
               (* the destination refuses to commit and NAKs the epoch *)
               step Ph_restore "dst" "%s; NAK epoch %d" reason epoch;
               time := !time +. Netsim.tx_time channel ack_bytes;
@@ -429,6 +533,31 @@ let execute ?(config = default_config) ?faults ?tamper ?collect_fn
                      { q_ckpt = ckpt; q_epoch = epoch; q_reason = reason;
                        q_cstats = cstats; q_time_s = !time }))
           | Ok (dst, rstats, verify) -> (
+              span_b "restore";
+              cpu :=
+                !cpu
+                +. Obs.Model.decode_s ~bytes:(String.length delivered)
+                +. Obs.Model.restore_s ~updates:rstats.Cstats.r_updates
+                     ~blocks:rstats.Cstats.r_blocks ~bytes:rstats.Cstats.r_data_bytes;
+              span_e "restore"
+                ~args:
+                  [
+                    ("blocks", Obs.Trace.I rstats.Cstats.r_blocks);
+                    ("updates", Obs.Trace.I rstats.Cstats.r_updates);
+                    ("heap_allocs", Obs.Trace.I rstats.Cstats.r_heap_allocs);
+                  ];
+              span_b "verify";
+              cpu :=
+                !cpu
+                +. Obs.Model.verify_s ~blocks:verify.Verify.v_blocks
+                     ~pointers:verify.Verify.v_pointers;
+              span_e "verify"
+                ~args:
+                  [
+                    ("blocks", Obs.Trace.I verify.Verify.v_blocks);
+                    ("pointers", Obs.Trace.I verify.Verify.v_pointers);
+                    ("edges", Obs.Trace.I verify.Verify.v_edges);
+                  ];
               step Ph_restore "dst" "restored and verified: %a" Verify.pp_report verify;
               if crash `Dst Ph_restore then (
                 step Ph_restore "dst" "CRASH before commit (restored image discarded)";
@@ -441,6 +570,7 @@ let execute ?(config = default_config) ?faults ?tamper ?collect_fn
                     ~ckpt)
               else (
                 (* ---------------- Phase 4: COMMIT ---------------- *)
+                span_b "commit";
                 durable.dst_committed <- Some epoch;
                 step Ph_commit "dst" "commit recorded durably (epoch %d); sending ack"
                   epoch;

@@ -261,4 +261,13 @@ let restore ?expect_epoch (prog : Ir.prog) (arch : Hpm_arch.Arch.t) (ti : Ti.t)
   done;
   (try Stream.check_trailer r with Stream.Corrupt m -> error "bad trailer: %s" m);
   ctx.stats.Cstats.r_updates <- ctx.res.Msrlt.updates;
+  let module Obs = Hpm_obs.Obs in
+  if Obs.metrics_on () then begin
+    Msrlt.publish_restore ctx.res;
+    let inc name v = Obs.inc name [] ~by:(float_of_int v) in
+    inc "hpm_restore_blocks_total" ctx.stats.Cstats.r_blocks;
+    inc "hpm_restore_data_bytes_total" ctx.stats.Cstats.r_data_bytes;
+    inc "hpm_restore_heap_allocs_total" ctx.stats.Cstats.r_heap_allocs;
+    inc "hpm_restore_pointers_total" ctx.stats.Cstats.r_pointers
+  end;
   (interp, ctx.stats)

@@ -136,6 +136,13 @@ let check (interp : Interp.t) (ti : Ti.t) : report =
       if b.Mem.seg = Mem.Heap && not (Hashtbl.mem reach b.Mem.bid) then
         violation "orphan %a: heap storage unreachable from any root" pp_block b)
     blocks;
+  let module Obs = Hpm_obs.Obs in
+  if Obs.metrics_on () then begin
+    let inc name v = Obs.inc name [] ~by:(float_of_int v) in
+    inc "hpm_verify_blocks_total" v_blocks;
+    inc "hpm_verify_pointers_total" v_pointers;
+    inc "hpm_verify_edges_total" v_edges
+  end;
   { v_blocks; v_pointers; v_edges }
 
 (** [check] as a result, for callers that NAK instead of raising. *)

@@ -97,3 +97,21 @@ let resolve r id : Mem.block =
   else match r.blocks.(id) with Some b -> b | None -> raise (Unbound id)
 
 let bound_count r = r.count
+
+(* ---- observability ---- *)
+
+module Obs = Hpm_obs.Obs
+
+(** Publish a finished collection epoch's §4.2 counters into the metrics
+    registry (no-op without an installed sink). *)
+let publish_collect (c : collect_side) =
+  if Obs.metrics_on () then begin
+    Obs.inc "hpm_msrlt_searches_total" [] ~by:(float_of_int c.searches);
+    Obs.inc "hpm_msrlt_blocks_scanned_total" [] ~by:(float_of_int c.scanned);
+    Obs.inc "hpm_msrlt_blocks_dirty_total" [] ~by:(float_of_int c.dirty)
+  end
+
+(** Publish a finished restoration epoch's §4.2 counters. *)
+let publish_restore (r : restore_side) =
+  if Obs.metrics_on () then
+    Obs.inc "hpm_msrlt_updates_total" [] ~by:(float_of_int r.updates)

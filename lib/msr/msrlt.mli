@@ -65,3 +65,12 @@ exception Unbound of int
 val resolve : restore_side -> int -> Mem.block
 
 val bound_count : restore_side -> int
+
+(** {1 Observability}
+
+    Push a finished epoch's counters into [Hpm_obs] as the
+    [hpm_msrlt_*_total] metrics — the §4.2 [MSRLT_search] /
+    [MSRLT_update] terms.  No-ops when no metrics sink is installed. *)
+
+val publish_collect : collect_side -> unit
+val publish_restore : restore_side -> unit

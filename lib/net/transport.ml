@@ -18,6 +18,7 @@
     simplification, documented in docs/FORMAT.md. *)
 
 open Hpm_xdr
+module Obs = Hpm_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), pure OCaml              *)
@@ -99,10 +100,19 @@ let decode_frame ~expect_seq ~expect_total (wire : string) : (string, string) re
 type config = {
   chunk_size : int;        (** payload bytes per chunk *)
   max_retries : int;       (** retransmissions allowed per chunk *)
-  backoff_base_s : float;  (** first retry waits this; doubles per attempt *)
+  backoff_base_s : float;  (** first retry waits this; doubles per attempt,
+                               capped at {!backoff_cap_factor} x base *)
 }
 
 let default_config = { chunk_size = 4096; max_retries = 8; backoff_base_s = 1e-3 }
+
+(* Ceiling on the exponential backoff.  Without it the wait doubles
+   unconditionally, so a user-supplied --max-retries in the hundreds
+   drives 2^k past the float range and t_backoff_s to infinity. *)
+let backoff_cap_factor = 1024.0
+
+let backoff_wait config k =
+  config.backoff_base_s *. Float.min backoff_cap_factor (2.0 ** float_of_int k)
 
 (** Transfer accounting — the transport-layer sibling of
     {!Hpm_core.Cstats}. *)
@@ -139,13 +149,30 @@ let pp_stats ppf s =
     s.t_chunks s.t_sent s.t_retries s.t_resent_bytes s.t_payload_bytes s.t_wire_bytes
     s.t_time_s s.t_backoff_s
 
-(** [transfer ?config channel data] runs the chunked protocol and either
-    delivers a byte-verified copy of [data] or aborts after a chunk
-    exhausts its retries.  Deterministic given the channel's fault
-    schedule. *)
-let transfer ?(config = default_config) (ch : Netsim.t) (data : string) : outcome =
+(* Publish the final accounting into the observability registry (no-op
+   without an installed sink). *)
+let publish_stats (st : stats) =
+  if Obs.metrics_on () then begin
+    let inc name v = Obs.inc name [] ~by:(float_of_int v) in
+    inc "hpm_transport_chunks_total" st.t_chunks;
+    inc "hpm_transport_sends_total" st.t_sent;
+    inc "hpm_transport_retries_total" st.t_retries;
+    inc "hpm_transport_resent_bytes_total" st.t_resent_bytes;
+    inc "hpm_transport_payload_bytes_total" st.t_payload_bytes;
+    inc "hpm_transport_wire_bytes_total" st.t_wire_bytes;
+    Obs.inc "hpm_transport_backoff_seconds_total" [] ~by:st.t_backoff_s;
+    Obs.inc "hpm_transport_time_seconds_total" [] ~by:st.t_time_s
+  end
+
+(** [transfer ?config ?ts0 channel data] runs the chunked protocol and
+    either delivers a byte-verified copy of [data] or aborts after a
+    chunk exhausts its retries.  Deterministic given the channel's fault
+    schedule.  [ts0] is the simulated start time used for trace events
+    (chunk retries/aborts); defaults to the ambient {!Obs.now}. *)
+let transfer ?(config = default_config) ?ts0 (ch : Netsim.t) (data : string) : outcome =
   if config.chunk_size <= 0 then invalid_arg "Transport.transfer: chunk_size must be positive";
   if config.max_retries < 0 then invalid_arg "Transport.transfer: max_retries must be >= 0";
+  let ts0 = match ts0 with Some t -> t | None -> Obs.now () in
   let n = String.length data in
   let total = max 1 ((n + config.chunk_size - 1) / config.chunk_size) in
   let st = stats_zero () in
@@ -157,7 +184,9 @@ let transfer ?(config = default_config) (ch : Netsim.t) (data : string) : outcom
     st.t_time_s <- st.t_time_s +. Netsim.tx_time ch control_bytes
   in
   let rec chunk seq =
-    if seq >= total then Delivered (Buffer.contents out, st)
+    if seq >= total then (
+      publish_stats st;
+      Delivered (Buffer.contents out, st))
     else
       let off = seq * config.chunk_size in
       let payload = String.sub data off (min config.chunk_size (n - off)) in
@@ -181,12 +210,32 @@ let transfer ?(config = default_config) (ch : Netsim.t) (data : string) : outcom
             chunk (seq + 1)
         | Error reason ->
             control ();
-            if k >= config.max_retries then
-              Aborted { failed_seq = seq; attempts = k + 1; reason; stats = st }
+            if k >= config.max_retries then (
+              if Obs.tracing () then
+                Obs.instant ~ts:(ts0 +. st.t_time_s) ~cat:"transport"
+                  ~args:
+                    [
+                      ("seq", Obs.Trace.I seq);
+                      ("attempts", Obs.Trace.I (k + 1));
+                      ("reason", Obs.Trace.S reason);
+                    ]
+                  "chunk-abort";
+              publish_stats st;
+              Aborted { failed_seq = seq; attempts = k + 1; reason; stats = st })
             else (
-              let wait = config.backoff_base_s *. (2.0 ** float_of_int k) in
+              let wait = backoff_wait config k in
               st.t_backoff_s <- st.t_backoff_s +. wait;
               st.t_time_s <- st.t_time_s +. wait;
+              if Obs.tracing () then
+                Obs.instant ~ts:(ts0 +. st.t_time_s) ~cat:"transport"
+                  ~args:
+                    [
+                      ("seq", Obs.Trace.I seq);
+                      ("attempt", Obs.Trace.I (k + 1));
+                      ("reason", Obs.Trace.S reason);
+                      ("wait_s", Obs.Trace.F wait);
+                    ]
+                  "chunk-retry";
               attempt (k + 1))
       in
       attempt 0

@@ -30,11 +30,21 @@ val decode_frame : expect_seq:int -> expect_total:int -> string -> (string, stri
 type config = {
   chunk_size : int;        (** payload bytes per chunk *)
   max_retries : int;       (** retransmissions allowed per chunk *)
-  backoff_base_s : float;  (** first retry waits this; doubles per attempt *)
+  backoff_base_s : float;  (** first retry waits this; doubles per attempt,
+                               capped at {!backoff_cap_factor} x base *)
 }
 
 (** 4 KiB chunks, 8 retries, 1 ms initial backoff. *)
 val default_config : config
+
+(** Ceiling on the exponential backoff, as a multiple of
+    [backoff_base_s] (1024): keeps [t_backoff_s] finite under large
+    [max_retries]. *)
+val backoff_cap_factor : float
+
+(** [backoff_wait config k] is the simulated wait after failed attempt
+    [k]: [backoff_base_s *. min backoff_cap_factor (2. ** k)]. *)
+val backoff_wait : config -> int -> float
 
 (** Transfer accounting — the transport-layer sibling of
     [Hpm_core.Cstats]. *)
@@ -59,6 +69,10 @@ type outcome =
 
 val pp_stats : Format.formatter -> stats -> unit
 
-(** Run the protocol.  @raise Invalid_argument on a non-positive
-    [chunk_size] or negative [max_retries]. *)
-val transfer : ?config:config -> Netsim.t -> string -> outcome
+(** Run the protocol.  [ts0] is the simulated start time used for the
+    observability layer's chunk-retry/abort trace events (defaults to
+    the ambient [Hpm_obs.Obs.now]); final stats are also published to
+    the metrics registry when one is installed.
+    @raise Invalid_argument on a non-positive [chunk_size] or negative
+    [max_retries]. *)
+val transfer : ?config:config -> ?ts0:float -> Netsim.t -> string -> outcome

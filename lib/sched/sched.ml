@@ -162,7 +162,39 @@ let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
     events = [];
   }
 
-let log t e = t.events <- e :: t.events
+(* Single event chokepoint: every scheduler decision lands here, so this
+   is where the observability layer taps in.  Event timestamps are the
+   scheduler's own simulated clock. *)
+let log t e =
+  t.events <- e :: t.events;
+  if Hpm_obs.Obs.on () then begin
+    let module Obs = Hpm_obs.Obs in
+    let at, name, proc =
+      match e with
+      | Spawned (at, p, _) -> (at, "sched.spawned", p)
+      | Requested (at, p, _, _) -> (at, "sched.requested", p)
+      | Migrated (at, p, _, _, _) -> (at, "sched.migrated", p)
+      | Migration_failed (at, p, _, _, _, _) -> (at, "sched.migration-failed", p)
+      | Recovered (at, p, _, _) -> (at, "sched.recovered", p)
+      | Checkpointed (at, p, _, _) -> (at, "sched.checkpointed", p)
+      | Requeued (at, p, _, _, _) -> (at, "sched.requeued", p)
+      | Finished_ev (at, p, _) -> (at, "sched.finished", p)
+    in
+    let metric =
+      match e with
+      | Spawned _ -> "hpm_sched_spawns_total"
+      | Requested _ -> "hpm_sched_requests_total"
+      | Migrated _ -> "hpm_sched_migrations_total"
+      | Migration_failed _ -> "hpm_sched_failed_migrations_total"
+      | Recovered _ -> "hpm_sched_recoveries_total"
+      | Checkpointed _ -> "hpm_sched_checkpoints_total"
+      | Requeued _ -> "hpm_sched_requeues_total"
+      | Finished_ev _ -> "hpm_sched_finished_total"
+    in
+    Obs.inc metric [ ("proc", proc) ];
+    if Obs.tracing () then
+      Obs.instant ~ts:at ~cat:"sched" ~args:[ ("proc", Obs.Trace.S proc) ] name
+  end
 
 let spawn t (nd : node) name (m : Migration.migratable) : proc =
   let p =
@@ -439,9 +471,15 @@ let apply_handoff_outcome t (p : proc) (dst : node) ~epoch ?delta
 let perform_handoff t (p : proc) (dst : node) =
   let epoch = p.p_epoch in
   p.p_epoch <- epoch + 1;
-  let res =
+  let run () =
     Handoff.execute ~config:t.handoff ~channel:t.channel ~epoch p.p_m p.p_interp
       dst.n_arch
+  in
+  let res =
+    if Hpm_obs.Obs.on () then (
+      Hpm_obs.Obs.set_now t.now;
+      Hpm_obs.Obs.with_labels [ ("proc", p.p_name) ] run)
+    else run ()
   in
   apply_handoff_outcome t p dst ~epoch res
 
@@ -451,6 +489,7 @@ let perform_precopy t (p : proc) (dst : node) (pcfg : Precopy.config) (st : Stor
   (* one epoch sequence serves store manifests and handoff incarnations,
      keeping both monotonic per process *)
   let epoch0 = max p.p_epoch p.p_ckpt_epoch in
+  if Hpm_obs.Obs.on () then Hpm_obs.Obs.set_now t.now;
   let pres =
     Precopy.execute
       ~config:{ pcfg with Precopy.handoff = t.handoff }
@@ -495,6 +534,7 @@ let perform_migration t (p : proc) (dst : node) =
 
 (** One simulation tick: give every runnable process its quantum. *)
 let tick t =
+  if Hpm_obs.Obs.on () then Hpm_obs.Obs.set_now t.now;
   List.iter
     (fun p ->
       match p.p_state with

@@ -18,6 +18,7 @@
 open Hpm_machine
 open Hpm_net
 open Hpm_core
+module Obs = Hpm_obs.Obs
 
 type config = {
   rounds : int;        (** max delta rounds before the final stop-and-copy (≥ 1) *)
@@ -97,9 +98,28 @@ let execute ?(config = default_config) ?faults ~(channel : Netsim.t)
     | None -> Store.err "pre-copy lost chunk %s" (Store.hash_hex h)
   in
   let time = ref 0.0 in
+  (* pre-copy rounds run on the ambient simulated clock, ahead of the
+     final handoff (which is re-based onto it below) *)
+  let p_t0 = Obs.now () in
+  let pts () = p_t0 +. !time in
+  let prev_labels = Obs.labels () in
+  if Obs.on () then Obs.set_labels (("proc", proc) :: prev_labels);
+  let kind_name = function `Full -> "full" | `Delta -> "delta" | `Final -> "final" in
   let rounds = ref [] in
-  let record r = rounds := r :: !rounds in
+  let record r =
+    rounds := r :: !rounds;
+    if Obs.metrics_on () then begin
+      Obs.inc "hpm_precopy_rounds_total" [ ("kind", kind_name r.pr_kind) ];
+      Obs.inc "hpm_precopy_wire_bytes_total" [] ~by:(float_of_int r.pr_wire_bytes)
+    end
+  in
   let finish ~converged ~outcome ~final_epoch =
+    if Obs.on () then begin
+      (* the final handoff (if any) already advanced the ambient clock
+         past the pre-copy rounds; never rewind it *)
+      Obs.set_now (Float.max (Obs.now ()) (pts ()));
+      Obs.set_labels prev_labels
+    end;
     {
       p_rounds = List.rev !rounds;
       p_converged = converged;
@@ -119,13 +139,33 @@ let execute ?(config = default_config) ?faults ~(channel : Netsim.t)
   let ship_round ~kind ?base epoch =
     let mf, rs = snapshot epoch in
     let wire = Store.encode_delta ?base ~stats:rs ~lookup mf in
-    match Transport.transfer ~config:config.handoff.Handoff.transport channel wire with
+    Obs.span_b ~ts:(pts ()) ~cat:"precopy"
+      ~args:
+        [
+          ("epoch", Obs.Trace.I epoch);
+          ("kind", Obs.Trace.S (kind_name kind));
+          ("wire_bytes", Obs.Trace.I (String.length wire));
+        ]
+      "precopy.round";
+    match
+      Transport.transfer ~config:config.handoff.Handoff.transport ~ts0:(pts ()) channel
+        wire
+    with
     | Transport.Aborted { reason; stats = tstats; _ } ->
         time := !time +. tstats.Transport.t_time_s;
+        Obs.span_e ~ts:(pts ()) ~args:[ ("error", Obs.Trace.S reason) ] "precopy.round";
         fold_stats stats rs;
         Error (reason, Some tstats)
     | Transport.Delivered (delivered, tstats) -> (
         time := !time +. tstats.Transport.t_time_s;
+        Obs.span_e ~ts:(pts ())
+          ~args:
+            [
+              ("chunks_shipped", Obs.Trace.I rs.Cstats.d_chunks_shipped);
+              ("chunks_reused", Obs.Trace.I rs.Cstats.d_chunks_reused);
+              ("blocks_dirty", Obs.Trace.I rs.Cstats.d_blocks_dirty);
+            ]
+          "precopy.round";
         fold_stats stats rs;
         match Store.apply dst_store ?expect_base:base delivered with
         | applied ->
@@ -212,6 +252,9 @@ let execute ?(config = default_config) ?faults ~(channel : Netsim.t)
                     (Printf.sprintf "base mismatch: destination holds %s, delta against %s"
                        want got)
             in
+            (* re-base the handoff's trace timeline onto the simulated
+               time the pre-copy rounds consumed *)
+            if Obs.on () then Obs.set_now (pts ());
             let hres =
               Handoff.execute ~config:config.handoff ?faults ~channel ~epoch:final_epoch
                 ~collect_fn:(fun () -> (ckpt, cstats))

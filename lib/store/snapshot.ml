@@ -412,8 +412,9 @@ let persist (st : Store.t) (mf : Store.manifest) (chunks : (string, string) Hash
     (stats : Cstats.delta) : unit =
   List.iter
     (fun h ->
-      if Store.has_chunk st h then
-        stats.Cstats.d_chunks_reused <- stats.Cstats.d_chunks_reused + 1
+      if Store.has_chunk st h then (
+        stats.Cstats.d_chunks_reused <- stats.Cstats.d_chunks_reused + 1;
+        Hpm_obs.Obs.inc "hpm_store_chunk_dedup_hits_total" [])
       else
         match Hashtbl.find_opt chunks h with
         | Some payload ->

@@ -33,6 +33,7 @@
 open Hpm_machine
 open Hpm_xdr
 open Hpm_core
+module Obs = Hpm_obs.Obs
 
 exception Error of string
 (** Environmental failures: unwritable directory, missing files, bad
@@ -390,13 +391,16 @@ let has_chunk t hash = Sys.file_exists (chunk_path t hash)
     (false = deduplicated against an existing chunk). *)
 let put_chunk t (payload : string) : string * bool =
   let hash = Digest.string payload in
-  if has_chunk t hash then (hash, false)
+  if has_chunk t hash then (
+    Obs.inc "hpm_store_chunk_dedup_hits_total" [];
+    (hash, false))
   else (
     let b = Buffer.create (String.length payload + 8) in
     Buffer.add_string b chunk_magic;
     Xdr.put_int_as_i32 b (String.length payload);
     Buffer.add_string b payload;
     write_file_atomic (chunk_path t hash) (Buffer.contents b);
+    Obs.inc "hpm_store_chunk_writes_total" [];
     (hash, true))
 
 (** Read and validate a chunk.
@@ -420,6 +424,7 @@ let get_chunk t (hash : string) : string =
   let payload = get_raw r len "chunk payload" in
   if Digest.string payload <> hash then
     corrupt "chunk %s content does not match its name" (hash_hex hash);
+  Obs.inc "hpm_store_chunk_reads_total" [];
   payload
 
 let chunk_disk_bytes t hash =
@@ -444,7 +449,17 @@ let save_manifest t (mf : manifest) : unit =
   check_proc_name mf.mf_proc;
   write_file_atomic
     (Filename.concat (manifests_dir t) (manifest_filename mf.mf_proc mf.mf_epoch))
-    (serialize_manifest mf)
+    (serialize_manifest mf);
+  Obs.inc "hpm_store_manifest_commits_total" [];
+  if Obs.tracing () then
+    Obs.instant ~ts:(Obs.now ()) ~cat:"store"
+      ~args:
+        [
+          ("proc", Obs.Trace.S mf.mf_proc);
+          ("epoch", Obs.Trace.I mf.mf_epoch);
+          ("blocks", Obs.Trace.I (Array.length mf.mf_blocks));
+        ]
+      "store.commit"
 
 (* (proc, epoch) of a manifest filename, or None for foreign files *)
 let parse_manifest_filename name =
@@ -562,26 +577,43 @@ let gc t : gc_report =
   in
   let dir = chunks_dir t in
   let names = try Sys.readdir dir with Sys_error m -> err "cannot list %s: %s" dir m in
-  Array.fold_left
-    (fun acc name ->
-      if not (Filename.check_suffix name ".ck") then acc
-      else
-        let hex = Filename.chop_suffix name ".ck" in
-        match Digest.from_hex hex with
-        | exception _ -> acc (* foreign file: leave it alone *)
-        | hash ->
-            let path = Filename.concat dir name in
-            let bytes =
-              try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
-            in
-            if Hashtbl.mem live hash then
-              { acc with gc_live_chunks = acc.gc_live_chunks + 1;
-                         gc_live_bytes = acc.gc_live_bytes + bytes }
-            else (
-              (try Sys.remove path with Sys_error _ -> ());
-              { acc with gc_reclaimed_chunks = acc.gc_reclaimed_chunks + 1;
-                         gc_reclaimed_bytes = acc.gc_reclaimed_bytes + bytes }))
-    report names
+  let report =
+    Array.fold_left
+      (fun acc name ->
+        (* A crash between tmp-write and rename in [write_file_atomic]
+           leaves an orphan "<hash>.ck.tmp".  The ".ck" suffix check below
+           already excludes it, but the invariant is load-bearing — a gc
+           that counted or deleted such orphans would race the very commit
+           it interrupted — so reject ".tmp" explicitly and first. *)
+        if Filename.check_suffix name ".tmp" then acc
+        else if not (Filename.check_suffix name ".ck") then acc
+        else
+          let hex = Filename.chop_suffix name ".ck" in
+          match Digest.from_hex hex with
+          | exception _ -> acc (* foreign file: leave it alone *)
+          | hash ->
+              let path = Filename.concat dir name in
+              let bytes =
+                try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+              in
+              if Hashtbl.mem live hash then
+                { acc with gc_live_chunks = acc.gc_live_chunks + 1;
+                           gc_live_bytes = acc.gc_live_bytes + bytes }
+              else (
+                (try Sys.remove path with Sys_error _ -> ());
+                { acc with gc_reclaimed_chunks = acc.gc_reclaimed_chunks + 1;
+                           gc_reclaimed_bytes = acc.gc_reclaimed_bytes + bytes }))
+      report names
+  in
+  if Obs.metrics_on () then begin
+    Obs.inc "hpm_store_gc_reclaimed_chunks_total" []
+      ~by:(float_of_int report.gc_reclaimed_chunks);
+    Obs.inc "hpm_store_gc_reclaimed_bytes_total" []
+      ~by:(float_of_int report.gc_reclaimed_bytes);
+    Obs.set_gauge "hpm_store_gc_live_chunks" [] (float_of_int report.gc_live_chunks);
+    Obs.set_gauge "hpm_store_gc_live_bytes" [] (float_of_int report.gc_live_bytes)
+  end;
+  report
 
 (* ------------------------------------------------------------------ *)
 (* Delta streams (wire format v3)                                      *)

@@ -31,11 +31,29 @@ let need r n what =
          (Printf.sprintf "%s: need %d bytes at offset %d but only %d remain" what n
             r.pos (remaining r)))
 
+(* ---- byte accounting ----
+
+   Process-global tallies for the observability layer's
+   hpm_xdr_{encoded,decoded}_bytes_total metrics.  Off by default: every
+   increment is behind one ref read so the hot encode/decode paths cost
+   nothing extra when nobody is measuring. *)
+
+let count_io = ref false
+let encoded_bytes = ref 0
+let decoded_bytes = ref 0
+
+let reset_io_counters () =
+  encoded_bytes := 0;
+  decoded_bytes := 0
+
 (* ---- writers ---- *)
 
-let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let put_u8 b v =
+  if !count_io then incr encoded_bytes;
+  Buffer.add_char b (Char.chr (v land 0xff))
 
 let put_int b width (v : int64) =
+  if !count_io then encoded_bytes := !encoded_bytes + width;
   let tmp = Bytes.create width in
   Endian.set_int Endian.Big width tmp 0 v;
   Buffer.add_bytes b tmp
@@ -49,18 +67,21 @@ let put_f64 b v = put_i64 b (Int64.bits_of_float v)
 
 let put_string b s =
   put_int_as_i32 b (String.length s);
+  if !count_io then encoded_bytes := !encoded_bytes + String.length s;
   Buffer.add_string b s
 
 (* ---- readers ---- *)
 
 let get_u8 r =
   need r 1 "u8";
+  if !count_io then incr decoded_bytes;
   let v = Char.code (Bytes.get r.data r.pos) in
   r.pos <- r.pos + 1;
   v
 
 let get_int r width what =
   need r width what;
+  if !count_io then decoded_bytes := !decoded_bytes + width;
   let v = Endian.get_int Endian.Big width r.data r.pos in
   r.pos <- r.pos + width;
   v
@@ -74,14 +95,21 @@ let get_f32 r = Int32.float_of_bits (get_i32 r)
 let get_f64 r = Int64.float_of_bits (get_i64 r)
 
 let get_string r =
+  (* Hostile length fields: the 32-bit length is read sign-extended, so
+     0xFFFF_FFFF arrives as -1 and is rejected here rather than turning
+     into an attempted ~4 GiB [need]; non-negative lengths must pass
+     [need] against [remaining] before any allocation happens. *)
   let n = get_int_of_i32 r in
   if n < 0 then raise (Underflow "string: negative length");
   need r n "string";
+  if !count_io then decoded_bytes := !decoded_bytes + n;
   let s = Bytes.sub_string r.data r.pos n in
   r.pos <- r.pos + n;
   s
 
 (** Skip [n] bytes (used by tolerant readers). *)
 let skip r n =
+  if n < 0 then raise (Underflow "skip: negative length");
   need r n "skip";
+  if !count_io then decoded_bytes := !decoded_bytes + n;
   r.pos <- r.pos + n

@@ -20,6 +20,24 @@ val reader_of_string : string -> rbuf
 val remaining : rbuf -> int
 val at_end : rbuf -> bool
 
+(** {1 Byte accounting}
+
+    Process-global tallies feeding the observability layer's
+    [hpm_xdr_{encoded,decoded}_bytes_total] metrics.  Counting is off by
+    default; when off, the encode/decode hot paths pay one ref read. *)
+
+(** Enable/disable counting. *)
+val count_io : bool ref
+
+(** Bytes written through the encoders while counting was on. *)
+val encoded_bytes : int ref
+
+(** Bytes consumed through the decoders (including [skip]) while
+    counting was on. *)
+val decoded_bytes : int ref
+
+val reset_io_counters : unit -> unit
+
 (** {1 Writers} *)
 
 val put_u8 : Buffer.t -> int -> unit
@@ -51,7 +69,13 @@ val get_i64 : rbuf -> int64
 val get_int_of_i32 : rbuf -> int
 val get_f32 : rbuf -> float
 val get_f64 : rbuf -> float
+
+(** Length-prefixed byte string.  Hostile length fields are rejected
+    before any allocation: a negative (sign-extended) length raises
+    [Underflow "string: negative length"], and a length exceeding
+    {!remaining} raises the usual [need] {!Underflow}. *)
 val get_string : rbuf -> string
 
-(** Advance the cursor [n] bytes. *)
+(** Advance the cursor [n] bytes.  @raise Underflow if [n] is negative
+    or exceeds {!remaining}. *)
 val skip : rbuf -> int -> unit

@@ -35,5 +35,6 @@ let () =
       ("sched", Test_sched.suite);
       ("store", Test_store.suite);
       ("precopy", Test_precopy.suite);
+      ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
     ]

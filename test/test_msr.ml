@@ -103,6 +103,34 @@ let test_msrlt_restore_side () =
   done;
   check_int "grown" 201 (Msrlt.bound_count r)
 
+(* Restore-side edge cases: ids may arrive sparsely (a damaged or partial
+   stream), and the table must fail loudly on the holes rather than hand
+   back a stale or junk block. *)
+let test_msrlt_sparse_binds () =
+  let m = Hpm_machine.Mem.create Hpm_arch.Arch.sparc20 Ty.empty_tenv in
+  let r = Msrlt.restorer () in
+  let b = Hpm_machine.Mem.alloc m Hpm_machine.Mem.Heap Ty.Int Hpm_machine.Mem.Iheap in
+  Msrlt.bind r 0 b;
+  Msrlt.bind r 5 b;
+  expect_raise "hole between sparse binds"
+    (function Msrlt.Unbound 3 -> true | _ -> false)
+    (fun () -> Msrlt.resolve r 3);
+  check_bool "resolve across the hole" true (Msrlt.resolve r 5 == b);
+  check_int "bound_count spans the hole" 6 (Msrlt.bound_count r);
+  check_int "updates count actual binds only" 2 r.Msrlt.updates;
+  expect_raise "id past the high-water mark"
+    (function Msrlt.Unbound 9 -> true | _ -> false)
+    (fun () -> Msrlt.resolve r 9);
+  expect_raise "negative id"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> Msrlt.bind r (-1) b);
+  expect_raise "double bind of a sparse id"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> Msrlt.bind r 5 b);
+  (* the failed binds must not have disturbed the table *)
+  check_int "count unchanged after rejected binds" 6 (Msrlt.bound_count r);
+  check_bool "binding a hole later is fine" true (Msrlt.bind r 3 b; Msrlt.resolve r 3 == b)
+
 (* ---- MSR graph ---- *)
 
 let test_graph_fig1 () =
@@ -187,6 +215,7 @@ let suite =
     tc "block type codec" test_block_ty_codec;
     tc "MSRLT collection side" test_msrlt_collect_side;
     tc "MSRLT restoration side" test_msrlt_restore_side;
+    tc "MSRLT sparse binds and holes" test_msrlt_sparse_binds;
     tc "Figure 1 graph" test_graph_fig1;
     tc "interior pointer edges" test_graph_interior_edge;
     tc "dot output" test_graph_dot;

@@ -327,6 +327,32 @@ let test_gc_ignores_torn_manifest () =
       | Some mf -> check_int "latest skips the torn manifest" 2 mf.Store.mf_epoch
       | None -> Alcotest.fail "no committed manifest found")
 
+(* Crash injection: an interrupted [put_chunk] dies between writing
+   "<hash>.ck.tmp" and the rename.  gc must neither count the orphan as
+   reclaimed nor delete it, and retrying the commit must succeed. *)
+let test_gc_ignores_tmp_orphans () =
+  with_store (fun st ->
+      let payload = "chunk payload whose first commit never finished" in
+      let hash, fresh = Store.put_chunk st payload in
+      check_bool "first commit writes" true fresh;
+      let path = Store.chunk_path st hash in
+      (* rewind to mid-crash: the tmp exists, the committed chunk does not *)
+      Sys.remove path;
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      output_string oc (String.sub payload 0 10);
+      close_out oc;
+      let g = Store.gc st in
+      check_int "orphan tmp not counted as reclaimed" 0 g.Store.gc_reclaimed_chunks;
+      check_int "no reclaimed bytes from the orphan" 0 g.Store.gc_reclaimed_bytes;
+      check_bool "orphan tmp left in place" true (Sys.file_exists tmp);
+      (* the retried commit overwrites the stale tmp and lands cleanly *)
+      let hash2, fresh2 = Store.put_chunk st payload in
+      check_bool "same content, same hash" true (String.equal hash hash2);
+      check_bool "re-commit writes again" true fresh2;
+      check_string "chunk round-trips after the retry" payload (Store.get_chunk st hash);
+      check_bool "tmp consumed by the rename" true (not (Sys.file_exists tmp)))
+
 let test_retain_bounds () =
   with_store (fun st ->
       let _, _, _, _ = two_epoch_store st in
@@ -479,6 +505,7 @@ let suite =
     tc "dedup and refcount across epochs" test_dedup_and_refcount;
     tc "gc never reclaims referenced chunks" test_gc_preserves_referenced;
     tc "gc ignores torn manifests" test_gc_ignores_torn_manifest;
+    tc "gc ignores orphan tmp files" test_gc_ignores_tmp_orphans;
     tc "retain bounds manifest history" test_retain_bounds;
     tc "unwritable store directory" test_unwritable_store;
     tc "hostile process name rejected" test_bad_proc_name;

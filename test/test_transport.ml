@@ -163,6 +163,32 @@ let test_backoff_accounted () =
   check_bool "resends accounted" true
     (ts.Transport.t_resent_bytes >= ts.Transport.t_retries * Transport.header_bytes)
 
+(* ---- backoff cap (regression) ---- *)
+
+(* Uncapped exponential backoff with [max_retries = 64] would wait
+   2^63 x base before the final attempt.  The clamp holds every wait at
+   1024 x base, so a fully corrupting link costs
+   base * (sum_{k=0}^{10} 2^k + 53 * 1024) = base * 56319 in total. *)
+let test_backoff_capped () =
+  let cfg = { Transport.default_config with Transport.max_retries = 64 } in
+  let base = cfg.Transport.backoff_base_s in
+  check_bool "first retry waits base" true (Transport.backoff_wait cfg 0 = base);
+  check_bool "k=10 reaches the cap" true
+    (Transport.backoff_wait cfg 10 = Transport.backoff_cap_factor *. base);
+  check_bool "k=63 stays at the cap" true
+    (Transport.backoff_wait cfg 63 = Transport.backoff_cap_factor *. base);
+  let data = String.init 512 (fun i -> Char.chr (i mod 256)) in
+  match transfer_with ~loss:0.0 ~corrupt:1.0 ~seed:1 ~config:cfg data with
+  | Transport.Delivered _ -> Alcotest.fail "fully corrupted link delivered"
+  | Transport.Aborted { attempts; stats; _ } ->
+      check_int "attempts = max_retries + 1" 65 attempts;
+      let expect = base *. 56319.0 in
+      check_bool "cumulative backoff hits the capped sum exactly" true
+        (Float.abs (stats.Transport.t_backoff_s -. expect) <= 1e-9 *. expect);
+      check_bool "total time is finite and bounded" true
+        (Float.is_finite stats.Transport.t_time_s
+        && stats.Transport.t_time_s < 2.0 *. expect +. 60.0)
+
 (* ---- end-to-end: migration over a lossy link ---- *)
 
 let bitonic_m = lazy (prepare ((Hpm_workloads.Registry.find_exn "bitonic").Hpm_workloads.Registry.source 300))
@@ -237,6 +263,7 @@ let suite =
     prop_deliver_or_abort;
     tc "moderate fault rates deliver" test_moderate_faults_deliver;
     tc "backoff and resends accounted" test_backoff_accounted;
+    tc "backoff capped under large retry budgets" test_backoff_capped;
     tc "migration survives a lossy link" test_migration_survives_lossy_link;
     tc "abort leaves the source runnable" test_abort_leaves_source_runnable;
     tc "aborted source can retry on a clean link" test_abort_source_can_retry_later;

@@ -43,6 +43,25 @@ let test_underflow () =
       Buffer.add_string b "short";
       Xdr.get_string (Xdr.reader_of_string (Buffer.contents b)))
 
+(* Hostile length fields (regression): a 32-bit length is read
+   sign-extended, so 0xFFFF_FFFF must surface as a negative length, not
+   a ~4 GiB allocation; positive lengths must be checked against the
+   remaining input before any allocation. *)
+let test_hostile_lengths () =
+  let neg = "\xFF\xFF\xFF\xFF" in
+  check_int "0xFFFFFFFF sign-extends to -1" (-1)
+    (Xdr.get_int_of_i32 (Xdr.reader_of_string neg));
+  expect_raise "string length 0xFFFFFFFF"
+    (function Xdr.Underflow m -> String.equal m "string: negative length" | _ -> false)
+    (fun () -> Xdr.get_string (Xdr.reader_of_string neg));
+  let big = "\x7F\xFF\xFF\xFF" ^ String.make 8 'x' in
+  expect_raise "string length 0x7FFFFFFF past the input" underflow (fun () ->
+      Xdr.get_string (Xdr.reader_of_string big));
+  expect_raise "skip negative" underflow (fun () ->
+      Xdr.skip (Xdr.reader_of_string "abcd") (-1));
+  expect_raise "skip past end" underflow (fun () ->
+      Xdr.skip (Xdr.reader_of_string "abcd") 5)
+
 let test_sequencing () =
   let b = Buffer.create 32 in
   Xdr.put_u8 b 7;
@@ -81,6 +100,7 @@ let suite =
     tc "strings" test_strings;
     tc "wire format is big-endian" test_big_endian_on_wire;
     tc "underflow detection" test_underflow;
+    tc "hostile length fields rejected" test_hostile_lengths;
     tc "sequenced reads" test_sequencing;
     prop_int_widths;
     prop_string_any;
