@@ -916,6 +916,28 @@ let all () =
   bench_obs ();
   bench_micro ()
 
+(* The machine-readable trajectory: run the deterministic BENCH_v1 suite
+   and write the JSON document (default BENCH_v1.json, or argv.(2)).
+   Wall-clock timings go to stdout only — the file must stay
+   deterministic so CI can diff it against the committed baseline. *)
+let bench_json () =
+  let path = if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_v1.json" in
+  hr "BENCH_v1 deterministic trajectory";
+  let entries, wall = time (fun () -> Hpm_bench.Bench_json.run ()) in
+  List.iter
+    (fun (e : Hpm_bench.Bench_json.entry) ->
+      let c = e.Hpm_bench.Bench_json.e_case in
+      pr "%-8s n=%-5d %-8s -> %-8s  collect %.6fs  restore %.6fs  handoff %.4fs  stream %dB  incr %dB@."
+        c.Hpm_bench.Bench_json.w_name c.Hpm_bench.Bench_json.w_n
+        c.Hpm_bench.Bench_json.src.Hpm_arch.Arch.name
+        c.Hpm_bench.Bench_json.dst.Hpm_arch.Arch.name
+        e.Hpm_bench.Bench_json.c_model_s e.Hpm_bench.Bench_json.r_model_s
+        e.Hpm_bench.Bench_json.h_sim_s e.Hpm_bench.Bench_json.c_stream_bytes
+        e.Hpm_bench.Bench_json.d_incr_bytes)
+    entries;
+  write_file path (Hpm_bench.Bench_json.to_json entries);
+  pr "wrote %s (%d entries, generated in %.2fs wall)@." path (List.length entries) wall
+
 (* CI smoke run: the fault-tolerance and recovery tables plus the
    all-workload census, at small sizes — finishes in well under a
    minute. *)
@@ -941,6 +963,7 @@ let () =
   | "recovery" -> bench_recovery ()
   | "delta" -> bench_delta ()
   | "obs" -> bench_obs ()
+  | "json" -> bench_json ()
   | "micro" -> bench_micro ()
   | "quick" -> quick ()
   | "all" -> all ()

@@ -1,0 +1,210 @@
+(** Machine-readable bench trajectory: the [BENCH_v1] document.
+
+    Every value here is derived from deterministic sources only — the §4
+    cost counters ({!Hpm_core.Cstats}), the modelled per-operation costs
+    ({!Hpm_obs.Obs.Model}), and the network simulator's virtual clock.
+    No wall-clock time enters the document, so two runs of the same build
+    emit byte-identical JSON and a committed baseline ([BENCH_0001.json])
+    can gate regressions in CI: a code change that does more MSRLT
+    searches, ships more wire bytes, or stretches the simulated handoff
+    shows up as a >10% delta against the baseline.
+
+    The mapping back to the paper's §4.2 cost terms:
+
+    - [collect.model_s]  = MSRLT_search + per-block + encode Σ Dᵢ
+    - [restore.model_s]  = MSRLT_update + per-block + decode Σ Dᵢ
+    - [handoff.sim_s]    = end-to-end protocol time on the simulated link
+    - [*.bytes]          = the Σ Dᵢ / stream / delta size terms
+
+    See [docs/BENCH.md] for the schema and the baseline-update
+    procedure. *)
+
+open Hpm_arch
+open Hpm_core
+
+let version = 1
+let schema = "BENCH_v1"
+
+(** One benchmark configuration: a workload suspended at a fixed poll,
+    migrated from [src] to [dst]. *)
+type case = {
+  w_name : string;
+  w_n : int;      (** problem size *)
+  w_poll : int;   (** suspend at the (poll+1)-th poll event *)
+  src : Arch.t;
+  dst : Arch.t;
+  advance : int;  (** polls to run between the two snapshot epochs *)
+}
+
+(** Fixed suite: the three ROADMAP workloads across the ILP32/LP64 and
+    endianness axes.  Sizes are small enough for CI but large enough that
+    the §4 cost terms dominate. *)
+let default_cases =
+  let case w n poll src dst =
+    { w_name = w; w_n = n; w_poll = poll; src; dst; advance = 7 }
+  in
+  [
+    case "jacobi" 40 8 Arch.dec5000 Arch.sparc20;
+    case "jacobi" 40 8 Arch.ultra5 Arch.x86_64;
+    case "jacobi" 40 8 Arch.x86_64 Arch.i386;
+    case "hashtab" 2000 6000 Arch.dec5000 Arch.sparc20;
+    case "hashtab" 2000 6000 Arch.ultra5 Arch.x86_64;
+    case "hashtab" 2000 6000 Arch.x86_64 Arch.i386;
+    case "bitonic" 2000 6000 Arch.dec5000 Arch.sparc20;
+    case "bitonic" 2000 6000 Arch.ultra5 Arch.x86_64;
+    case "bitonic" 2000 6000 Arch.x86_64 Arch.i386;
+  ]
+
+(** The measured entry for one case.  Only counters and simulated
+    seconds. *)
+type entry = {
+  e_case : case;
+  (* collect: §4.2 MSRLT_search + Encode_and_Copy *)
+  c_model_s : float;
+  c_searches : int;
+  c_blocks : int;
+  c_data_bytes : int;
+  c_stream_bytes : int;
+  c_pointers : int;
+  (* restore: §4.2 MSRLT_update + Decode_and_Copy *)
+  r_model_s : float;
+  r_updates : int;
+  r_blocks : int;
+  r_data_bytes : int;
+  (* handoff: two-phase protocol on a clean simulated 10 Mb/s link *)
+  h_sim_s : float;
+  h_stream_bytes : int;
+  (* delta: chunked snapshot, full then incremental after [advance] *)
+  d_full_bytes : int;
+  d_incr_bytes : int;
+  d_cache_hits : int;
+  d_chunks_shipped : int;
+}
+
+let err fmt = Fmt.kstr failwith fmt
+
+let suspend (m : Migration.migratable) arch after =
+  let p = Migration.start m arch in
+  Hpm_machine.Interp.request_migration_after p after;
+  match Hpm_machine.Interp.run p with
+  | Hpm_machine.Interp.RPolled _ -> p
+  | _ -> err "bench: process finished before poll %d" after
+
+(** Run one case.  Deterministic: depends only on the workload, the two
+    architectures, and the code under test. *)
+let run_case (c : case) : entry =
+  let w = Hpm_workloads.Registry.find_exn c.w_name in
+  let m = Migration.prepare (w.Hpm_workloads.Registry.source c.w_n) in
+  (* collect + restore on a fresh process *)
+  let p = suspend m c.src c.w_poll in
+  let stream, cs = Collect.collect p m.Migration.ti in
+  let _, rs = Restore.restore m.Migration.prog c.dst m.Migration.ti stream in
+  let module Model = Hpm_obs.Obs.Model in
+  let c_model_s =
+    Model.collect_s ~searches:cs.Cstats.c_searches ~blocks:cs.Cstats.c_blocks
+      ~bytes:cs.Cstats.c_data_bytes
+  in
+  let r_model_s =
+    Model.restore_s ~updates:rs.Cstats.r_updates ~blocks:rs.Cstats.r_blocks
+      ~bytes:rs.Cstats.r_data_bytes
+  in
+  (* chunked snapshot: full delta at the first epoch, incremental after
+     [advance] more polls with a warm cache *)
+  let cache = Hpm_store.Snapshot.new_cache () in
+  let mf1, chunks1, _ =
+    Hpm_store.Snapshot.collect ~epoch:1 ~proc:c.w_name ~cache p m.Migration.ti
+  in
+  let lookup tbl h =
+    match Hashtbl.find_opt tbl h with
+    | Some payload -> payload
+    | None -> err "bench: chunk of %s missing" c.w_name
+  in
+  let full_wire = Hpm_store.Store.encode_delta ~lookup:(lookup chunks1) mf1 in
+  Hpm_machine.Interp.request_migration_after p c.advance;
+  (match Hpm_machine.Interp.run p with
+  | Hpm_machine.Interp.RPolled _ -> ()
+  | _ -> err "bench: %s finished before the incremental epoch" c.w_name);
+  let mf2, chunks2, d2 =
+    Hpm_store.Snapshot.collect ~epoch:2 ~proc:c.w_name ~cache p m.Migration.ti
+  in
+  Hashtbl.iter (Hashtbl.replace chunks1) chunks2;
+  let incr_wire =
+    Hpm_store.Store.encode_delta ~base:mf1 ~lookup:(lookup chunks1) mf2
+  in
+  (* handoff on a second fresh process, clean 10 Mb/s ethernet *)
+  let p2 = suspend m c.src c.w_poll in
+  let h =
+    match
+      (Handoff.execute ~channel:(Hpm_net.Netsim.ethernet_10 ()) ~epoch:1 m p2 c.dst)
+        .Handoff.outcome
+    with
+    | Handoff.Committed h -> h
+    | o -> err "bench: handoff of %s did not commit: %s" c.w_name (Handoff.outcome_name o)
+  in
+  {
+    e_case = c;
+    c_model_s;
+    c_searches = cs.Cstats.c_searches;
+    c_blocks = cs.Cstats.c_blocks;
+    c_data_bytes = cs.Cstats.c_data_bytes;
+    c_stream_bytes = cs.Cstats.c_stream_bytes;
+    c_pointers = cs.Cstats.c_pointers;
+    r_model_s;
+    r_updates = rs.Cstats.r_updates;
+    r_blocks = rs.Cstats.r_blocks;
+    r_data_bytes = rs.Cstats.r_data_bytes;
+    h_sim_s = h.Handoff.c_time_s;
+    h_stream_bytes = h.Handoff.c_stream_bytes;
+    d_full_bytes = String.length full_wire;
+    d_incr_bytes = String.length incr_wire;
+    d_cache_hits = d2.Cstats.d_cache_hits;
+    d_chunks_shipped = d2.Cstats.d_chunks_shipped;
+  }
+
+let run ?(cases = default_cases) () : entry list = List.map run_case cases
+
+(* JSON rendering.  Hand-rolled so the byte layout is fully under our
+   control: fixed key order, fixed float format, newline-terminated. *)
+
+let fnum (f : float) : string =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let entry_json (b : Buffer.t) (e : entry) : unit =
+  let c = e.e_case in
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\n\
+       \      \"workload\": \"%s\", \"n\": %d, \"poll\": %d,\n\
+       \      \"src_arch\": \"%s\", \"dst_arch\": \"%s\",\n\
+       \      \"collect\": { \"model_s\": %s, \"searches\": %d, \"blocks\": %d, \
+        \"data_bytes\": %d, \"stream_bytes\": %d, \"pointers\": %d },\n\
+       \      \"restore\": { \"model_s\": %s, \"updates\": %d, \"blocks\": %d, \
+        \"data_bytes\": %d },\n\
+       \      \"handoff\": { \"sim_s\": %s, \"stream_bytes\": %d },\n\
+       \      \"delta\": { \"full_bytes\": %d, \"incr_bytes\": %d, \"cache_hits\": \
+        %d, \"chunks_shipped\": %d }\n\
+       \    }"
+       c.w_name c.w_n c.w_poll c.src.Arch.name c.dst.Arch.name (fnum e.c_model_s)
+       e.c_searches e.c_blocks e.c_data_bytes e.c_stream_bytes e.c_pointers
+       (fnum e.r_model_s) e.r_updates e.r_blocks e.r_data_bytes (fnum e.h_sim_s)
+       e.h_stream_bytes e.d_full_bytes e.d_incr_bytes e.d_cache_hits
+       e.d_chunks_shipped)
+
+(** Render the versioned document.  Deterministic for a given build. *)
+let to_json (entries : entry list) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"schema\": \"%s\",\n  \"version\": %d,\n  \"entries\": [\n"
+       schema version);
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      entry_json b e)
+    entries;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(** Run the default suite and render it — the body of
+    [bench/main.exe json]. *)
+let generate () : string = to_json (run ())

@@ -35,6 +35,7 @@ type ctx = {
   buf : Buffer.t;
   stats : Cstats.collect;
   elems_cache : (string, Layout.elems) Hashtbl.t;
+  tplan_cache : (string, Tplan.t) Hashtbl.t;
   liveness_cache : (string, Liveness.t) Hashtbl.t;
 }
 
@@ -46,6 +47,7 @@ let make_ctx (interp : Interp.t) (ti : Ti.t) =
     buf = Buffer.create 4096;
     stats = Cstats.collect_zero ();
     elems_cache = Hashtbl.create 32;
+    tplan_cache = Hashtbl.create 32;
     liveness_cache = Hashtbl.create 8;
   }
 
@@ -57,6 +59,15 @@ let elems_of ctx (ty : Ty.t) : Layout.elems =
       let e = Layout.elems ctx.interp.Interp.mem.Mem.layout ty in
       Hashtbl.add ctx.elems_cache key e;
       e
+
+let tplan_of ctx (ty : Ty.t) : Tplan.t =
+  let key = Ty.to_string ty in
+  match Hashtbl.find_opt ctx.tplan_cache key with
+  | Some p -> p
+  | None ->
+      let p = Tplan.build ctx.interp.Interp.mem.Mem.layout (elems_of ctx ty) in
+      Hashtbl.add ctx.tplan_cache key p;
+      p
 
 let liveness_of ctx (f : Ir.func) : Liveness.t =
   match Hashtbl.find_opt ctx.liveness_cache f.Ir.name with
@@ -127,17 +138,15 @@ and save_block ctx (block : Mem.block) : unit =
   let tid, count = Ti.encode_block_ty ctx.ti block.Mem.ty in
   Xdr.put_int_as_i32 ctx.buf tid;
   Xdr.put_int_as_i32 ctx.buf count;
-  let elems = elems_of ctx block.Mem.ty in
-  let n = Layout.elem_count elems in
+  let plan = tplan_of ctx block.Mem.ty in
   let mem = ctx.interp.Interp.mem in
-  for ord = 0 to n - 1 do
-    let kind = Layout.kind_of_ordinal elems ord in
-    let off = Layout.byte_of_ordinal elems ord in
-    let v = Mem.load_scalar mem block off kind in
-    match kind with
-    | Ty.KPtr _ | Ty.KFunc _ -> save_ptr ctx v
-    | k -> Stream.put_prim ctx.buf k v
-  done
+  Array.iter
+    (fun seg ->
+      match seg with
+      | Tplan.Prims p -> Batch.encode p ctx.buf block.Mem.bytes
+      | Tplan.Ptr { off; kind; _ } ->
+          save_ptr ctx (Mem.load_scalar mem block off kind))
+    plan.Tplan.segs
 
 (** [save_variable ctx block] saves a named variable's own block — used
     for both live locals and globals.  Like the paper's [Save_variable],

@@ -32,6 +32,7 @@ type ctx = {
   r : Xdr.rbuf;
   stats : Cstats.restore;
   elems_cache : (string, Layout.elems) Hashtbl.t;
+  tplan_cache : (string, Tplan.t) Hashtbl.t;
 }
 
 let elems_of ctx (ty : Ty.t) : Layout.elems =
@@ -42,6 +43,15 @@ let elems_of ctx (ty : Ty.t) : Layout.elems =
       let e = Layout.elems ctx.interp.Interp.mem.Mem.layout ty in
       Hashtbl.add ctx.elems_cache key e;
       e
+
+let tplan_of ctx (ty : Ty.t) : Tplan.t =
+  let key = Ty.to_string ty in
+  match Hashtbl.find_opt ctx.tplan_cache key with
+  | Some p -> p
+  | None ->
+      let p = Tplan.build ctx.interp.Interp.mem.Mem.layout (elems_of ctx ty) in
+      Hashtbl.add ctx.tplan_cache key p;
+      p
 
 (* (mi_id, ordinal) → destination address. *)
 let addr_of ctx (block : Mem.block) ord : int64 =
@@ -142,18 +152,19 @@ and restore_block ctx : Mem.block =
   Msrlt.bind ctx.res mi_id block;
   ctx.stats.Cstats.r_blocks <- ctx.stats.Cstats.r_blocks + 1;
   ctx.stats.Cstats.r_data_bytes <- ctx.stats.Cstats.r_data_bytes + block.Mem.size;
-  let elems = elems_of ctx block.Mem.ty in
-  let n = Layout.elem_count elems in
+  let plan = tplan_of ctx block.Mem.ty in
   let mem = ctx.interp.Interp.mem in
-  for ord = 0 to n - 1 do
-    let kind = Layout.kind_of_ordinal elems ord in
-    let off = Layout.byte_of_ordinal elems ord in
-    match kind with
-    | Ty.KPtr _ | Ty.KFunc _ ->
-        let v = restore_ptr ctx in
-        Mem.store_scalar mem block off kind v
-    | k -> Mem.store_scalar mem block off k (Stream.get_prim ctx.r k)
-  done;
+  Array.iter
+    (fun seg ->
+      match seg with
+      | Tplan.Prims p ->
+          (* one write-generation tick per run instead of per scalar *)
+          Mem.touch mem block;
+          Batch.decode p ctx.r block.Mem.bytes
+      | Tplan.Ptr { off; kind; _ } ->
+          let v = restore_ptr ctx in
+          Mem.store_scalar mem block off kind v)
+    plan.Tplan.segs;
   block
 
 (** [restore_variable ctx block] decodes a named variable's datum and
@@ -197,6 +208,7 @@ let restore ?expect_epoch (prog : Ir.prog) (arch : Hpm_arch.Arch.t) (ti : Ti.t)
       r;
       stats = Cstats.restore_zero ();
       elems_cache = Hashtbl.create 32;
+      tplan_cache = Hashtbl.create 32;
     }
   in
   (* frame metadata, top-down in the stream; build bottom-up *)

@@ -11,9 +11,16 @@
     failure-injection tests, does) produce garbage — which is precisely
     the problem the paper's mechanisms solve.
 
-    Blocks are indexed by base address in a balanced map; translating a
-    pointer value to its containing block is an O(log n) search, the
-    [MSRLT_search] term of the paper's §4.2 cost model. *)
+    Blocks are indexed by base address in a sorted flat-array interval
+    index (maintained incrementally on alloc/free); translating a pointer
+    value to its containing block is an O(log n) binary search, the
+    [MSRLT_search] term of the paper's §4.2 cost model.  Allocation
+    patterns keep maintenance cheap: global and heap bases only grow, so
+    their inserts land at the end of their region, and stack blocks (which
+    sort above both) are pushed and popped LIFO — every insert or removal
+    blits only the short stack tail.  A one-block cache, validated by a
+    table generation counter, serves the sequential locality of the MSRLT
+    collector's scans. *)
 
 open Hpm_arch
 open Hpm_lang
@@ -56,18 +63,23 @@ type block = {
           ([wgen > mark]) from a clean one without touching its bytes. *)
 }
 
-module AddrMap = Map.Make (Int64)
-
 type t = {
   arch : Arch.t;
   layout : Layout.t;
-  mutable by_base : block AddrMap.t;
+  (* the interval index: parallel arrays sorted by base address, [tbl_len]
+     entries live at the front.  [tbl_blocks] is padded with the last
+     block inserted (never read past [tbl_len]); it starts empty. *)
+  mutable tbl_bases : int64 array;
+  mutable tbl_blocks : block array;
+  mutable tbl_len : int;
+  mutable tbl_gen : int;         (** bumped on every table mutation *)
   mutable next_global : int64;
   mutable next_stack : int64;
   mutable next_heap : int64;
   mutable nblocks : int;
   mutable live_blocks : int;
   mutable cache : block option;  (** last block hit, for access locality *)
+  mutable cache_gen : int;       (** table generation the cache was set at *)
   mutable write_tick : int;      (** monotonic counter of mutating operations *)
   stats : Mstats.t;
 }
@@ -80,16 +92,67 @@ let create arch tenv =
   {
     arch;
     layout = Layout.make arch tenv;
-    by_base = AddrMap.empty;
+    tbl_bases = [||];
+    tbl_blocks = [||];
+    tbl_len = 0;
+    tbl_gen = 0;
     next_global = arch.Arch.global_base;
     next_stack = arch.Arch.stack_base;
     next_heap = arch.Arch.heap_base;
     nblocks = 0;
     live_blocks = 0;
     cache = None;
+    cache_gen = 0;
     write_tick = 0;
     stats = Mstats.create ();
   }
+
+(* ---- interval index maintenance ---- *)
+
+(* Index of the last entry with base <= addr, or -1. *)
+let idx_le t (addr : int64) : int =
+  let lo = ref 0 and hi = ref (t.tbl_len - 1) and ans = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.compare (Array.unsafe_get t.tbl_bases mid) addr <= 0 then (
+      ans := mid;
+      lo := mid + 1)
+    else hi := mid - 1
+  done;
+  !ans
+
+let tbl_insert t (block : block) =
+  (if t.tbl_len = Array.length t.tbl_bases then (
+     let cap = max 16 (2 * t.tbl_len) in
+     let bases = Array.make cap 0L and blocks = Array.make cap block in
+     Array.blit t.tbl_bases 0 bases 0 t.tbl_len;
+     Array.blit t.tbl_blocks 0 blocks 0 t.tbl_len;
+     t.tbl_bases <- bases;
+     t.tbl_blocks <- blocks);
+   let at = idx_le t block.base in
+   if at >= 0 && Int64.equal t.tbl_bases.(at) block.base then (
+     (* same base as a removed-then-reused range: replace, like Map.add *)
+     t.tbl_blocks.(at) <- block)
+   else (
+     let ins = at + 1 in
+     let tail = t.tbl_len - ins in
+     if tail > 0 then (
+       Array.blit t.tbl_bases ins t.tbl_bases (ins + 1) tail;
+       Array.blit t.tbl_blocks ins t.tbl_blocks (ins + 1) tail);
+     t.tbl_bases.(ins) <- block.base;
+     t.tbl_blocks.(ins) <- block;
+     t.tbl_len <- t.tbl_len + 1));
+  t.tbl_gen <- t.tbl_gen + 1
+
+let tbl_remove t (block : block) =
+  let at = idx_le t block.base in
+  if at >= 0 && Int64.equal t.tbl_bases.(at) block.base then (
+    let tail = t.tbl_len - at - 1 in
+    if tail > 0 then (
+      Array.blit t.tbl_bases (at + 1) t.tbl_bases at tail;
+      Array.blit t.tbl_blocks (at + 1) t.tbl_blocks at tail);
+    t.tbl_len <- t.tbl_len - 1;
+    t.tbl_gen <- t.tbl_gen + 1)
 
 (** Current write tick.  A snapshot taken now is invalidated for a block
     [b] exactly when a later operation leaves [b.wgen > write_mark t]. *)
@@ -146,7 +209,7 @@ let alloc t seg (ty : Ty.t) (ident : ident) : block =
   touch t block;
   t.nblocks <- t.nblocks + 1;
   t.live_blocks <- t.live_blocks + 1;
-  t.by_base <- AddrMap.add base block t.by_base;
+  tbl_insert t block;
   t.stats.Mstats.allocs <- t.stats.Mstats.allocs + 1;
   if seg = Heap then t.stats.Mstats.heap_allocs <- t.stats.Mstats.heap_allocs + 1;
   t.stats.Mstats.table_ops <- t.stats.Mstats.table_ops + 1;
@@ -160,6 +223,7 @@ let free t (block : block) =
   block.freed <- true;
   t.live_blocks <- t.live_blocks - 1;
   t.cache <- None;
+  t.tbl_gen <- t.tbl_gen + 1;
   t.stats.Mstats.frees <- t.stats.Mstats.frees + 1;
   t.stats.Mstats.table_ops <- t.stats.Mstats.table_ops + 1
 
@@ -171,7 +235,7 @@ let free t (block : block) =
 let remove_block t (b : block) =
   t.write_tick <- t.write_tick + 1;
   b.freed <- true;
-  t.by_base <- AddrMap.remove b.base t.by_base;
+  tbl_remove t b;
   t.live_blocks <- t.live_blocks - 1;
   t.cache <- None;
   t.stats.Mstats.table_ops <- t.stats.Mstats.table_ops + 1
@@ -187,13 +251,15 @@ let find_block t (addr : int64) : block =
     addr >= b.base && Int64.compare addr (Int64.add b.base (Int64.of_int b.size)) < 0
   in
   match t.cache with
-  | Some b when in_block b && not b.freed -> b
+  | Some b when t.cache_gen = t.tbl_gen && in_block b && not b.freed -> b
   | _ -> (
-      match AddrMap.find_last_opt (fun k -> Int64.compare k addr <= 0) t.by_base with
-      | Some (_, b) when in_block b ->
+      match idx_le t addr with
+      | at when at >= 0 && in_block t.tbl_blocks.(at) ->
+          let b = t.tbl_blocks.(at) in
           if b.freed then
             fault "dangling pointer 0x%Lx into freed block #%d" addr b.bid;
           t.cache <- Some b;
+          t.cache_gen <- t.tbl_gen;
           b
       | _ -> fault "wild pointer 0x%Lx: no block contains this address" addr)
 
@@ -202,8 +268,12 @@ let find_block_opt t addr =
 
 (** All live blocks, in allocation (bid) order. *)
 let live_blocks t =
-  AddrMap.fold (fun _ b acc -> if b.freed then acc else b :: acc) t.by_base []
-  |> List.sort (fun a b -> compare a.bid b.bid)
+  let acc = ref [] in
+  for i = t.tbl_len - 1 downto 0 do
+    let b = t.tbl_blocks.(i) in
+    if not b.freed then acc := b :: !acc
+  done;
+  List.sort (fun a b -> compare a.bid b.bid) !acc
 
 (* ------------------------------------------------------------------ *)
 (* Scalar load/store                                                   *)

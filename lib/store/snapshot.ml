@@ -69,6 +69,10 @@ type cctx = {
   binfos : (int, Store.binfo) Hashtbl.t;  (** mi_id → entry, filled post-order *)
   stats : Cstats.delta;
   elems_cache : (string, Layout.elems) Hashtbl.t;
+  tplan_cache : (string, Tplan.t) Hashtbl.t;
+  scratch : Buffer.t;
+      (** reused across payload builds: [Buffer.clear] keeps the storage,
+          so steady-state serialization allocates only the payload string *)
 }
 
 let elems_of ctx (ty : Ty.t) : Layout.elems =
@@ -79,6 +83,15 @@ let elems_of ctx (ty : Ty.t) : Layout.elems =
       let e = Layout.elems ctx.interp.Interp.mem.Mem.layout ty in
       Hashtbl.add ctx.elems_cache key e;
       e
+
+let tplan_of ctx (ty : Ty.t) : Tplan.t =
+  let key = Ty.to_string ty in
+  match Hashtbl.find_opt ctx.tplan_cache key with
+  | Some p -> p
+  | None ->
+      let p = Tplan.build ctx.interp.Interp.mem.Mem.layout (elems_of ctx ty) in
+      Hashtbl.add ctx.tplan_cache key p;
+      p
 
 let ordinal_at ctx (block : Mem.block) (addr : int64) : int =
   let off = Int64.to_int (Int64.sub addr block.Mem.base) in
@@ -150,24 +163,26 @@ let rec visit_block ctx (block : Mem.block) : int =
         ctx.stats.Cstats.d_cache_hits <- ctx.stats.Cstats.d_cache_hits + 1;
         (ce.ce_hash, ce.ce_size)
     | None ->
-        let b = Buffer.create (block.Mem.size + 16) in
-        for ord = 0 to n - 1 do
-          let kind = Layout.kind_of_ordinal elems ord in
-          match kind with
-          | Ty.KPtr _ | Ty.KFunc _ -> (
-              match datums.(ord) with
-              | Store.Dnull -> Xdr.put_u8 b Stream.tag_null
-              | Store.Dref (bid, tord) ->
-                  Xdr.put_u8 b Stream.tag_ref;
-                  Xdr.put_int_as_i32 b bid;
-                  Xdr.put_int_as_i32 b tord
-              | Store.Dfunc i ->
-                  Xdr.put_u8 b Stream.tag_func;
-                  Xdr.put_int_as_i32 b i)
-          | k ->
-              let off = Layout.byte_of_ordinal elems ord in
-              Stream.put_prim b k (Mem.load_scalar mem block off k)
-        done;
+        (* the serialize phase never recurses (the traversal above already
+           visited every target), so one shared scratch buffer is safe *)
+        let b = ctx.scratch in
+        Buffer.clear b;
+        let plan = tplan_of ctx block.Mem.ty in
+        Array.iter
+          (fun seg ->
+            match seg with
+            | Tplan.Prims p -> Batch.encode p b block.Mem.bytes
+            | Tplan.Ptr { ord; _ } -> (
+                match datums.(ord) with
+                | Store.Dnull -> Xdr.put_u8 b Stream.tag_null
+                | Store.Dref (bid, tord) ->
+                    Xdr.put_u8 b Stream.tag_ref;
+                    Xdr.put_int_as_i32 b bid;
+                    Xdr.put_int_as_i32 b tord
+                | Store.Dfunc i ->
+                    Xdr.put_u8 b Stream.tag_func;
+                    Xdr.put_int_as_i32 b i))
+          plan.Tplan.segs;
         let payload = Buffer.contents b in
         let hash = Digest.string payload in
         Hashtbl.replace ctx.chunks hash payload;
@@ -221,6 +236,8 @@ let collect ?(epoch = 0) ?(proc = "proc") ?cache (interp : Interp.t) (ti : Ti.t)
       binfos = Hashtbl.create 64;
       stats = Cstats.delta_zero ();
       elems_cache = Hashtbl.create 32;
+      tplan_cache = Hashtbl.create 32;
+      scratch = Buffer.create 4096;
     }
   in
   let poll_id = Collect.suspended_poll_id interp in
@@ -418,7 +435,8 @@ let persist (st : Store.t) (mf : Store.manifest) (chunks : (string, string) Hash
       else
         match Hashtbl.find_opt chunks h with
         | Some payload ->
-            ignore (Store.put_chunk st payload);
+            (* the table is keyed by the payload's own digest: no re-hash *)
+            ignore (Store.put_chunk_hashed st ~hash:h payload : bool);
             stats.Cstats.d_chunks_shipped <- stats.Cstats.d_chunks_shipped + 1;
             stats.Cstats.d_delta_bytes <- stats.Cstats.d_delta_bytes + String.length payload
         | None ->

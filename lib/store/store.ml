@@ -348,14 +348,18 @@ let rec mkdir_p dir =
     | Unix.Unix_error (e, _, _) ->
         err "cannot create %s: %s" dir (Unix.error_message e))
 
-let write_file_atomic path data =
+(* Parts are written sequentially into the tmp file, so framing a payload
+   needs no intermediate header+payload concatenation. *)
+let write_file_atomic_parts path parts =
   let tmp = path ^ ".tmp" in
   (try
      let oc = open_out_bin tmp in
-     output_string oc data;
+     List.iter (output_string oc) parts;
      close_out oc
    with Sys_error m -> err "cannot write %s: %s" tmp m);
   try Sys.rename tmp path with Sys_error m -> err "cannot commit %s: %s" path m
+
+let write_file_atomic path data = write_file_atomic_parts path [ data ]
 
 let read_file path =
   try
@@ -387,21 +391,28 @@ let open_store (dir : string) : t =
 
 let has_chunk t hash = Sys.file_exists (chunk_path t hash)
 
+(** {!put_chunk} for a payload whose MD5 is already known — the snapshot
+    and delta paths hash while building, so storing them again must not
+    re-digest.  [hash] MUST be [Digest.string payload]; callers obtain it
+    from a verifying parse or from the digest they just computed.  Returns
+    whether a write happened (false = deduplicated). *)
+let put_chunk_hashed t ~(hash : string) (payload : string) : bool =
+  if has_chunk t hash then (
+    Obs.inc "hpm_store_chunk_dedup_hits_total" [];
+    false)
+  else (
+    let hdr = Buffer.create 8 in
+    Buffer.add_string hdr chunk_magic;
+    Xdr.put_int_as_i32 hdr (String.length payload);
+    write_file_atomic_parts (chunk_path t hash) [ Buffer.contents hdr; payload ];
+    Obs.inc "hpm_store_chunk_writes_total" [];
+    true)
+
 (** Write a chunk if absent; returns its hash and whether a write happened
     (false = deduplicated against an existing chunk). *)
 let put_chunk t (payload : string) : string * bool =
   let hash = Digest.string payload in
-  if has_chunk t hash then (
-    Obs.inc "hpm_store_chunk_dedup_hits_total" [];
-    (hash, false))
-  else (
-    let b = Buffer.create (String.length payload + 8) in
-    Buffer.add_string b chunk_magic;
-    Xdr.put_int_as_i32 b (String.length payload);
-    Buffer.add_string b payload;
-    write_file_atomic (chunk_path t hash) (Buffer.contents b);
-    Obs.inc "hpm_store_chunk_writes_total" [];
-    (hash, true))
+  (hash, put_chunk_hashed t ~hash payload)
 
 (** Read and validate a chunk.
     @raise Corrupt on a missing, damaged, or wrong-content file. *)
@@ -741,7 +752,10 @@ let parse_delta ?base (wire : string) : delta =
     @raise Corrupt on damage or missing chunks *)
 let apply t ?expect_base (wire : string) : manifest =
   let d = parse_delta ?base:expect_base wire in
-  List.iter (fun (_, payload) -> ignore (put_chunk t payload)) d.d_chunks;
+  (* parse_delta already verified each payload against its hash *)
+  List.iter
+    (fun (hash, payload) -> ignore (put_chunk_hashed t ~hash payload : bool))
+    d.d_chunks;
   List.iter
     (fun h ->
       if not (has_chunk t h) then

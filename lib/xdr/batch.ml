@@ -1,0 +1,163 @@
+(** Specialized batch translation of scalar runs.
+
+    The per-field encode path of the migration stream pays a dispatch, a
+    bounds check, and a temporary buffer per scalar ([Mem.load_scalar]
+    followed by [Xdr.put_int] and friends).  For a run of non-pointer
+    elements inside one block, the whole translation is a pure function
+    of the source architecture and the element layout, so it can be
+    compiled once per (arch, type) into a flat op program and replayed
+    with one pass over the block's bytes.
+
+    The compiled ops are {e exactly} equivalent to the per-field path:
+
+    - an integer or double field whose memory width equals its canonical
+      wire width is a plain byte copy (big-endian source) or a byte
+      reversal (little-endian source) — sign-extending the load and then
+      truncating the canonical store is the identity on equal widths, and
+      [Int64.bits_of_float]/[float_of_bits] reinterpret without rounding;
+    - a [long] narrower than the 8-byte wire form needs a sign-extending
+      widen on encode and a truncating narrow on decode — the only
+      width-changing case on any supported architecture;
+    - a 32-bit float goes through the same [float] round-trip as the
+      per-field path ([Endian.get_f32] / [Xdr.put_f32]) rather than a
+      byte copy, so any platform quirk of the f32<->double conversion is
+      reproduced bug-for-bug, keeping the differential oracle exact.
+
+    Consecutive copyable fields are coalesced, so e.g. a big-endian
+    [double[1000]] encodes as a single blit.  Byte accounting matches the
+    per-field path: the run's canonical size is added to
+    {!Xdr.encoded_bytes} / {!Xdr.decoded_bytes} when {!Xdr.count_io} is
+    on. *)
+
+open Hpm_arch
+
+(** Scalar classes a batch plan distinguishes.  Pointers are structured
+    (tagged, variable-length) and never appear in a batch run. *)
+type fclass =
+  | Fint  (** sign-extended integer: char/short/int/long *)
+  | Ff32  (** 32-bit IEEE float (conversion-faithful) *)
+  | Ff64  (** 64-bit IEEE double (bit-pattern copy) *)
+
+(** One scalar field of a run: byte offset inside the block, its width in
+    source/destination memory, and its canonical wire width. *)
+type field = { f_off : int; f_mem_w : int; f_wire_w : int; f_class : fclass }
+
+(* Compiled ops.  Offsets are memory offsets; the wire side is implicit
+   (fields appear in ordinal order, widths are canonical). *)
+type op =
+  | Copy of int * int  (** (mem_off, len): raw bytes, equal width, big-endian *)
+  | Rev of int * int   (** (mem_off, w): one field, equal width, little-endian *)
+  | Widen of int * int
+      (** (mem_off, mem_w): integer narrower than 8 wire bytes;
+          sign-extend on encode, truncate on decode *)
+  | F32 of int         (** (mem_off): conversion-faithful 32-bit float *)
+
+type plan = {
+  p_order : Endian.order;  (** memory byte order of the run's machine *)
+  p_ops : op array;
+  p_wire_bytes : int;      (** canonical bytes of the whole run *)
+  p_mem_end : int;         (** one past the last memory byte touched *)
+  p_fields : int;          (** fields in the run *)
+}
+
+let wire_bytes p = p.p_wire_bytes
+let field_count p = p.p_fields
+
+(** Compile a run of fields (in ordinal order) for a machine with byte
+    order [order].  Fields must not overlap; offsets need not be sorted
+    (ordinal order is layout order for every supported type, but the
+    compiler only assumes per-field validity). *)
+let compile (order : Endian.order) (fields : field list) : plan =
+  let ops = ref [] and wire = ref 0 and mem_end = ref 0 and n = ref 0 in
+  let emit op = ops := op :: !ops in
+  List.iter
+    (fun f ->
+      incr n;
+      wire := !wire + f.f_wire_w;
+      mem_end := max !mem_end (f.f_off + f.f_mem_w);
+      match f.f_class with
+      | Ff32 -> emit (F32 f.f_off)
+      | Fint when f.f_mem_w < f.f_wire_w -> emit (Widen (f.f_off, f.f_mem_w))
+      | Fint | Ff64 -> (
+          assert (f.f_mem_w = f.f_wire_w);
+          match order with
+          | Endian.Little when f.f_mem_w > 1 -> emit (Rev (f.f_off, f.f_mem_w))
+          | _ -> (
+              (* big-endian (or single-byte) fields: coalesce with a
+                 directly preceding copy *)
+              match !ops with
+              | Copy (o, l) :: rest when o + l = f.f_off ->
+                  ops := Copy (o, l + f.f_mem_w) :: rest
+              | _ -> emit (Copy (f.f_off, f.f_mem_w)))))
+    fields;
+  {
+    p_order = order;
+    p_ops = Array.of_list (List.rev !ops);
+    p_wire_bytes = !wire;
+    p_mem_end = !mem_end;
+    p_fields = !n;
+  }
+
+(** Append the canonical encoding of the run to [b], reading the fields
+    from [src] (a block's bytes).  Byte-identical to loading each field
+    with the machine's own representation and re-encoding it with
+    {!Xdr.put_int}/{!Xdr.put_f32}/{!Xdr.put_f64}. *)
+let encode (p : plan) (b : Buffer.t) (src : Bytes.t) : unit =
+  if p.p_mem_end > Bytes.length src then
+    invalid_arg "Batch.encode: plan exceeds source block";
+  if !Xdr.count_io then Xdr.encoded_bytes := !Xdr.encoded_bytes + p.p_wire_bytes;
+  let order = p.p_order in
+  Array.iter
+    (fun op ->
+      match op with
+      | Copy (off, len) -> Buffer.add_subbytes b src off len
+      | Rev (off, w) ->
+          for i = w - 1 downto 0 do
+            Buffer.add_char b (Bytes.unsafe_get src (off + i))
+          done
+      | Widen (off, w) ->
+          let v = Endian.get_int order w src off in
+          let tmp = Bytes.create 8 in
+          Endian.set_int Endian.Big 8 tmp 0 v;
+          Buffer.add_bytes b tmp
+      | F32 off ->
+          let v = Endian.get_f32 order src off in
+          let tmp = Bytes.create 4 in
+          Endian.set_f32 Endian.Big tmp 0 v;
+          Buffer.add_bytes b tmp)
+    p.p_ops
+
+(** Decode the run from [r] into [dst] (a block's bytes), narrowing to
+    the destination machine's widths and byte order — the same stores the
+    per-field [Stream.get_prim] + [Mem.store_scalar] path performs.
+    @raise Xdr.Underflow when fewer than {!wire_bytes} bytes remain. *)
+let decode (p : plan) (r : Xdr.rbuf) (dst : Bytes.t) : unit =
+  if p.p_mem_end > Bytes.length dst then
+    invalid_arg "Batch.decode: plan exceeds destination block";
+  Xdr.need r p.p_wire_bytes "prim";
+  if !Xdr.count_io then Xdr.decoded_bytes := !Xdr.decoded_bytes + p.p_wire_bytes;
+  let order = p.p_order in
+  let data = r.Xdr.data in
+  let pos = ref r.Xdr.pos in
+  Array.iter
+    (fun op ->
+      match op with
+      | Copy (off, len) ->
+          Bytes.blit data !pos dst off len;
+          pos := !pos + len
+      | Rev (off, w) ->
+          for i = 0 to w - 1 do
+            Bytes.unsafe_set dst (off + i) (Bytes.unsafe_get data (!pos + w - 1 - i))
+          done;
+          pos := !pos + w
+      | Widen (off, w) ->
+          (* wire carries 8 bytes; the narrowing store truncates *)
+          let v = Endian.get_int Endian.Big 8 data !pos in
+          Endian.set_int order w dst off v;
+          pos := !pos + 8
+      | F32 off ->
+          let v = Endian.get_f32 Endian.Big data !pos in
+          Endian.set_f32 order dst off v;
+          pos := !pos + 4)
+    p.p_ops;
+  r.Xdr.pos <- !pos

@@ -20,6 +20,10 @@ val reader_of_string : string -> rbuf
 val remaining : rbuf -> int
 val at_end : rbuf -> bool
 
+(** [need r n what] checks that [n] bytes remain without consuming them.
+    @raise Underflow labelled [what] otherwise. *)
+val need : rbuf -> int -> string -> unit
+
 (** {1 Byte accounting}
 
     Process-global tallies feeding the observability layer's

@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# Compare a freshly generated BENCH_v1.json against the committed
+# baseline and fail on any >THRESHOLD% regression in a gated metric.
+#
+#   scripts/bench_gate.sh [baseline] [fresh] [threshold-pct]
+#
+# Gated metrics (per entry, matched on workload/n/poll/src->dst):
+#   collect.model_s        cost-model collect time        (paper "Tsave")
+#   restore.model_s        cost-model restore time        (paper "Trestore")
+#   handoff.sim_s          simulated end-to-end handoff   (paper "Tmig")
+#   collect.stream_bytes   v2 stream size — any growth is a wire change
+#   delta.incr_bytes       incremental v3 delta size
+#
+# Byte metrics are gated as strictly as times: the stream is canonical,
+# so even a 1-byte growth means the wire format moved and the golden
+# tests should have caught it first.  See docs/BENCH.md.
+set -eu
+
+baseline=${1:-BENCH_0001.json}
+fresh=${2:-BENCH_v1.json}
+threshold=${3:-10}
+
+for f in "$baseline" "$fresh"; do
+    [ -r "$f" ] || { echo "bench-gate: cannot read $f" >&2; exit 2; }
+    schema=$(jq -r '.schema' "$f")
+    version=$(jq -r '.version' "$f")
+    if [ "$schema" != "BENCH_v1" ] || [ "$version" != "1" ]; then
+        echo "bench-gate: $f is not a BENCH_v1 document (schema=$schema version=$version)" >&2
+        exit 2
+    fi
+done
+
+nb=$(jq '.entries | length' "$baseline")
+nf=$(jq '.entries | length' "$fresh")
+if [ "$nb" != "$nf" ]; then
+    echo "bench-gate: entry count changed: baseline=$nb fresh=$nf" >&2
+    echo "bench-gate: if the case grid changed intentionally, refresh the baseline (docs/BENCH.md)" >&2
+    exit 1
+fi
+
+regressions=$(jq -n --argjson thr "$threshold" \
+    --slurpfile base "$baseline" --slurpfile new "$fresh" '
+  def key: "\(.workload)/n=\(.n)/poll=\(.poll)/\(.src_arch)->\(.dst_arch)";
+  def metrics: {
+    "collect.model_s":      .collect.model_s,
+    "restore.model_s":      .restore.model_s,
+    "handoff.sim_s":        .handoff.sim_s,
+    "collect.stream_bytes": .collect.stream_bytes,
+    "delta.incr_bytes":     .delta.incr_bytes
+  };
+  ($base[0].entries | map({(key): metrics}) | add) as $b
+  | [ $new[0].entries[]
+      | . as $e | ($e | key) as $k
+      | if $b[$k] == null
+        then { case: $k, metric: "(entry)", old: "absent from baseline",
+               new: "present", pct: null }
+        else ( $e | metrics | to_entries[]
+               | .key as $m | .value as $v | $b[$k][$m] as $o
+               | select($o != null and $o > 0
+                        and $v > ($o * (1 + $thr / 100)))
+               | { case: $k, metric: $m, old: $o, new: $v,
+                   pct: (($v - $o) / $o * 100 * 100 | round / 100) } )
+        end ]')
+
+count=$(printf '%s' "$regressions" | jq 'length')
+if [ "$count" != "0" ]; then
+    echo "bench-gate: $count metric(s) regressed more than ${threshold}% vs $baseline:" >&2
+    printf '%s\n' "$regressions" | jq -r \
+        '.[] | "  \(.case)  \(.metric): \(.old) -> \(.new)  (+\(.pct)%)"' >&2
+    exit 1
+fi
+
+echo "bench-gate: OK ($nf entries, no metric regressed more than ${threshold}% vs $baseline)"

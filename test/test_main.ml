@@ -18,9 +18,11 @@ let () =
       ("lint", Test_lint.suite);
       ("annotate", Test_annotate.suite);
       ("mem", Test_mem.suite);
+      ("mem-index", Test_mem_index.suite);
       ("interp", Test_interp.suite);
       ("xdr", Test_xdr.suite);
       ("stream", Test_stream.suite);
+      ("xdr-batch", Test_xdr_batch.suite);
       ("msr", Test_msr.suite);
       ("collect-restore", Test_collect_restore.suite);
       ("migration", Test_migration.suite);
@@ -37,4 +39,5 @@ let () =
       ("precopy", Test_precopy.suite);
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
+      ("bench-json", Test_bench_json.suite);
     ]

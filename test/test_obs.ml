@@ -214,6 +214,33 @@ let test_timing_unchanged_by_instrumentation () =
   check_bool "simulated protocol time identical with and without sinks" true
     (plain = traced)
 
+(* Golden trace: MD5 of the Chrome-JSON export of one fixed instrumented
+   handoff (bitonic:2000, dec5000→sparc20, epoch 1, clean 10 Mb/s link,
+   trace sink only), captured from the pre-optimization implementation.
+   The interval index, batch encoders, and buffer reuse must leave the
+   simulated timeline — and therefore these bytes — untouched. *)
+let test_golden_trace () =
+  Obs.reset ();
+  let tr = Obs.Trace.create () in
+  Obs.set_trace (Some tr);
+  Fun.protect ~finally:Obs.reset (fun () ->
+      let m =
+        Migration.prepare
+          ((Hpm_workloads.Registry.find_exn "bitonic").Hpm_workloads.Registry.source 2000)
+      in
+      let p = Migration.start m Hpm_arch.Arch.dec5000 in
+      Hpm_machine.Interp.request_migration_after p 6000;
+      (match Hpm_machine.Interp.run p with
+      | Hpm_machine.Interp.RPolled _ -> ()
+      | _ -> Alcotest.fail "finished before the poll");
+      ignore
+        (Handoff.execute ~channel:(Netsim.ethernet_10 ()) ~epoch:1 m p
+           Hpm_arch.Arch.sparc20);
+      let j = Obs.Trace.to_json tr in
+      check_int "trace length" 2368 (String.length j);
+      check_string "trace md5" "b8861d2e7adf08e88e0ffff26bf585ee"
+        (Digest.to_hex (Digest.string j)))
+
 let suite =
   [
     tc "metrics counters, gauges, histograms" test_metrics_basics;
@@ -228,4 +255,5 @@ let suite =
     tc "handoff spans and metric identities" test_handoff_spans_and_metrics;
     tc "handoff trace byte-identical across runs" test_handoff_trace_deterministic;
     tc "instrumentation never shifts protocol time" test_timing_unchanged_by_instrumentation;
+    tc_slow "golden handoff trace unchanged" test_golden_trace;
   ]

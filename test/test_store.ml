@@ -494,6 +494,71 @@ let test_chunk_file_damage () =
       check_int "restored chunk reads back" (String.length (Store.get_chunk st h))
         (List.find (fun bi -> bi.Store.b_hash = h) (Array.to_list mf.Store.mf_blocks)).Store.b_size)
 
+(* ---- golden v3 manifests and deltas ----
+
+   Manifest hashes and delta-wire MD5s captured from the pre-optimization
+   implementation (before the batch encoders, the shared scratch buffer,
+   and [put_chunk_hashed]).  The optimized paths must reproduce them
+   byte for byte.  Each row: collect a chunked snapshot at a fixed poll
+   (epoch 3), encode the full delta, advance 7 polls, collect epoch 4,
+   and encode the incremental delta against the first manifest. *)
+
+let golden_deltas =
+  [
+    ( "jacobi", 40, 8, Hpm_arch.Arch.ultra5,
+      "1a4115152ef8fbc90475828b5daf5439",
+      ("3b4a0319de91f6b5b0f6c08d0f47affd", 18875),
+      ("d0899797bcd11caceb6ff9c2b8fec561", 256) );
+    ( "jacobi", 40, 8, Hpm_arch.Arch.dec5000,
+      "3e72f7aa8fe9809ee1191a3dcf744062",
+      ("1549455f676ceaf3e01cad871bb57198", 18876),
+      ("59d0bbe40218fbf5339107b0ee529ea6", 257) );
+    ( "hashtab", 2000, 6000, Hpm_arch.Arch.ultra5,
+      "fb0f01fd1bf6511c777c22f87d1c38c1",
+      ("b3c565448841abc56c13b9a381801920", 31764),
+      ("02bf738b2e742469f291fd4852cfa245", 2461) );
+    ( "bitonic", 3000, 6000, Hpm_arch.Arch.dec5000,
+      "049ec61d9342ba0e185c973222b251ec",
+      ("637c196749aa3ce48deacd613b9a3c4b", 37858),
+      ("2f1409d1a379111309542ceefed0c5fa", 3985) );
+    ( "linpack", 100, 80, Hpm_arch.Arch.x86_64,
+      "63f5cc4198b23b80680501b83767569e",
+      ("12d423c70d9134d65dac1cbf181577fc", 82030),
+      ("c07e2fececa26395c5cdb42f53b8f59b", 80440) );
+    ( "test_pointer", 0, 2, Hpm_arch.Arch.i386,
+      "799622ddf35bea151168424272b704fe",
+      ("4845e11c18115480af879b73d7ceefe6", 578),
+      ("3504f4b1d381f8c7ad852790ab0cf787", 533) );
+  ]
+
+let test_golden_deltas () =
+  List.iter
+    (fun (name, n, poll, arch, mf_hex, (full_md5, full_len), (incr_md5, incr_len)) ->
+      let label what = Printf.sprintf "%s/%s %s" name arch.Hpm_arch.Arch.name what in
+      let m = prepare (workload name n) in
+      let p, _ = suspend m arch poll in
+      let mf, chunks, _ = Snapshot.collect ~epoch:3 ~proc:name p m.Migration.ti in
+      let lookup h =
+        match Hashtbl.find_opt chunks h with
+        | Some c -> c
+        | None -> Alcotest.fail "chunk lost"
+      in
+      check_string (label "manifest hash") mf_hex
+        (Store.hash_hex (Store.manifest_hash mf));
+      let full = Store.encode_delta ~lookup mf in
+      check_int (label "full delta length") full_len (String.length full);
+      check_string (label "full delta md5") full_md5 (Digest.to_hex (Digest.string full));
+      match advance p 7 with
+      | None -> Alcotest.failf "%s finished before the incremental epoch" name
+      | Some p ->
+          let mf2, chunks2, _ = Snapshot.collect ~epoch:4 ~proc:name p m.Migration.ti in
+          Hashtbl.iter (Hashtbl.replace chunks) chunks2;
+          let incr = Store.encode_delta ~base:mf ~lookup mf2 in
+          check_int (label "incr delta length") incr_len (String.length incr);
+          check_string (label "incr delta md5") incr_md5
+            (Digest.to_hex (Digest.string incr)))
+    golden_deltas
+
 let suite =
   [
     tc "write mark advances" test_write_mark;
@@ -513,4 +578,5 @@ let suite =
     tc "manifest truncation fuzz" test_manifest_truncation;
     tc "delta truncation + bit-flip fuzz" test_delta_truncation;
     tc "chunk file damage fuzz" test_chunk_file_damage;
+    tc_slow "golden v3 manifests and deltas unchanged" test_golden_deltas;
   ]

@@ -78,6 +78,40 @@ let test_prog_hash_stability () =
   check_bool "different annotation, different hash" false
     (Int64.equal (Stream.prog_hash m1.Migration.prog) (Stream.prog_hash m4.Migration.prog))
 
+(* ---- golden v2 streams ----
+
+   MD5 and length of the full migration stream for fixed workloads at
+   fixed polls, captured from the pre-batch-encoder implementation.  Any
+   change to these bytes is a wire-format break: the batch translators,
+   buffer reuse, and the Mem interval index must all be invisible here.
+   Regenerate (only for an INTENTIONAL format change) by printing
+   [Digest.to_hex (Digest.string stream)] for each row. *)
+
+let golden_streams =
+  [
+    ("jacobi", 40, 8, Hpm_arch.Arch.ultra5, "e467269955dc7ba665eaeb26cdd61c9c", 37071);
+    ("jacobi", 40, 8, Hpm_arch.Arch.dec5000, "a0efc867c2fd406b752f1f1d1d25a6cf", 37072);
+    ("hashtab", 2000, 6000, Hpm_arch.Arch.ultra5, "7df18cd4ca9ccf36545c299f1524a81c", 13951);
+    ("bitonic", 3000, 6000, Hpm_arch.Arch.dec5000, "26d20dcc9a1a11f4336ebf21bb817e35", 13117);
+    ("linpack", 100, 80, Hpm_arch.Arch.x86_64, "b2011c5a638c3f15e6892160e7f696e4", 82417);
+    ("test_pointer", 0, 2, Hpm_arch.Arch.i386, "15046215b5a4ec8c431cd769d3a617e9", 316);
+  ]
+
+let test_golden_streams () =
+  List.iter
+    (fun (name, n, poll, arch, md5, len) ->
+      let w = Hpm_workloads.Registry.find_exn name in
+      let m = prepare (w.Hpm_workloads.Registry.source n) in
+      let p, _ = suspend m arch poll in
+      let stream, _ = Collect.collect ~epoch:3 p m.Migration.ti in
+      check_int (Printf.sprintf "%s/%s length" name arch.Hpm_arch.Arch.name) len
+        (String.length stream);
+      check_string
+        (Printf.sprintf "%s/%s md5" name arch.Hpm_arch.Arch.name)
+        md5
+        (Digest.to_hex (Digest.string stream)))
+    golden_streams
+
 let suite =
   [
     tc "header roundtrip" test_header_roundtrip;
@@ -86,4 +120,5 @@ let suite =
     tc "prim codec" test_prim_codec;
     tc "canonical widths" test_canonical_widths;
     tc "program fingerprint stability" test_prog_hash_stability;
+    tc_slow "golden v2 streams unchanged" test_golden_streams;
   ]
