@@ -6,6 +6,8 @@
                       flow-sensitive checks (uninitialized/dangling values
                       live at poll-points, double frees, dead stores) and
                       an optional per-poll migration-footprint report
+     compat FILE    - arch-pair compatibility matrix: per ordered pair and
+                      poll-point, legal / lossy / illegal
      ir FILE        - dump the annotated IR (after poll-point insertion)
      polls FILE     - list poll-points with their live-variable sets
      graph FILE     - run to a poll-point and print the MSR graph (or dot)
@@ -229,6 +231,44 @@ let cmd_graph =
   Cmd.v (Cmd.info "graph" ~doc:"print the MSR graph at a poll-point")
     Term.(const run $ file_arg $ after_arg $ dot_arg $ arch_arg $ reachable_arg $ no_lint_arg)
 
+let cmd_compat =
+  let format_arg =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ] ~docv:"F" ~doc:"output format: text or json")
+  in
+  let arches_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "arches" ] ~docv:"A,B,..."
+          ~doc:"restrict the matrix to these architectures (default: all)")
+  in
+  let run file strategy format arches no_lint =
+    with_errors (fun () ->
+        let m =
+          Migration.prepare ~strategy:(strategy_of_string strategy)
+            ~lint:(not no_lint) (read_input file)
+        in
+        let arches =
+          match arches with
+          | "" -> Hpm_arch.Arch.all
+          | s -> List.map Hpm_arch.Arch.by_name_exn (String.split_on_char ',' s)
+        in
+        let c = Compat.create m.Migration.prog m.Migration.polls in
+        match format with
+        | "json" -> print_endline (Compat.render_json c ~arches ~workload:file ())
+        | "text" -> print_string (Compat.render_text c ~arches ~workload:file ())
+        | f -> failwith (Printf.sprintf "unknown format %S (text|json)" f))
+  in
+  Cmd.v
+    (Cmd.info "compat"
+       ~doc:
+         "compute the arch-pair compatibility matrix: for every ordered \
+          architecture pair and poll-point, whether the collected state \
+          survives the trip (legal), survives with value-dependent hazards \
+          (lossy), or provably cannot (illegal)")
+    Term.(const run $ file_arg $ strategy_arg $ format_arg $ arches_arg $ no_lint_arg)
+
 let cmd_stream =
   let after_arg =
     Arg.(value & opt int 0 & info [ "after-polls" ] ~docv:"K" ~doc:"suspend at the (K+1)-th poll event")
@@ -257,4 +297,4 @@ let cmd_stream =
 
 let () =
   let doc = "pre-compiler for heterogeneous process migration" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "migratec" ~doc) [ cmd_check; cmd_lint; cmd_ir; cmd_polls; cmd_source; cmd_annotate; cmd_graph; cmd_stream ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "migratec" ~doc) [ cmd_check; cmd_lint; cmd_compat; cmd_ir; cmd_polls; cmd_source; cmd_annotate; cmd_graph; cmd_stream ]))

@@ -7,9 +7,12 @@
 
     The descriptors below model the machines of the paper's evaluation —
     a DEC 5000/120 (little-endian MIPS, ILP32) and Sun SPARCstation 20 /
-    Ultra 5 (big-endian, ILP32) — plus two modern profiles (x86-64 LP64 and
-    i386 with 4-byte double alignment) that exercise pointer-width and
-    padding heterogeneity beyond what the paper had available. *)
+    Ultra 5 (big-endian, ILP32) — plus modern profiles (x86-64 LP64, i386
+    with 4-byte double alignment, AArch64 with unsigned plain [char],
+    RV64, and a wasm32-style constrained profile that stores [double]
+    values at f32 precision under strict natural alignment) that exercise
+    pointer width, char signedness, float precision, and padding
+    heterogeneity beyond what the paper had available. *)
 
 type t = {
   name : string;  (** unique short name, used in streams and CLIs *)
@@ -25,6 +28,18 @@ type t = {
   double_align : int;
   long_align : int;
   max_align : int;
+  (* Whether plain [char] is a signed type.  AArch64 (like classic ARM
+     and POWER ABIs) makes it unsigned; everything else here is signed.
+     Migration preserves the byte, so the hazard is semantic: a
+     possibly-negative char compares differently after landing on an
+     unsigned-char machine. *)
+  char_signed : bool;
+  (* Doubles occupy a normal 8-byte slot but every store rounds the value
+     to f32 precision (softfloat container, wasm32-style constrained
+     profile).  Restoring a wide double on such a machine silently loses
+     precision, which is exactly what {!Hpm_ir.Portability}'s float-use
+     axis must prove away before a pair can be Legal. *)
+  double_f32 : bool;
   (* Segment base addresses.  They only need to be disjoint and nonzero;
      values echo classic Unix layouts (text low, stack high). *)
   global_base : int64;
@@ -47,6 +62,7 @@ let dec5000 = {
   short_size = 2; int_size = 4; long_size = 4; ptr_size = 4;
   float_size = 4; double_size = 8;
   double_align = 8; long_align = 4; max_align = 8;
+  char_signed = true; double_f32 = false;
   global_base = 0x0040_0000L;
   heap_base = 0x1000_0000L;
   stack_base = 0x7fff_0000L;
@@ -61,6 +77,7 @@ let sparc20 = {
   short_size = 2; int_size = 4; long_size = 4; ptr_size = 4;
   float_size = 4; double_size = 8;
   double_align = 8; long_align = 4; max_align = 8;
+  char_signed = true; double_f32 = false;
   global_base = 0x0002_0000L;
   heap_base = 0x2000_0000L;
   stack_base = 0xeffe_0000L;
@@ -83,6 +100,7 @@ let x86_64 = {
   short_size = 2; int_size = 4; long_size = 8; ptr_size = 8;
   float_size = 4; double_size = 8;
   double_align = 8; long_align = 8; max_align = 16;
+  char_signed = true; double_f32 = false;
   global_base = 0x0060_0000L;
   heap_base = 0x0000_7f00_0000_0000L;
   stack_base = 0x0000_7fff_ff00_0000L;
@@ -99,13 +117,69 @@ let i386 = {
   short_size = 2; int_size = 4; long_size = 4; ptr_size = 4;
   float_size = 4; double_size = 8;
   double_align = 4; long_align = 4; max_align = 4;
+  char_signed = true; double_f32 = false;
   global_base = 0x0804_8000L;
   heap_base = 0x0900_0000L;
   stack_base = 0xbfff_0000L;
   speed = 8.0;
 }
 
-let all = [ dec5000; sparc20; ultra5; x86_64; i386 ]
+(** AArch64 Linux (AAPCS64): little-endian LP64 like x86-64, but plain
+    [char] is unsigned — the classic ARM ABI quirk.  Bytes migrate
+    unchanged, so signedness is a purely semantic hazard that only a
+    value-range analysis can clear (see {!Hpm_ir.Portability}). *)
+let aarch64_le_lp64 = {
+  name = "aarch64_le_lp64";
+  endian = Endian.Little;
+  short_size = 2; int_size = 4; long_size = 8; ptr_size = 8;
+  float_size = 4; double_size = 8;
+  double_align = 8; long_align = 8; max_align = 16;
+  char_signed = false; double_f32 = false;
+  global_base = 0x0041_0000L;
+  heap_base = 0x0000_aaaa_0000_0000L;
+  stack_base = 0x0000_ffff_f000_0000L;
+  speed = 32.0;
+}
+
+(** RV64GC Linux (LP64D): a second LP64 little-endian profile with signed
+    chars — homogeneous with x86-64 for every data axis, so it widens the
+    matrix without adding translation work (segment bases still differ,
+    which exercises pointer rebasing). *)
+let riscv64_le_lp64 = {
+  name = "riscv64_le_lp64";
+  endian = Endian.Little;
+  short_size = 2; int_size = 4; long_size = 8; ptr_size = 8;
+  float_size = 4; double_size = 8;
+  double_align = 8; long_align = 8; max_align = 16;
+  char_signed = true; double_f32 = false;
+  global_base = 0x0001_1000L;
+  heap_base = 0x0000_3f00_0000_0000L;
+  stack_base = 0x0000_3fff_ff00_0000L;
+  speed = 16.0;
+}
+
+(** Constrained wasm32-style profile: ILP32 little-endian with strict
+    natural alignment (8-byte doubles, max 16 — stricter than i386's lax
+    4), whose [double] stores round the value to f32 precision inside a
+    normal 8-byte softfloat container.  Restoring a wide double here
+    loses precision, so pairs into this profile are Illegal for any live
+    double the analysis cannot prove f32-exact. *)
+let wasm32_le_ilp32 = {
+  name = "wasm32_le_ilp32";
+  endian = Endian.Little;
+  short_size = 2; int_size = 4; long_size = 4; ptr_size = 4;
+  float_size = 4; double_size = 8;
+  double_align = 8; long_align = 4; max_align = 16;
+  char_signed = true; double_f32 = true;
+  global_base = 0x0001_0000L;
+  heap_base = 0x0010_0000L;
+  stack_base = 0x0ff0_0000L;
+  speed = 20.0;
+}
+
+let all =
+  [ dec5000; sparc20; ultra5; x86_64; i386;
+    aarch64_le_lp64; riscv64_le_lp64; wasm32_le_ilp32 ]
 
 let by_name name = List.find_opt (fun a -> String.equal a.name name) all
 
@@ -119,8 +193,11 @@ let by_name_exn name =
            (String.concat ", " (List.map (fun a -> a.name) all)))
 
 (** [heterogeneous a b] is true when migrating between [a] and [b] requires
-    nontrivial data translation (differing byte order or any scalar width
-    or alignment difference). *)
+    nontrivial data translation or changes how restored data is read
+    (differing byte order, any scalar width or alignment difference, or
+    an ABI axis like double storage precision or plain-char
+    signedness). *)
 let heterogeneous a b =
   a.endian <> b.endian || a.int_size <> b.int_size || a.long_size <> b.long_size
   || a.ptr_size <> b.ptr_size || a.double_align <> b.double_align
+  || a.double_f32 <> b.double_f32 || a.char_signed <> b.char_signed

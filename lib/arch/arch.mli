@@ -18,6 +18,8 @@ type t = {
   double_align : int;  (** may be < double_size (i386: 4) *)
   long_align : int;
   max_align : int;
+  char_signed : bool;  (** plain [char] signed? false on AArch64 *)
+  double_f32 : bool;  (** stores round doubles to f32 precision (wasm32) *)
   global_base : int64;
   heap_base : int64;
   stack_base : int64;
@@ -44,6 +46,19 @@ val x86_64 : t
     distinct struct padding even against other 32-bit machines. *)
 val i386 : t
 
+(** AArch64 Linux (AAPCS64): LP64 little-endian with unsigned plain
+    [char] — byte-identical migration, semantic signedness hazard. *)
+val aarch64_le_lp64 : t
+
+(** RV64GC Linux (LP64D): LP64 little-endian, signed char; data-axis
+    homogeneous with x86-64 but with distinct segment bases. *)
+val riscv64_le_lp64 : t
+
+(** Constrained wasm32-style profile: ILP32 little-endian with strict
+    natural alignment whose [double] stores round to f32 precision.
+    Migrating a wide double here is lossy. *)
+val wasm32_le_ilp32 : t
+
 val all : t list
 val by_name : string -> t option
 
@@ -51,5 +66,7 @@ val by_name : string -> t option
 val by_name_exn : string -> t
 
 (** True when migrating between the two requires nontrivial data
-    translation (byte order, any width, or alignment differs). *)
+    translation or changes how restored data is read (byte order, any
+    width or alignment, double storage precision, or plain-char
+    signedness differs). *)
 val heterogeneous : t -> t -> bool

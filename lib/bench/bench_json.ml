@@ -4,7 +4,7 @@
     cost counters ({!Hpm_core.Cstats}), the modelled per-operation costs
     ({!Hpm_obs.Obs.Model}), and the network simulator's virtual clock.
     No wall-clock time enters the document, so two runs of the same build
-    emit byte-identical JSON and a committed baseline ([BENCH_0001.json])
+    emit byte-identical JSON and a committed baseline ([BENCH_0002.json])
     can gate regressions in CI: a code change that does more MSRLT
     searches, ships more wire bytes, or stretches the simulated handoff
     shows up as a >10% delta against the baseline.
@@ -79,6 +79,14 @@ type entry = {
   d_incr_bytes : int;
   d_cache_hits : int;
   d_chunks_shipped : int;
+  (* compat: full 8x8 portability matrix of the workload — analysis
+     (pre-compile) time on the model clock plus the verdict census *)
+  p_model_s : float;
+  p_polls : int;
+  p_entries : int;
+  p_checks : int;
+  p_illegal : int;
+  p_lossy : int;
 }
 
 let err fmt = Fmt.kstr failwith fmt
@@ -131,6 +139,20 @@ let run_case (c : case) : entry =
   let incr_wire =
     Hpm_store.Store.encode_delta ~base:mf1 ~lookup:(lookup chunks1) mf2
   in
+  (* portability matrix over the whole catalog: deterministic work
+     counters through the same model clock as collect/restore *)
+  let pa = Hpm_ir.Portability.create m.Migration.prog m.Migration.polls in
+  let reports = Hpm_ir.Portability.analyze_matrix pa Arch.all in
+  let pstats = Hpm_ir.Portability.stats pa in
+  let count v =
+    List.length
+      (List.filter (fun r -> r.Hpm_ir.Portability.p_verdict = v) reports)
+  in
+  let p_model_s =
+    Model.compat_s ~polls:pstats.Hpm_ir.Portability.st_polls
+      ~entries:pstats.Hpm_ir.Portability.st_entries
+      ~checks:pstats.Hpm_ir.Portability.st_checks
+  in
   (* handoff on a second fresh process, clean 10 Mb/s ethernet *)
   let p2 = suspend m c.src c.w_poll in
   let h =
@@ -159,6 +181,12 @@ let run_case (c : case) : entry =
     d_incr_bytes = String.length incr_wire;
     d_cache_hits = d2.Cstats.d_cache_hits;
     d_chunks_shipped = d2.Cstats.d_chunks_shipped;
+    p_model_s;
+    p_polls = pstats.Hpm_ir.Portability.st_polls;
+    p_entries = pstats.Hpm_ir.Portability.st_entries;
+    p_checks = pstats.Hpm_ir.Portability.st_checks;
+    p_illegal = count Hpm_ir.Portability.Illegal;
+    p_lossy = count Hpm_ir.Portability.Lossy;
   }
 
 let run ?(cases = default_cases) () : entry list = List.map run_case cases
@@ -183,13 +211,16 @@ let entry_json (b : Buffer.t) (e : entry) : unit =
         \"data_bytes\": %d },\n\
        \      \"handoff\": { \"sim_s\": %s, \"stream_bytes\": %d },\n\
        \      \"delta\": { \"full_bytes\": %d, \"incr_bytes\": %d, \"cache_hits\": \
-        %d, \"chunks_shipped\": %d }\n\
+        %d, \"chunks_shipped\": %d },\n\
+       \      \"compat\": { \"model_s\": %s, \"polls\": %d, \"entries\": %d, \
+        \"checks\": %d, \"illegal_pairs\": %d, \"lossy_pairs\": %d }\n\
        \    }"
        c.w_name c.w_n c.w_poll c.src.Arch.name c.dst.Arch.name (fnum e.c_model_s)
        e.c_searches e.c_blocks e.c_data_bytes e.c_stream_bytes e.c_pointers
        (fnum e.r_model_s) e.r_updates e.r_blocks e.r_data_bytes (fnum e.h_sim_s)
        e.h_stream_bytes e.d_full_bytes e.d_incr_bytes e.d_cache_hits
-       e.d_chunks_shipped)
+       e.d_chunks_shipped (fnum e.p_model_s) e.p_polls e.p_entries e.p_checks
+       e.p_illegal e.p_lossy)
 
 (** Render the versioned document.  Deterministic for a given build. *)
 let to_json (entries : entry list) : string =

@@ -42,9 +42,12 @@ type migratable = {
     @raise Hpm_lang.Lexer.Error, Hpm_lang.Parser.Error on syntax errors
     @raise Hpm_lang.Typecheck.Error on type errors
     @raise Hpm_ir.Unsafe.Rejected when migration-unsafe features or lint
-    errors are found *)
-let prepare ?(strategy = Pollpoint.default_strategy) ?(lint = true) (source : string) :
-    migratable =
+    errors are found
+    @raise Hpm_ir.Diag.Rejected when [require_compat = Some (src, dst)]
+    and the portability analysis finds a hard incompatibility ([HPM-E20x])
+    for that ordered pair at any poll-point *)
+let prepare ?(strategy = Pollpoint.default_strategy) ?(lint = true) ?require_compat
+    (source : string) : migratable =
   let ast = Hpm_lang.Parser.parse_string source in
   let ast = Hpm_lang.Scopes.normalize ast in
   let ast = Hpm_lang.Typecheck.check_program ast in
@@ -54,6 +57,16 @@ let prepare ?(strategy = Pollpoint.default_strategy) ?(lint = true) (source : st
   let diags =
     if lint then diags @ Diag.reject_on_errors (Lint.check_ir prog)
     else diags
+  in
+  let diags =
+    match require_compat with
+    | None -> diags
+    | Some (src, dst) ->
+        let r = Portability.analyze prog polls ~src ~dst in
+        let pair_diags =
+          List.concat_map (fun p -> p.Portability.r_diags) r.Portability.p_polls
+        in
+        diags @ Diag.reject_on_errors pair_diags
   in
   let ti = Ti.build prog in
   { source; ast; prog; polls; ti; diags }

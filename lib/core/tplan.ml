@@ -35,7 +35,9 @@ let batch_field (layout : Layout.t) off (kind : Ty.scalar_kind) : Batch.field =
   let f_class =
     match kind with
     | Ty.KFloat -> Batch.Ff32
-    | Ty.KDouble -> Batch.Ff64
+    | Ty.KDouble ->
+        if layout.Layout.arch.Hpm_arch.Arch.double_f32 then Batch.Ff64r
+        else Batch.Ff64
     | _ -> Batch.Fint
   in
   { Batch.f_off = off; f_mem_w = mem_w; f_wire_w = wire_w; f_class }

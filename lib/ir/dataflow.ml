@@ -42,6 +42,13 @@ module type PROBLEM = sig
       *after* the instruction in program order) *)
 
   val transfer_term : Ir.func -> Ir.term -> L.t -> L.t
+
+  val transfer_edge : Ir.func -> Ir.term -> succ:int -> L.t -> L.t
+  (** [transfer_edge fn term ~succ fact] refines the fact flowing along
+      the CFG edge from the block ending in [term] to block [succ] —
+      e.g. an interval analysis narrowing a counter on the taken side of
+      [Tif (i < n)].  Only consulted by forward problems; analyses that
+      do not refine on branches return [fact] unchanged. *)
 end
 
 module Make (P : PROBLEM) = struct
@@ -88,13 +95,29 @@ module Make (P : PROBLEM) = struct
           let incoming =
             List.fold_left
               (fun acc src ->
-                P.L.join acc
-                  (block_transfer fn fn.Ir.blocks.(src) entry_facts.(src)))
+                let fact =
+                  block_transfer fn fn.Ir.blocks.(src) entry_facts.(src)
+                in
+                let fact =
+                  match P.direction with
+                  | Forward ->
+                      P.transfer_edge fn fn.Ir.blocks.(src).Ir.term ~succ:bi fact
+                  | Backward -> fact
+                in
+                P.L.join acc fact)
               P.L.bottom edges_in.(bi)
           in
           let incoming =
             if is_boundary bi then P.L.join incoming (P.boundary fn) else incoming
           in
+          (* Accumulate into the old fact instead of replacing it.  For a
+             monotone problem iterated from bottom this is the identity
+             (facts only grow), but it also makes every [entry_facts]
+             cell an ascending chain, so problems whose join widens (the
+             interval analysis rounds moving bounds to thresholds — not
+             monotone pass-to-pass) still terminate instead of
+             oscillating around the fixpoint. *)
+          let incoming = P.L.join entry_facts.(bi) incoming in
           if not (P.L.equal incoming entry_facts.(bi)) then (
             entry_facts.(bi) <- incoming;
             changed := true))

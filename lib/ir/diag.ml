@@ -7,8 +7,11 @@
 
     Codes are stable identifiers of the form [HPM-Exxx] (error) and
     [HPM-Wxxx] (warning): the [0xx] range is the syntactic unsafe-feature
-    scan, the [1xx] range the dataflow lint.  [docs/DIAGNOSTICS.md]
-    catalogues each code with a minimal triggering example. *)
+    scan, the [1xx] range the dataflow lint, and the [20x]/[21x] ranges
+    the arch-pair portability analysis ({!Portability}: [E20x] hard
+    incompatibilities, [W21x] value-dependent hazards).
+    [docs/DIAGNOSTICS.md] catalogues each code with a minimal triggering
+    example. *)
 
 open Hpm_lang
 
@@ -38,6 +41,11 @@ let registry =
     { i_code = "HPM-E103"; i_sev = Error; i_title = "possibly-wild pointer live at poll-point" };
     { i_code = "HPM-W104"; i_sev = Warning; i_title = "possible double free" };
     { i_code = "HPM-W105"; i_sev = Warning; i_title = "dead store" };
+    { i_code = "HPM-E201"; i_sev = Error; i_title = "long provably exceeds destination long range" };
+    { i_code = "HPM-E202"; i_sev = Error; i_title = "wide double demoted to f32 on destination" };
+    { i_code = "HPM-E203"; i_sev = Error; i_title = "byte-reinterpreted type laid out differently on destination" };
+    { i_code = "HPM-W211"; i_sev = Warning; i_title = "long may exceed destination long range" };
+    { i_code = "HPM-W212"; i_sev = Warning; i_title = "possibly-negative char crosses a char-signedness change" };
   ]
 
 let find_info code = List.find_opt (fun i -> String.equal i.i_code code) registry

@@ -121,6 +121,7 @@ module UninitFlow = Dataflow.Make (struct
   let boundary (fn : Ir.func) = SS.of_list (List.map fst fn.Ir.locals)
   let transfer_instr _ ins fact = SS.diff fact (inits_of_instr ins)
   let transfer_term _ _ fact = fact
+  let transfer_edge _ _ ~succ:_ fact = fact
 end)
 
 (* Read-before-init (backward, may): is there a path on which [v]'s
@@ -191,6 +192,7 @@ module ReadFlow = Dataflow.Make (struct
     SS.union (SS.diff fact (inits_of_instr ins)) (instr_reads ins)
 
   let transfer_term _ t fact = SS.union fact (Liveness.term_uses t)
+  let transfer_edge _ _ ~succ:_ fact = fact
 end)
 
 (* ------------------------------------------------------------------ *)
@@ -290,6 +292,7 @@ module PtrFlow = Dataflow.Make (struct
     | _ -> fact
 
   let transfer_term _ _ fact = fact
+  let transfer_edge _ _ ~succ:_ fact = fact
 end)
 
 (* ------------------------------------------------------------------ *)
@@ -538,9 +541,14 @@ let pp_footprint_entry ppf (e : footprint_entry) =
     e.fp_vars
 
 let footprint_json_one (e : footprint_entry) =
-  Printf.sprintf {|{"poll":%d,"fn":"%s","line":%d,"col":%d,"live":%d,"bytes":%d}|}
+  (* field parity with {!pp_footprint_entry}: the JSON carries the same
+     poll id and kind the text report shows *)
+  Printf.sprintf
+    {|{"poll":%d,"fn":"%s","kind":"%s","line":%d,"col":%d,"live":%d,"bytes":%d}|}
     e.fp_poll.Pollpoint.id
     (Diag.json_escape e.fp_poll.Pollpoint.fn)
+    (Diag.json_escape
+       (Fmt.str "%a" Pollpoint.pp_kind e.fp_poll.Pollpoint.kind))
     e.fp_loc.Ast.line e.fp_loc.Ast.col
     (List.length e.fp_vars) e.fp_bytes
 

@@ -99,6 +99,7 @@ module Flow = Dataflow.Make (struct
     SS.union (SS.diff live (instr_defs ins)) (instr_uses ins)
 
   let transfer_term _ t live = SS.union live (term_uses t)
+  let transfer_edge _ _ ~succ:_ fact = fact
 end)
 
 type t = {

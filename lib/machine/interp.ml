@@ -93,9 +93,12 @@ let scalar_kind_exn ty =
 
 let width_of t ty = Layout.scalar_size t.mem.Mem.layout (scalar_kind_exn ty)
 
-(* Wrap an integer to the width of [ty] on this machine (sign-extended). *)
+(* Wrap an integer to the width of [ty] on this machine (sign-extended,
+   except plain [char] on unsigned-char ABIs, which zero-extends). *)
 let wrap t ty v =
   match ty with
+  | Ty.Char when not t.arch.Arch.char_signed ->
+      Int64.logand v 0xffL
   | Ty.Char | Ty.Short | Ty.Int | Ty.Long -> Endian.sign_extend (width_of t ty) v
   | _ -> v
 

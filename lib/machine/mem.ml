@@ -312,6 +312,9 @@ let load_scalar t (b : block) off (kind : Ty.scalar_kind) : value =
   check_range b off size "load";
   if b.freed then fault "load from freed block #%d" b.bid;
   match kind with
+  | Ty.KChar when not t.arch.Arch.char_signed ->
+      (* unsigned plain char (AArch64): same stored byte, zero-extended *)
+      Vint (Endian.get_uint order size b.bytes off)
   | Ty.KChar | Ty.KShort | Ty.KInt | Ty.KLong ->
       Vint (Endian.get_int order size b.bytes off)
   | Ty.KFloat -> Vfloat (Endian.get_f32 order b.bytes off)
@@ -328,7 +331,14 @@ let store_scalar t (b : block) off (kind : Ty.scalar_kind) (v : value) =
   | (Ty.KChar | Ty.KShort | Ty.KInt | Ty.KLong), Vint x ->
       Endian.set_int order size b.bytes off x
   | Ty.KFloat, Vfloat x -> Endian.set_f32 order b.bytes off x
-  | Ty.KDouble, Vfloat x -> Endian.set_f64 order b.bytes off x
+  | Ty.KDouble, Vfloat x ->
+      (* double_f32 machines keep the 8-byte slot but round every stored
+         value to f32 precision (softfloat container) *)
+      let x =
+        if t.arch.Arch.double_f32 then Int32.float_of_bits (Int32.bits_of_float x)
+        else x
+      in
+      Endian.set_f64 order b.bytes off x
   | (Ty.KPtr _ | Ty.KFunc _), Vptr x -> Endian.set_uint order size b.bytes off x
   | (Ty.KPtr _ | Ty.KFunc _), Vint 0L -> Endian.set_uint order size b.bytes off 0L
   | k, v ->

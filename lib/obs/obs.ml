@@ -432,6 +432,19 @@ module Model = struct
   let verify_s ~blocks ~pointers =
     (float_of_int blocks *. block_s)
     +. (float_of_int pointers *. verify_pointer_s)
+
+  (* portability analysis (pre-compile time, not migration time): a
+     poll summary is one interval-dataflow solve plus a live-set walk,
+     an entry is one abstract value carried in a summary, a check is
+     one per-entry axis comparison in a pair verdict *)
+  let compat_poll_s = 900e-9
+  let compat_entry_s = 180e-9
+  let compat_check_s = 25e-9
+
+  let compat_s ~polls ~entries ~checks =
+    (float_of_int polls *. compat_poll_s)
+    +. (float_of_int entries *. compat_entry_s)
+    +. (float_of_int checks *. compat_check_s)
 end
 
 (* ------------------------------------------------------------------ *)

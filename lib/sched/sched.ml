@@ -68,6 +68,9 @@ type proc = {
   mutable p_pending_dst : node option;  (** where the scheduler wants it *)
   mutable p_epoch : int;                (** next handoff incarnation number *)
   mutable p_migrations : int;
+  mutable p_compat_rejected : int;
+      (** placement requests refused up front: the portability analysis
+          found the (src, dst) arch pair Illegal for this program *)
   mutable p_failed_migrations : int;    (** epochs aborted (link or node faults) *)
   mutable p_recoveries : int;           (** resumes from a retained checkpoint *)
   mutable p_requeues : int;             (** checkpoints re-queued to a third node *)
@@ -105,6 +108,8 @@ type mig_stats = {
 type event =
   | Spawned of float * string * string            (* time, proc, node *)
   | Requested of float * string * string * string (* time, proc, from, to *)
+  | Compat_rejected of float * string * string * string
+      (* time, proc, from, to: placement refused, pair is Illegal *)
   | Migrated of float * string * string * string * mig_stats
       (* time, proc, from, to, cost *)
   | Migration_failed of float * string * string * string * int * float
@@ -122,6 +127,9 @@ type t = {
   handoff : Handoff.config;
   quantum_s : float;
   base_ips : float;            (** instructions/simulated-second at speed 1.0 *)
+  compat : (Migration.migratable -> src:Arch.t -> dst:Arch.t -> bool) option;
+      (** placement gate: when set, {!request_migration} refuses pairs
+          the predicate rejects (see {!Hpm_core.Compat.ok}) *)
   store : Store.t option;      (** shared checkpoint store (cluster storage) *)
   ckpt_every_s : float option; (** periodic background checkpoint interval *)
   precopy : Precopy.config option;
@@ -134,7 +142,7 @@ type t = {
 
 let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
     ?(transport = Transport.default_config) ?handoff ?store ?ckpt_every_s ?precopy
-    ~channel nodes =
+    ?compat ~channel nodes =
   let handoff =
     match handoff with
     | Some h -> h
@@ -153,6 +161,7 @@ let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
     handoff;
     quantum_s;
     base_ips;
+    compat;
     store;
     ckpt_every_s;
     precopy;
@@ -173,6 +182,7 @@ let log t e =
       match e with
       | Spawned (at, p, _) -> (at, "sched.spawned", p)
       | Requested (at, p, _, _) -> (at, "sched.requested", p)
+      | Compat_rejected (at, p, _, _) -> (at, "sched.compat-rejected", p)
       | Migrated (at, p, _, _, _) -> (at, "sched.migrated", p)
       | Migration_failed (at, p, _, _, _, _) -> (at, "sched.migration-failed", p)
       | Recovered (at, p, _, _) -> (at, "sched.recovered", p)
@@ -184,6 +194,7 @@ let log t e =
       match e with
       | Spawned _ -> "hpm_sched_spawns_total"
       | Requested _ -> "hpm_sched_requests_total"
+      | Compat_rejected _ -> "hpm_sched_compat_rejected_total"
       | Migrated _ -> "hpm_sched_migrations_total"
       | Migration_failed _ -> "hpm_sched_failed_migrations_total"
       | Recovered _ -> "hpm_sched_recoveries_total"
@@ -208,6 +219,7 @@ let spawn t (nd : node) name (m : Migration.migratable) : proc =
       p_pending_dst = None;
       p_epoch = 1;
       p_migrations = 0;
+      p_compat_rejected = 0;
       p_failed_migrations = 0;
       p_recoveries = 0;
       p_requeues = 0;
@@ -229,13 +241,26 @@ let spawn t (nd : node) name (m : Migration.migratable) : proc =
   log t (Spawned (t.now, name, nd.n_name));
   p
 
+(** May the scheduler place [p] onto [dst] at all?  [true] without a
+    compat gate; with one, exactly {!Hpm_core.Compat.ok} for the pair. *)
+let placement_ok t (p : proc) (dst : node) =
+  match t.compat with
+  | None -> true
+  | Some ok -> ok p.p_m ~src:p.p_node.n_arch ~dst:dst.n_arch
+
 (** Scheduler action: ask [p] to migrate to [dst].  The request is noticed
-    at the process's next poll-point. *)
+    at the process's next poll-point.  With a compat gate, a destination
+    whose arch pair is Illegal for [p]'s program is refused up front —
+    the process never even attempts the move ([Compat_rejected]). *)
 let request_migration t (p : proc) (dst : node) =
-  if dst != p.p_node then (
-    p.p_pending_dst <- Some dst;
-    Interp.request_migration p.p_interp;
-    log t (Requested (t.now, p.p_name, p.p_node.n_name, dst.n_name)))
+  if dst != p.p_node then
+    if not (placement_ok t p dst) then (
+      p.p_compat_rejected <- p.p_compat_rejected + 1;
+      log t (Compat_rejected (t.now, p.p_name, p.p_node.n_name, dst.n_name)))
+    else (
+      p.p_pending_dst <- Some dst;
+      Interp.request_migration p.p_interp;
+      log t (Requested (t.now, p.p_name, p.p_node.n_name, dst.n_name)))
 
 let least_loaded_except t (avoid : node list) : node option =
   List.fold_left
@@ -622,6 +647,9 @@ let seek_fastest (t : t) =
 let pp_event ppf = function
   | Spawned (ts, p, n) -> Fmt.pf ppf "[%8.3fs] spawn    %s on %s" ts p n
   | Requested (ts, p, a, b) -> Fmt.pf ppf "[%8.3fs] request  %s: %s -> %s" ts p a b
+  | Compat_rejected (ts, p, a, b) ->
+      Fmt.pf ppf "[%8.3fs] REJECT   %s: %s -> %s (arch pair illegal for this program)"
+        ts p a b
   | Migrated (ts, p, a, b, ms) ->
       Fmt.pf ppf
         "[%8.3fs] migrate  %s: %s -> %s (epoch %d: %d stream B, %dB collected, %dB restored, %d retries, %.2f ms)%a"

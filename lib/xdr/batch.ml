@@ -37,6 +37,10 @@ type fclass =
   | Fint  (** sign-extended integer: char/short/int/long *)
   | Ff32  (** 32-bit IEEE float (conversion-faithful) *)
   | Ff64  (** 64-bit IEEE double (bit-pattern copy) *)
+  | Ff64r
+      (** 64-bit double on a [double_f32] machine: the 8-byte slot only
+          ever holds f32-exact values, so encode is a bit-pattern copy,
+          but decode must reproduce the machine's store rounding *)
 
 (** One scalar field of a run: byte offset inside the block, its width in
     source/destination memory, and its canonical wire width. *)
@@ -51,6 +55,9 @@ type op =
       (** (mem_off, mem_w): integer narrower than 8 wire bytes;
           sign-extend on encode, truncate on decode *)
   | F32 of int         (** (mem_off): conversion-faithful 32-bit float *)
+  | Round64 of int
+      (** (mem_off): full-width double whose destination store rounds to
+          f32 precision — identity on encode, demoting on decode *)
 
 type plan = {
   p_order : Endian.order;  (** memory byte order of the run's machine *)
@@ -77,6 +84,9 @@ let compile (order : Endian.order) (fields : field list) : plan =
       mem_end := max !mem_end (f.f_off + f.f_mem_w);
       match f.f_class with
       | Ff32 -> emit (F32 f.f_off)
+      | Ff64r ->
+          assert (f.f_mem_w = 8 && f.f_wire_w = 8);
+          emit (Round64 f.f_off)
       | Fint when f.f_mem_w < f.f_wire_w -> emit (Widen (f.f_off, f.f_mem_w))
       | Fint | Ff64 -> (
           assert (f.f_mem_w = f.f_wire_w);
@@ -124,7 +134,17 @@ let encode (p : plan) (b : Buffer.t) (src : Bytes.t) : unit =
           let v = Endian.get_f32 order src off in
           let tmp = Bytes.create 4 in
           Endian.set_f32 Endian.Big tmp 0 v;
-          Buffer.add_bytes b tmp)
+          Buffer.add_bytes b tmp
+      | Round64 off -> (
+          (* the slot already holds an f32-exact value (every store on a
+             double_f32 machine rounds), so encode is the bit-pattern
+             identity of the per-field get_f64/put_f64 round-trip *)
+          match order with
+          | Endian.Big -> Buffer.add_subbytes b src off 8
+          | Endian.Little ->
+              for i = 7 downto 0 do
+                Buffer.add_char b (Bytes.unsafe_get src (off + i))
+              done))
     p.p_ops
 
 (** Decode the run from [r] into [dst] (a block's bytes), narrowing to
@@ -158,6 +178,12 @@ let decode (p : plan) (r : Xdr.rbuf) (dst : Bytes.t) : unit =
       | F32 off ->
           let v = Endian.get_f32 Endian.Big data !pos in
           Endian.set_f32 order dst off v;
-          pos := !pos + 4)
+          pos := !pos + 4
+      | Round64 off ->
+          (* reproduce Mem.store_scalar's f32 rounding on this machine *)
+          let v = Endian.get_f64 Endian.Big data !pos in
+          let v = Int32.float_of_bits (Int32.bits_of_float v) in
+          Endian.set_f64 order dst off v;
+          pos := !pos + 8)
     p.p_ops;
   r.Xdr.pos <- !pos

@@ -10,6 +10,7 @@
 #   handoff.sim_s          simulated end-to-end handoff   (paper "Tmig")
 #   collect.stream_bytes   v2 stream size — any growth is a wire change
 #   delta.incr_bytes       incremental v3 delta size
+#   compat.model_s         cost-model portability-analysis time (8x8 matrix)
 #
 # Byte metrics are gated as strictly as times: the stream is canonical,
 # so even a 1-byte growth means the wire format moved and the golden
@@ -46,7 +47,8 @@ regressions=$(jq -n --argjson thr "$threshold" \
     "restore.model_s":      .restore.model_s,
     "handoff.sim_s":        .handoff.sim_s,
     "collect.stream_bytes": .collect.stream_bytes,
-    "delta.incr_bytes":     .delta.incr_bytes
+    "delta.incr_bytes":     .delta.incr_bytes,
+    "compat.model_s":       .compat.model_s
   };
   ($base[0].entries | map({(key): metrics}) | add) as $b
   | [ $new[0].entries[]

@@ -4,7 +4,7 @@ open Hpm_arch
 open Util
 
 let test_catalog () =
-  check_int "five architectures" 5 (List.length Arch.all);
+  check_int "eight architectures" 8 (List.length Arch.all);
   List.iter
     (fun (a : Arch.t) ->
       check_bool (a.Arch.name ^ " lookup") true (Arch.by_name a.Arch.name = Some a))
@@ -34,6 +34,24 @@ let test_width_axes () =
   (* i386 differs from dec5000 only in alignment — still heterogeneous *)
   check_bool "i386/dec5000 heterogeneous" true (Arch.heterogeneous Arch.i386 Arch.dec5000)
 
+let test_portability_axes () =
+  (* the three Issue-7 profiles exercise the remaining portability axes *)
+  check_bool "aarch64 unsigned char" false Arch.aarch64_le_lp64.Arch.char_signed;
+  check_int "aarch64 long" 8 Arch.aarch64_le_lp64.Arch.long_size;
+  check_bool "riscv64 signed char" true Arch.riscv64_le_lp64.Arch.char_signed;
+  check_int "riscv64 ptr" 8 Arch.riscv64_le_lp64.Arch.ptr_size;
+  check_bool "wasm32 f32 doubles" true Arch.wasm32_le_ilp32.Arch.double_f32;
+  check_int "wasm32 long" 4 Arch.wasm32_le_ilp32.Arch.long_size;
+  (* char signedness alone makes a pair heterogeneous *)
+  check_bool "aarch64/riscv64 heterogeneous" true
+    (Arch.heterogeneous Arch.aarch64_le_lp64 Arch.riscv64_le_lp64);
+  (* the classic catalog keeps signed chars and hard doubles *)
+  List.iter
+    (fun (a : Arch.t) ->
+      check_bool (a.Arch.name ^ " signed char") true a.Arch.char_signed;
+      check_bool (a.Arch.name ^ " hard doubles") false a.Arch.double_f32)
+    [ Arch.dec5000; Arch.sparc20; Arch.ultra5; Arch.i386; Arch.x86_64 ]
+
 let test_segments_disjoint () =
   List.iter
     (fun (a : Arch.t) ->
@@ -49,5 +67,6 @@ let suite =
     tc "catalog and lookup" test_catalog;
     tc "the paper's machines" test_paper_machines;
     tc "width and alignment axes" test_width_axes;
+    tc "portability axes of the new profiles" test_portability_axes;
     tc "segment bases are ordered" test_segments_disjoint;
   ]

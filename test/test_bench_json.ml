@@ -1,7 +1,7 @@
 (** The BENCH_v1 document: schema shape and determinism.
 
     The bench gate in CI diffs a freshly generated document against the
-    committed [BENCH_0001.json] baseline, which only works if (a) the
+    committed baseline (the newest [BENCH_000N.json]), which only works if (a) the
     schema is stable and (b) two runs of the same build emit identical
     bytes.  Both are pinned here on a single fast case; the full suite's
     coverage (workload × arch-pair grid) is checked structurally. *)
@@ -26,7 +26,8 @@ let test_required_keys () =
       "schema"; "version"; "entries"; "workload"; "n"; "poll"; "src_arch"; "dst_arch";
       "collect"; "model_s"; "searches"; "blocks"; "data_bytes"; "stream_bytes";
       "pointers"; "restore"; "updates"; "handoff"; "sim_s"; "delta"; "full_bytes";
-      "incr_bytes"; "cache_hits"; "chunks_shipped";
+      "incr_bytes"; "cache_hits"; "chunks_shipped"; "compat"; "polls"; "entries";
+      "checks"; "illegal_pairs"; "lossy_pairs";
     ];
   check_bool "schema tag" true (contains_sub j "\"schema\": \"BENCH_v1\"");
   check_bool "version field" true (contains_sub j "\"version\": 1")
@@ -49,7 +50,17 @@ let test_values_sane () =
   check_bool "incremental delta no larger than full" true
     (e.Bench_json.d_incr_bytes <= e.Bench_json.d_full_bytes);
   check_bool "handoff ships the collected stream" true
-    (e.Bench_json.h_stream_bytes = e.Bench_json.c_stream_bytes)
+    (e.Bench_json.h_stream_bytes = e.Bench_json.c_stream_bytes);
+  (* compat: the matrix analysed something, and the verdict census stays
+     within the 64 ordered pairs *)
+  check_bool "compat model time positive" true (e.Bench_json.p_model_s > 0.0);
+  check_bool "compat summarized polls" true (e.Bench_json.p_polls > 0);
+  check_bool "compat checked entries" true
+    (e.Bench_json.p_checks >= e.Bench_json.p_entries);
+  check_bool "verdict census bounded" true
+    (e.Bench_json.p_illegal >= 0
+    && e.Bench_json.p_lossy >= 0
+    && e.Bench_json.p_illegal + e.Bench_json.p_lossy <= 64)
 
 let test_deterministic () =
   let j1 = Bench_json.to_json [ Bench_json.run_case fast_case ] in

@@ -260,6 +260,60 @@ let test_footprint () =
       check_bool "json has footprint" true (contains_sub js {|"footprint":[{|});
       check_bool "json has bytes" true (contains_sub js {|"bytes":12|})
 
+(* Regression lock for the footprint JSON schema: each entry must carry
+   the poll id and the poll kind, so downstream consumers (the CI compat
+   job, the bench harness) can key on them.  The ids must be exactly the
+   poll-table ids, in table order. *)
+let test_footprint_json_fields () =
+  let src =
+    {|int work(int n) {
+  int i;
+  int acc;
+  acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    acc = acc + i;
+  }
+  #pragma poll here
+  return acc;
+}
+int main() {
+  print_int(work(5));
+  return 0;
+}
+|}
+  in
+  let a = Lint.analyze_source src in
+  match a.Lint.a_prog with
+  | None -> Alcotest.fail "expected a lowered program"
+  | Some (prog, polls) ->
+      let fp = Lint.footprint prog polls Hpm_arch.Arch.ultra5 in
+      let js = Lint.report_json ~file:"f.c" a.Lint.a_diags (Some fp) in
+      (* every poll id appears as a "poll" key, in poll-table order *)
+      let last = ref (-1) in
+      List.iter
+        (fun (p : Pollpoint.info) ->
+          let key = Printf.sprintf {|{"poll":%d,"fn":|} p.Pollpoint.id in
+          check_bool (Printf.sprintf "entry for poll %d" p.Pollpoint.id) true
+            (contains_sub js key);
+          let idx =
+            let n = String.length js and kn = String.length key in
+            let rec go i = if String.sub js i kn = key then i else go (i + 1) in
+            ignore n; go 0
+          in
+          check_bool "entries in table order" true (idx > !last);
+          last := idx)
+        polls.Pollpoint.polls;
+      (* each entry names its kind with the same rendering pp_kind uses *)
+      check_bool "loop kind" true (contains_sub js {|"kind":"loop-header"|});
+      check_bool "entry kind" true (contains_sub js {|"kind":"fn-entry"|});
+      check_bool "user kind" true (contains_sub js {|"kind":"user:here"|});
+      List.iter
+        (fun (e : Lint.footprint_entry) ->
+          let kind = Fmt.str "%a" Pollpoint.pp_kind e.Lint.fp_poll.Pollpoint.kind in
+          check_bool ("kind rendered: " ^ kind) true
+            (contains_sub js (Printf.sprintf {|"kind":"%s"|} kind)))
+        fp
+
 let suite =
   [
     tc "seeded defects are flagged" test_defect_corpus;
@@ -273,4 +327,5 @@ let suite =
     tc "unregistered codes rejected" test_unregistered_code_rejected;
     tc "json report shape" test_json_shape;
     tc "migration footprint" test_footprint;
+    tc "footprint json keeps poll ids and kinds" test_footprint_json_fields;
   ]

@@ -26,6 +26,7 @@ let () =
       ("msr", Test_msr.suite);
       ("collect-restore", Test_collect_restore.suite);
       ("migration", Test_migration.suite);
+      ("portability", Test_portability.suite);
       ("matrix", Test_matrix.suite);
       ("failure-injection", Test_failure.suite);
       ("transport", Test_transport.suite);

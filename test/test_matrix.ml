@@ -1,18 +1,31 @@
 (** Cross-architecture conformance matrix — the systematic version of
-    the spot checks in [Test_migration].
+    the spot checks in [Test_migration], gated by the {!Portability}
+    compatibility verdict.
 
-    Every registry workload is migrated across *every* ordered pair of
-    the five architecture profiles (self-pairs included: Table 1's
-    homogeneous setting) at an early, middle, and late poll point.  The
-    oracle is the §4.1 consistency criterion: combined output equals an
-    unmigrated run on the source machine.
+    Every registry workload is checked across *every* ordered pair of
+    the eight architecture profiles (self-pairs included: Table 1's
+    homogeneous setting) at an early, middle, and late poll point, with
+    the per-pair verdict from {!Hpm_core.Compat} deciding what each cell
+    must prove:
 
-    Width caveat, faithful to C: a workload whose [long] arithmetic
-    overflows 32 bits is width-dependent, so when such a workload crosses
-    an ILP32/LP64 boundary the byte-for-byte oracle does not apply —
-    those cells instead assert that the migration itself completes and
-    the process runs to a normal exit (no cell may crash, whatever the
-    pair). *)
+    - [Illegal]: the pre-compiler gate refuses the pair up front —
+      [Migration.prepare ~require_compat] must raise [Diag.Rejected]
+      (and the cell does not migrate);
+    - [Legal] on an execution-equivalent pair: migration must be
+      semantically invisible — combined output and return value equal an
+      unmigrated run on the source machine, byte for byte;
+    - [Lossy], or [Legal] across an execution-semantics boundary (see
+      below): the migration must still complete into a normal exit.
+
+    Execution-equivalence caveat, faithful to C: the verdict judges the
+    {e collected data} at the poll, not the instructions executed after
+    restore.  A workload whose [long] arithmetic overflows 32 bits
+    behaves width-dependently, and any double arithmetic behaves
+    precision-dependently across a [double_f32] boundary — in both cases
+    the destination legitimately computes different (still correct-to-C)
+    values downstream, so the byte-for-byte oracle applies only when the
+    pair agrees on those execution axes (or the workload is insensitive
+    to them). *)
 
 open Hpm_core
 open Util
@@ -29,15 +42,35 @@ let width_compatible (a : Hpm_arch.Arch.t) (b : Hpm_arch.Arch.t) =
   a.Hpm_arch.Arch.long_size = b.Hpm_arch.Arch.long_size
   && a.Hpm_arch.Arch.ptr_size = b.Hpm_arch.Arch.ptr_size
 
+(* Does the pair execute doubles identically?  A [double_f32] machine
+   rounds every double store, so code running after the migration
+   produces different values than the all-source reference unless the
+   workload computes no doubles at all. *)
+let fp_compatible ~(uses_double : bool) (a : Hpm_arch.Arch.t) (b : Hpm_arch.Arch.t) =
+  (not uses_double) || a.Hpm_arch.Arch.double_f32 = b.Hpm_arch.Arch.double_f32
+
+let prog_uses_double (prog : Hpm_ir.Ir.prog) =
+  let dbl ty = ty = Hpm_lang.Ty.Double in
+  List.exists (fun (_, ty, _) -> dbl ty) prog.Hpm_ir.Ir.globals
+  || List.exists
+       (fun (f : Hpm_ir.Ir.func) ->
+         List.exists (fun (_, ty) -> dbl ty) f.Hpm_ir.Ir.params
+         || List.exists (fun (_, ty) -> dbl ty) f.Hpm_ir.Ir.locals
+         || dbl f.Hpm_ir.Ir.ret)
+       prog.Hpm_ir.Ir.funcs
+
 let cell_name w (a : Hpm_arch.Arch.t) (b : Hpm_arch.Arch.t) k =
   Printf.sprintf "%s %s->%s @%d" w a.Hpm_arch.Arch.name b.Hpm_arch.Arch.name k
 
 let run_matrix_for (w : Hpm_workloads.Registry.t) () =
   let name = w.Hpm_workloads.Registry.name in
-  let m = prepare (w.Hpm_workloads.Registry.source w.Hpm_workloads.Registry.default_n) in
+  let src = w.Hpm_workloads.Registry.source w.Hpm_workloads.Registry.default_n in
+  let m = prepare src in
+  let compat = Compat.create m.Migration.prog m.Migration.polls in
+  let uses_double = prog_uses_double m.Migration.prog in
   (* one reference output per source machine; equal-width machines agree,
      so the src-arch reference is the right oracle for every exact cell *)
-  let refs = Hashtbl.create 5 in
+  let refs = Hashtbl.create 8 in
   let ref_on (a : Hpm_arch.Arch.t) =
     match Hashtbl.find_opt refs a.Hpm_arch.Arch.name with
     | Some r -> r
@@ -46,33 +79,54 @@ let run_matrix_for (w : Hpm_workloads.Registry.t) () =
         Hashtbl.add refs a.Hpm_arch.Arch.name (out, ret);
         (out, ret)
   in
-  let cells = ref 0 and exact = ref 0 in
+  let cells = ref 0 and exact = ref 0 and rejected = ref 0 in
   List.iter
     (fun (a, b) ->
-      List.iter
-        (fun k ->
-          incr cells;
-          let o = Migration.run_migrating m ~src_arch:a ~dst_arch:b ~after_polls:k () in
-          if width_compatible a b || w.Hpm_workloads.Registry.wide_safe then (
-            incr exact;
-            let ref_out, ref_ret = ref_on a in
-            check_string (cell_name name a b k) ref_out o.Migration.output;
-            check_bool (cell_name name a b k ^ " return") true
-              (match (ref_ret, o.Migration.return_value) with
-              | Some x, Some y -> Hpm_machine.Mem.value_equal x y
-              | None, None -> true
-              | _ -> false))
-          else
-            (* width-dependent workload across a width boundary: the
-               migration must still complete into a normal exit *)
-            check_bool (cell_name name a b k ^ " completes") true
-              (o.Migration.return_value <> None || String.length o.Migration.output > 0))
-        poll_points)
+      match Compat.verdict compat ~src:a ~dst:b with
+      | Hpm_ir.Portability.Illegal ->
+          (* the pre-compiler gate must refuse the pair outright *)
+          expect_raise
+            (cell_name name a b 0 ^ " rejected")
+            (function Hpm_ir.Diag.Rejected _ -> true | _ -> false)
+            (fun () -> Migration.prepare ~require_compat:(a, b) src);
+          cells := !cells + List.length poll_points;
+          rejected := !rejected + List.length poll_points
+      | (Hpm_ir.Portability.Legal | Hpm_ir.Portability.Lossy) as v ->
+          List.iter
+            (fun k ->
+              incr cells;
+              let o =
+                Migration.run_migrating m ~src_arch:a ~dst_arch:b ~after_polls:k ()
+              in
+              let exec_equiv =
+                (width_compatible a b || w.Hpm_workloads.Registry.wide_safe)
+                && fp_compatible ~uses_double a b
+              in
+              if v = Hpm_ir.Portability.Legal && exec_equiv then (
+                incr exact;
+                let ref_out, ref_ret = ref_on a in
+                check_string (cell_name name a b k) ref_out o.Migration.output;
+                check_bool (cell_name name a b k ^ " return") true
+                  (match (ref_ret, o.Migration.return_value) with
+                  | Some x, Some y -> Hpm_machine.Mem.value_equal x y
+                  | None, None -> true
+                  | _ -> false))
+              else
+                (* lossy pair, or legal data across an execution-semantics
+                   boundary: the migration must still complete normally *)
+                check_bool
+                  (cell_name name a b k ^ " completes")
+                  true
+                  (o.Migration.return_value <> None
+                  || String.length o.Migration.output > 0))
+            poll_points)
     arch_pairs;
-  (* the matrix really is total: 5x5 ordered pairs x 3 poll points *)
-  check_int (name ^ " cells") (5 * 5 * List.length poll_points) !cells;
-  if w.Hpm_workloads.Registry.wide_safe then
-    check_int (name ^ " all cells exact") !cells !exact
+  (* the matrix really is total: 8x8 ordered pairs x 3 poll points *)
+  check_int (name ^ " cells") (8 * 8 * List.length poll_points) !cells;
+  (* every workload is at least legal on the diagonal *)
+  check_bool (name ^ " some exact cells") true (!exact > 0);
+  if w.Hpm_workloads.Registry.wide_safe && not uses_double then
+    check_int (name ^ " no rejections") 0 !rejected
 
 (* one test case per workload so a failure names its workload and the
    suite parallelizes naturally *)

@@ -1,0 +1,343 @@
+(** Portability-analysis tests: a seeded corpus of Mini-C programs with
+    known compatibility verdicts on chosen architecture pairs, one axis
+    per program, plus a QCheck soundness property — a [Legal] verdict
+    must never be contradicted by an actual migration (no translation
+    fault, no value change on an execution-equivalent pair).
+
+    The corpus is the analysis analogue of the lint defect corpus in
+    [Test_lint]: each program isolates one hazard axis (long narrowing,
+    plain-char signedness, f32 double demotion, byte-reinterpreted
+    layout) in both its provably-safe and hazardous form, so a precision
+    regression in the interval analysis or the exposure rule flips an
+    exact expected verdict. *)
+
+open Hpm_core
+open Util
+module Portability = Hpm_ir.Portability
+module Diag = Hpm_ir.Diag
+
+let x64 = Hpm_arch.Arch.x86_64
+let dec = Hpm_arch.Arch.dec5000
+let sparc = Hpm_arch.Arch.sparc20
+let i386 = Hpm_arch.Arch.i386
+let arm = Hpm_arch.Arch.aarch64_le_lp64
+let rv = Hpm_arch.Arch.riscv64_le_lp64
+let wasm = Hpm_arch.Arch.wasm32_le_ilp32
+
+(* --- corpus ---------------------------------------------------------- *)
+
+(* a loop counter the interval analysis bounds to [0,1000]: narrowing to
+   a 32-bit long is provably lossless *)
+let p_narrow_safe =
+  {|int main() {
+  long i;
+  for (i = 0; i < 1000; i = i + 1) {
+    print_int(0);
+  }
+  print_long(i);
+  return 0;
+}
+|}
+
+(* repeated doubling escapes every threshold: the value *may* exceed
+   2^31-1, so narrowing is a value-dependent hazard, not a hard error *)
+let p_narrow_hazard =
+  {|int main() {
+  long l;
+  int i;
+  l = 1;
+  for (i = 0; i < 40; i = i + 1) {
+    l = l * 2;
+  }
+  print_long(l);
+  return 0;
+}
+|}
+
+(* a constant entirely outside the 32-bit range: narrowing provably
+   destroys it *)
+let p_narrow_illegal =
+  {|int main() {
+  long l;
+  l = 3000000000L;
+  #pragma poll big
+  print_long(l);
+  return 0;
+}
+|}
+
+(* 0.1 has no finite binary expansion, so it is not f32-exact: demoting
+   to an f32-container machine changes the value *)
+let p_f32_wide =
+  {|int main() {
+  double d;
+  d = 0.1;
+  #pragma poll fp
+  print_double(d);
+  return 0;
+}
+|}
+
+(* 0.5 is f32-exact: the demotion is provably lossless *)
+let p_f32_exact =
+  {|int main() {
+  double d;
+  d = 0.5;
+  #pragma poll fp
+  print_double(d);
+  return 0;
+}
+|}
+
+(* a plain char holding a negative value reads back differently where
+   char is unsigned *)
+let p_char_hazard =
+  {|int main() {
+  char c;
+  c = 0 - 5;
+  #pragma poll ch
+  print_int(c);
+  return 0;
+}
+|}
+
+(* interval-proven within [0,127]: signedness cannot matter *)
+let p_char_safe =
+  {|int main() {
+  char c;
+  c = 65;
+  #pragma poll ch
+  print_int(c);
+  return 0;
+}
+|}
+
+(* a struct byte-reinterpreted through a pointer cast: its layout (and
+   byte order) must agree between the machines *)
+let p_layout_illegal =
+  {|struct s { char c; double d; int i; };
+int main() {
+  struct s v;
+  struct s *p;
+  int *q;
+  v.c = 1;
+  v.d = 0.5;
+  v.i = 7;
+  p = &v;
+  q = (int *) p;
+  #pragma poll ly
+  print_int(v.i);
+  return 0;
+}
+|}
+
+(* small ints only: legal on every ordered pair of every architecture *)
+let p_clean =
+  {|int main() {
+  int i;
+  int acc;
+  acc = 0;
+  for (i = 0; i < 50; i = i + 1) {
+    acc = acc + i;
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+
+let corpus =
+  [
+    ("narrow_safe", p_narrow_safe);
+    ("narrow_hazard", p_narrow_hazard);
+    ("narrow_illegal", p_narrow_illegal);
+    ("f32_wide", p_f32_wide);
+    ("f32_exact", p_f32_exact);
+    ("char_hazard", p_char_hazard);
+    ("char_safe", p_char_safe);
+    ("layout_illegal", p_layout_illegal);
+    ("clean", p_clean);
+  ]
+
+(* prepared once: (name, migratable, analysis) *)
+let prepared =
+  lazy
+    (List.map
+       (fun (name, src) ->
+         let m = prepare src in
+         (name, m, Portability.create m.Migration.prog m.Migration.polls))
+       corpus)
+
+let find name =
+  let _, m, a = List.find (fun (n, _, _) -> n = name) (Lazy.force prepared) in
+  (m, a)
+
+let verdict name ~src ~dst =
+  let _, a = find name in
+  (Portability.analyze_pair a ~src ~dst).Portability.p_verdict
+
+let codes name ~src ~dst =
+  let _, a = find name in
+  let rep = Portability.analyze_pair a ~src ~dst in
+  List.concat_map (fun r -> r.Portability.r_diags) rep.Portability.p_polls
+  |> List.map (fun (d : Diag.t) -> d.Diag.code)
+  |> List.sort_uniq compare
+
+let check_verdict what expected got =
+  check_string what
+    (Portability.verdict_to_string expected)
+    (Portability.verdict_to_string got)
+
+(* --- exact expected verdicts per axis -------------------------------- *)
+
+let test_narrowing () =
+  check_verdict "bounded counter narrows safely" Portability.Legal
+    (verdict "narrow_safe" ~src:x64 ~dst:dec);
+  check_verdict "doubling long may overflow 32 bits" Portability.Lossy
+    (verdict "narrow_hazard" ~src:x64 ~dst:dec);
+  check_bool "hazard is W211" true
+    (List.mem "HPM-W211" (codes "narrow_hazard" ~src:x64 ~dst:dec));
+  check_verdict "3e9 cannot narrow" Portability.Illegal
+    (verdict "narrow_illegal" ~src:x64 ~dst:dec);
+  check_bool "impossibility is E201" true
+    (List.mem "HPM-E201" (codes "narrow_illegal" ~src:x64 ~dst:dec));
+  (* widening direction is always fine *)
+  check_verdict "widening is legal" Portability.Legal
+    (verdict "narrow_illegal" ~src:dec ~dst:x64);
+  (* so is staying wide *)
+  check_verdict "lp64 to lp64" Portability.Legal
+    (verdict "narrow_illegal" ~src:x64 ~dst:rv)
+
+let test_f32_demotion () =
+  (* the Issue-7 acceptance pair: Illegal for wasm32 but Legal for
+     aarch64, from the same program *)
+  check_verdict "0.1 cannot demote to f32" Portability.Illegal
+    (verdict "f32_wide" ~src:x64 ~dst:wasm);
+  check_bool "demotion is E202" true
+    (List.mem "HPM-E202" (codes "f32_wide" ~src:x64 ~dst:wasm));
+  check_verdict "same program fine on aarch64" Portability.Legal
+    (verdict "f32_wide" ~src:x64 ~dst:arm);
+  check_verdict "f32-exact double demotes safely" Portability.Legal
+    (verdict "f32_exact" ~src:x64 ~dst:wasm);
+  (* promotion from the f32 machine loses nothing *)
+  check_verdict "promotion is legal" Portability.Legal
+    (verdict "f32_wide" ~src:wasm ~dst:dec)
+
+let test_char_signedness () =
+  check_verdict "negative char across signedness" Portability.Lossy
+    (verdict "char_hazard" ~src:rv ~dst:arm);
+  check_bool "hazard is W212" true
+    (List.mem "HPM-W212" (codes "char_hazard" ~src:rv ~dst:arm));
+  check_verdict "and in the other direction" Portability.Lossy
+    (verdict "char_hazard" ~src:arm ~dst:rv);
+  check_verdict "provably ascii char is safe" Portability.Legal
+    (verdict "char_safe" ~src:rv ~dst:arm);
+  (* signedness only matters when it differs *)
+  check_verdict "same signedness" Portability.Legal
+    (verdict "char_hazard" ~src:x64 ~dst:rv)
+
+let test_layout_exposure () =
+  (* i386 packs the double at offset 4, dec5000 at offset 8: a
+     byte-reinterpreted struct cannot cross *)
+  check_verdict "alignment-only layout change" Portability.Illegal
+    (verdict "layout_illegal" ~src:i386 ~dst:dec);
+  check_bool "exposure is E203" true
+    (List.mem "HPM-E203" (codes "layout_illegal" ~src:i386 ~dst:dec));
+  (* same layout but opposite byte order: still illegal once exposed *)
+  check_verdict "endian flip of exposed struct" Portability.Illegal
+    (verdict "layout_illegal" ~src:dec ~dst:sparc);
+  (* without heterogeneity the cast is harmless *)
+  check_verdict "self-pair legal" Portability.Legal
+    (verdict "layout_illegal" ~src:i386 ~dst:i386)
+
+let test_clean_everywhere () =
+  let _, a = find "clean" in
+  List.iter
+    (fun (rep : Portability.pair_report) ->
+      check_verdict
+        (Printf.sprintf "clean %s->%s" rep.Portability.p_src.Hpm_arch.Arch.name
+           rep.Portability.p_dst.Hpm_arch.Arch.name)
+        Portability.Legal rep.Portability.p_verdict)
+    (Portability.analyze_matrix a Hpm_arch.Arch.all);
+  (* workload idioms must not trip the exposure rule: a void-pointer
+     cast feeding [free] and a typed malloc are not byte
+     reinterpretation *)
+  let m = prepare (Hpm_workloads.Qsort.source 16) in
+  let rep =
+    Portability.analyze m.Migration.prog m.Migration.polls ~src:dec ~dst:sparc
+  in
+  check_verdict "qsort crosses endianness" Portability.Legal
+    rep.Portability.p_verdict
+
+(* --- soundness: Legal is never contradicted by a real migration ------- *)
+
+let test_soundness_qcheck () =
+  let arches = Array.of_list Hpm_arch.Arch.all in
+  let progs = Array.of_list (Lazy.force prepared) in
+  let gen =
+    QCheck.(
+      triple (int_bound (Array.length progs - 1))
+        (int_bound (Array.length arches - 1))
+        (int_bound (Array.length arches - 1)))
+  in
+  let prop (pi, si, di) =
+    let name, m, a = progs.(pi) in
+    let src = arches.(si) and dst = arches.(di) in
+    match (Portability.analyze_pair a ~src ~dst).Portability.p_verdict with
+    | Portability.Lossy | Portability.Illegal -> true
+    | Portability.Legal -> (
+        (* every poll point of these tiny programs is reachable early *)
+        match
+          Migration.run_migrating m ~src_arch:src ~dst_arch:dst ~after_polls:0 ()
+        with
+        | o ->
+            (* the migrated run terminates normally... *)
+            o.Migration.return_value <> None
+            &&
+            (* ...and when the pair also executes identically, the answer
+               is byte-for-byte the source machine's *)
+            let exec_equiv =
+              src.Hpm_arch.Arch.long_size = dst.Hpm_arch.Arch.long_size
+              && src.Hpm_arch.Arch.double_f32 = dst.Hpm_arch.Arch.double_f32
+              && src.Hpm_arch.Arch.char_signed = dst.Hpm_arch.Arch.char_signed
+            in
+            if exec_equiv then (
+              let out, _, _ = Migration.run_plain m src in
+              if out <> o.Migration.output then
+                QCheck.Test.fail_reportf "%s %s->%s: %S <> %S" name
+                  src.Hpm_arch.Arch.name dst.Hpm_arch.Arch.name out
+                  o.Migration.output
+              else true)
+            else true
+        | exception e ->
+            QCheck.Test.fail_reportf "%s %s->%s raised %s despite Legal" name
+              src.Hpm_arch.Arch.name dst.Hpm_arch.Arch.name
+              (Printexc.to_string e))
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:120 ~name:"legal verdicts are sound" gen prop)
+
+(* --- the prepare-time gate ------------------------------------------- *)
+
+let test_require_compat_gate () =
+  (* Illegal pair: prepare refuses outright *)
+  expect_raise "illegal pair rejected"
+    (function Diag.Rejected _ -> true | _ -> false)
+    (fun () -> Migration.prepare ~require_compat:(x64, wasm) p_f32_wide);
+  (* Legal pair: prepare succeeds and the program still runs *)
+  let m = Migration.prepare ~require_compat:(x64, arm) p_f32_wide in
+  let out, _, _ = Migration.run_plain m x64 in
+  check_string "gated program runs" "0.1\n" out;
+  (* Lossy pair: warnings survive but do not reject *)
+  let m2 = Migration.prepare ~require_compat:(x64, dec) p_narrow_hazard in
+  check_bool "lossy pair allowed" true (m2.Migration.prog.Hpm_ir.Ir.funcs <> [])
+
+let suite =
+  [
+    tc "long narrowing axis" test_narrowing;
+    tc "f32 demotion axis" test_f32_demotion;
+    tc "char signedness axis" test_char_signedness;
+    tc "layout exposure axis" test_layout_exposure;
+    tc "clean corpus legal everywhere" test_clean_everywhere;
+    tc_slow "qcheck: Legal is sound" test_soundness_qcheck;
+    tc "prepare-time compat gate" test_require_compat_gate;
+  ]

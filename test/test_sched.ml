@@ -39,6 +39,7 @@ let test_explicit_migration () =
         | Sched.Requeued _ -> Some "requeue"
         | Sched.Finished_ev _ -> Some "fin"
         | Sched.Spawned _ -> Some "spawn"
+        | Sched.Compat_rejected _ -> Some "compat-reject"
         | Sched.Checkpointed _ -> Some "ckpt")
       evs
   in
@@ -155,6 +156,51 @@ let test_lossy_migration_still_succeeds () =
   check_int "migration succeeded" 1 p.Sched.p_migrations;
   check_bool "ends on fast" true (p.Sched.p_node == fast)
 
+let test_compat_gate_blocks_illegal_destination () =
+  (* a double-heavy job on an x86_64 node; the cluster also has a
+     wasm32-style node that stores doubles at f32 precision.  With the
+     compat gate installed the scheduler must refuse to place the job
+     there — and still honour a legal request to an aarch64 node. *)
+  let src =
+    {|int main() {
+  double d;
+  int i;
+  d = 0.1;
+  for (i = 0; i < 100; i = i + 1) {
+    d = d + 0.1;
+  }
+  print_int(i);
+  return 0;
+}
+|}
+  in
+  let fast = Sched.node "fast" Hpm_arch.Arch.x86_64 in
+  let cramped = Sched.node "cramped" Hpm_arch.Arch.wasm32_le_ilp32 in
+  let arm = Sched.node "arm" Hpm_arch.Arch.aarch64_le_lp64 in
+  let compat (m : Hpm_core.Migration.migratable) ~src ~dst =
+    let c = Hpm_core.Compat.create m.Hpm_core.Migration.prog m.Hpm_core.Migration.polls in
+    Hpm_core.Compat.ok c ~src ~dst
+  in
+  let sim =
+    Sched.create ~compat ~channel:(Hpm_net.Netsim.ethernet_10 ())
+      [ fast; cramped; arm ]
+  in
+  let p = Sched.spawn sim fast "fp" (Util.prepare src) in
+  Sched.request_migration sim p cramped;
+  check_int "rejection counted" 1 p.Sched.p_compat_rejected;
+  check_bool "no pending destination" true (p.Sched.p_pending_dst = None);
+  check_bool "rejection event logged" true
+    (List.exists
+       (function Sched.Compat_rejected _ -> true | _ -> false)
+       (Sched.events sim));
+  (* the same job may still move to a hard-double machine *)
+  Sched.request_migration sim p arm;
+  let _ = Sched.run sim in
+  check_string "answer survives" "100\n" (Sched.output p);
+  check_int "legal migration went through" 1 p.Sched.p_migrations;
+  check_bool "ends on arm" true (p.Sched.p_node == arm);
+  check_int "still exactly one rejection" 1 p.Sched.p_compat_rejected
+
 let test_network_accounting () =
   let sim, slow, fast = mk_env () in
   let p = Sched.spawn sim slow "acct" (nqueens 7) in
@@ -174,5 +220,6 @@ let suite =
     tc "CPU timesharing" test_cpu_sharing;
     tc "failed migration re-queues on source" test_failed_migration_requeues_on_source;
     tc "lossy migration still succeeds" test_lossy_migration_still_succeeds;
+    tc "compat gate blocks illegal destination" test_compat_gate_blocks_illegal_destination;
     tc "network accounting" test_network_accounting;
   ]
