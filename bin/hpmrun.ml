@@ -160,7 +160,7 @@ let run_precopy m ~src_arch ~dst_arch ~after ~channel ~config ~report ~st ~proc
 let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
     max_retries net_seed crash_src crash_dst drop_ack drop_probe ack_deadline
     probe_retries store_dir delta precopy_rounds precopy_threshold restore_store
-    store_gc trace_file metrics_file =
+    store_gc trace_file metrics_file standby replica_epochs promote =
   let module Obs = Hpm_obs.Obs in
   let obs_on = trace_file <> None || metrics_file <> None in
   if obs_on then begin
@@ -232,16 +232,46 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
   | _ -> ());
   if
     store_dir = None
-    && (delta || restore_store || precopy_rounds <> None || store_gc <> None)
+    && (delta || restore_store || precopy_rounds <> None || store_gc <> None
+       || standby > 0)
   then (
     Fmt.epr
-      "hpmrun: --delta, --restore-latest, --precopy-rounds and --store-gc need \
-       --store-dir@.";
+      "hpmrun: --delta, --restore-latest, --precopy-rounds, --standby and \
+       --store-gc need --store-dir@.";
     exit 1);
   if precopy_rounds <> None && to_ = None then (
     Fmt.epr "hpmrun: --precopy-rounds needs --to@.";
     exit 1);
-  let crash_src = parse_phase "--crash-src-after" crash_src in
+  if standby < 0 then (
+    Fmt.epr "hpmrun: --standby must be non-negative (got %d)@." standby;
+    exit 1);
+  if replica_epochs < 1 then (
+    Fmt.epr "hpmrun: --replica-epochs must be >= 1 (got %d)@." replica_epochs;
+    exit 1);
+  if promote && standby = 0 then (
+    Fmt.epr "hpmrun: --promote needs --standby@.";
+    exit 1);
+  (* with --standby, --crash-src-after names a replication phase rather
+     than a handoff phase *)
+  let rep_crash =
+    if standby = 0 then None
+    else
+      match crash_src with
+      | None -> None
+      | Some s -> (
+          match Netsim.rep_phase_of_string s with
+          | Some p -> Some p
+          | None ->
+              Fmt.epr
+                "hpmrun: with --standby, --crash-src-after must be one of %s (got %S)@."
+                (String.concat ", "
+                   (List.map Netsim.rep_phase_name Netsim.all_rep_phases))
+                s;
+              exit 1)
+  in
+  let crash_src =
+    if standby > 0 then None else parse_phase "--crash-src-after" crash_src
+  in
   let crash_dst = parse_phase "--crash-dst-after" crash_dst in
   let node_faulty = crash_src <> None || crash_dst <> None || drop_ack > 0 || drop_probe > 0 in
   let store =
@@ -289,6 +319,151 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
             | _ ->
                 Fmt.epr "hpmrun: process did not run to completion after the restore@.";
                 2))
+    | Some st when standby > 0 -> (
+        (* continuous delta replication: stream wgen-dirty deltas to the
+           store and N warm standbys each epoch; --promote fails over to
+           the freshest committed standby after a source crash *)
+        let src_arch = Hpm_arch.Arch.by_name_exn from_ in
+        let sb_arch =
+          match to_ with
+          | Some t -> Hpm_arch.Arch.by_name_exn t
+          | None -> src_arch
+        in
+        let channel = Hpm_net.Netsim.ethernet_10 () in
+        let standbys =
+          List.init standby (fun i -> (Printf.sprintf "sb%d" i, sb_arch))
+        in
+        let faults =
+          match rep_crash with
+          | Some (Netsim.Rp_stream as ph) ->
+              Some (Netsim.rep_faults ~crash_source_at:(ph, replica_epochs) ())
+          | Some (Netsim.Rp_final_delta as ph) ->
+              (* the final delta ships as epoch replica_epochs+1, during
+                 the planned migration *)
+              Some
+                (Netsim.rep_faults ~crash_source_at:(ph, replica_epochs + 1) ())
+          | Some Netsim.Rp_commit | None ->
+              (* commit crashes are a handoff-protocol fault, injected
+                 below through the two-phase machinery *)
+              None
+        in
+        let p = Migration.start m src_arch in
+        Hpm_machine.Interp.request_migration_after p after;
+        match Hpm_machine.Interp.run p with
+        | Hpm_machine.Interp.RDone _ ->
+            print_string (Hpm_machine.Interp.output p);
+            Fmt.pr "; process finished before replication started@.";
+            0
+        | Hpm_machine.Interp.RFuel -> assert false
+        | Hpm_machine.Interp.RPolled _ -> (
+            let r =
+              Replica.create ?faults ~channel ~store:st ~proc ~standbys m p
+            in
+            let print_events () =
+              if report then
+                List.iter
+                  (fun e -> Fmt.pr "; %a@." Replica.pp_event e)
+                  (Replica.events r)
+            in
+            let finish interp =
+              match Hpm_machine.Interp.run interp with
+              | Hpm_machine.Interp.RDone _ ->
+                  print_string (Hpm_machine.Interp.output interp);
+                  0
+              | _ ->
+                  Fmt.epr
+                    "hpmrun: process did not run to completion after the \
+                     failover@.";
+                  2
+            in
+            let do_promote ~why =
+              let pm = Replica.promote r in
+              print_events ();
+              Fmt.pr
+                "; %s; promoted %s at epoch %d (catch-up %d epoch(s), \
+                 incarnation %d)@."
+                why pm.Replica.pm_sub pm.Replica.pm_epoch pm.Replica.pm_catchup
+                pm.Replica.pm_incarnation;
+              print_string (Replica.released_output r);
+              finish pm.Replica.pm_interp
+            in
+            let crashed ph =
+              if promote then
+                do_promote
+                  ~why:
+                    (Printf.sprintf "source crashed during %s"
+                       (Netsim.rep_phase_name ph))
+              else (
+                print_events ();
+                Fmt.epr
+                  "hpmrun: source crashed during %s; re-run with --promote to \
+                   fail over@."
+                  (Netsim.rep_phase_name ph);
+                3)
+            in
+            match Replica.run r ~epochs:replica_epochs with
+            | Replica.Source_finished ->
+                print_events ();
+                Fmt.pr "; process finished after %d replication epoch(s)@."
+                  (Replica.epoch r);
+                print_string (Replica.output r);
+                0
+            | Replica.Source_crashed ph -> crashed ph
+            | Replica.Streamed _ -> (
+                let wants_migration =
+                  to_ <> None
+                  ||
+                  match rep_crash with
+                  | Some (Netsim.Rp_final_delta | Netsim.Rp_commit) -> true
+                  | _ -> false
+                in
+                if wants_migration then (
+                  (* planned migration onto a standby: catch it up, ship
+                     only the final delta, hand off under the two-phase
+                     protocol *)
+                  let hfaults =
+                    match rep_crash with
+                    | Some Netsim.Rp_commit ->
+                        Some
+                          (Netsim.node_faults
+                             ~crash_source_after:Netsim.Ph_commit ())
+                    | _ -> None
+                  in
+                  match Replica.migrate ?faults:hfaults r ~sub:"sb0" with
+                  | Replica.Crashed_before_handoff ph -> crashed ph
+                  | Replica.Finished_before_migration ->
+                      print_events ();
+                      print_string (Replica.output r);
+                      Fmt.pr "; process finished before the final delta@.";
+                      0
+                  | Replica.Migrated res -> (
+                      print_events ();
+                      if report then Fmt.pr "%a" Handoff.pp_trace res.Handoff.trace;
+                      Fmt.pr "; %a@." Handoff.pp_outcome res.Handoff.outcome;
+                      match res.Handoff.outcome with
+                      | Handoff.Committed c ->
+                          if c.Handoff.c_src_crashed then
+                            Fmt.pr
+                              "; source crashed after commit; standby sb0 owns \
+                               the process@.";
+                          print_string (Replica.released_output r);
+                          finish c.Handoff.c_dst
+                      | _ ->
+                          Fmt.epr
+                            "hpmrun: planned migration did not commit@.";
+                          2))
+                else if promote then
+                  (* operator-initiated failover drill: fence the live
+                     source and continue on the freshest standby *)
+                  do_promote ~why:"operator failover requested"
+                else (
+                  print_events ();
+                  Fmt.pr
+                    "; replicated %d epoch(s) to %d standby(s); store at epoch \
+                     %d@."
+                    (Replica.epoch r) standby (Replica.epoch r);
+                  print_string (Replica.released_output r);
+                  0))))
     | Some st when to_ = None && save_ckpt = None && load_ckpt = None -> (
         (* incremental snapshot mode: run to the poll, commit, stop *)
         let arch = Hpm_arch.Arch.by_name_exn from_ in
@@ -596,6 +771,27 @@ let () =
              ~doc:"write the metrics registry to FILE in Prometheus text format \
                    on exit (see docs/OBSERVABILITY.md for the catalogue)")
   in
+  let standby =
+    Arg.(value & opt int 0
+         & info [ "standby" ] ~docv:"N"
+             ~doc:"replicate continuously to N warm standbys: each epoch the \
+                   source commits a wgen-dirty delta to --store-dir and streams \
+                   it to every standby; with --standby, --crash-src-after names \
+                   a replication phase (stream, final-delta, commit)")
+  in
+  let replica_epochs =
+    Arg.(value & opt int 3
+         & info [ "replica-epochs" ] ~docv:"K"
+             ~doc:"stream K replication epochs before finishing, migrating \
+                   (--to) or failing over (--promote)")
+  in
+  let promote =
+    Arg.(value & flag
+         & info [ "promote" ]
+             ~doc:"after a source crash (or as an operator drill without one), \
+                   promote the freshest committed standby, fence the dead \
+                   incarnation, and run the survivor to completion")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "hpmrun" ~doc:"run Mini-C programs with heterogeneous process migration")
@@ -603,6 +799,7 @@ let () =
             $ load_ckpt $ loss $ corrupt $ max_retries $ net_seed $ crash_src
             $ crash_dst $ drop_ack $ drop_probe $ ack_deadline $ probe_retries
             $ store_dir $ delta $ precopy_rounds $ precopy_threshold $ restore_store
-            $ store_gc $ trace_file $ metrics_file)
+            $ store_gc $ trace_file $ metrics_file $ standby $ replica_epochs
+            $ promote)
   in
   exit (Cmd.eval' cmd)

@@ -4,7 +4,7 @@
     cost counters ({!Hpm_core.Cstats}), the modelled per-operation costs
     ({!Hpm_obs.Obs.Model}), and the network simulator's virtual clock.
     No wall-clock time enters the document, so two runs of the same build
-    emit byte-identical JSON and a committed baseline ([BENCH_0002.json])
+    emit byte-identical JSON and a committed baseline ([BENCH_0003.json])
     can gate regressions in CI: a code change that does more MSRLT
     searches, ships more wire bytes, or stretches the simulated handoff
     shows up as a >10% delta against the baseline.
@@ -87,6 +87,15 @@ type entry = {
   p_checks : int;
   p_illegal : int;
   p_lossy : int;
+  (* replication: continuous per-epoch delta streaming to a warm standby
+     (docs/REPLICATION.md).  The planned-migration claim is
+     final_delta_bytes << full_bytes; the lag model is the catch-up cost
+     as a function of epochs behind. *)
+  rep_final_bytes : int;    (** newest epoch's delta wire *)
+  rep_full_bytes : int;     (** the standby's full materialized state *)
+  rep_lag1_bytes : int;     (** catch-up cost at lag 1 *)
+  rep_lag3_bytes : int;     (** catch-up cost at lag 3 *)
+  rep_ship_s : float;       (** simulated seconds spent shipping deltas *)
 }
 
 let err fmt = Fmt.kstr failwith fmt
@@ -153,6 +162,71 @@ let run_case (c : case) : entry =
       ~entries:pstats.Hpm_ir.Portability.st_entries
       ~checks:pstats.Hpm_ir.Portability.st_checks
   in
+  (* replication: a fresh process streams 4 short epochs to one warm
+     standby through a throwaway store on a clean 10 Mb/s link.  Only
+     sizes and the simulated clock enter the document, so the temp-dir
+     name does not break determinism. *)
+  let rep_epochs = 4 in
+  let rep_final_bytes, rep_full_bytes, rep_lag1_bytes, rep_lag3_bytes, rep_ship_s
+      =
+    let dir =
+      let f = Filename.temp_file "hpmbench_rep" "" in
+      Sys.remove f;
+      f
+    in
+    let rec rm_rf path =
+      if Sys.is_directory path then (
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Unix.rmdir path)
+      else Sys.remove path
+    in
+    Fun.protect
+      ~finally:(fun () -> try rm_rf dir with _ -> ())
+      (fun () ->
+        let st = Hpm_store.Store.open_store dir in
+        let p3 = suspend m c.src c.w_poll in
+        let config =
+          { Hpm_store.Replica.default_config with
+            Hpm_store.Replica.epoch_polls = 4 }
+        in
+        let r =
+          Hpm_store.Replica.create ~config
+            ~channel:(Hpm_net.Netsim.ethernet_10 ())
+            ~store:st ~proc:c.w_name
+            ~standbys:[ ("sb0", c.dst) ]
+            m p3
+        in
+        (match Hpm_store.Replica.run r ~epochs:rep_epochs with
+        | Hpm_store.Replica.Streamed _ -> ()
+        | _ -> err "bench: %s did not stream %d replication epochs" c.w_name rep_epochs);
+        let per_epoch =
+          List.filter_map
+            (function
+              | Hpm_store.Replica.Ev_store { es_epoch; es_bytes } ->
+                  Some (es_epoch, es_bytes)
+              | _ -> None)
+            (Hpm_store.Replica.events r)
+        in
+        let catchup k =
+          List.fold_left
+            (fun acc (e, b) -> if e > rep_epochs - k then acc + b else acc)
+            0 per_epoch
+        in
+        let full_bytes =
+          match Hpm_store.Replica.standbys r with
+          | sb :: _ -> String.length (Hpm_store.Replica.standby_stream r sb)
+          | [] -> err "bench: %s replica lost its standby" c.w_name
+        in
+        let out =
+          ( List.assoc rep_epochs per_epoch,
+            full_bytes,
+            catchup 1,
+            catchup 3,
+            Hpm_store.Replica.time_s r )
+        in
+        Hpm_store.Replica.close r;
+        out)
+  in
   (* handoff on a second fresh process, clean 10 Mb/s ethernet *)
   let p2 = suspend m c.src c.w_poll in
   let h =
@@ -187,6 +261,11 @@ let run_case (c : case) : entry =
     p_checks = pstats.Hpm_ir.Portability.st_checks;
     p_illegal = count Hpm_ir.Portability.Illegal;
     p_lossy = count Hpm_ir.Portability.Lossy;
+    rep_final_bytes;
+    rep_full_bytes;
+    rep_lag1_bytes;
+    rep_lag3_bytes;
+    rep_ship_s;
   }
 
 let run ?(cases = default_cases) () : entry list = List.map run_case cases
@@ -213,14 +292,18 @@ let entry_json (b : Buffer.t) (e : entry) : unit =
        \      \"delta\": { \"full_bytes\": %d, \"incr_bytes\": %d, \"cache_hits\": \
         %d, \"chunks_shipped\": %d },\n\
        \      \"compat\": { \"model_s\": %s, \"polls\": %d, \"entries\": %d, \
-        \"checks\": %d, \"illegal_pairs\": %d, \"lossy_pairs\": %d }\n\
+        \"checks\": %d, \"illegal_pairs\": %d, \"lossy_pairs\": %d },\n\
+       \      \"replication\": { \"final_delta_bytes\": %d, \"full_bytes\": %d, \
+        \"catchup_lag1_bytes\": %d, \"catchup_lag3_bytes\": %d, \"ship_sim_s\": \
+        %s }\n\
        \    }"
        c.w_name c.w_n c.w_poll c.src.Arch.name c.dst.Arch.name (fnum e.c_model_s)
        e.c_searches e.c_blocks e.c_data_bytes e.c_stream_bytes e.c_pointers
        (fnum e.r_model_s) e.r_updates e.r_blocks e.r_data_bytes (fnum e.h_sim_s)
        e.h_stream_bytes e.d_full_bytes e.d_incr_bytes e.d_cache_hits
        e.d_chunks_shipped (fnum e.p_model_s) e.p_polls e.p_entries e.p_checks
-       e.p_illegal e.p_lossy)
+       e.p_illegal e.p_lossy e.rep_final_bytes e.rep_full_bytes e.rep_lag1_bytes
+       e.rep_lag3_bytes (fnum e.rep_ship_s))
 
 (** Render the versioned document.  Deterministic for a given build. *)
 let to_json (entries : entry list) : string =

@@ -70,6 +70,73 @@ let node_faults ?crash_source_after ?crash_dest_after ?(drop_commit_acks = 0)
   if drop_probe_replies < 0 then invalid_arg "Netsim.node_faults: drop_probe_replies < 0";
   { crash_source_after; crash_dest_after; drop_commit_acks; drop_probe_replies }
 
+(* Replication-specific fault injection for the continuous delta
+   subscription (Hpm_store.Replica).  The handoff faults above are
+   one-shot per protocol attempt; a replication session is an open-ended
+   stream of (subscriber, epoch) deliveries, so these faults are keyed on
+   exactly that pair and consumed when they fire — a deterministic plan,
+   replayable without any RNG. *)
+
+type rep_phase = Rp_stream | Rp_final_delta | Rp_commit
+
+let rep_phase_name = function
+  | Rp_stream -> "stream"
+  | Rp_final_delta -> "final-delta"
+  | Rp_commit -> "commit"
+
+let rep_phase_of_string = function
+  | "stream" -> Some Rp_stream
+  | "final-delta" -> Some Rp_final_delta
+  | "commit" -> Some Rp_commit
+  | _ -> None
+
+let all_rep_phases = [ Rp_stream; Rp_final_delta; Rp_commit ]
+
+type rep_faults = {
+  mutable rp_partition : (string * int * int) list;
+      (** (subscriber, from_epoch, epochs): deltas and heartbeats to this
+          subscriber vanish for that many epochs (queued in the outbox) *)
+  mutable rp_drop : (string * int) list;
+      (** drop the delta to (subscriber) at (epoch) in flight *)
+  mutable rp_dup : (string * int) list;
+      (** deliver the delta to (subscriber) at (epoch) twice *)
+  mutable rp_reorder : (string * int) list;
+      (** hold the delta of (epoch) and deliver it after the next one *)
+  mutable rp_crash_apply : (string * int) list;
+      (** subscriber crashes mid-apply at (epoch): its volatile standby
+          state is wiped (crash-restart), no manifest committed *)
+  mutable rp_lose_heartbeat : (string * int) list;
+      (** the heartbeat reply of (subscriber, epoch) is lost in flight *)
+  mutable rp_crash_source_at : (rep_phase * int) option;
+      (** one-shot: the source node dies at this phase/epoch *)
+}
+
+let rep_faults ?(partition = []) ?(drop = []) ?(dup = []) ?(reorder = [])
+    ?(crash_apply = []) ?(lose_heartbeat = []) ?crash_source_at () =
+  List.iter
+    (fun (_, e0, n) ->
+      if e0 < 1 || n < 1 then
+        invalid_arg "Netsim.rep_faults: partition epochs must be >= 1")
+    partition;
+  List.iter
+    (fun (what, l) ->
+      List.iter
+        (fun (_, e) ->
+          if e < 1 then
+            invalid_arg (Printf.sprintf "Netsim.rep_faults: %s epoch must be >= 1" what))
+        l)
+    [ ("drop", drop); ("dup", dup); ("reorder", reorder);
+      ("crash_apply", crash_apply); ("lose_heartbeat", lose_heartbeat) ];
+  {
+    rp_partition = partition;
+    rp_drop = drop;
+    rp_dup = dup;
+    rp_reorder = reorder;
+    rp_crash_apply = crash_apply;
+    rp_lose_heartbeat = lose_heartbeat;
+    rp_crash_source_at = crash_source_at;
+  }
+
 type t = {
   name : string;
   bandwidth_bps : float;   (** usable bits per second *)
@@ -78,13 +145,16 @@ type t = {
   mutable messages : int;
   mutable faults : fault_model option;
   mutable node_faults : node_faults option;
+  mutable rep_faults : rep_faults option;
 }
 
-let make ?faults ?node_faults ~name ~bandwidth_bps ~latency_s () =
-  { name; bandwidth_bps; latency_s; bytes_sent = 0; messages = 0; faults; node_faults }
+let make ?faults ?node_faults ?rep_faults ~name ~bandwidth_bps ~latency_s () =
+  { name; bandwidth_bps; latency_s; bytes_sent = 0; messages = 0; faults;
+    node_faults; rep_faults }
 
 let set_faults t fm = t.faults <- fm
 let set_node_faults t nf = t.node_faults <- nf
+let set_rep_faults t rf = t.rep_faults <- rf
 
 (** 10 Mbit/s shared Ethernet, as between the paper's DEC 5000 and
     Sparc 20 (§4.1).  Effective throughput of classic coax Ethernet is

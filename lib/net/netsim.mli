@@ -57,6 +57,57 @@ val node_faults :
   unit ->
   node_faults
 
+(** {1 Replication fault injection}
+
+    Faults for the continuous delta subscription ({!Hpm_store.Replica}).
+    A replication session is an open-ended stream of (subscriber, epoch)
+    deliveries, so these are keyed on exactly that pair and consumed when
+    they fire — a deterministic, RNG-free plan that replays exactly. *)
+
+(** The phases of a replicated process's life at which the source can
+    die: mid-stream, after collecting the final delta of a planned
+    migration, and during the handoff commit. *)
+type rep_phase = Rp_stream | Rp_final_delta | Rp_commit
+
+val rep_phase_name : rep_phase -> string
+
+(** Inverse of {!rep_phase_name}; [None] for unknown names. *)
+val rep_phase_of_string : string -> rep_phase option
+
+(** All replication phases — drives the promotion race matrices. *)
+val all_rep_phases : rep_phase list
+
+type rep_faults = {
+  mutable rp_partition : (string * int * int) list;
+      (** (subscriber, from_epoch, epochs): deltas and heartbeats to this
+          subscriber vanish for that many epochs (queued in the outbox) *)
+  mutable rp_drop : (string * int) list;
+      (** drop the delta to (subscriber) at (epoch) in flight *)
+  mutable rp_dup : (string * int) list;
+      (** deliver the delta to (subscriber) at (epoch) twice *)
+  mutable rp_reorder : (string * int) list;
+      (** hold the delta of (epoch) and deliver it after the next one *)
+  mutable rp_crash_apply : (string * int) list;
+      (** subscriber crashes mid-apply at (epoch): its volatile standby
+          state is wiped (crash-restart), no manifest committed *)
+  mutable rp_lose_heartbeat : (string * int) list;
+      (** the heartbeat reply of (subscriber, epoch) is lost in flight *)
+  mutable rp_crash_source_at : (rep_phase * int) option;
+      (** one-shot: the source node dies at this phase/epoch *)
+}
+
+(** @raise Invalid_argument on a non-positive epoch or duration. *)
+val rep_faults :
+  ?partition:(string * int * int) list ->
+  ?drop:(string * int) list ->
+  ?dup:(string * int) list ->
+  ?reorder:(string * int) list ->
+  ?crash_apply:(string * int) list ->
+  ?lose_heartbeat:(string * int) list ->
+  ?crash_source_at:rep_phase * int ->
+  unit ->
+  rep_faults
+
 type t = {
   name : string;
   bandwidth_bps : float;   (** usable bits per second *)
@@ -65,10 +116,11 @@ type t = {
   mutable messages : int;
   mutable faults : fault_model option;
   mutable node_faults : node_faults option;
+  mutable rep_faults : rep_faults option;
 }
 
 val make :
-  ?faults:fault_model -> ?node_faults:node_faults ->
+  ?faults:fault_model -> ?node_faults:node_faults -> ?rep_faults:rep_faults ->
   name:string -> bandwidth_bps:float -> latency_s:float -> unit -> t
 
 (** Install (or clear) the channel's fault model. *)
@@ -77,6 +129,10 @@ val set_faults : t -> fault_model option -> unit
 (** Install (or clear) the channel's node-fault plan; {!Hpm_core.Handoff}
     consumes it when not given an explicit plan. *)
 val set_node_faults : t -> node_faults option -> unit
+
+(** Install (or clear) the channel's replication-fault plan;
+    {!Hpm_store.Replica} consumes it when not given an explicit plan. *)
+val set_rep_faults : t -> rep_faults option -> unit
 
 (** 10 Mbit/s shared Ethernet at ~70% utilization — the link between the
     paper's DEC 5000 and Sparc 20 (§4.1). *)

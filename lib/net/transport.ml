@@ -94,6 +94,54 @@ let decode_frame ~expect_seq ~expect_total (wire : string) : (string, string) re
       else Ok payload
 
 (* ------------------------------------------------------------------ *)
+(* Heartbeats                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Liveness frames for long-lived peers (replication subscribers).  Data
+   frames only prove a peer alive while a transfer is in flight; between
+   deltas a silently dead standby would otherwise go unnoticed until the
+   next send.  A heartbeat is a fixed 16-byte frame:
+
+     magic "HPHB" | seq i32 | epoch i32 | crc32 i32
+
+   where the CRC covers the seq and epoch words (bytes 4..11), so a
+   corrupted or truncated heartbeat is detected exactly like a corrupted
+   data frame.  See docs/FORMAT.md. *)
+
+let heartbeat_magic = "HPHB"
+let heartbeat_bytes = 16
+
+let encode_heartbeat ~seq ~epoch : string =
+  if seq < 0 then invalid_arg "Transport.encode_heartbeat: negative seq";
+  if epoch < 0 then invalid_arg "Transport.encode_heartbeat: negative epoch";
+  let b = Buffer.create heartbeat_bytes in
+  Buffer.add_string b heartbeat_magic;
+  Xdr.put_int_as_i32 b seq;
+  Xdr.put_int_as_i32 b epoch;
+  let body = Buffer.contents b in
+  Xdr.put_int_as_i32 b (crc32 ~pos:4 ~len:8 body);
+  Buffer.contents b
+
+(** Validate a delivered heartbeat; returns [(seq, epoch)] or the reason
+    the frame is dead on arrival. *)
+let decode_heartbeat (wire : string) : (int * int, string) result =
+  if String.length wire <> heartbeat_bytes then
+    Error (Printf.sprintf "heartbeat is %d bytes, expected %d" (String.length wire)
+             heartbeat_bytes)
+  else if String.sub wire 0 4 <> heartbeat_magic then Error "bad heartbeat magic"
+  else
+    let r = Xdr.reader_of_string wire in
+    Xdr.skip r 4;
+    let seq = Xdr.get_int_of_i32 r in
+    let epoch = Xdr.get_int_of_i32 r in
+    let crc = Xdr.get_int_of_i32 r land 0xFFFFFFFF in
+    let actual = crc32 ~pos:4 ~len:8 wire in
+    if actual <> crc then
+      Error (Printf.sprintf "heartbeat CRC mismatch (got %08x, want %08x)" actual crc)
+    else if seq < 0 || epoch < 0 then Error "negative heartbeat fields"
+    else Ok (seq, epoch)
+
+(* ------------------------------------------------------------------ *)
 (* Protocol                                                            *)
 (* ------------------------------------------------------------------ *)
 

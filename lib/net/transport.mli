@@ -27,6 +27,24 @@ val encode_frame : seq:int -> total:int -> string -> string
     carries the NAK reason. *)
 val decode_frame : expect_seq:int -> expect_total:int -> string -> (string, string) result
 
+(** {1 Heartbeats}
+
+    Liveness frames for long-lived peers (replication subscribers): data
+    frames only prove a peer alive while a transfer is in flight.  Layout
+    (docs/FORMAT.md):
+    {v magic "HPHB" | seq i32 | epoch i32 | crc32 i32 v}
+    with the CRC covering the seq and epoch words (bytes 4..11). *)
+
+(** Total size of a heartbeat frame on the wire (16). *)
+val heartbeat_bytes : int
+
+(** @raise Invalid_argument on a negative [seq] or [epoch]. *)
+val encode_heartbeat : seq:int -> epoch:int -> string
+
+(** Validate a delivered heartbeat; [Ok (seq, epoch)] or the reason the
+    frame is dead on arrival (bad size, magic, or CRC). *)
+val decode_heartbeat : string -> (int * int, string) result
+
 type config = {
   chunk_size : int;        (** payload bytes per chunk *)
   max_retries : int;       (** retransmissions allowed per chunk *)

@@ -171,6 +171,28 @@ module Metrics = struct
       ("hpm_sched_checkpoints_total", Counter,
        "periodic incremental checkpoints committed");
       ("hpm_sched_finished_total", Counter, "processes run to completion");
+      ("hpm_sched_promotions_total", Counter,
+       "warm standbys promoted to primary after source loss");
+      ("hpm_sched_standby_lost_total", Counter,
+       "standbys declared dead (heartbeat misses or crash)");
+      ("hpm_sched_resyncs_total", Counter,
+       "full resyncs served to gapped or restarted standbys");
+      ("hpm_replica_deltas_total", Counter,
+       "replication deltas shipped to subscribers, by kind");
+      ("hpm_replica_delta_bytes_total", Counter,
+       "v3 delta wire bytes shipped to replication subscribers");
+      ("hpm_replica_dup_deltas_total", Counter,
+       "duplicate or stale deliveries a standby ignored (idempotence)");
+      ("hpm_replica_heartbeat_misses_total", Counter,
+       "heartbeat replies the source never received");
+      ("hpm_replica_lag_epochs", Gauge,
+       "epochs a replication subscriber trails the source");
+      ("hpm_replica_bytes_in_flight", Gauge,
+       "outbox bytes queued toward a partitioned subscriber");
+      ("hpm_replica_ship_seconds", Histogram,
+       "simulated shipping lag of one delta to one subscriber");
+      ("hpm_store_pinned_chunks", Gauge,
+       "chunks pinned against gc by in-flight applications/subscriptions");
     ]
 
   let create () : t = { families = Hashtbl.create 64 }

@@ -74,6 +74,8 @@ type proc = {
   mutable p_failed_migrations : int;    (** epochs aborted (link or node faults) *)
   mutable p_recoveries : int;           (** resumes from a retained checkpoint *)
   mutable p_requeues : int;             (** checkpoints re-queued to a third node *)
+  mutable p_promotions : int;           (** standbys promoted to primary *)
+  mutable p_resyncs : int;              (** full resyncs served to standbys *)
   mutable p_bytes_collected : int;      (** Σ Dᵢ collected across migrations *)
   mutable p_bytes_restored : int;       (** Σ Dᵢ restored across migrations *)
   mutable p_retries : int;              (** transport chunk retries, cumulative *)
@@ -120,6 +122,10 @@ type event =
   | Requeued of float * string * string * string * string
       (* time, proc, source, dead dst, new dst *)
   | Finished_ev of float * string * string        (* time, proc, node *)
+  | Promoted of float * string * string * string * int
+      (* time, proc, dead source node, promoted standby node, resume epoch *)
+  | Standby_lost of float * string * string       (* time, proc, standby node *)
+  | Resynced of float * string * string * int     (* time, proc, standby, epoch *)
 
 type t = {
   nodes : node list;
@@ -189,6 +195,9 @@ let log t e =
       | Checkpointed (at, p, _, _) -> (at, "sched.checkpointed", p)
       | Requeued (at, p, _, _, _) -> (at, "sched.requeued", p)
       | Finished_ev (at, p, _) -> (at, "sched.finished", p)
+      | Promoted (at, p, _, _, _) -> (at, "sched.promoted", p)
+      | Standby_lost (at, p, _) -> (at, "sched.standby-lost", p)
+      | Resynced (at, p, _, _) -> (at, "sched.resynced", p)
     in
     let metric =
       match e with
@@ -201,6 +210,9 @@ let log t e =
       | Checkpointed _ -> "hpm_sched_checkpoints_total"
       | Requeued _ -> "hpm_sched_requeues_total"
       | Finished_ev _ -> "hpm_sched_finished_total"
+      | Promoted _ -> "hpm_sched_promotions_total"
+      | Standby_lost _ -> "hpm_sched_standby_lost_total"
+      | Resynced _ -> "hpm_sched_resyncs_total"
     in
     Obs.inc metric [ ("proc", proc) ];
     if Obs.tracing () then
@@ -223,6 +235,8 @@ let spawn t (nd : node) name (m : Migration.migratable) : proc =
       p_failed_migrations = 0;
       p_recoveries = 0;
       p_requeues = 0;
+      p_promotions = 0;
+      p_resyncs = 0;
       p_bytes_collected = 0;
       p_bytes_restored = 0;
       p_retries = 0;
@@ -668,6 +682,14 @@ let pp_event ppf = function
   | Finished_ev (ts, p, n) -> Fmt.pf ppf "[%8.3fs] finish   %s on %s" ts p n
   | Checkpointed (ts, p, epoch, d) ->
       Fmt.pf ppf "[%8.3fs] ckpt     %s (epoch %d: %a)" ts p epoch Cstats.pp_delta d
+  | Promoted (ts, p, src, sb, epoch) ->
+      Fmt.pf ppf "[%8.3fs] PROMOTE  %s: %s dead, standby %s promoted at epoch %d" ts
+        p src sb epoch
+  | Standby_lost (ts, p, sb) ->
+      Fmt.pf ppf "[%8.3fs] SB-LOST  %s: standby %s missed too many heartbeats" ts p sb
+  | Resynced (ts, p, sb, epoch) ->
+      Fmt.pf ppf "[%8.3fs] RESYNC   %s: full resync to standby %s at epoch %d" ts p sb
+        epoch
 
 let events t = List.rev t.events
 
@@ -676,3 +698,99 @@ let output (p : proc) =
   match p.p_state with
   | Finished _ -> Buffer.contents p.p_output
   | _ -> Buffer.contents p.p_output ^ Interp.output p.p_interp
+
+(* ------------------------------------------------------------------ *)
+(* Continuous replication: warm standbys and promotion-on-failure      *)
+(* ------------------------------------------------------------------ *)
+
+let node_named t name = List.find_opt (fun n -> n.n_name = name) t.nodes
+
+(** Open a continuous-replication session for [p]: every stream epoch
+    ships a delta to the scheduler's store (required — it is the
+    authoritative resume point) and to warm standbys on [standbys].
+    Standby names are node names, so a later promotion can re-home the
+    process onto the standby's node. *)
+let replicate ?config ?faults t (p : proc) ~(standbys : node list) : Replica.t =
+  let st =
+    match t.store with
+    | Some st -> st
+    | None -> invalid_arg "Sched.replicate: scheduler has no store"
+  in
+  if standbys = [] then invalid_arg "Sched.replicate: no standby nodes";
+  if List.exists (fun n -> n == p.p_node) standbys then
+    invalid_arg "Sched.replicate: a standby cannot be the source node";
+  Replica.create ?config ?faults ~channel:t.channel ~store:st
+    ~proc:(store_name p)
+    ~standbys:(List.map (fun n -> (n.n_name, n.n_arch)) standbys)
+    p.p_m p.p_interp
+
+(* Surface the replica's event log as scheduler events (resyncs and lost
+   standbys), starting after the first [seen0] replica events. *)
+let absorb_replica_events t (p : proc) (r : Replica.t) seen0 =
+  List.iteri
+    (fun i e ->
+      if i >= seen0 then
+        match e with
+        | Replica.Ev_resync { er_epoch; er_sub; _ } ->
+            p.p_resyncs <- p.p_resyncs + 1;
+            log t (Resynced (t.now, p.p_name, er_sub, er_epoch))
+        | Replica.Ev_standby_lost { el_epoch = _; el_sub } ->
+            log t (Standby_lost (t.now, p.p_name, el_sub))
+        | _ -> ())
+    (Replica.events r)
+
+(** Stream up to [epochs] replication epochs for [p], advancing the
+    scheduler clock by the simulated replication time and folding output
+    the replica released at durable epochs into the process's
+    accumulated output.  A completed source finishes the process. *)
+let stream_replica t (p : proc) (r : Replica.t) ~epochs : Replica.step =
+  let seen = List.length (Replica.events r) in
+  let t0 = Replica.time_s r in
+  let rel0 = String.length (Replica.released_output r) in
+  if Hpm_obs.Obs.on () then Hpm_obs.Obs.set_now t.now;
+  let step = Replica.run r ~epochs in
+  absorb_replica_events t p r seen;
+  let rel = Replica.released_output r in
+  Buffer.add_string p.p_output (String.sub rel rel0 (String.length rel - rel0));
+  p.p_ckpt_epoch <- max p.p_ckpt_epoch (Replica.epoch r + 1);
+  p.p_epoch <- max p.p_epoch (Replica.epoch r + 1);
+  t.now <- t.now +. (Replica.time_s r -. t0);
+  (match step with
+  | Replica.Source_finished -> (
+      match p.p_interp.Interp.result with
+      | Some v -> finish t p v
+      | None -> ())
+  | _ -> ());
+  step
+
+(** Fail [p] over: promote the freshest committed standby (or [sub]),
+    fence the dead incarnation, and re-home the process onto the
+    promoted standby's node.  The dead interpreter's unreleased output
+    is discarded, not folded — the replica released output only at
+    durable epochs and replay regenerates exactly the rest. *)
+let promote_standby ?sub t (p : proc) (r : Replica.t) : Replica.promotion =
+  let seen = List.length (Replica.events r) in
+  let t0 = Replica.time_s r in
+  if Hpm_obs.Obs.on () then Hpm_obs.Obs.set_now t.now;
+  let pm = Replica.promote ?sub r in
+  absorb_replica_events t p r seen;
+  let src_name = p.p_node.n_name in
+  let dst =
+    match node_named t pm.Replica.pm_sub with
+    | Some n -> n
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Sched.promote_standby: standby %s is not a node"
+             pm.Replica.pm_sub)
+  in
+  Buffer.clear p.p_interp.Interp.out;
+  rehome p dst pm.Replica.pm_interp;
+  p.p_cache <- Snapshot.new_cache ();
+  p.p_promotions <- p.p_promotions + 1;
+  p.p_recoveries <- p.p_recoveries + 1;
+  p.p_epoch <- pm.Replica.pm_epoch + 1;
+  p.p_ckpt_epoch <- pm.Replica.pm_epoch + 1;
+  t.now <- t.now +. (Replica.time_s r -. t0);
+  p.p_state <- Blocked_until (t.now +. t.handoff.Handoff.restart_delay_s);
+  log t (Promoted (t.now, p.p_name, src_name, dst.n_name, pm.Replica.pm_epoch));
+  pm

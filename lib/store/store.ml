@@ -331,7 +331,13 @@ let manifest_hashes (mf : manifest) : string list =
 (* The on-disk store                                                   *)
 (* ------------------------------------------------------------------ *)
 
-type t = { dir : string }
+type t = {
+  dir : string;
+  pins : (string, int) Hashtbl.t;
+      (* chunk hash -> pin count: chunks a live delta application or
+         replication subscription still needs but no committed manifest
+         references yet.  gc treats pinned chunks as live. *)
+}
 
 let chunk_magic = "HPCK"
 
@@ -373,7 +379,7 @@ let read_file path =
 (** Open (creating if needed) a store rooted at [dir].
     @raise Error when the directory cannot be created or written. *)
 let open_store (dir : string) : t =
-  let t = { dir } in
+  let t = { dir; pins = Hashtbl.create 64 } in
   mkdir_p dir;
   mkdir_p (chunks_dir t);
   mkdir_p (manifests_dir t);
@@ -440,6 +446,45 @@ let get_chunk t (hash : string) : string =
 
 let chunk_disk_bytes t hash =
   try (Unix.stat (chunk_path t hash)).Unix.st_size with Unix.Unix_error _ -> 0
+
+(* ---- pins ---- *)
+
+let publish_pins t =
+  if Obs.metrics_on () then
+    Obs.set_gauge "hpm_store_pinned_chunks" [] (float_of_int (Hashtbl.length t.pins))
+
+(** Pin [hashes] against {!gc}: a pinned chunk is treated as live even
+    when no committed manifest references it.  Pins are counted, so
+    nested pinners compose; they live in memory only — a process restart
+    drops them, which is safe because whatever in-flight application they
+    protected died with the process. *)
+let pin t (hashes : string list) : unit =
+  List.iter
+    (fun h ->
+      let n = match Hashtbl.find_opt t.pins h with Some n -> n | None -> 0 in
+      Hashtbl.replace t.pins h (n + 1))
+    hashes;
+  publish_pins t
+
+(** Release one pin on each of [hashes]; unknown hashes are ignored. *)
+let unpin t (hashes : string list) : unit =
+  List.iter
+    (fun h ->
+      match Hashtbl.find_opt t.pins h with
+      | Some n when n > 1 -> Hashtbl.replace t.pins h (n - 1)
+      | Some _ -> Hashtbl.remove t.pins h
+      | None -> ())
+    hashes;
+  publish_pins t
+
+(** Number of distinct chunk hashes currently pinned. *)
+let pinned_chunks t : int = Hashtbl.length t.pins
+
+(** Run [f ()] with [hashes] pinned; the pins are released on any exit,
+    exceptional included. *)
+let with_pins t (hashes : string list) (f : unit -> 'a) : 'a =
+  pin t hashes;
+  Fun.protect ~finally:(fun () -> unpin t hashes) f
 
 (* ---- manifests ---- *)
 
@@ -557,17 +602,22 @@ type gc_report = {
   gc_reclaimed_chunks : int;
   gc_reclaimed_bytes : int;   (** on-disk bytes deleted *)
   gc_bad_manifests : int;     (** unparseable manifest files (held no references) *)
+  gc_pinned_chunks : int;     (** chunks kept alive solely by a pin *)
 }
 
 let pp_gc ppf g =
-  Fmt.pf ppf "gc: reclaimed %d chunks (%d bytes); %d live chunks (%d bytes)%a"
+  Fmt.pf ppf "gc: reclaimed %d chunks (%d bytes); %d live chunks (%d bytes)%a%a"
     g.gc_reclaimed_chunks g.gc_reclaimed_bytes g.gc_live_chunks g.gc_live_bytes
+    (fun ppf n -> if n > 0 then Fmt.pf ppf "; %d pinned" n)
+    g.gc_pinned_chunks
     (fun ppf n -> if n > 0 then Fmt.pf ppf "; %d damaged manifests ignored" n)
     g.gc_bad_manifests
 
-(** Delete every chunk referenced by no parseable manifest.  A chunk
-    referenced by any committed manifest is never reclaimed; an
-    uncommitted (torn) manifest protects nothing. *)
+(** Delete every chunk referenced by no parseable manifest and not
+    {!pin}ned.  A chunk referenced by any committed manifest is never
+    reclaimed; an uncommitted (torn) manifest protects nothing — pins
+    exist precisely to cover the window in which a delta's chunks are on
+    disk but its manifest is not yet committed. *)
 let gc t : gc_report =
   let live = Hashtbl.create 256 in
   let bad = ref 0 in
@@ -577,6 +627,15 @@ let gc t : gc_report =
       | mf -> Array.iter (fun bi -> Hashtbl.replace live bi.b_hash ()) mf.mf_blocks
       | exception Corrupt _ -> incr bad)
     (manifest_files t);
+  (* pinned-only survivors: counted separately so the report shows what
+     the pins are currently protecting *)
+  let pinned_only = ref 0 in
+  Hashtbl.iter
+    (fun h _ ->
+      if not (Hashtbl.mem live h) then (
+        incr pinned_only;
+        Hashtbl.replace live h ()))
+    t.pins;
   let report =
     {
       gc_live_chunks = 0;
@@ -584,6 +643,7 @@ let gc t : gc_report =
       gc_reclaimed_chunks = 0;
       gc_reclaimed_bytes = 0;
       gc_bad_manifests = !bad;
+      gc_pinned_chunks = !pinned_only;
     }
   in
   let dir = chunks_dir t in
@@ -752,14 +812,20 @@ let parse_delta ?base (wire : string) : delta =
     @raise Corrupt on damage or missing chunks *)
 let apply t ?expect_base (wire : string) : manifest =
   let d = parse_delta ?base:expect_base wire in
-  (* parse_delta already verified each payload against its hash *)
-  List.iter
-    (fun (hash, payload) -> ignore (put_chunk_hashed t ~hash payload : bool))
-    d.d_chunks;
-  List.iter
-    (fun h ->
-      if not (has_chunk t h) then
-        corrupt "delta leaves chunk %s unmaterializable" (hash_hex h))
-    (manifest_hashes d.d_manifest);
-  save_manifest t d.d_manifest;
+  (* Pin every chunk the new manifest will reference for the whole
+     persist window: freshly shipped chunks have no committed manifest
+     yet, and base-inherited chunks may lose their last manifest to a
+     concurrent [retain] — either way a [gc] racing this application must
+     not reclaim them before [save_manifest] commits. *)
+  with_pins t (manifest_hashes d.d_manifest) (fun () ->
+      (* parse_delta already verified each payload against its hash *)
+      List.iter
+        (fun (hash, payload) -> ignore (put_chunk_hashed t ~hash payload : bool))
+        d.d_chunks;
+      List.iter
+        (fun h ->
+          if not (has_chunk t h) then
+            corrupt "delta leaves chunk %s unmaterializable" (hash_hex h))
+        (manifest_hashes d.d_manifest);
+      save_manifest t d.d_manifest);
   d.d_manifest

@@ -11,6 +11,13 @@
 #   collect.stream_bytes   v2 stream size — any growth is a wire change
 #   delta.incr_bytes       incremental v3 delta size
 #   compat.model_s         cost-model portability-analysis time (8x8 matrix)
+#   replication.final_delta_bytes   planned-migration final delta wire
+#   replication.catchup_lag3_bytes  lag-model catch-up cost (3 epochs behind)
+#   replication.ship_sim_s          simulated delta-shipping time per run
+#
+# A baseline generated before a metric existed simply lacks it; such
+# metrics are skipped (null-safe), so refreshing the baseline is what
+# arms a newly added gate.
 #
 # Byte metrics are gated as strictly as times: the stream is canonical,
 # so even a 1-byte growth means the wire format moved and the golden
@@ -48,7 +55,10 @@ regressions=$(jq -n --argjson thr "$threshold" \
     "handoff.sim_s":        .handoff.sim_s,
     "collect.stream_bytes": .collect.stream_bytes,
     "delta.incr_bytes":     .delta.incr_bytes,
-    "compat.model_s":       .compat.model_s
+    "compat.model_s":       .compat.model_s,
+    "replication.final_delta_bytes":  .replication.final_delta_bytes,
+    "replication.catchup_lag3_bytes": .replication.catchup_lag3_bytes,
+    "replication.ship_sim_s":         .replication.ship_sim_s
   };
   ($base[0].entries | map({(key): metrics}) | add) as $b
   | [ $new[0].entries[]

@@ -27,7 +27,8 @@ let test_required_keys () =
       "collect"; "model_s"; "searches"; "blocks"; "data_bytes"; "stream_bytes";
       "pointers"; "restore"; "updates"; "handoff"; "sim_s"; "delta"; "full_bytes";
       "incr_bytes"; "cache_hits"; "chunks_shipped"; "compat"; "polls"; "entries";
-      "checks"; "illegal_pairs"; "lossy_pairs";
+      "checks"; "illegal_pairs"; "lossy_pairs"; "replication"; "final_delta_bytes";
+      "catchup_lag1_bytes"; "catchup_lag3_bytes"; "ship_sim_s";
     ];
   check_bool "schema tag" true (contains_sub j "\"schema\": \"BENCH_v1\"");
   check_bool "version field" true (contains_sub j "\"version\": 1")
@@ -60,7 +61,17 @@ let test_values_sane () =
   check_bool "verdict census bounded" true
     (e.Bench_json.p_illegal >= 0
     && e.Bench_json.p_lossy >= 0
-    && e.Bench_json.p_illegal + e.Bench_json.p_lossy <= 64)
+    && e.Bench_json.p_illegal + e.Bench_json.p_lossy <= 64);
+  (* replication: the planned-migration claim and the lag model *)
+  check_bool "final delta well below the full state" true
+    (e.Bench_json.rep_final_bytes > 0
+    && e.Bench_json.rep_final_bytes < e.Bench_json.rep_full_bytes);
+  check_bool "lag model monotone" true
+    (e.Bench_json.rep_lag1_bytes <= e.Bench_json.rep_lag3_bytes);
+  check_bool "lag-1 catch-up is the final delta" true
+    (e.Bench_json.rep_lag1_bytes = e.Bench_json.rep_final_bytes);
+  check_bool "replication ship time positive" true
+    (e.Bench_json.rep_ship_s > 0.0)
 
 let test_deterministic () =
   let j1 = Bench_json.to_json [ Bench_json.run_case fast_case ] in

@@ -37,6 +37,7 @@ let () =
       ("netsim", Test_netsim.suite);
       ("sched", Test_sched.suite);
       ("store", Test_store.suite);
+      ("replica", Test_replica.suite);
       ("precopy", Test_precopy.suite);
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);

@@ -40,7 +40,10 @@ let test_explicit_migration () =
         | Sched.Finished_ev _ -> Some "fin"
         | Sched.Spawned _ -> Some "spawn"
         | Sched.Compat_rejected _ -> Some "compat-reject"
-        | Sched.Checkpointed _ -> Some "ckpt")
+        | Sched.Checkpointed _ -> Some "ckpt"
+        | Sched.Promoted _ -> Some "promote"
+        | Sched.Standby_lost _ -> Some "sb-lost"
+        | Sched.Resynced _ -> Some "resync")
       evs
   in
   check_bool "event order" true (kinds = [ "spawn"; "req"; "mig"; "fin" ])
@@ -209,6 +212,114 @@ let test_network_accounting () =
   check_int "one message on the wire" 1 sim.Sched.channel.Hpm_net.Netsim.messages;
   check_bool "bytes accounted" true (sim.Sched.channel.Hpm_net.Netsim.bytes_sent > 100)
 
+(* ---------------------------------------------------------------- *)
+(* Continuous replication through the scheduler                      *)
+(* ---------------------------------------------------------------- *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hpm_sched_rep_%d_%d" (Unix.getpid ()) !n)
+
+let rec rm_rf path =
+  if Sys.is_directory path then (
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path)
+  else Sys.remove path
+
+let with_rep_env f =
+  let dir = fresh_dir () in
+  let st = Hpm_store.Store.open_store dir in
+  let src = Sched.node "src" Hpm_arch.Arch.dec5000 in
+  let sb0 = Sched.node "sb0" Hpm_arch.Arch.sparc20 in
+  let sb1 = Sched.node "sb1" Hpm_arch.Arch.x86_64 in
+  let sim =
+    Sched.create ~channel:(Hpm_net.Netsim.ethernet_10 ()) ~store:st
+      [ src; sb0; sb1 ]
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with _ -> ())
+    (fun () -> f sim src (sb0, sb1))
+
+let jacobi n = Util.prepare (Hpm_workloads.Jacobi.source n)
+
+let test_replicate_promote_exactly_once () =
+  with_rep_env (fun sim src (sb0, sb1) ->
+      let expected, _, _ =
+        Hpm_core.Migration.run_plain (jacobi 8) Hpm_arch.Arch.dec5000
+      in
+      let p = Sched.spawn sim src "j" (jacobi 8) in
+      let r =
+        Sched.replicate sim p ~standbys:[ sb0; sb1 ]
+          ~faults:(Hpm_net.Netsim.rep_faults ~drop:[ ("sb0", 2) ] ())
+      in
+      (match Sched.stream_replica sim p r ~epochs:3 with
+      | Hpm_store.Replica.Streamed 3 -> ()
+      | _ -> Alcotest.fail "expected 3 streamed epochs");
+      (* the dropped delta surfaced as a scheduler Resynced event *)
+      check_int "resync counted on the process" 1 p.Sched.p_resyncs;
+      check_bool "Resynced event logged" true
+        (List.exists
+           (function Sched.Resynced (_, "j", "sb0", _) -> true | _ -> false)
+           (Sched.events sim));
+      (* the source dies mid-stream; the scheduler fails over *)
+      Hpm_store.Replica.set_faults r
+        (Some
+           (Hpm_net.Netsim.rep_faults
+              ~crash_source_at:(Hpm_net.Netsim.Rp_stream, 4) ()));
+      (match Sched.stream_replica sim p r ~epochs:1 with
+      | Hpm_store.Replica.Source_crashed _ -> ()
+      | _ -> Alcotest.fail "expected the injected source crash");
+      let pm = Sched.promote_standby sim p r in
+      (* the resync healed sb0 before the crash, so both standbys tie at
+         epoch 3 and the first one wins *)
+      check_string "a fully caught-up standby promoted" "sb0"
+        pm.Hpm_store.Replica.pm_sub;
+      ignore sb1;
+      check_bool "process re-homed onto the standby's node" true
+        (p.Sched.p_node == sb0);
+      check_int "promotion counted" 1 p.Sched.p_promotions;
+      check_bool "Promoted event logged" true
+        (List.exists
+           (function
+             | Sched.Promoted (_, "j", "src", "sb0", 3) -> true
+             | _ -> false)
+           (Sched.events sim));
+      (* the scheduler runs the promoted copy to completion: combined
+         output is exactly one program *)
+      let _ = Sched.run sim in
+      check_string "exactly-once across promotion" expected (Sched.output p);
+      check_int "handoff epochs stay monotonic" 4 p.Sched.p_epoch)
+
+let test_replicate_source_finishes () =
+  with_rep_env (fun sim src (sb0, _) ->
+      let expected, _, _ =
+        Hpm_core.Migration.run_plain (jacobi 4) Hpm_arch.Arch.dec5000
+      in
+      let p = Sched.spawn sim src "jf" (jacobi 4) in
+      let r = Sched.replicate sim p ~standbys:[ sb0 ] in
+      let rec drain () =
+        match Sched.stream_replica sim p r ~epochs:1 with
+        | Hpm_store.Replica.Streamed _ -> drain ()
+        | s -> s
+      in
+      (match drain () with
+      | Hpm_store.Replica.Source_finished -> ()
+      | _ -> Alcotest.fail "source should finish");
+      check_bool "process finished" true
+        (match p.Sched.p_state with Sched.Finished _ -> true | _ -> false);
+      check_string "output exactly once" expected (Sched.output p))
+
+let test_replicate_requires_store () =
+  let sim, slow, fast = mk_env () in
+  let p = Sched.spawn sim slow "q" (nqueens 5) in
+  expect_raise "no store refused"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Sched.replicate sim p ~standbys:[ fast ]))
+
 let suite =
   [
     tc "run to completion" test_run_to_completion;
@@ -222,4 +333,9 @@ let suite =
     tc "lossy migration still succeeds" test_lossy_migration_still_succeeds;
     tc "compat gate blocks illegal destination" test_compat_gate_blocks_illegal_destination;
     tc "network accounting" test_network_accounting;
+    tc "replication: stream, crash, promote, exactly-once"
+      test_replicate_promote_exactly_once;
+    tc "replication: source completion finishes the process"
+      test_replicate_source_finishes;
+    tc "replication requires a store" test_replicate_requires_store;
   ]

@@ -251,9 +251,50 @@ let test_abort_source_can_retry_later () =
             (Hpm_machine.Interp.output src ^ Hpm_machine.Interp.output dst)
       | _ -> Alcotest.fail "destination did not finish")
 
+(* ---------------------------------------------------------------- *)
+(* Heartbeat frames                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let test_heartbeat_vector () =
+  (* pinned wire vector: layout drift in docs/FORMAT.md shows up here *)
+  let hb = Transport.encode_heartbeat ~seq:1 ~epoch:7 in
+  check_int "heartbeat frames are 16 bytes" Transport.heartbeat_bytes
+    (String.length hb);
+  check_string "wire vector (seq=1, epoch=7)"
+    "\x48\x50\x48\x42\x00\x00\x00\x01\x00\x00\x00\x07\xc6\x26\x63\x7a" hb;
+  check_int "CRC covers exactly the seq and epoch words" 3324404602
+    (Transport.crc32 ~pos:4 ~len:8 hb);
+  match Transport.decode_heartbeat hb with
+  | Ok (seq, epoch) ->
+      check_int "seq round-trips" 1 seq;
+      check_int "epoch round-trips" 7 epoch
+  | Error m -> Alcotest.fail ("heartbeat rejected: " ^ m)
+
+let test_heartbeat_rejects_damage () =
+  let hb = Transport.encode_heartbeat ~seq:42 ~epoch:3 in
+  (* every single-byte flip is caught by magic, size, or CRC *)
+  for i = 0 to String.length hb - 1 do
+    let b = Bytes.of_string hb in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+    match Transport.decode_heartbeat (Bytes.to_string b) with
+    | Ok _ -> Alcotest.failf "flip at byte %d slipped through" i
+    | Error _ -> ()
+  done;
+  (match Transport.decode_heartbeat (String.sub hb 0 12) with
+  | Ok _ -> Alcotest.fail "truncated heartbeat accepted"
+  | Error m -> check_bool "size named in the reason" true (contains_sub m "16"));
+  expect_raise "negative seq refused"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Transport.encode_heartbeat ~seq:(-1) ~epoch:0));
+  expect_raise "negative epoch refused"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Transport.encode_heartbeat ~seq:0 ~epoch:(-1)))
+
 let suite =
   [
     tc "crc32 known vectors" test_crc32_vectors;
+    tc "heartbeat wire vector and round-trip" test_heartbeat_vector;
+    tc "heartbeat rejects damage" test_heartbeat_rejects_damage;
     tc "crc32 detects every single-byte flip" test_crc32_detects_flips;
     tc "frame round-trip and expectations" test_frame_roundtrip;
     tc "damaged frames rejected" test_frame_rejects_damage;
