@@ -160,7 +160,8 @@ let run_precopy m ~src_arch ~dst_arch ~after ~channel ~config ~report ~st ~proc
 let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
     max_retries net_seed crash_src crash_dst drop_ack drop_probe ack_deadline
     probe_retries store_dir delta precopy_rounds precopy_threshold restore_store
-    store_gc trace_file metrics_file standby replica_epochs promote =
+    store_gc gc_dry_run journal_file trace_file metrics_file standby
+    replica_epochs promote =
   let module Obs = Hpm_obs.Obs in
   let obs_on = trace_file <> None || metrics_file <> None in
   if obs_on then begin
@@ -283,7 +284,27 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
           Fmt.epr "hpmrun: %s@." msg;
           exit 1)
   in
+  if gc_dry_run && store_gc = None then (
+    Fmt.epr "hpmrun: --gc-dry-run needs --store-gc@.";
+    exit 1);
   match (store_gc, store) with
+  | Some keep, Some st when gc_dry_run ->
+      (* dry run: the same retention predicate `query gc-candidates`
+         applies, printed instead of enforced — nothing is deleted *)
+      let journal =
+        match journal_file with
+        | Some p -> Some (Hpm_store.Journal.load p)
+        | None -> None
+      in
+      let victims =
+        Hpm_query.Report.retention_victims ~store:st ?journal ~keep_last:keep ()
+      in
+      List.iter
+        (fun (proc, epoch, _) -> Fmt.pr "would drop %s epoch %d@." proc epoch)
+        victims;
+      Fmt.pr "gc dry run: %d candidate manifest(s), nothing deleted@."
+        (List.length victims);
+      0
   | Some keep, Some st ->
       (* maintenance mode: no program involved *)
       List.iter (fun proc -> ignore (Store.retain st ~proc ~keep : int)) (Store.procs st);
@@ -356,8 +377,14 @@ let run file from_ to_ after report show_net save_ckpt load_ckpt loss corrupt
             0
         | Hpm_machine.Interp.RFuel -> assert false
         | Hpm_machine.Interp.RPolled _ -> (
+            let journal =
+              match journal_file with
+              | Some path -> Some (Hpm_store.Journal.open_journal path)
+              | None -> None
+            in
             let r =
-              Replica.create ?faults ~channel ~store:st ~proc ~standbys m p
+              Replica.create ?faults ?journal ~channel ~store:st ~proc ~standbys
+                m p
             in
             let print_events () =
               if report then
@@ -757,6 +784,20 @@ let () =
              ~doc:"retain the newest KEEP epochs per process in --store-dir, sweep \
                    unreferenced chunks, and print the report (FILE not needed)")
   in
+  let gc_dry_run =
+    Arg.(value & flag
+         & info [ "gc-dry-run" ]
+             ~doc:"with --store-gc, print the manifests the retention policy \
+                   would drop (the same predicate `query gc-candidates` uses, \
+                   pins respected) and delete nothing")
+  in
+  let journal_file =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"append fleet events (HPMJ records, docs/FORMAT.md) to FILE; \
+                   with --store-gc --gc-dry-run, also date retention candidates \
+                   from it")
+  in
   let trace_file =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -792,14 +833,30 @@ let () =
                    promote the freshest committed standby, fence the dead \
                    incarnation, and run the survivor to completion")
   in
+  let run_term =
+    Term.(const run $ file $ from_ $ to_ $ after $ report $ show_net $ save_ckpt
+          $ load_ckpt $ loss $ corrupt $ max_retries $ net_seed $ crash_src
+          $ crash_dst $ drop_ack $ drop_probe $ ack_deadline $ probe_retries
+          $ store_dir $ delta $ precopy_rounds $ precopy_threshold $ restore_store
+          $ store_gc $ gc_dry_run $ journal_file $ trace_file $ metrics_file
+          $ standby $ replica_epochs $ promote)
+  in
   let cmd =
     Cmd.v
-      (Cmd.info "hpmrun" ~doc:"run Mini-C programs with heterogeneous process migration")
-      Term.(const run $ file $ from_ $ to_ $ after $ report $ show_net $ save_ckpt
-            $ load_ckpt $ loss $ corrupt $ max_retries $ net_seed $ crash_src
-            $ crash_dst $ drop_ack $ drop_probe $ ack_deadline $ probe_retries
-            $ store_dir $ delta $ precopy_rounds $ precopy_threshold $ restore_store
-            $ store_gc $ trace_file $ metrics_file $ standby $ replica_epochs
-            $ promote)
+      (Cmd.info "hpmrun"
+         ~doc:
+           "run Mini-C programs with heterogeneous process migration (see \
+            also: hpmrun query, the fleet console over store/journal/trace \
+            artifacts)")
+      run_term
   in
-  exit (Cmd.eval' cmd)
+  (* `hpmrun query ...` dispatches to the fleet console; everything else
+     keeps the historical single-command grammar, where FILE is a
+     positional argument a Cmd.group would misread as a command name. *)
+  let argv = Sys.argv in
+  if Array.length argv > 1 && argv.(1) = "query" then
+    let argv' =
+      Array.append [| argv.(0) |] (Array.sub argv 2 (Array.length argv - 2))
+    in
+    exit (Cmd.eval' ~argv:argv' Hpm_query.Qcli.cmd)
+  else exit (Cmd.eval' cmd)

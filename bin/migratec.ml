@@ -295,6 +295,12 @@ let cmd_stream =
     (Cmd.info "stream" ~doc:"collect at a poll-point and dump the decoded migration stream")
     Term.(const run $ file_arg $ after_arg $ arch_arg $ no_lint_arg)
 
+(* the shared query CLI returns an exit code; fold it into this
+   binary's unit-term convention *)
+let cmd_query =
+  Cmd.v Hpm_query.Qcli.info
+    Term.(const (fun rc -> if rc <> 0 then Stdlib.exit rc) $ Hpm_query.Qcli.term)
+
 let () =
   let doc = "pre-compiler for heterogeneous process migration" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "migratec" ~doc) [ cmd_check; cmd_lint; cmd_compat; cmd_ir; cmd_polls; cmd_source; cmd_annotate; cmd_graph; cmd_stream ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "migratec" ~doc) [ cmd_check; cmd_lint; cmd_compat; cmd_ir; cmd_polls; cmd_source; cmd_annotate; cmd_graph; cmd_stream; cmd_query ]))

@@ -96,6 +96,15 @@ type entry = {
   rep_lag1_bytes : int;     (** catch-up cost at lag 1 *)
   rep_lag3_bytes : int;     (** catch-up cost at lag 3 *)
   rep_ship_s : float;       (** simulated seconds spent shipping deltas *)
+  (* query: the management plane (lib/query) — every canned report run
+     over the case's own seeded store, journal and handoff trace, costed
+     on the model clock from the engine's row/cell work counters *)
+  q_rows : int;             (** rows scanned across all canned reports *)
+  q_top_churn_s : float;
+  q_dedup_s : float;
+  q_handoff_p99_s : float;
+  q_gc_candidates_s : float;
+  q_promotions_s : float;
 }
 
 let err fmt = Fmt.kstr failwith fmt
@@ -167,8 +176,9 @@ let run_case (c : case) : entry =
      sizes and the simulated clock enter the document, so the temp-dir
      name does not break determinism. *)
   let rep_epochs = 4 in
-  let rep_final_bytes, rep_full_bytes, rep_lag1_bytes, rep_lag3_bytes, rep_ship_s
-      =
+  let ( rep_final_bytes, rep_full_bytes, rep_lag1_bytes, rep_lag3_bytes,
+        rep_ship_s, h, q_rows, q_top_churn_s, q_dedup_s, q_handoff_p99_s,
+        q_gc_candidates_s, q_promotions_s ) =
     let dir =
       let f = Filename.temp_file "hpmbench_rep" "" in
       Sys.remove f;
@@ -184,13 +194,15 @@ let run_case (c : case) : entry =
       ~finally:(fun () -> try rm_rf dir with _ -> ())
       (fun () ->
         let st = Hpm_store.Store.open_store dir in
+        let jpath = Filename.concat dir "fleet.hpmj" in
+        let journal = Hpm_store.Journal.open_journal jpath in
         let p3 = suspend m c.src c.w_poll in
         let config =
           { Hpm_store.Replica.default_config with
             Hpm_store.Replica.epoch_polls = 4 }
         in
         let r =
-          Hpm_store.Replica.create ~config
+          Hpm_store.Replica.create ~config ~journal
             ~channel:(Hpm_net.Netsim.ethernet_10 ())
             ~store:st ~proc:c.w_name
             ~standbys:[ ("sb0", c.dst) ]
@@ -217,25 +229,72 @@ let run_case (c : case) : entry =
           | sb :: _ -> String.length (Hpm_store.Replica.standby_stream r sb)
           | [] -> err "bench: %s replica lost its standby" c.w_name
         in
-        let out =
-          ( List.assoc rep_epochs per_epoch,
-            full_bytes,
-            catchup 1,
-            catchup 3,
-            Hpm_store.Replica.time_s r )
-        in
+        let rep_ship_s = Hpm_store.Replica.time_s r in
+        (* a drill promotion, so the journal carries a failover record
+           for the promotions report *)
+        ignore (Hpm_store.Replica.promote r : Hpm_store.Replica.promotion);
         Hpm_store.Replica.close r;
-        out)
-  in
-  (* handoff on a second fresh process, clean 10 Mb/s ethernet *)
-  let p2 = suspend m c.src c.w_poll in
-  let h =
-    match
-      (Handoff.execute ~channel:(Hpm_net.Netsim.ethernet_10 ()) ~epoch:1 m p2 c.dst)
-        .Handoff.outcome
-    with
-    | Handoff.Committed h -> h
-    | o -> err "bench: handoff of %s did not commit: %s" c.w_name (Handoff.outcome_name o)
+        (* handoff on a second fresh process, clean 10 Mb/s ethernet —
+           captured as a Chrome trace so the query engine has migration
+           spans to aggregate.  The ambient clock is restored afterwards,
+           keeping repeated generate() calls byte-identical. *)
+        let module Obs = Hpm_obs.Obs in
+        let now0 = Obs.now () in
+        let prev_trace = !Obs.cur_trace in
+        let tr = Obs.Trace.create () in
+        Obs.set_trace (Some tr);
+        let p2 = suspend m c.src c.w_poll in
+        let h =
+          match
+            (Handoff.execute ~channel:(Hpm_net.Netsim.ethernet_10 ()) ~epoch:1 m p2 c.dst)
+              .Handoff.outcome
+          with
+          | Handoff.Committed h -> h
+          | o ->
+              err "bench: handoff of %s did not commit: %s" c.w_name
+                (Handoff.outcome_name o)
+        in
+        Obs.set_trace prev_trace;
+        Obs.set_now now0;
+        (* the management plane: every canned report over this case's
+           seeded store, journal and trace, costed from the engine's
+           work counters *)
+        let qsrc =
+          {
+            Hpm_query.Report.empty_sources with
+            Hpm_query.Report.s_store = Some st;
+            s_journal = Some (Hpm_store.Journal.load jpath);
+            s_trace = Some (Hpm_query.Json.parse (Obs.Trace.to_json tr));
+          }
+        in
+        let q_rows = ref 0 in
+        let timed name =
+          Hpm_query.Rel.reset_stats ();
+          let t =
+            Hpm_query.Report.run ~keep_last:1 qsrc name
+          in
+          ignore (Hpm_query.Rel.cardinality t : int);
+          q_rows := !q_rows + !Hpm_query.Rel.rows_scanned;
+          Model.query_s ~rows:!Hpm_query.Rel.rows_scanned
+            ~cells:!Hpm_query.Rel.cells_touched
+        in
+        let q_top_churn_s = timed "top-churn" in
+        let q_dedup_s = timed "dedup" in
+        let q_handoff_p99_s = timed "handoff-p99" in
+        let q_gc_candidates_s = timed "gc-candidates" in
+        let q_promotions_s = timed "promotions" in
+        ( List.assoc rep_epochs per_epoch,
+          full_bytes,
+          catchup 1,
+          catchup 3,
+          rep_ship_s,
+          h,
+          !q_rows,
+          q_top_churn_s,
+          q_dedup_s,
+          q_handoff_p99_s,
+          q_gc_candidates_s,
+          q_promotions_s ))
   in
   {
     e_case = c;
@@ -266,6 +325,12 @@ let run_case (c : case) : entry =
     rep_lag1_bytes;
     rep_lag3_bytes;
     rep_ship_s;
+    q_rows;
+    q_top_churn_s;
+    q_dedup_s;
+    q_handoff_p99_s;
+    q_gc_candidates_s;
+    q_promotions_s;
   }
 
 let run ?(cases = default_cases) () : entry list = List.map run_case cases
@@ -295,7 +360,10 @@ let entry_json (b : Buffer.t) (e : entry) : unit =
         \"checks\": %d, \"illegal_pairs\": %d, \"lossy_pairs\": %d },\n\
        \      \"replication\": { \"final_delta_bytes\": %d, \"full_bytes\": %d, \
         \"catchup_lag1_bytes\": %d, \"catchup_lag3_bytes\": %d, \"ship_sim_s\": \
-        %s }\n\
+        %s },\n\
+       \      \"query\": { \"rows_scanned\": %d, \"top_churn_s\": %s, \
+        \"dedup_s\": %s, \"handoff_p99_s\": %s, \"gc_candidates_s\": %s, \
+        \"promotions_s\": %s }\n\
        \    }"
        c.w_name c.w_n c.w_poll c.src.Arch.name c.dst.Arch.name (fnum e.c_model_s)
        e.c_searches e.c_blocks e.c_data_bytes e.c_stream_bytes e.c_pointers
@@ -303,7 +371,9 @@ let entry_json (b : Buffer.t) (e : entry) : unit =
        e.h_stream_bytes e.d_full_bytes e.d_incr_bytes e.d_cache_hits
        e.d_chunks_shipped (fnum e.p_model_s) e.p_polls e.p_entries e.p_checks
        e.p_illegal e.p_lossy e.rep_final_bytes e.rep_full_bytes e.rep_lag1_bytes
-       e.rep_lag3_bytes (fnum e.rep_ship_s))
+       e.rep_lag3_bytes (fnum e.rep_ship_s) e.q_rows (fnum e.q_top_churn_s)
+       (fnum e.q_dedup_s) (fnum e.q_handoff_p99_s) (fnum e.q_gc_candidates_s)
+       (fnum e.q_promotions_s))
 
 (** Render the versioned document.  Deterministic for a given build. *)
 let to_json (entries : entry list) : string =

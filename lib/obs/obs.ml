@@ -193,6 +193,10 @@ module Metrics = struct
        "simulated shipping lag of one delta to one subscriber");
       ("hpm_store_pinned_chunks", Gauge,
        "chunks pinned against gc by in-flight applications/subscriptions");
+      ("hpm_store_gc_damaged_manifests_total", Counter,
+       "unparseable manifest files gc skipped (they protected no chunks)");
+      ("hpm_journal_appends_total", Counter,
+       "fleet-journal records appended (HPMJ, docs/FORMAT.md)");
     ]
 
   let create () : t = { families = Hashtbl.create 64 }
@@ -467,6 +471,15 @@ module Model = struct
     (float_of_int polls *. compat_poll_s)
     +. (float_of_int entries *. compat_entry_s)
     +. (float_of_int checks *. compat_check_s)
+
+  (* query-engine management-plane cost (lib/query): a row is one tuple
+     materialized by a pipeline stage, a cell is one typed value touched
+     by a filter/projection/aggregate *)
+  let query_row_s = 90e-9
+  let query_cell_s = 6e-9
+
+  let query_s ~rows ~cells =
+    (float_of_int rows *. query_row_s) +. (float_of_int cells *. query_cell_s)
 end
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,273 @@
+(* Canned fleet reports over the source adapters, plus the retention
+   predicate shared with `hpmrun --store-gc --gc-dry-run`.
+
+   Every report is an ordinary {!Rel} pipeline, so its output obeys
+   the engine's determinism contract: canonical column order, total
+   sort orders, byte-identical rendering across same-seed runs. *)
+
+module Store = Hpm_store.Store
+module Journal = Hpm_store.Journal
+
+open Rel
+
+type sources = {
+  s_store : Store.t option;
+  s_journal : Journal.entry list option;
+  s_trace : Json.t option;          (* parsed Chrome trace document *)
+  s_metrics : string option;        (* raw Prometheus exposition text *)
+  s_bench : Json.t option;          (* parsed BENCH_v1 document *)
+}
+
+let empty_sources =
+  { s_store = None; s_journal = None; s_trace = None; s_metrics = None;
+    s_bench = None }
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error m -> err "cannot read %s: %s" path m
+
+(** Build sources from CLI paths; each artifact is loaded (and parsed)
+    eagerly so malformed inputs fail before any pipeline runs. *)
+let of_paths ?store_dir ?journal ?trace ?metrics ?bench () : sources =
+  {
+    s_store = Option.map Store.open_store store_dir;
+    s_journal = Option.map Journal.load journal;
+    s_trace = Option.map (fun p -> Json.parse (read_file p)) trace;
+    s_metrics = Option.map read_file metrics;
+    s_bench = Option.map (fun p -> Json.parse (read_file p)) bench;
+  }
+
+let need what flag = function
+  | Some v -> v
+  | None -> err "this report reads %s: pass %s" what flag
+
+let store_of s = need "a checkpoint store" "--store-dir" s.s_store
+let journal_of s = need "the fleet journal" "--journal" s.s_journal
+let trace_of s = need "a Chrome trace" "--trace" s.s_trace
+let metrics_of s = need "a metrics snapshot" "--metrics" s.s_metrics
+let bench_of s = need "a BENCH_v1 document" "--bench" s.s_bench
+
+(* ------------------------------------------------------------------ *)
+(* Base tables                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let base_tables =
+  [ "manifests"; "chunks"; "journal"; "spans"; "metrics"; "bench" ]
+
+let table (s : sources) = function
+  | "manifests" -> Source.manifests (store_of s)
+  | "chunks" -> Source.chunks (store_of s)
+  | "journal" -> Source.journal (journal_of s)
+  | "spans" -> Source.spans_of_json (trace_of s)
+  | "metrics" -> Source.metrics_of_string (metrics_of s)
+  | "bench" -> Source.bench_of_json (bench_of s)
+  | t -> err "unknown table %S (tables: %s)" t (String.concat ", " base_tables)
+
+(* ------------------------------------------------------------------ *)
+(* Canned reports                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cell_int = function Int i -> i | _ -> 0
+
+(** Processes by churn: bytes an epoch had to move, from the journal's
+    checkpoint and migration records.  An incremental record charges
+    its delta bytes; a full (non-precopy) migration charges the wire
+    stream it shipped. *)
+let top_churn (s : sources) : t =
+  let j = Source.journal (journal_of s) in
+  let iev = col_index j "ev" in
+  let idelta = col_index j "delta_bytes" in
+  let istream = col_index j "stream_bytes" in
+  j
+  |> filter (fun r ->
+         match r.(iev) with
+         | Str ("checkpointed" | "migrated") -> true
+         | _ -> false)
+  |> derive ~col:"churn_bytes" ~ty:Tint (fun r ->
+         let d = cell_int r.(idelta) in
+         Int (if d > 0 then d else cell_int r.(istream)))
+  |> group ~by:[ "proc" ]
+       ~aggs:[ ("epochs", Count); ("churn_bytes", Sum "churn_bytes") ]
+  |> derive ~col:"bytes_per_epoch" ~ty:Tfloat (fun r ->
+         let e = cell_int r.(1) and b = cell_int r.(2) in
+         if e = 0 then Null else Float (float_of_int b /. float_of_int e))
+  |> sort [ ("churn_bytes", `Desc); ("proc", `Asc) ]
+
+(** Chunk-reuse ratio per process: how much of each epoch's content the
+    content-addressed store already had.  Totals are exactly the
+    [Cstats.delta] ship/reuse counters the collectors maintained. *)
+let dedup (s : sources) : t =
+  let j = Source.journal (journal_of s) in
+  let iship = col_index j "chunks_shipped" in
+  let ireuse = col_index j "chunks_reused" in
+  j
+  |> filter (fun r -> cell_int r.(iship) + cell_int r.(ireuse) > 0)
+  |> group ~by:[ "proc" ]
+       ~aggs:
+         [
+           ("chunks_shipped", Sum "chunks_shipped");
+           ("chunks_reused", Sum "chunks_reused");
+         ]
+  |> derive ~col:"reuse_ratio" ~ty:Tfloat (fun r ->
+         let sh = cell_int r.(1) and re = cell_int r.(2) in
+         if sh + re = 0 then Null
+         else Float (float_of_int re /. float_of_int (sh + re)))
+  |> sort [ ("reuse_ratio", `Desc); ("proc", `Asc) ]
+
+(** Handoff latency percentiles per architecture pair, from the
+    "migration" spans of a Chrome trace. *)
+let handoff_p99 (s : sources) : t =
+  let sp = Source.spans_of_json (trace_of s) in
+  let iname = col_index sp "name" in
+  let ikind = col_index sp "kind" in
+  sp
+  |> filter (fun r -> r.(iname) = Str "migration" && r.(ikind) = Str "span")
+  |> group ~by:[ "arch_pair" ]
+       ~aggs:
+         [
+           ("handoffs", Count);
+           ("p50_s", Percentile (50, "dur_s"));
+           ("p99_s", Percentile (99, "dur_s"));
+           ("max_s", Max "dur_s");
+         ]
+  |> sort [ ("arch_pair", `Asc) ]
+
+(** Failover timeline: the journal filtered to the replication and
+    recovery record kinds, in time order. *)
+let promotions (s : sources) : t =
+  let j = Source.journal (journal_of s) in
+  let iev = col_index j "ev" in
+  j
+  |> filter (fun r ->
+         match r.(iev) with
+         | Str ("promoted" | "standby_lost" | "resynced" | "failed" | "recovered")
+           -> true
+         | _ -> false)
+  |> project
+       [ "ts"; "ev"; "proc"; "src"; "dst"; "node"; "epoch"; "incarnation";
+         "note" ]
+
+(* ------------------------------------------------------------------ *)
+(* Retention / gc candidates                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The retention predicate both `query gc-candidates` and
+    `hpmrun --store-gc --gc-dry-run` apply.  A manifest survives when
+    any of these holds:
+    - it is one of the newest [keep_last] epochs of its process;
+    - [keep_days] is set and the journal dates the epoch within the
+      window (or cannot date it at all — undatable epochs are kept,
+      never silently condemned);
+    - any chunk it references is currently pinned.
+    Everything else is a gc candidate, returned as ascending
+    (proc, epoch) pairs with the journal age in seconds (None when the
+    journal has no record of the epoch). *)
+let retention_victims ~(store : Store.t) ?journal ~(keep_last : int)
+    ?keep_days () : (string * int * float option) list =
+  if keep_last < 0 then err "retention: --keep-last must be >= 0";
+  (match keep_days with
+  | Some d when d < 0.0 -> err "retention: --keep-days must be >= 0"
+  | _ -> ());
+  (* (proc, epoch) -> newest journal timestamp that committed it *)
+  let dated : (string * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let now = ref neg_infinity in
+  (match journal with
+  | None -> ()
+  | Some entries ->
+      List.iter
+        (fun e ->
+          if e.Journal.j_ts > !now then now := e.Journal.j_ts;
+          match e.Journal.j_ev with
+          | Journal.Checkpointed | Journal.Migrated ->
+              Hashtbl.replace dated
+                (e.Journal.j_proc, e.Journal.j_epoch)
+                e.Journal.j_ts
+          | _ -> ())
+        entries);
+  let age key =
+    match Hashtbl.find_opt dated key with
+    | Some ts when !now > neg_infinity -> Some (!now -. ts)
+    | _ -> None
+  in
+  Store.procs store
+  |> List.concat_map (fun proc ->
+         let epochs = Store.manifest_epochs store ~proc in
+         let n = List.length epochs in
+         let victims =
+           (* epochs ascend; the newest keep_last survive *)
+           List.filteri (fun i _ -> i < n - keep_last) epochs
+         in
+         List.filter_map
+           (fun epoch ->
+             let a = age (proc, epoch) in
+             let in_window =
+               match (keep_days, a) with
+               | None, _ -> false          (* keep-last alone decides *)
+               | Some _, None -> true      (* undatable: keep *)
+               | Some d, Some age_s -> age_s <= d *. 86400.0
+             in
+             if in_window then None
+             else
+               let pinned =
+                 match Store.load_manifest store ~proc ~epoch with
+                 | exception Store.Corrupt _ -> true (* undecidable: keep *)
+                 | mf ->
+                     List.exists (Store.is_pinned store)
+                       (Store.manifest_hashes mf)
+               in
+               if pinned then None else Some (proc, epoch, a))
+           victims)
+  |> List.sort (fun (p1, e1, _) (p2, e2, _) ->
+         if p1 <> p2 then compare p1 p2 else compare e1 e2)
+
+(** Manifests the retention policy would let gc take, as a table. *)
+let gc_candidates ?(keep_last = 3) ?keep_days (s : sources) : t =
+  let store = store_of s in
+  let victims =
+    retention_victims ~store ?journal:s.s_journal ~keep_last ?keep_days ()
+  in
+  let vset = Hashtbl.create 16 in
+  List.iter (fun (p, e, a) -> Hashtbl.replace vset (p, e) a) victims;
+  let m = Source.manifests (store_of s) in
+  let iproc = col_index m "proc" in
+  let iepoch = col_index m "epoch" in
+  m
+  |> filter (fun r ->
+         match (r.(iproc), r.(iepoch)) with
+         | Str p, Int e -> Hashtbl.mem vset (p, e)
+         | _ -> false)
+  |> derive ~col:"age_s" ~ty:Tfloat (fun r ->
+         match (r.(iproc), r.(iepoch)) with
+         | Str p, Int e -> (
+             match Hashtbl.find_opt vset (p, e) with
+             | Some (Some a) -> Float a
+             | _ -> Null)
+         | _ -> Null)
+  |> project
+       [ "proc"; "epoch"; "blocks"; "payload_bytes"; "age_s"; "manifest_hash" ]
+  |> sort [ ("proc", `Asc); ("epoch", `Asc) ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let canned =
+  [ "top-churn"; "dedup"; "handoff-p99"; "gc-candidates"; "promotions" ]
+
+let run ?keep_last ?keep_days (s : sources) (name : string) : t =
+  match name with
+  | "top-churn" -> top_churn s
+  | "dedup" -> dedup s
+  | "handoff-p99" -> handoff_p99 s
+  | "gc-candidates" -> gc_candidates ?keep_last ?keep_days s
+  | "promotions" -> promotions s
+  | t when List.mem t base_tables -> table s t
+  | t ->
+      err "unknown report or table %S (reports: %s; tables: %s)" t
+        (String.concat ", " canned)
+        (String.concat ", " base_tables)

@@ -1,0 +1,349 @@
+(* Source adapters: every on-disk artifact the tree produces, scanned
+   back in as a typed {!Rel.t} table.
+
+   - store manifests and chunks   (Hpm_store.Store directories)
+   - the HPMJ fleet journal       (Hpm_store.Journal, docs/FORMAT.md)
+   - Chrome trace spans           (Hpm_obs.Obs trace JSON)
+   - Prometheus metrics text      (Hpm_obs.Obs exposition format)
+   - BENCH_v1 documents           (lib/bench, docs/BENCH.md)
+
+   Adapters sort their rows by a natural key (never directory order),
+   so a table's bytes depend only on the artifact's contents. *)
+
+module Store = Hpm_store.Store
+module Journal = Hpm_store.Journal
+
+open Rel
+
+(* ------------------------------------------------------------------ *)
+(* Store: manifests and chunks                                         *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_schema : schema =
+  [
+    ("proc", Tstr); ("epoch", Tint); ("src_arch", Tstr); ("poll_id", Tint);
+    ("blocks", Tint); ("chunks", Tint); ("payload_bytes", Tint);
+    ("manifest_hash", Tstr);
+  ]
+
+(** One row per committed (parseable) manifest; damaged files are
+    skipped here exactly as {!Store.gc} skips them. *)
+let manifests (st : Store.t) : t =
+  let rows =
+    Store.manifest_files st
+    |> List.filter_map (fun (proc, epoch, _) ->
+           match Store.load_manifest st ~proc ~epoch with
+           | exception Store.Corrupt _ -> None
+           | mf ->
+               let hashes = Store.manifest_hashes mf in
+               let payload =
+                 Array.fold_left
+                   (fun a bi -> a + bi.Store.b_size)
+                   0 mf.Store.mf_blocks
+               in
+               Some
+                 [|
+                   Str proc; Int epoch; Str mf.Store.mf_src_arch;
+                   Int mf.Store.mf_poll_id;
+                   Int (Array.length mf.Store.mf_blocks);
+                   Int (List.length hashes); Int payload;
+                   Str (Store.hash_hex (Store.manifest_hash mf));
+                 |])
+    |> List.sort
+         (fun a b ->
+           match (a.(0), b.(0), a.(1), b.(1)) with
+           | Str p1, Str p2, Int e1, Int e2 ->
+               if p1 <> p2 then compare p1 p2 else compare e1 e2
+           | _ -> 0)
+  in
+  scan (make ~name:"manifests" ~schema:manifest_schema rows)
+
+let chunk_schema : schema =
+  [ ("hash", Tstr); ("disk_bytes", Tint); ("refs", Tint); ("pinned", Tbool) ]
+
+(** One row per chunk referenced by any committed manifest, with its
+    manifest reference count and pin status. *)
+let chunks (st : Store.t) : t =
+  let refs : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (proc, epoch, _) ->
+      match Store.load_manifest st ~proc ~epoch with
+      | exception Store.Corrupt _ -> ()
+      | mf ->
+          List.iter
+            (fun h ->
+              Hashtbl.replace refs h
+                (1 + try Hashtbl.find refs h with Not_found -> 0))
+            (Store.manifest_hashes mf))
+    (Store.manifest_files st);
+  let rows =
+    Hashtbl.fold
+      (fun h n acc ->
+        [|
+          Str (Store.hash_hex h); Int (Store.chunk_disk_bytes st h); Int n;
+          Bool (Store.is_pinned st h);
+        |]
+        :: acc)
+      refs []
+    |> List.sort (fun a b ->
+           match (a.(0), b.(0)) with Str x, Str y -> compare x y | _ -> 0)
+  in
+  scan (make ~name:"chunks" ~schema:chunk_schema rows)
+
+(* ------------------------------------------------------------------ *)
+(* The fleet journal                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let journal_schema : schema =
+  [
+    ("ts", Tfloat); ("ev", Tstr); ("proc", Tstr); ("src", Tstr);
+    ("dst", Tstr); ("node", Tstr); ("epoch", Tint); ("incarnation", Tint);
+    ("stream_bytes", Tint); ("collected_bytes", Tint);
+    ("restored_bytes", Tint); ("retries", Tint); ("time_s", Tfloat);
+    ("delta_bytes", Tint); ("chunks_shipped", Tint); ("chunks_reused", Tint);
+    ("note", Tstr);
+  ]
+
+let journal_row (e : Journal.entry) : cell array =
+  [|
+    Float e.Journal.j_ts; Str (Journal.ev_name e.Journal.j_ev);
+    Str e.Journal.j_proc; Str e.Journal.j_src; Str e.Journal.j_dst;
+    Str e.Journal.j_node; Int e.Journal.j_epoch;
+    Int e.Journal.j_incarnation; Int e.Journal.j_stream_bytes;
+    Int e.Journal.j_collected_bytes; Int e.Journal.j_restored_bytes;
+    Int e.Journal.j_retries; Float e.Journal.j_time_s;
+    Int e.Journal.j_delta_bytes; Int e.Journal.j_chunks_shipped;
+    Int e.Journal.j_chunks_reused; Str e.Journal.j_note;
+  |]
+
+(** Journal entries in append (= time) order. *)
+let journal (entries : Journal.entry list) : t =
+  scan (make ~name:"journal" ~schema:journal_schema (List.map journal_row entries))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace spans                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let span_schema : schema =
+  [
+    ("name", Tstr); ("cat", Tstr); ("kind", Tstr); ("ts_s", Tfloat);
+    ("dur_s", Tfloat); ("tid", Tint); ("proc", Tstr); ("arch_pair", Tstr);
+    ("epoch", Tint); ("outcome", Tstr); ("phase", Tstr);
+  ]
+
+let arg_str args k = Json.to_string (Json.member k args)
+let arg_int args k = Json.to_int (Json.member k args)
+
+(** Pair B/E events per tid into spans; 'i' events become kind
+    "instant" rows with zero duration.  Timestamps come back from the
+    trace's microseconds to seconds. *)
+let spans_of_json (v : Json.t) : t =
+  let events = Json.to_list (Json.member "traceEvents" v) in
+  (* stack of open B events per tid, carrying the emission slot that
+     keeps rows in trace order *)
+  let stacks : (int, (Json.t * int) list) Hashtbl.t = Hashtbl.create 8 in
+  let out : (int * cell array) list ref = ref [] in
+  let slot = ref 0 in
+  List.iter
+    (fun ev ->
+      let ph = Json.to_string (Json.member "ph" ev) in
+      let tid = Json.to_int (Json.member "tid" ev) in
+      let ts_us = Json.to_float (Json.member "ts" ev) in
+      let args = Json.member "args" ev in
+      match ph with
+      | "B" ->
+          let st = try Hashtbl.find stacks tid with Not_found -> [] in
+          Hashtbl.replace stacks tid ((ev, !slot) :: st);
+          incr slot
+      | "E" -> (
+          match Hashtbl.find_opt stacks tid with
+          | Some ((bev, bslot) :: rest) ->
+              Hashtbl.replace stacks tid rest;
+              let bargs = Json.member "args" bev in
+              let bts = Json.to_float (Json.member "ts" bev) in
+              let src = arg_str bargs "src_arch" and dst = arg_str bargs "dst_arch" in
+              let pair = if src <> "" && dst <> "" then src ^ "->" ^ dst else "" in
+              let row =
+                [|
+                  Str (Json.to_string (Json.member "name" bev));
+                  Str (Json.to_string (Json.member "cat" bev));
+                  Str "span"; Float (bts /. 1e6);
+                  Float ((ts_us -. bts) /. 1e6); Int tid;
+                  Str (arg_str bargs "proc"); Str pair;
+                  Int (arg_int bargs "epoch");
+                  Str (arg_str args "outcome"); Str (arg_str bargs "phase");
+                |]
+              in
+              out := (bslot, row) :: !out
+          | _ -> () (* unbalanced E: drop *))
+      | "i" ->
+          let src = arg_str args "src_arch" and dst = arg_str args "dst_arch" in
+          let pair = if src <> "" && dst <> "" then src ^ "->" ^ dst else "" in
+          let row =
+            [|
+              Str (Json.to_string (Json.member "name" ev));
+              Str (Json.to_string (Json.member "cat" ev));
+              Str "instant"; Float (ts_us /. 1e6); Float 0.0; Int tid;
+              Str (arg_str args "proc"); Str pair; Int (arg_int args "epoch");
+              Str (arg_str args "outcome"); Str (arg_str args "phase");
+            |]
+          in
+          out := (!slot, row) :: !out;
+          incr slot
+      | _ -> ())
+    events;
+  let rows =
+    List.sort (fun (a, _) (b, _) -> compare a b) !out |> List.map snd
+  in
+  scan (make ~name:"spans" ~schema:span_schema rows)
+
+let spans_of_string (s : string) : t = spans_of_json (Json.parse s)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus metrics text                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metric_schema : schema =
+  [
+    ("name", Tstr); ("labels", Tstr); ("proc", Tstr); ("arch_pair", Tstr);
+    ("outcome", Tstr); ("epoch", Tint); ("value", Tfloat);
+  ]
+
+(* k1=..,k2=.. with double-quoted values -> assoc; label values in the
+   exposition format escape backslash, double-quote and newline *)
+let parse_labels (s : string) : (string * string) list =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let eq = try String.index_from s !i '=' with Not_found -> n in
+    if eq >= n then i := n
+    else begin
+      let key = String.trim (String.sub s !i (eq - !i)) in
+      let b = Buffer.create 8 in
+      let j = ref (eq + 1) in
+      if !j < n && s.[!j] = '"' then begin
+        incr j;
+        let fin = ref false in
+        while (not !fin) && !j < n do
+          (match s.[!j] with
+          | '\\' when !j + 1 < n ->
+              (match s.[!j + 1] with
+              | 'n' -> Buffer.add_char b '\n'
+              | c -> Buffer.add_char b c);
+              incr j
+          | '"' -> fin := true
+          | c -> Buffer.add_char b c);
+          incr j
+        done
+      end;
+      out := (key, Buffer.contents b) :: !out;
+      (* skip the comma between pairs *)
+      if !j < n && s.[!j] = ',' then incr j;
+      i := !j
+    end
+  done;
+  List.rev !out
+
+(** Parse the exposition text: one row per sample line; `#` comment
+    lines are skipped.  Common labels (proc, arch_pair, outcome,
+    epoch) are lifted into their own columns. *)
+let metrics_of_string (text : string) : t =
+  let rows = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then ()
+         else
+           (* name{labels} value | name value *)
+           let name, labels, rest =
+             match String.index_opt line '{' with
+             | Some ob -> (
+                 match String.rindex_opt line '}' with
+                 | Some cb when cb > ob ->
+                     ( String.sub line 0 ob,
+                       String.sub line (ob + 1) (cb - ob - 1),
+                       String.sub line (cb + 1) (String.length line - cb - 1) )
+                 | _ -> (line, "", ""))
+             | None -> (
+                 match String.index_opt line ' ' with
+                 | Some sp ->
+                     ( String.sub line 0 sp, "",
+                       String.sub line sp (String.length line - sp) )
+                 | None -> (line, "", ""))
+           in
+           match float_of_string_opt (String.trim rest) with
+           | None -> ()
+           | Some value ->
+               let ls = parse_labels labels in
+               let get k = match List.assoc_opt k ls with Some v -> v | None -> "" in
+               let epoch =
+                 match int_of_string_opt (get "epoch") with Some e -> e | None -> 0
+               in
+               rows :=
+                 [|
+                   Str name; Str labels; Str (get "proc"); Str (get "arch_pair");
+                   Str (get "outcome"); Int epoch; Float value;
+                 |]
+                 :: !rows);
+  scan (make ~name:"metrics" ~schema:metric_schema (List.rev !rows))
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_v1 documents                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Flatten a BENCH_v1 document: scalar entry fields keep their names,
+    nested section scalars become "section_key" columns.  The column
+    set is the union over entries, in first-appearance order; numeric
+    columns are all [Tfloat] (BENCH time/byte magnitudes). *)
+let bench_of_json (v : Json.t) : t =
+  (match (Json.member "schema" v, Json.member "version" v) with
+  | Json.Str "BENCH_v1", Json.Num 1.0 -> ()
+  | _ -> raise (Json.Error "not a BENCH_v1 document"));
+  let entries = Json.to_list (Json.member "entries" v) in
+  let flatten e =
+    match e with
+    | Json.Obj fields ->
+        List.concat_map
+          (fun (k, v) ->
+            match v with
+            | Json.Obj sub ->
+                List.filter_map
+                  (fun (sk, sv) ->
+                    match sv with
+                    | Json.Num _ | Json.Str _ -> Some (k ^ "_" ^ sk, sv)
+                    | _ -> None)
+                  sub
+            | Json.Num _ | Json.Str _ -> [ (k, v) ]
+            | _ -> [])
+          fields
+    | _ -> []
+  in
+  let flats = List.map flatten entries in
+  let columns = ref [] in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (k, v) ->
+          if not (List.mem_assoc k !columns) then
+            let ty = match v with Json.Str _ -> Tstr | _ -> Tfloat in
+            columns := !columns @ [ (k, ty) ])
+        f)
+    flats;
+  let schema = !columns in
+  let rows =
+    List.map
+      (fun f ->
+        Array.of_list
+          (List.map
+             (fun (k, ty) ->
+               match (List.assoc_opt k f, ty) with
+               | Some (Json.Num n), _ -> Float n
+               | Some (Json.Str s), _ -> Str s
+               | _, _ -> Null)
+             schema))
+      flats
+  in
+  scan (make ~name:"bench" ~schema rows)
+
+let bench_of_string (s : string) : t = bench_of_json (Json.parse s)

@@ -144,11 +144,12 @@ type t = {
   mutable now : float;
   mutable next_pid : int;
   mutable events : event list; (** newest first *)
+  journal : Journal.t option;  (** durable fleet journal (HPMJ, docs/FORMAT.md) *)
 }
 
 let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
     ?(transport = Transport.default_config) ?handoff ?store ?ckpt_every_s ?precopy
-    ?compat ~channel nodes =
+    ?compat ?journal ~channel nodes =
   let handoff =
     match handoff with
     | Some h -> h
@@ -175,13 +176,70 @@ let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
     now = 0.;
     next_pid = 0;
     events = [];
+    journal;
   }
+
+(* Durable projection of scheduler events into the HPMJ fleet journal.
+   Every variant maps — the journal is the post-mortem record of what
+   the fleet did, and a dropped event kind would be a hole in the
+   failover/billing story the query layer reports from. *)
+let journalize t e =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let entry = Journal.entry in
+      let je =
+        match e with
+        | Spawned (at, p, node) ->
+            entry ~ts:at ~ev:Journal.Spawned ~proc:p ~node ()
+        | Requested (at, p, src, dst) ->
+            entry ~ts:at ~ev:Journal.Requested ~proc:p ~src ~dst ()
+        | Compat_rejected (at, p, src, dst) ->
+            entry ~ts:at ~ev:Journal.Compat_rejected ~proc:p ~src ~dst ()
+        | Migrated (at, p, src, dst, ms) ->
+            let delta_bytes, shipped, reused =
+              match ms.ms_delta with
+              | Some d -> (d.Cstats.d_delta_bytes, d.Cstats.d_chunks_shipped,
+                           d.Cstats.d_chunks_reused)
+              | None -> (0, 0, 0)
+            in
+            entry ~ts:at ~ev:Journal.Migrated ~proc:p ~src ~dst
+              ~epoch:ms.ms_epoch ~stream_bytes:ms.ms_stream_bytes
+              ~collected_bytes:ms.ms_collected_bytes
+              ~restored_bytes:ms.ms_restored_bytes ~retries:ms.ms_retries
+              ~time_s:ms.ms_time_s ~delta_bytes ~chunks_shipped:shipped
+              ~chunks_reused:reused ()
+        | Migration_failed (at, p, src, dst, retries, wasted_s) ->
+            entry ~ts:at ~ev:Journal.Failed ~proc:p ~src ~dst ~retries
+              ~time_s:wasted_s ()
+        | Recovered (at, p, node, why) ->
+            entry ~ts:at ~ev:Journal.Recovered ~proc:p ~node ~note:why ()
+        | Checkpointed (at, p, epoch, d) ->
+            entry ~ts:at ~ev:Journal.Checkpointed ~proc:p ~epoch
+              ~collected_bytes:d.Cstats.d_data_bytes
+              ~delta_bytes:d.Cstats.d_delta_bytes
+              ~chunks_shipped:d.Cstats.d_chunks_shipped
+              ~chunks_reused:d.Cstats.d_chunks_reused ()
+        | Requeued (at, p, src, dead, alt) ->
+            entry ~ts:at ~ev:Journal.Requeued ~proc:p ~src ~dst:alt
+              ~note:("dead " ^ dead) ()
+        | Finished_ev (at, p, node) ->
+            entry ~ts:at ~ev:Journal.Finished ~proc:p ~node ()
+        | Promoted (at, p, src, sb, epoch) ->
+            entry ~ts:at ~ev:Journal.Promoted ~proc:p ~src ~dst:sb ~epoch ()
+        | Standby_lost (at, p, sb) ->
+            entry ~ts:at ~ev:Journal.Standby_lost ~proc:p ~node:sb ()
+        | Resynced (at, p, sb, epoch) ->
+            entry ~ts:at ~ev:Journal.Resynced ~proc:p ~node:sb ~epoch ()
+      in
+      Journal.append j je
 
 (* Single event chokepoint: every scheduler decision lands here, so this
    is where the observability layer taps in.  Event timestamps are the
    scheduler's own simulated clock. *)
 let log t e =
   t.events <- e :: t.events;
+  journalize t e;
   if Hpm_obs.Obs.on () then begin
     let module Obs = Hpm_obs.Obs in
     let at, name, proc =

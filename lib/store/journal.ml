@@ -1,0 +1,383 @@
+(* Durable fleet journal — HPMJ v1 (docs/FORMAT.md).
+
+   Scheduler and replica events die with the process today; the journal
+   makes the fleet's history a first-class on-disk artifact the query
+   engine (lib/query) can treat as a table.  The format is JSONL: one
+   flat JSON object per line, every record self-identifying via a
+   leading {"hpmj":1, ...} version key.  Records are flat on purpose —
+   a journal line is greppable, `jq`-able, and parseable without a
+   recursive JSON reader.
+
+   Durability discipline matches the store: every append rewrites the
+   whole log through the same tmp+rename commit as manifests
+   ([Store.write_file_atomic]), so a reader never observes a torn line
+   from a crashed writer that used this module.  A *truncated* file
+   (e.g. copied mid-write by an external tool) parses up to the damage
+   and then raises the typed [Corrupt] error — never a crash. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+type ev =
+  | Spawned
+  | Requested
+  | Compat_rejected
+  | Migrated
+  | Failed
+  | Recovered
+  | Checkpointed
+  | Requeued
+  | Finished
+  | Promoted
+  | Standby_lost
+  | Resynced
+
+let all_evs =
+  [ Spawned; Requested; Compat_rejected; Migrated; Failed; Recovered;
+    Checkpointed; Requeued; Finished; Promoted; Standby_lost; Resynced ]
+
+let ev_name = function
+  | Spawned -> "spawned"
+  | Requested -> "requested"
+  | Compat_rejected -> "compat_rejected"
+  | Migrated -> "migrated"
+  | Failed -> "failed"
+  | Recovered -> "recovered"
+  | Checkpointed -> "checkpointed"
+  | Requeued -> "requeued"
+  | Finished -> "finished"
+  | Promoted -> "promoted"
+  | Standby_lost -> "standby_lost"
+  | Resynced -> "resynced"
+
+let ev_of_name = function
+  | "spawned" -> Some Spawned
+  | "requested" -> Some Requested
+  | "compat_rejected" -> Some Compat_rejected
+  | "migrated" -> Some Migrated
+  | "failed" -> Some Failed
+  | "recovered" -> Some Recovered
+  | "checkpointed" -> Some Checkpointed
+  | "requeued" -> Some Requeued
+  | "finished" -> Some Finished
+  | "promoted" -> Some Promoted
+  | "standby_lost" -> Some Standby_lost
+  | "resynced" -> Some Resynced
+  | _ -> None
+
+type entry = {
+  j_ts : float;              (** simulated seconds at which the event fired *)
+  j_ev : ev;
+  j_proc : string;
+  j_src : string;            (** source node/arch ("" when n/a) *)
+  j_dst : string;            (** destination node/standby ("" when n/a) *)
+  j_node : string;           (** hosting node for single-node events *)
+  j_epoch : int;
+  j_incarnation : int;       (** fencing incarnation (promotions), else 0 *)
+  j_stream_bytes : int;
+  j_collected_bytes : int;
+  j_restored_bytes : int;
+  j_retries : int;
+  j_time_s : float;          (** cost of the event itself (e.g. migration) *)
+  j_delta_bytes : int;
+  j_chunks_shipped : int;
+  j_chunks_reused : int;
+  j_note : string;
+}
+
+let entry ~ts ~ev ~proc ?(src = "") ?(dst = "") ?(node = "") ?(epoch = 0)
+    ?(incarnation = 0) ?(stream_bytes = 0) ?(collected_bytes = 0)
+    ?(restored_bytes = 0) ?(retries = 0) ?(time_s = 0.0) ?(delta_bytes = 0)
+    ?(chunks_shipped = 0) ?(chunks_reused = 0) ?(note = "") () =
+  {
+    j_ts = ts; j_ev = ev; j_proc = proc; j_src = src; j_dst = dst;
+    j_node = node; j_epoch = epoch; j_incarnation = incarnation;
+    j_stream_bytes = stream_bytes; j_collected_bytes = collected_bytes;
+    j_restored_bytes = restored_bytes; j_retries = retries;
+    j_time_s = time_s; j_delta_bytes = delta_bytes;
+    j_chunks_shipped = chunks_shipped; j_chunks_reused = chunks_reused;
+    j_note = note;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_json s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Same float discipline as the observability renderers: integral values
+   print as integers, everything else as %.9g (valid JSON either way). *)
+let fnum (f : float) : string = Hpm_obs.Obs.fmt_float f
+
+(** One line, no trailing newline.  Key order is canonical and fixed —
+    the byte-identity guarantees of the query layer build on it. *)
+let encode_entry (e : entry) : string =
+  Printf.sprintf
+    "{\"hpmj\":1,\"ts\":%s,\"ev\":\"%s\",\"proc\":\"%s\",\"src\":\"%s\",\
+     \"dst\":\"%s\",\"node\":\"%s\",\"epoch\":%d,\"incarnation\":%d,\
+     \"stream_bytes\":%d,\"collected_bytes\":%d,\"restored_bytes\":%d,\
+     \"retries\":%d,\"time_s\":%s,\"delta_bytes\":%d,\"chunks_shipped\":%d,\
+     \"chunks_reused\":%d,\"note\":\"%s\"}"
+    (fnum e.j_ts) (ev_name e.j_ev) (escape_json e.j_proc)
+    (escape_json e.j_src) (escape_json e.j_dst) (escape_json e.j_node)
+    e.j_epoch e.j_incarnation e.j_stream_bytes e.j_collected_bytes
+    e.j_restored_bytes e.j_retries (fnum e.j_time_s) e.j_delta_bytes
+    e.j_chunks_shipped e.j_chunks_reused (escape_json e.j_note)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Records are flat objects whose values are strings or numbers, so the
+   reader is a small hand-rolled scanner rather than a JSON library. *)
+
+type scanner = { s : string; mutable pos : int }
+
+let peek sc = if sc.pos < String.length sc.s then Some sc.s.[sc.pos] else None
+
+let advance sc = sc.pos <- sc.pos + 1
+
+let expect sc c =
+  match peek sc with
+  | Some c' when c' = c -> advance sc
+  | Some c' -> corrupt "journal record: expected '%c', found '%c' at byte %d" c c' sc.pos
+  | None -> corrupt "journal record: truncated (expected '%c' at byte %d)" c sc.pos
+
+let skip_ws sc =
+  let rec go () =
+    match peek sc with
+    | Some (' ' | '\t') -> advance sc; go ()
+    | _ -> ()
+  in
+  go ()
+
+let scan_string sc =
+  expect sc '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek sc with
+    | None -> corrupt "journal record: unterminated string"
+    | Some '"' -> advance sc; Buffer.contents b
+    | Some '\\' -> (
+        advance sc;
+        match peek sc with
+        | None -> corrupt "journal record: unterminated escape"
+        | Some 'n' -> advance sc; Buffer.add_char b '\n'; go ()
+        | Some 'r' -> advance sc; Buffer.add_char b '\r'; go ()
+        | Some 't' -> advance sc; Buffer.add_char b '\t'; go ()
+        | Some '"' -> advance sc; Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance sc; Buffer.add_char b '\\'; go ()
+        | Some '/' -> advance sc; Buffer.add_char b '/'; go ()
+        | Some 'u' ->
+            advance sc;
+            if sc.pos + 4 > String.length sc.s then
+              corrupt "journal record: truncated \\u escape";
+            let hex = String.sub sc.s sc.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> corrupt "journal record: bad \\u escape %S" hex
+            in
+            sc.pos <- sc.pos + 4;
+            (* journal strings are byte-oriented: only the control plane
+               (< 0x100) round-trips through \u escapes *)
+            if code > 0xff then corrupt "journal record: \\u%04x out of range" code;
+            Buffer.add_char b (Char.chr code);
+            go ()
+        | Some c -> corrupt "journal record: bad escape '\\%c'" c)
+    | Some c -> advance sc; Buffer.add_char b c; go ()
+  in
+  go ()
+
+let scan_number sc =
+  let start = sc.pos in
+  let rec go () =
+    match peek sc with
+    | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> advance sc; go ()
+    | _ -> ()
+  in
+  go ();
+  if sc.pos = start then corrupt "journal record: expected number at byte %d" start;
+  String.sub sc.s start (sc.pos - start)
+
+(** Parse one journal line into its (key, raw value) fields.  Values are
+    [`Str s] or [`Num raw]. *)
+let scan_record (line : string) : (string * [ `Str of string | `Num of string ]) list =
+  let sc = { s = line; pos = 0 } in
+  skip_ws sc;
+  expect sc '{';
+  let fields = ref [] in
+  let rec go first =
+    skip_ws sc;
+    match peek sc with
+    | Some '}' -> advance sc
+    | None -> corrupt "journal record: truncated object"
+    | _ ->
+        if not first then (expect sc ','; skip_ws sc);
+        let k = scan_string sc in
+        skip_ws sc;
+        expect sc ':';
+        skip_ws sc;
+        let v =
+          match peek sc with
+          | Some '"' -> `Str (scan_string sc)
+          | Some _ -> `Num (scan_number sc)
+          | None -> corrupt "journal record: truncated value for %S" k
+        in
+        fields := (k, v) :: !fields;
+        skip_ws sc;
+        (match peek sc with
+        | Some '}' -> advance sc
+        | Some ',' -> go false
+        | Some c -> corrupt "journal record: unexpected '%c' after field %S" c k
+        | None -> corrupt "journal record: truncated after field %S" k)
+  in
+  go true;
+  skip_ws sc;
+  if sc.pos <> String.length line then
+    corrupt "journal record: trailing bytes after object";
+  List.rev !fields
+
+let field_str fields k =
+  match List.assoc_opt k fields with
+  | Some (`Str s) -> s
+  | Some (`Num _) -> corrupt "journal record: field %S is not a string" k
+  | None -> ""
+
+let field_int fields k =
+  match List.assoc_opt k fields with
+  | Some (`Num raw) -> (
+      try int_of_string raw
+      with _ -> corrupt "journal record: field %S is not an integer (%s)" k raw)
+  | Some (`Str _) -> corrupt "journal record: field %S is not a number" k
+  | None -> 0
+
+let field_float fields k =
+  match List.assoc_opt k fields with
+  | Some (`Num raw) -> (
+      try float_of_string raw
+      with _ -> corrupt "journal record: field %S is not a number (%s)" k raw)
+  | Some (`Str _) -> corrupt "journal record: field %S is not a number" k
+  | None -> 0.0
+
+let parse_entry (line : string) : entry =
+  let fields = scan_record line in
+  (match List.assoc_opt "hpmj" fields with
+  | Some (`Num "1") -> ()
+  | Some (`Num v) -> corrupt "unsupported journal version %s" v
+  | Some (`Str _) | None -> corrupt "journal record: missing hpmj version key");
+  let ev_s = field_str fields "ev" in
+  let ev =
+    match ev_of_name ev_s with
+    | Some ev -> ev
+    | None -> corrupt "journal record: unknown event kind %S" ev_s
+  in
+  {
+    j_ts = field_float fields "ts";
+    j_ev = ev;
+    j_proc = field_str fields "proc";
+    j_src = field_str fields "src";
+    j_dst = field_str fields "dst";
+    j_node = field_str fields "node";
+    j_epoch = field_int fields "epoch";
+    j_incarnation = field_int fields "incarnation";
+    j_stream_bytes = field_int fields "stream_bytes";
+    j_collected_bytes = field_int fields "collected_bytes";
+    j_restored_bytes = field_int fields "restored_bytes";
+    j_retries = field_int fields "retries";
+    j_time_s = field_float fields "time_s";
+    j_delta_bytes = field_int fields "delta_bytes";
+    j_chunks_shipped = field_int fields "chunks_shipped";
+    j_chunks_reused = field_int fields "chunks_reused";
+    j_note = field_str fields "note";
+  }
+
+(** Parse a whole journal file body.  Every record must end in a
+    newline; bytes after the last newline are a truncated tail —
+    rejected with [Corrupt], not silently dropped, because a journal
+    that lost its tail has lost events and the operator must know. *)
+let parse_body (body : string) : entry list =
+  let n = String.length body in
+  let rec lines acc pos =
+    if pos >= n then List.rev acc
+    else
+      match String.index_from_opt body pos '\n' with
+      | None ->
+          corrupt "journal: truncated tail (%d bytes after last newline)" (n - pos)
+      | Some nl ->
+          let line = String.sub body pos (nl - pos) in
+          let acc = if line = "" then acc else parse_entry line :: acc in
+          lines acc (nl + 1)
+  in
+  lines [] 0
+
+(* ------------------------------------------------------------------ *)
+(* The on-disk log                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  jt_path : string;
+  jt_buf : Buffer.t;              (* serialized image, kept in sync *)
+  mutable jt_entries : entry list; (* newest first *)
+  mutable jt_count : int;
+}
+
+let path t = t.jt_path
+let length t = t.jt_count
+let entries t = List.rev t.jt_entries
+
+let read_file_opt path =
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    with Sys_error m -> corrupt "journal: cannot read %s: %s" path m
+
+(** Load the entries of [path]; an absent file is an empty journal. *)
+let load (path : string) : entry list =
+  match read_file_opt path with None -> [] | Some body -> parse_body body
+
+(** Open (creating if needed) the journal at [path].
+    @raise Corrupt when an existing file does not parse. *)
+let open_journal (path : string) : t =
+  let body = match read_file_opt path with None -> "" | Some b -> b in
+  let entries = parse_body body in
+  let buf = Buffer.create (String.length body + 256) in
+  Buffer.add_string buf body;
+  {
+    jt_path = path;
+    jt_buf = buf;
+    jt_entries = List.rev entries;
+    jt_count = List.length entries;
+  }
+
+(** Append one record durably: the full log is rewritten through the
+    same tmp+rename commit as store manifests, so a crash leaves either
+    the old log or the new one — never a torn line. *)
+let append (t : t) (e : entry) : unit =
+  Buffer.add_string t.jt_buf (encode_entry e);
+  Buffer.add_char t.jt_buf '\n';
+  Store.mkdir_p (Filename.dirname t.jt_path);
+  Store.write_file_atomic t.jt_path (Buffer.contents t.jt_buf);
+  t.jt_entries <- e :: t.jt_entries;
+  t.jt_count <- t.jt_count + 1;
+  if Hpm_obs.Obs.metrics_on () then
+    Hpm_obs.Obs.inc "hpm_journal_appends_total" []

@@ -158,6 +158,9 @@ type t = {
   mutable r_time : float;                 (* simulated replication seconds *)
   r_stats : Cstats.delta;
   mutable r_events : event list;          (* newest first *)
+  r_journal : Journal.t option;           (* durable fleet journal (HPMJ) *)
+  mutable r_j_shipped : int;              (* ship counter at last journal entry *)
+  mutable r_j_reused : int;               (* reuse counter at last journal entry *)
 }
 
 let events t = List.rev t.r_events
@@ -201,7 +204,7 @@ let fresh_standby ~arch name =
     sb_hb_seq = 0;
   }
 
-let create ?(config = default_config) ?faults ~(channel : Netsim.t)
+let create ?(config = default_config) ?faults ?journal ~(channel : Netsim.t)
     ~(store : Store.t) ~(proc : string)
     ~(standbys : (string * Hpm_arch.Arch.t) list) (m : Migration.migratable)
     (src : Interp.t) : t =
@@ -232,9 +235,58 @@ let create ?(config = default_config) ?faults ~(channel : Netsim.t)
     r_time = 0.0;
     r_stats = Cstats.delta_zero ();
     r_events = [];
+    r_journal = journal;
+    r_j_shipped = 0;
+    r_j_reused = 0;
   }
 
-let record t e = t.r_events <- e :: t.r_events
+(* Durable projection of the in-memory event stream: the subset of
+   events an operator replays after the process is gone goes to the
+   HPMJ journal (when one was attached).  Chatter that only matters to
+   a live debugging session — dups, gaps, partitions, heartbeat
+   misses — stays in-memory only. *)
+let journalize t e =
+  match t.r_journal with
+  | None -> ()
+  | Some j ->
+      let ts = Hpm_obs.Obs.now () +. t.r_time in
+      let entry = Journal.entry ~ts ~proc:t.r_proc in
+      let je =
+        match e with
+        | Ev_store { es_epoch; es_bytes } ->
+            (* the replica's Cstats counters are cumulative; the journal
+               records what each epoch itself shipped/reused *)
+            let shipped = t.r_stats.Cstats.d_chunks_shipped - t.r_j_shipped in
+            let reused = t.r_stats.Cstats.d_chunks_reused - t.r_j_reused in
+            t.r_j_shipped <- t.r_stats.Cstats.d_chunks_shipped;
+            t.r_j_reused <- t.r_stats.Cstats.d_chunks_reused;
+            Some (entry ~ev:Journal.Checkpointed ~epoch:es_epoch
+                    ~delta_bytes:es_bytes ~chunks_shipped:shipped
+                    ~chunks_reused:reused ())
+        | Ev_resync { er_epoch; er_sub; er_bytes } ->
+            Some (entry ~ev:Journal.Resynced ~node:er_sub ~epoch:er_epoch
+                    ~stream_bytes:er_bytes ())
+        | Ev_standby_lost { el_epoch; el_sub } ->
+            Some (entry ~ev:Journal.Standby_lost ~node:el_sub
+                    ~epoch:el_epoch ())
+        | Ev_promoted { ev_sub; ev_from; ev_epoch; ev_catchup } ->
+            Some (entry ~ev:Journal.Promoted ~dst:ev_sub ~epoch:ev_epoch
+                    ~incarnation:t.r_incarnation
+                    ~delta_bytes:ev_catchup
+                    ~note:(Printf.sprintf "from epoch %d" ev_from) ())
+        | Ev_source_crash { ek_phase; ek_epoch } ->
+            Some (entry ~ev:Journal.Failed ~epoch:ek_epoch
+                    ~note:(Printf.sprintf "source crashed (%s)"
+                             (Netsim.rep_phase_name ek_phase)) ())
+        | Ev_delta _ | Ev_dup _ | Ev_gap _ | Ev_partition _ | Ev_degraded _
+        | Ev_hb_miss _ | Ev_standby_crash _ | Ev_fenced _ ->
+            None
+      in
+      match je with None -> () | Some je -> Journal.append j je
+
+let record t e =
+  t.r_events <- e :: t.r_events;
+  journalize t e
 
 (* ------------------------------------------------------------------ *)
 (* Fault plan helpers (deterministic, consumed when they fire)         *)

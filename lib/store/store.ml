@@ -480,6 +480,9 @@ let unpin t (hashes : string list) : unit =
 (** Number of distinct chunk hashes currently pinned. *)
 let pinned_chunks t : int = Hashtbl.length t.pins
 
+(** Is [hash] currently protected by at least one pin? *)
+let is_pinned t (hash : string) : bool = Hashtbl.mem t.pins hash
+
 (** Run [f ()] with [hashes] pinned; the pins are released on any exit,
     exceptional included. *)
 let with_pins t (hashes : string list) (f : unit -> 'a) : 'a =
@@ -601,7 +604,7 @@ type gc_report = {
   gc_live_bytes : int;        (** on-disk bytes of referenced chunks *)
   gc_reclaimed_chunks : int;
   gc_reclaimed_bytes : int;   (** on-disk bytes deleted *)
-  gc_bad_manifests : int;     (** unparseable manifest files (held no references) *)
+  gc_damaged_manifests : int;     (** unparseable manifest files (held no references) *)
   gc_pinned_chunks : int;     (** chunks kept alive solely by a pin *)
 }
 
@@ -611,7 +614,7 @@ let pp_gc ppf g =
     (fun ppf n -> if n > 0 then Fmt.pf ppf "; %d pinned" n)
     g.gc_pinned_chunks
     (fun ppf n -> if n > 0 then Fmt.pf ppf "; %d damaged manifests ignored" n)
-    g.gc_bad_manifests
+    g.gc_damaged_manifests
 
 (** Delete every chunk referenced by no parseable manifest and not
     {!pin}ned.  A chunk referenced by any committed manifest is never
@@ -642,7 +645,7 @@ let gc t : gc_report =
       gc_live_bytes = 0;
       gc_reclaimed_chunks = 0;
       gc_reclaimed_bytes = 0;
-      gc_bad_manifests = !bad;
+      gc_damaged_manifests = !bad;
       gc_pinned_chunks = !pinned_only;
     }
   in
@@ -682,7 +685,9 @@ let gc t : gc_report =
     Obs.inc "hpm_store_gc_reclaimed_bytes_total" []
       ~by:(float_of_int report.gc_reclaimed_bytes);
     Obs.set_gauge "hpm_store_gc_live_chunks" [] (float_of_int report.gc_live_chunks);
-    Obs.set_gauge "hpm_store_gc_live_bytes" [] (float_of_int report.gc_live_bytes)
+    Obs.set_gauge "hpm_store_gc_live_bytes" [] (float_of_int report.gc_live_bytes);
+    Obs.inc "hpm_store_gc_damaged_manifests_total" []
+      ~by:(float_of_int report.gc_damaged_manifests)
   end;
   report
 

@@ -14,6 +14,9 @@
 #   replication.final_delta_bytes   planned-migration final delta wire
 #   replication.catchup_lag3_bytes  lag-model catch-up cost (3 epochs behind)
 #   replication.ship_sim_s          simulated delta-shipping time per run
+#   query.rows_scanned     rows the canned fleet reports scan per case
+#   query.top_churn_s      cost-model time of the heaviest canned report
+#   query.gc_candidates_s  cost-model time of the retention sweep
 #
 # A baseline generated before a metric existed simply lacks it; such
 # metrics are skipped (null-safe), so refreshing the baseline is what
@@ -58,7 +61,10 @@ regressions=$(jq -n --argjson thr "$threshold" \
     "compat.model_s":       .compat.model_s,
     "replication.final_delta_bytes":  .replication.final_delta_bytes,
     "replication.catchup_lag3_bytes": .replication.catchup_lag3_bytes,
-    "replication.ship_sim_s":         .replication.ship_sim_s
+    "replication.ship_sim_s":         .replication.ship_sim_s,
+    "query.rows_scanned":    .query.rows_scanned,
+    "query.top_churn_s":     .query.top_churn_s,
+    "query.gc_candidates_s": .query.gc_candidates_s
   };
   ($base[0].entries | map({(key): metrics}) | add) as $b
   | [ $new[0].entries[]

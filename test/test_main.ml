@@ -42,4 +42,5 @@ let () =
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
       ("bench-json", Test_bench_json.suite);
+      ("query", Test_query.suite);
     ]

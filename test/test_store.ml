@@ -299,7 +299,7 @@ let test_gc_preserves_referenced () =
       let g = Store.gc st in
       check_bool "gc reclaimed the old epoch's unique chunks" true (g.Store.gc_reclaimed_chunks > 0);
       check_bool "gc reports reclaimed bytes" true (g.Store.gc_reclaimed_bytes > 0);
-      check_int "no damaged manifests" 0 g.Store.gc_bad_manifests;
+      check_int "no damaged manifests" 0 g.Store.gc_damaged_manifests;
       (* every chunk of the surviving manifest is intact *)
       List.iter
         (fun h -> check_bool "live chunk survives gc" true (Store.has_chunk st h))
@@ -321,7 +321,7 @@ let test_gc_ignores_torn_manifest () =
       output_string oc (String.sub (Store.serialize_manifest mf2) 0 10);
       close_out oc;
       let g = Store.gc st in
-      check_int "damaged manifest counted" 1 g.Store.gc_bad_manifests;
+      check_int "damaged manifest counted" 1 g.Store.gc_damaged_manifests;
       check_bool "live chunks kept" true (g.Store.gc_live_chunks > 0);
       match Store.latest_manifest st ~proc:"j" with
       | Some mf -> check_int "latest skips the torn manifest" 2 mf.Store.mf_epoch
