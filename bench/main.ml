@@ -935,8 +935,36 @@ let bench_json () =
         e.Hpm_bench.Bench_json.h_sim_s e.Hpm_bench.Bench_json.c_stream_bytes
         e.Hpm_bench.Bench_json.d_incr_bytes)
     entries;
-  write_file path (Hpm_bench.Bench_json.to_json entries);
-  pr "wrote %s (%d entries, generated in %.2fs wall)@." path (List.length entries) wall
+  let sched, swall = time (fun () -> Hpm_bench.Bench_json.run_sched ()) in
+  List.iter
+    (fun (s : Hpm_bench.Bench_json.sched_entry) ->
+      pr "sched %-16s nodes=%-5d procs=%-6d events=%-7d migrations=%-6d peak=%-4d makespan %.3fs  journal %dB@."
+        s.Hpm_bench.Bench_json.s_scenario s.Hpm_bench.Bench_json.s_nodes
+        s.Hpm_bench.Bench_json.s_procs s.Hpm_bench.Bench_json.s_events
+        s.Hpm_bench.Bench_json.s_migrations
+        s.Hpm_bench.Bench_json.s_peak_inflight
+        s.Hpm_bench.Bench_json.s_makespan_s
+        s.Hpm_bench.Bench_json.s_journal_bytes)
+    sched;
+  write_file path (Hpm_bench.Bench_json.to_json ~sched entries);
+  pr "wrote %s (%d entries + %d sched scenarios, generated in %.2fs wall)@."
+    path (List.length entries) (List.length sched) (wall +. swall)
+
+(* The standing cluster-churn table: the discrete-event engine at three
+   scales, topped by the seeded 1000-node / 10k-process scenario.  The
+   stats are pure simulation outputs (deterministic); only the wall
+   column varies run to run. *)
+let bench_sched () =
+  hr "cluster churn (discrete-event scheduler, seeded)";
+  let module C = Hpm_sched.Cluster in
+  (* same scenario grid as the BENCH_v1 sched section *)
+  let cases = Hpm_bench.Bench_json.sched_cases in
+  List.iter
+    (fun (label, cfg) ->
+      let t, wall = time (fun () -> C.run (C.create cfg)) in
+      pr "%-9s nodes=%-5d procs=%-6d %a  (%.2fs wall)@." label cfg.C.c_nodes
+        cfg.C.c_procs C.pp_stats (C.stats t) wall)
+    cases
 
 (* CI smoke run: the fault-tolerance and recovery tables plus the
    all-workload census, at small sizes — finishes in well under a
@@ -964,6 +992,7 @@ let () =
   | "delta" -> bench_delta ()
   | "obs" -> bench_obs ()
   | "json" -> bench_json ()
+  | "sched" -> bench_sched ()
   | "micro" -> bench_micro ()
   | "quick" -> quick ()
   | "all" -> all ()

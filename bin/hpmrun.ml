@@ -850,13 +850,117 @@ let () =
             artifacts)")
       run_term
   in
-  (* `hpmrun query ...` dispatches to the fleet console; everything else
-     keeps the historical single-command grammar, where FILE is a
-     positional argument a Cmd.group would misread as a command name. *)
+  (* `hpmrun sched ...`: run a seeded cluster-churn scenario on the
+     discrete-event engine (docs/SCHED.md) and print its stats.  With
+     --journal the full history lands in an HPMJ log that `hpmrun
+     query` reads back. *)
+  let sched_cmd =
+    let module C = Hpm_sched.Cluster in
+    let run_sched nodes procs seed crash_nodes max_moves journal_file
+        trace_file metrics_file show_events =
+      let module Obs = Hpm_obs.Obs in
+      let cfg =
+        {
+          C.default_churn with
+          C.c_nodes = nodes;
+          c_procs = procs;
+          c_seed = seed;
+          c_sites = min C.default_churn.C.c_sites nodes;
+          c_crash_nodes = min crash_nodes (nodes / 2);
+          c_max_moves = max_moves;
+        }
+      in
+      let obs_on = trace_file <> None || metrics_file <> None in
+      if obs_on then (
+        if trace_file <> None then Obs.set_trace (Some (Obs.Trace.create ()));
+        if metrics_file <> None then
+          Obs.set_metrics (Some (Obs.Metrics.create ())));
+      let journal = Option.map Hpm_store.Journal.open_journal journal_file in
+      let t = C.run (C.create ?journal cfg) in
+      let s = C.stats t in
+      Option.iter Hpm_store.Journal.close journal;
+      if show_events then
+        List.iter (fun l -> Fmt.pr "%s@." l) (C.events t);
+      Fmt.pr "sched: nodes=%d procs=%d seed=%d@." nodes procs seed;
+      Fmt.pr "sched: %a@." C.pp_stats s;
+      (match (metrics_file, !Obs.cur_metrics) with
+      | Some path, Some reg -> write_file path (Obs.Metrics.render reg)
+      | _ -> ());
+      (match (trace_file, !Obs.cur_trace) with
+      | Some path, Some tr -> write_file path (Obs.Trace.to_json tr)
+      | _ -> ());
+      if obs_on then Obs.reset ();
+      if s.C.cs_finished <> procs then (
+        Fmt.epr "hpmrun sched: %d/%d processes unfinished@."
+          (procs - s.C.cs_finished) procs;
+        1)
+      else 0
+    in
+    let nodes =
+      Arg.(value & opt int 100
+           & info [ "nodes" ] ~docv:"N" ~doc:"cluster size (default 100)")
+    in
+    let procs =
+      Arg.(value & opt int 1000
+           & info [ "procs" ] ~docv:"N" ~doc:"process count (default 1000)")
+    in
+    let seed =
+      Arg.(value & opt int C.default_churn.C.c_seed
+           & info [ "seed" ] ~docv:"S"
+               ~doc:"churn seed; same seed, same bytes")
+    in
+    let crash_nodes =
+      Arg.(value & opt int C.default_churn.C.c_crash_nodes
+           & info [ "crash-nodes" ] ~docv:"K"
+               ~doc:"nodes the seeded fault plan kills (clamped to N/2)")
+    in
+    let max_moves =
+      Arg.(value & opt int C.default_churn.C.c_max_moves
+           & info [ "max-moves" ] ~docv:"K"
+               ~doc:"migrations the policy may request per round")
+    in
+    let journal_file =
+      Arg.(value & opt (some string) None
+           & info [ "journal" ] ~docv:"FILE"
+               ~doc:"append the run's history as an HPMJ journal (segmented; \
+                     readable with hpmrun query journal --journal FILE)")
+    in
+    let trace_file =
+      Arg.(value & opt (some string) None
+           & info [ "trace" ] ~docv:"FILE"
+               ~doc:"write a Chrome trace of the churn (simulated clock)")
+    in
+    let metrics_file =
+      Arg.(value & opt (some string) None
+           & info [ "metrics" ] ~docv:"FILE"
+               ~doc:"write Prometheus-style metrics after the run")
+    in
+    let show_events =
+      Arg.(value & flag
+           & info [ "events" ]
+               ~doc:"print the full deterministic event log before the stats")
+    in
+    Cmd.v
+      (Cmd.info "hpmrun-sched"
+         ~doc:
+           "run a seeded cluster-churn scenario on the discrete-event \
+            scheduler (docs/SCHED.md)")
+      Term.(const run_sched $ nodes $ procs $ seed $ crash_nodes $ max_moves
+            $ journal_file $ trace_file $ metrics_file $ show_events)
+  in
+  (* `hpmrun query ...` / `hpmrun sched ...` dispatch to their own
+     grammars; everything else keeps the historical single-command
+     grammar, where FILE is a positional argument a Cmd.group would
+     misread as a command name. *)
   let argv = Sys.argv in
   if Array.length argv > 1 && argv.(1) = "query" then
     let argv' =
       Array.append [| argv.(0) |] (Array.sub argv 2 (Array.length argv - 2))
     in
     exit (Cmd.eval' ~argv:argv' Hpm_query.Qcli.cmd)
+  else if Array.length argv > 1 && argv.(1) = "sched" then
+    let argv' =
+      Array.append [| argv.(0) |] (Array.sub argv 2 (Array.length argv - 2))
+    in
+    exit (Cmd.eval' ~argv:argv' sched_cmd)
   else exit (Cmd.eval' cmd)

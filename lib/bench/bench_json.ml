@@ -4,7 +4,7 @@
     cost counters ({!Hpm_core.Cstats}), the modelled per-operation costs
     ({!Hpm_obs.Obs.Model}), and the network simulator's virtual clock.
     No wall-clock time enters the document, so two runs of the same build
-    emit byte-identical JSON and a committed baseline ([BENCH_0003.json])
+    emit byte-identical JSON and a committed baseline ([BENCH_0005.json])
     can gate regressions in CI: a code change that does more MSRLT
     searches, ships more wire bytes, or stretches the simulated handoff
     shows up as a >10% delta against the baseline.
@@ -335,6 +335,91 @@ let run_case (c : case) : entry =
 
 let run ?(cases = default_cases) () : entry list = List.map run_case cases
 
+(* ------------------------------------------------------------------ *)
+(* The sched section: cluster-scale churn scenarios (docs/SCHED.md)    *)
+(* ------------------------------------------------------------------ *)
+
+(** One churn scenario's deterministic outcome.  Everything is either a
+    counter or the simulated clock; journal bytes are what the run
+    appended to its HPMJ log (the journal itself lands in a throwaway
+    temp dir — only its size enters the document). *)
+type sched_entry = {
+  s_scenario : string;
+  s_nodes : int;
+  s_procs : int;
+  s_seed : int;
+  s_events : int;
+  s_finished : int;
+  s_migrations : int;
+  s_requested : int;
+  s_failed : int;
+  s_requeued : int;
+  s_recovered : int;
+  s_crashes : int;
+  s_peak_inflight : int;
+  s_makespan_s : float;
+  s_journal_bytes : int;
+}
+
+(** The standing scenarios of [bench sched]: two warm-up sizes and the
+    full ROADMAP churn target. *)
+let sched_cases : (string * Hpm_sched.Cluster.config) list =
+  let module C = Hpm_sched.Cluster in
+  [
+    ( "small-50x500",
+      { C.default_churn with C.c_nodes = 50; c_procs = 500;
+        c_crash_nodes = 2; c_max_moves = 25 } );
+    ( "medium-200x2000",
+      { C.default_churn with C.c_nodes = 200; c_procs = 2000;
+        c_crash_nodes = 5; c_max_moves = 60 } );
+    ("churn-1k", C.default_churn);
+  ]
+
+let run_sched_case ((name, cfg) : string * Hpm_sched.Cluster.config) :
+    sched_entry =
+  let module C = Hpm_sched.Cluster in
+  let dir =
+    let f = Filename.temp_file "hpmbench_sched" "" in
+    Sys.remove f;
+    f
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then (
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path)
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with _ -> ())
+    (fun () ->
+      Unix.mkdir dir 0o755;
+      let journal =
+        Hpm_store.Journal.open_journal (Filename.concat dir "fleet.hpmj")
+      in
+      let t = C.run (C.create ~journal cfg) in
+      let s = C.stats t in
+      Hpm_store.Journal.close journal;
+      {
+        s_scenario = name;
+        s_nodes = cfg.C.c_nodes;
+        s_procs = cfg.C.c_procs;
+        s_seed = cfg.C.c_seed;
+        s_events = s.C.cs_events;
+        s_finished = s.C.cs_finished;
+        s_migrations = s.C.cs_migrations;
+        s_requested = s.C.cs_requested;
+        s_failed = s.C.cs_failed;
+        s_requeued = s.C.cs_requeued;
+        s_recovered = s.C.cs_recovered;
+        s_crashes = s.C.cs_crashes;
+        s_peak_inflight = s.C.cs_peak_inflight;
+        s_makespan_s = s.C.cs_makespan_s;
+        s_journal_bytes = s.C.cs_journal_bytes;
+      })
+
+let run_sched ?(cases = sched_cases) () : sched_entry list =
+  List.map run_sched_case cases
+
 (* JSON rendering.  Hand-rolled so the byte layout is fully under our
    control: fixed key order, fixed float format, newline-terminated. *)
 
@@ -375,8 +460,25 @@ let entry_json (b : Buffer.t) (e : entry) : unit =
        (fnum e.q_dedup_s) (fnum e.q_handoff_p99_s) (fnum e.q_gc_candidates_s)
        (fnum e.q_promotions_s))
 
-(** Render the versioned document.  Deterministic for a given build. *)
-let to_json (entries : entry list) : string =
+let sched_entry_json (b : Buffer.t) (s : sched_entry) : unit =
+  Buffer.add_string b
+    (Printf.sprintf
+       "    {\n\
+       \      \"scenario\": \"%s\", \"nodes\": %d, \"procs\": %d, \"seed\": %d,\n\
+       \      \"events\": %d, \"finished\": %d, \"migrations\": %d, \
+        \"requested\": %d,\n\
+       \      \"failed\": %d, \"requeued\": %d, \"recovered\": %d, \
+        \"crashes\": %d,\n\
+       \      \"peak_inflight\": %d, \"makespan_s\": %s, \"journal_bytes\": %d\n\
+       \    }"
+       s.s_scenario s.s_nodes s.s_procs s.s_seed s.s_events s.s_finished
+       s.s_migrations s.s_requested s.s_failed s.s_requeued s.s_recovered
+       s.s_crashes s.s_peak_inflight (fnum s.s_makespan_s) s.s_journal_bytes)
+
+(** Render the versioned document.  Deterministic for a given build.
+    [sched], when non-empty, adds the cluster-churn section; older
+    documents simply lack the key (the gate skips it null-safely). *)
+let to_json ?(sched : sched_entry list = []) (entries : entry list) : string =
   let b = Buffer.create 4096 in
   Buffer.add_string b
     (Printf.sprintf "{\n  \"schema\": \"%s\",\n  \"version\": %d,\n  \"entries\": [\n"
@@ -386,9 +488,19 @@ let to_json (entries : entry list) : string =
       if i > 0 then Buffer.add_string b ",\n";
       entry_json b e)
     entries;
-  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.add_string b "\n  ]";
+  if sched <> [] then begin
+    Buffer.add_string b ",\n  \"sched\": [\n";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string b ",\n";
+        sched_entry_json b s)
+      sched;
+    Buffer.add_string b "\n  ]"
+  end;
+  Buffer.add_string b "\n}\n";
   Buffer.contents b
 
 (** Run the default suite and render it — the body of
     [bench/main.exe json]. *)
-let generate () : string = to_json (run ())
+let generate () : string = to_json ~sched:(run_sched ()) (run ())

@@ -197,6 +197,18 @@ module Metrics = struct
        "unparseable manifest files gc skipped (they protected no chunks)");
       ("hpm_journal_appends_total", Counter,
        "fleet-journal records appended (HPMJ, docs/FORMAT.md)");
+      ("hpm_journal_rotations_total", Counter,
+       "active journal segments rotated out at the size threshold");
+      ("hpm_journal_segments", Gauge,
+       "closed journal segment files on disk (0 after compaction)");
+      ("hpm_cluster_events_total", Counter,
+       "discrete events executed by the cluster engine, by kind");
+      ("hpm_cluster_inflight_migrations", Gauge,
+       "two-phase migrations concurrently in flight");
+      ("hpm_cluster_peak_inflight", Gauge,
+       "high-water mark of concurrently in-flight migrations");
+      ("hpm_cluster_migration_seconds", Histogram,
+       "simulated wall time of one committed cluster migration");
     ]
 
   let create () : t = { families = Hashtbl.create 64 }

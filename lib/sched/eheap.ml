@@ -1,0 +1,93 @@
+(** The global event heap of the discrete-event engine.
+
+    A binary min-heap keyed on [(time, seq)]: [seq] is a per-heap
+    monotonic counter stamped at insertion, so events scheduled for the
+    same simulated instant pop in the order they were scheduled.  That
+    total order is what makes cluster runs byte-identical across
+    same-seed reruns — nothing about pop order depends on allocation,
+    hashing, or list-construction order.
+
+    Operations are the textbook O(log n) sift-up/sift-down; the heap
+    array grows geometrically and never shrinks (a churn run schedules
+    hundreds of thousands of events and the high-water mark is the
+    steady state).  Slots past [len] may retain popped entries — they
+    are never read. *)
+
+type 'a entry = { e_time : float; e_seq : int; e_v : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () : 'a t = { heap = [||]; len = 0; next_seq = 0 }
+
+let length h = h.len
+let is_empty h = h.len = 0
+
+(* (time, seq) lexicographic order. *)
+let before a b =
+  a.e_time < b.e_time || (a.e_time = b.e_time && a.e_seq < b.e_seq)
+
+let swap h i j =
+  let tmp = h.heap.(i) in
+  h.heap.(i) <- h.heap.(j);
+  h.heap.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.heap.(i) h.heap.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && before h.heap.(l) h.heap.(!smallest) then smallest := l;
+  if r < h.len && before h.heap.(r) h.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+(** Schedule [v] at simulated [time]; returns the stamped sequence
+    number (the tie-breaker among same-instant events). *)
+let add (h : 'a t) ~(time : float) (v : 'a) : int =
+  if Float.is_nan time then invalid_arg "Eheap.add: time is NaN";
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  let e = { e_time = time; e_seq = seq; e_v = v } in
+  if h.len = Array.length h.heap then begin
+    let cap = max 64 (2 * Array.length h.heap) in
+    let bigger = Array.make cap e in
+    Array.blit h.heap 0 bigger 0 h.len;
+    h.heap <- bigger
+  end;
+  h.heap.(h.len) <- e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1);
+  seq
+
+(** Earliest (time, seq, value) without removing it. *)
+let peek (h : 'a t) : (float * int * 'a) option =
+  if h.len = 0 then None
+  else
+    let e = h.heap.(0) in
+    Some (e.e_time, e.e_seq, e.e_v)
+
+(** Remove and return the earliest (time, seq, value). *)
+let pop (h : 'a t) : (float * int * 'a) option =
+  if h.len = 0 then None
+  else begin
+    let e = h.heap.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.heap.(0) <- h.heap.(h.len);
+      sift_down h 0
+    end;
+    Some (e.e_time, e.e_seq, e.e_v)
+  end

@@ -1,0 +1,260 @@
+(** Pluggable placement policies.
+
+    The paper leaves the scheduler's placement policy as future work;
+    this module makes it a first-class plug point.  A policy sees an
+    abstract view of the fleet — node load/speed/site and process
+    placement — and returns the migrations it wants, as data.  The
+    engine (interpreter-backed {!Sched} or the at-scale {!Cluster})
+    owns clocks, queues, and protocol mechanics; the policy owns only
+    the placement decision.  That split is what lets the same policy
+    drive a 3-node interpreter simulation and a 1000-node churn run.
+
+    Every choice here is deterministic: ties on load break on node
+    name, ties on speed break on node name, and candidate processes
+    are scanned in the (spawn-ordered) list the engine passes.  A
+    policy's output is a pure function of its input — placement never
+    depends on node-registration order, hashing, or allocation. *)
+
+type node_info = {
+  ni_name : string;
+  ni_speed : float;       (** relative CPU speed (Arch.speed) *)
+  ni_load : int;          (** runnable processes currently placed here *)
+  ni_site : string;       (** locality tag; [""] = untagged *)
+  ni_alive : bool;        (** dead nodes take no placements *)
+}
+
+type proc_info = {
+  pi_name : string;
+  pi_node : string;       (** current placement (node name) *)
+  pi_group : string;      (** gang-migration group; [""] = ungrouped *)
+  pi_runnable : bool;
+  pi_migrating : bool;    (** a move is already pending or in flight *)
+  pi_last_move_s : float; (** when it last moved; [neg_infinity] = never *)
+}
+
+(** One requested move: ask [d_proc] to migrate to [d_dst]. *)
+type decision = { d_proc : string; d_dst : string }
+
+module type POLICY = sig
+  val name : string
+
+  val decide :
+    now:float -> node_info list -> proc_info list -> decision list
+end
+
+type t = (module POLICY)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic orderings                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Ascending (load, name): the canonical "least loaded" order.  The
+    name tie-break is the whole point — [compare] on load alone left
+    equal-load winners to list-construction order. *)
+let by_load a b =
+  match compare a.ni_load b.ni_load with
+  | 0 -> compare a.ni_name b.ni_name
+  | c -> c
+
+(** Descending speed, ascending name: the canonical "fastest" order. *)
+let by_speed a b =
+  match compare b.ni_speed a.ni_speed with
+  | 0 -> compare a.ni_name b.ni_name
+  | c -> c
+
+let live nodes = List.filter (fun n -> n.ni_alive) nodes
+
+(** Least-loaded live node, ties on name, skipping [avoid] (names). *)
+let least_loaded_node ?(avoid = []) nodes =
+  live nodes
+  |> List.filter (fun n -> not (List.mem n.ni_name avoid))
+  |> List.sort by_load
+  |> function [] -> None | n :: _ -> Some n
+
+(* A process the engine may move right now. *)
+let movable p = p.pi_runnable && not p.pi_migrating
+
+(* First movable process on [node], in the engine's spawn order. *)
+let candidate_on procs node =
+  List.find_opt (fun p -> movable p && p.pi_node = node.ni_name) procs
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy balance of [nodes] (assumed live): while some node runs ≥ 2
+   more processes than another, move one process down the gradient.
+   Loads are adjusted as decisions accumulate so one call can drain a
+   hot node without overshooting.  Cost is O(procs + moves·nodes) — at
+   cluster scale (1000 nodes, 10k procs) a policy round must not sort
+   or rescan the world per move.  The extremes are tracked as
+   min/max (load, name): ties on load always break on node name. *)
+let balance_pass ~max_moves nodes procs =
+  match nodes with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list nodes in
+      let load = Array.map (fun n -> n.ni_load) arr in
+      (* movable processes per node, in the engine's spawn order *)
+      let queues = Hashtbl.create (Array.length arr) in
+      List.iter
+        (fun p ->
+          if movable p then
+            match Hashtbl.find_opt queues p.pi_node with
+            | Some q -> Queue.push p q
+            | None ->
+                let q = Queue.create () in
+                Queue.push p q;
+                Hashtbl.replace queues p.pi_node q)
+        procs;
+      let decisions = ref [] and count = ref 0 and continue = ref true in
+      while !continue && !count < max_moves do
+        let li = ref 0 and mi = ref 0 in
+        Array.iteri
+          (fun i n ->
+            let l = load.(i) in
+            if
+              l < load.(!li)
+              || (l = load.(!li) && n.ni_name < arr.(!li).ni_name)
+            then li := i;
+            if
+              l > load.(!mi)
+              || (l = load.(!mi) && n.ni_name > arr.(!mi).ni_name)
+            then mi := i)
+          arr;
+        if load.(!mi) >= load.(!li) + 2 then
+          match Hashtbl.find_opt queues arr.(!mi).ni_name with
+          | Some q when not (Queue.is_empty q) ->
+              let p = Queue.pop q in
+              load.(!mi) <- load.(!mi) - 1;
+              load.(!li) <- load.(!li) + 1;
+              incr count;
+              decisions :=
+                { d_proc = p.pi_name; d_dst = arr.(!li).ni_name } :: !decisions
+          | _ -> continue := false
+        else continue := false
+      done;
+      List.rev !decisions
+
+(** Classic greedy load balancing: move processes from the most- to the
+    least-loaded node whenever the gap reaches 2.  [max_moves] bounds
+    the decisions per call (the tick-driven {!Sched} uses 1, preserving
+    its historical one-move-per-tick pace; the cluster engine lets a
+    single policy round drain a hot node). *)
+let least_loaded ?(max_moves = 1) () : t =
+  (module struct
+    let name = "least-loaded"
+    let decide ~now:_ nodes procs = balance_pass ~max_moves (live nodes) procs
+  end)
+
+(** Speed seeking: when the fastest live node sits idle, hand it work —
+    the "reconfigurable computing" motivation of the paper's §1. *)
+let seek_fastest () : t =
+  (module struct
+    let name = "seek-fastest"
+
+    let decide ~now:_ nodes procs =
+      match List.sort by_speed (live nodes) with
+      | fastest :: _ when fastest.ni_load = 0 -> (
+          match
+            List.find_opt
+              (fun p -> movable p && p.pi_node <> fastest.ni_name)
+              procs
+          with
+          | Some p -> [ { d_proc = p.pi_name; d_dst = fastest.ni_name } ]
+          | None -> [])
+      | _ -> []
+  end)
+
+(** Locality-preserving balance: like {!least_loaded}, but the gradient
+    is computed per site and processes never cross a site boundary —
+    affinity for the data (or operator domain) the site represents.
+    Sites are visited in name order; [max_moves] bounds each site's
+    pass. *)
+let locality ?(max_moves = 1) () : t =
+  (module struct
+    let name = "locality"
+
+    let decide ~now:_ nodes procs =
+      let nodes = live nodes in
+      let sites =
+        List.sort_uniq compare (List.map (fun n -> n.ni_site) nodes)
+      in
+      List.concat_map
+        (fun site ->
+          let here = List.filter (fun n -> n.ni_site = site) nodes in
+          let names = List.map (fun n -> n.ni_name) here in
+          let procs_here =
+            List.filter (fun p -> List.mem p.pi_node names) procs
+          in
+          balance_pass ~max_moves here procs_here)
+        sites
+  end)
+
+(** Gang migration: lift [policy]'s per-process decisions to whole
+    process groups.  A decision for a grouped process becomes one
+    decision per group member — all to the same destination — and is
+    dropped entirely when any member is not currently movable, so a
+    gang is only ever asked to move as a unit.  When the base policy
+    selects several members of the same group in one round, only the
+    first selection expands — the rest are redundant (the gang already
+    moves) and would otherwise duplicate decisions.  Ungrouped
+    processes pass through untouched. *)
+let gang (policy : t) : t =
+  let module P = (val policy) in
+  (module struct
+    let name = "gang+" ^ P.name
+
+    let decide ~now nodes procs =
+      let members g = List.filter (fun p -> p.pi_group = g) procs in
+      let expanded = ref [] in
+      List.concat_map
+        (fun d ->
+          match List.find_opt (fun p -> p.pi_name = d.d_proc) procs with
+          | Some p when p.pi_group <> "" ->
+              if List.mem p.pi_group !expanded then []
+              else begin
+                expanded := p.pi_group :: !expanded;
+                let gang = members p.pi_group in
+                if List.for_all movable gang then
+                  List.filter_map
+                    (fun m ->
+                      if m.pi_node = d.d_dst then None
+                      else Some { d_proc = m.pi_name; d_dst = d.d_dst })
+                    gang
+                else []
+              end
+          | _ -> [ d ])
+        (P.decide ~now nodes procs)
+  end)
+
+(** Anti-flap hysteresis: a process that moved within the last
+    [cooldown_s] simulated seconds is invisible to [policy] (masked as
+    already-migrating), so freshly landed work is never bounced straight
+    back — the classic load-balancer flap. *)
+let with_hysteresis ~(cooldown_s : float) (policy : t) : t =
+  if cooldown_s < 0.0 then
+    invalid_arg "Policy.with_hysteresis: cooldown_s must be >= 0";
+  let module P = (val policy) in
+  (module struct
+    let name = Printf.sprintf "%s/cooldown=%g" P.name cooldown_s
+
+    let decide ~now nodes procs =
+      let procs =
+        List.map
+          (fun p ->
+            if now -. p.pi_last_move_s < cooldown_s then
+              { p with pi_migrating = true }
+            else p)
+          procs
+      in
+      P.decide ~now nodes procs
+  end)
+
+let name (policy : t) =
+  let module P = (val policy) in
+  P.name
+
+let decide (policy : t) ~now nodes procs =
+  let module P = (val policy) in
+  P.decide ~now nodes procs

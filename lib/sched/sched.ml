@@ -47,11 +47,13 @@ open Hpm_store
 type node = {
   n_name : string;
   n_arch : Arch.t;
+  n_site : string;             (** locality tag for {!Policy.locality}; [""] = untagged *)
   mutable n_procs : int;       (** runnable processes currently placed here *)
   mutable n_instrs : int;      (** total instructions executed here *)
 }
 
-let node name arch = { n_name = name; n_arch = arch; n_procs = 0; n_instrs = 0 }
+let node ?(site = "") name arch =
+  { n_name = name; n_arch = arch; n_site = site; n_procs = 0; n_instrs = 0 }
 
 type proc_state =
   | Runnable
@@ -85,6 +87,10 @@ type proc = {
   mutable p_next_ckpt : float;          (** next periodic checkpoint is due at this time *)
   mutable p_ckpt_pending : bool;        (** a checkpoint suspension has been requested *)
   mutable p_ckpt_epoch : int;           (** next store-manifest epoch for this process *)
+  mutable p_group : string;             (** gang-migration group; [""] = ungrouped *)
+  mutable p_last_move_s : float;
+      (** when the scheduler last asked this process to move
+          ([neg_infinity] = never) — the anti-flap hysteresis input *)
 }
 
 (* Store manifests restrict process names to [A-Za-z0-9_-]. *)
@@ -129,6 +135,8 @@ type event =
 
 type t = {
   nodes : node list;
+  by_name : (string, node) Hashtbl.t;
+      (** name → node; {!node_named} used to scan [nodes] linearly *)
   channel : Netsim.t;
   handoff : Handoff.config;
   quantum_s : float;
@@ -140,12 +148,17 @@ type t = {
   ckpt_every_s : float option; (** periodic background checkpoint interval *)
   precopy : Precopy.config option;
       (** when set (and a store is), migrations run as iterative pre-copy *)
-  mutable procs : proc list;
+  procs : proc Vec.t;          (** spawn order *)
   mutable now : float;
   mutable next_pid : int;
-  mutable events : event list; (** newest first *)
+  events : event Vec.t;        (** oldest first — no per-read reversal *)
+  timers : action Eheap.t;
+      (** the global event heap: actions {!at} scheduled against the
+          simulated clock, fired by {!run} in (time, seq) order *)
   journal : Journal.t option;  (** durable fleet journal (HPMJ, docs/FORMAT.md) *)
 }
+
+and action = t -> unit
 
 let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
     ?(transport = Transport.default_config) ?handoff ?store ?ckpt_every_s ?precopy
@@ -162,8 +175,16 @@ let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
   | (Some _, _, None) | (_, Some _, None) ->
       invalid_arg "Sched.create: checkpointing and pre-copy need a store"
   | _ -> ());
+  let by_name = Hashtbl.create (max 16 (List.length nodes)) in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem by_name n.n_name then
+        invalid_arg (Printf.sprintf "Sched.create: duplicate node %s" n.n_name);
+      Hashtbl.replace by_name n.n_name n)
+    nodes;
   {
     nodes;
+    by_name;
     channel;
     handoff;
     quantum_s;
@@ -172,10 +193,11 @@ let create ?(quantum_s = 0.01) ?(base_ips = 1e6)
     store;
     ckpt_every_s;
     precopy;
-    procs = [];
+    procs = Vec.create ();
     now = 0.;
     next_pid = 0;
-    events = [];
+    events = Vec.create ();
+    timers = Eheap.create ();
     journal;
   }
 
@@ -238,7 +260,7 @@ let journalize t e =
    is where the observability layer taps in.  Event timestamps are the
    scheduler's own simulated clock. *)
 let log t e =
-  t.events <- e :: t.events;
+  Vec.push t.events e;
   journalize t e;
   if Hpm_obs.Obs.on () then begin
     let module Obs = Hpm_obs.Obs in
@@ -305,11 +327,13 @@ let spawn t (nd : node) name (m : Migration.migratable) : proc =
         (match t.ckpt_every_s with Some d -> t.now +. d | None -> infinity);
       p_ckpt_pending = false;
       p_ckpt_epoch = 1;
+      p_group = "";
+      p_last_move_s = neg_infinity;
     }
   in
   t.next_pid <- t.next_pid + 1;
   nd.n_procs <- nd.n_procs + 1;
-  t.procs <- t.procs @ [ p ];
+  Vec.push t.procs p;
   log t (Spawned (t.now, name, nd.n_name));
   p
 
@@ -331,16 +355,22 @@ let request_migration t (p : proc) (dst : node) =
       log t (Compat_rejected (t.now, p.p_name, p.p_node.n_name, dst.n_name)))
     else (
       p.p_pending_dst <- Some dst;
+      p.p_last_move_s <- t.now;
       Interp.request_migration p.p_interp;
       log t (Requested (t.now, p.p_name, p.p_node.n_name, dst.n_name)))
 
+(* Least-loaded node outside [avoid]; ties break on node name, so the
+   pick is independent of node-registration order. *)
 let least_loaded_except t (avoid : node list) : node option =
   List.fold_left
     (fun acc n ->
       if List.memq n avoid then acc
       else
         match acc with
-        | Some best when best.n_procs <= n.n_procs -> acc
+        | Some best
+          when best.n_procs < n.n_procs
+               || (best.n_procs = n.n_procs && best.n_name <= n.n_name) ->
+            acc
         | _ -> Some n)
     None t.nodes
 
@@ -632,7 +662,7 @@ let perform_migration t (p : proc) (dst : node) =
 (** One simulation tick: give every runnable process its quantum. *)
 let tick t =
   if Hpm_obs.Obs.on () then Hpm_obs.Obs.set_now t.now;
-  List.iter
+  Vec.iter
     (fun p ->
       match p.p_state with
       | Finished _ -> ()
@@ -666,55 +696,111 @@ let tick t =
   t.now <- t.now +. t.quantum_s
 
 let all_finished t =
-  List.for_all (fun p -> match p.p_state with Finished _ -> true | _ -> false) t.procs
+  Vec.for_all (fun p -> match p.p_state with Finished _ -> true | _ -> false) t.procs
+
+(** Schedule [f] to run against the scheduler at simulated [time] —
+    the event-heap face of {!run}.  Actions due at the same instant
+    fire in scheduling order (the heap's (time, seq) total order),
+    before that instant's tick.  Use it to script a fleet: inject a
+    crash at t=2s, request a migration at t=5s, flip a policy on at
+    t=10s. *)
+let at t ~(time : float) (f : action) : unit =
+  ignore (Eheap.add t.timers ~time f : int)
+
+(* Fire every scheduled action due at or before the current instant. *)
+let fire_due t =
+  let rec go () =
+    match Eheap.peek t.timers with
+    | Some (time, _, _) when time <= t.now -> (
+        match Eheap.pop t.timers with
+        | Some (_, _, f) ->
+            f t;
+            go ()
+        | None -> ())
+    | _ -> ()
+  in
+  go ()
 
 (** Run until every process finished (or [max_ticks] elapsed); returns the
-    number of ticks executed. *)
+    number of ticks executed.  Each iteration fires due {!at}-scheduled
+    actions (in (time, seq) order), consults [policy], then ticks. *)
 let run ?(max_ticks = 1_000_000) ?(policy = fun (_ : t) -> ()) t : int =
   let ticks = ref 0 in
   while (not (all_finished t)) && !ticks < max_ticks do
+    fire_due t;
     policy t;
     tick t;
     incr ticks
   done;
+  (* actions due by the instant the last process finished still fire:
+     [fire_due] runs at loop *start*, so anything that came due during
+     the final tick would otherwise be lost *)
+  fire_due t;
   !ticks
 
 (* ------------------------------------------------------------------ *)
 (* Policies                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let node_named t name = Hashtbl.find_opt t.by_name name
+
+(* The policy-facing views: what {!Policy.POLICY} implementations see.
+   Proc views are in spawn order (the candidate tie-break). *)
+let node_view t : Policy.node_info list =
+  List.map
+    (fun n ->
+      {
+        Policy.ni_name = n.n_name;
+        ni_speed = n.n_arch.Arch.speed;
+        ni_load = n.n_procs;
+        ni_site = n.n_site;
+        ni_alive = true;
+      })
+    t.nodes
+
+let proc_view t : Policy.proc_info list =
+  Vec.fold_left
+    (fun acc p ->
+      match p.p_state with
+      | Finished _ -> acc
+      | _ ->
+          {
+            Policy.pi_name = p.p_name;
+            pi_node = p.p_node.n_name;
+            pi_group = p.p_group;
+            pi_runnable = (p.p_state = Runnable);
+            pi_migrating = p.p_pending_dst <> None;
+            pi_last_move_s = p.p_last_move_s;
+          }
+          :: acc)
+    [] t.procs
+  |> List.rev
+
+(** Drive one placement round of [policy]: build the views, take its
+    decisions, and turn each into a {!request_migration}.  Decisions
+    naming unknown processes or nodes are dropped (a policy is data,
+    not a capability). *)
+let apply_policy t (policy : Policy.t) : unit =
+  let decisions = Policy.decide policy ~now:t.now (node_view t) (proc_view t) in
+  List.iter
+    (fun { Policy.d_proc; d_dst } ->
+      match
+        ( Vec.find_opt (fun p -> p.p_name = d_proc) t.procs,
+          node_named t d_dst )
+      with
+      | Some p, Some dst -> request_migration t p dst
+      | _ -> ())
+    decisions
+
 (** Greedy load balancing: whenever some node runs ≥ 2 more processes than
-    another, ask one (that is not already migrating) to move. *)
-let load_balance (t : t) =
-  let by_load = List.sort (fun a b -> compare a.n_procs b.n_procs) t.nodes in
-  match (by_load, List.rev by_load) with
-  | least :: _, most :: _ when most.n_procs >= least.n_procs + 2 -> (
-      let candidate =
-        List.find_opt
-          (fun p ->
-            p.p_node == most && p.p_state = Runnable && p.p_pending_dst = None)
-          t.procs
-      in
-      match candidate with Some p -> request_migration t p least | None -> ())
-  | _ -> ()
+    another, ask one (that is not already migrating) to move.  This is
+    {!Policy.least_loaded} applied once per call. *)
+let load_balance (t : t) = apply_policy t (Policy.least_loaded ())
 
 (** Speed-seeking policy: move work from slow nodes to the fastest idle
-    node — the "reconfigurable computing" motivation of §1. *)
-let seek_fastest (t : t) =
-  let fastest =
-    List.fold_left
-      (fun acc n -> if n.n_arch.Arch.speed > acc.n_arch.Arch.speed then n else acc)
-      (List.hd t.nodes) t.nodes
-  in
-  if fastest.n_procs = 0 then
-    match
-      List.find_opt
-        (fun p ->
-          p.p_state = Runnable && p.p_pending_dst = None && p.p_node != fastest)
-        t.procs
-    with
-    | Some p -> request_migration t p fastest
-    | None -> ()
+    node — the "reconfigurable computing" motivation of §1.  This is
+    {!Policy.seek_fastest} applied once per call. *)
+let seek_fastest (t : t) = apply_policy t (Policy.seek_fastest ())
 
 let pp_event ppf = function
   | Spawned (ts, p, n) -> Fmt.pf ppf "[%8.3fs] spawn    %s on %s" ts p n
@@ -749,7 +835,7 @@ let pp_event ppf = function
       Fmt.pf ppf "[%8.3fs] RESYNC   %s: full resync to standby %s at epoch %d" ts p sb
         epoch
 
-let events t = List.rev t.events
+let events t = Vec.to_list t.events
 
 let output (p : proc) =
   (* finished processes folded their last host's output already *)
@@ -760,8 +846,6 @@ let output (p : proc) =
 (* ------------------------------------------------------------------ *)
 (* Continuous replication: warm standbys and promotion-on-failure      *)
 (* ------------------------------------------------------------------ *)
-
-let node_named t name = List.find_opt (fun n -> n.n_name = name) t.nodes
 
 (** Open a continuous-replication session for [p]: every stream epoch
     ships a delta to the scheduler's store (required — it is the

@@ -1,0 +1,62 @@
+(** Growable array kept in insertion order.
+
+    The scheduler's hot paths used to accumulate into lists — newest
+    first (reversed on every read) or, worse, appended with [xs @ [x]]
+    (O(n) per spawn).  This vector gives amortized-O(1) push, O(1)
+    random access, and in-order iteration without any per-read
+    reversal.  OCaml 5.1 has no [Dynarray]; this is the minimal subset
+    the schedulers need.  Slots past [len] may retain earlier elements
+    (capacity is seeded from pushed values) — they are never read. *)
+
+type 'a t = { mutable buf : 'a array; mutable len : int }
+
+let create () : 'a t = { buf = [||]; len = 0 }
+
+let length v = v.len
+
+let push v x =
+  if v.len = Array.length v.buf then begin
+    let cap = max 64 (2 * Array.length v.buf) in
+    let bigger = Array.make cap x in
+    Array.blit v.buf 0 bigger 0 v.len;
+    v.buf <- bigger
+  end;
+  v.buf.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
+  v.buf.(i)
+
+(** Insertion order. *)
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.buf.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.buf.(i)
+  done;
+  !acc
+
+let for_all p v =
+  let rec go i = i >= v.len || (p v.buf.(i) && go (i + 1)) in
+  go 0
+
+let exists p v =
+  let rec go i = i < v.len && (p v.buf.(i) || go (i + 1)) in
+  go 0
+
+(** First element satisfying [p], scanning in insertion order. *)
+let find_opt p v =
+  let rec go i =
+    if i >= v.len then None
+    else if p v.buf.(i) then Some v.buf.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(** Fresh list in insertion order. *)
+let to_list v = List.init v.len (fun i -> v.buf.(i))

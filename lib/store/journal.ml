@@ -326,19 +326,75 @@ let parse_body (body : string) : entry list =
   lines [] 0
 
 (* ------------------------------------------------------------------ *)
-(* The on-disk log                                                     *)
+(* The on-disk log: append-only segments                               *)
 (* ------------------------------------------------------------------ *)
 
+(* A journal at [path] is a sequence of closed segment files
+   ([path.00001.seg], [path.00002.seg], ...) followed by the active file
+   at [path] itself.  Appends are append-only writes to the active file
+   — amortized O(1) per record, where the original implementation
+   rewrote the whole log atomically on every append (O(n²) over the
+   life of a long-lived fleet).  The only whole-file operations left
+   are rotation (a single atomic rename of the full active file once it
+   passes [segment_bytes]) and [compact] (tmp+rename, like a store
+   manifest).  Readers see the same byte stream as before: the
+   concatenation of the segment sequence and the active file is exactly
+   the old single-file encoding, so HPMJ v1 load semantics — including
+   the typed [Corrupt] on a truncated tail or unknown version — are
+   unchanged. *)
+
+let default_segment_bytes = 256 * 1024
+
+(* Segment names carry a 5-digit sequence so lexicographic order is
+   append order. *)
+let segment_path path seq = Printf.sprintf "%s.%05d.seg" path seq
+
+(* [base ^ ".NNNNN.seg"] exactly. *)
+let is_segment_name base name =
+  String.length name = String.length base + 10
+  && String.sub name 0 (String.length base) = base
+  && name.[String.length base] = '.'
+  && String.for_all
+       (function '0' .. '9' -> true | _ -> false)
+       (String.sub name (String.length base + 1) 5)
+  && String.sub name (String.length name - 4) 4 = ".seg"
+
+(** The closed segments of the journal at [path], oldest first. *)
+let segment_paths (path : string) : string list =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (is_segment_name base)
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
 type t = {
-  jt_path : string;
-  jt_buf : Buffer.t;              (* serialized image, kept in sync *)
-  mutable jt_entries : entry list; (* newest first *)
+  jt_path : string;                (* the active file *)
+  jt_segment_bytes : int;          (* rotation threshold *)
+  mutable jt_oc : out_channel option;  (* active file, append mode *)
+  mutable jt_active_bytes : int;
+  mutable jt_next_seg : int;
+  mutable jt_entries : entry array;    (* oldest first; jt_count live *)
   mutable jt_count : int;
+  mutable jt_rotations : int;
+  mutable jt_bytes_written : int;
+      (* cumulative bytes this handle pushed to disk — the amortized-O(1)
+         claim is [jt_bytes_written <= encoded size + one segment of
+         rotation slack], pinned by a regression test *)
 }
 
 let path t = t.jt_path
 let length t = t.jt_count
-let entries t = List.rev t.jt_entries
+
+let entries t = Array.to_list (Array.sub t.jt_entries 0 t.jt_count)
+
+let rotations t = t.jt_rotations
+let bytes_written t = t.jt_bytes_written
+
+(** The journal's closed segment files, oldest first. *)
+let segments t = segment_paths t.jt_path
 
 let read_file_opt path =
   if not (Sys.file_exists path) then None
@@ -351,33 +407,144 @@ let read_file_opt path =
       Some s
     with Sys_error m -> corrupt "journal: cannot read %s: %s" path m
 
-(** Load the entries of [path]; an absent file is an empty journal. *)
+(** Load the entries of [path] — every closed segment in sequence, then
+    the active file.  An absent journal is empty. *)
 let load (path : string) : entry list =
-  match read_file_opt path with None -> [] | Some body -> parse_body body
+  let parts = segment_paths path @ [ path ] in
+  List.concat_map
+    (fun p ->
+      match read_file_opt p with None -> [] | Some body -> parse_body body)
+    parts
 
-(** Open (creating if needed) the journal at [path].
-    @raise Corrupt when an existing file does not parse. *)
-let open_journal (path : string) : t =
-  let body = match read_file_opt path with None -> "" | Some b -> b in
-  let entries = parse_body body in
-  let buf = Buffer.create (String.length body + 256) in
-  Buffer.add_string buf body;
+let dummy_entry =
   {
-    jt_path = path;
-    jt_buf = buf;
-    jt_entries = List.rev entries;
-    jt_count = List.length entries;
+    j_ts = 0.0; j_ev = Spawned; j_proc = ""; j_src = ""; j_dst = "";
+    j_node = ""; j_epoch = 0; j_incarnation = 0; j_stream_bytes = 0;
+    j_collected_bytes = 0; j_restored_bytes = 0; j_retries = 0;
+    j_time_s = 0.0; j_delta_bytes = 0; j_chunks_shipped = 0;
+    j_chunks_reused = 0; j_note = "";
   }
 
-(** Append one record durably: the full log is rewritten through the
-    same tmp+rename commit as store manifests, so a crash leaves either
-    the old log or the new one — never a torn line. *)
+let push_entry t e =
+  if t.jt_count = Array.length t.jt_entries then begin
+    let cap = max 64 (2 * Array.length t.jt_entries) in
+    let bigger = Array.make cap dummy_entry in
+    Array.blit t.jt_entries 0 bigger 0 t.jt_count;
+    t.jt_entries <- bigger
+  end;
+  t.jt_entries.(t.jt_count) <- e;
+  t.jt_count <- t.jt_count + 1
+
+let active_channel t =
+  match t.jt_oc with
+  | Some oc -> oc
+  | None ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.jt_path
+      in
+      t.jt_oc <- Some oc;
+      oc
+
+(** Open (creating if needed) the journal at [path].  [segment_bytes]
+    bounds the active file: an append that would push it past the
+    threshold first rotates it into the next closed segment.
+    @raise Corrupt when an existing file does not parse. *)
+let open_journal ?(segment_bytes = default_segment_bytes) (path : string) : t =
+  if segment_bytes <= 0 then
+    invalid_arg "Journal.open_journal: segment_bytes must be positive";
+  Store.mkdir_p (Filename.dirname path);
+  let segs = segment_paths path in
+  let next_seg =
+    match List.rev segs with
+    | [] -> 1
+    | last :: _ -> (
+        (* trailing ".seg" stripped, then the 5-digit sequence *)
+        let stem = Filename.chop_suffix (Filename.basename last) ".seg" in
+        let seq = String.sub stem (String.length stem - 5) 5 in
+        try int_of_string seq + 1 with _ -> List.length segs + 1)
+  in
+  let t =
+    {
+      jt_path = path;
+      jt_segment_bytes = segment_bytes;
+      jt_oc = None;
+      jt_active_bytes =
+        (match read_file_opt path with None -> 0 | Some b -> String.length b);
+      jt_next_seg = next_seg;
+      jt_entries = [||];
+      jt_count = 0;
+      jt_rotations = 0;
+      jt_bytes_written = 0;
+    }
+  in
+  List.iter (push_entry t) (load path);
+  t
+
+(** Flush and close the active file handle.  The journal stays usable —
+    the next append reopens it. *)
+let close (t : t) : unit =
+  match t.jt_oc with
+  | None -> ()
+  | Some oc ->
+      t.jt_oc <- None;
+      close_out oc
+
+(* Rotate the active file into the next closed segment: one atomic
+   rename of already-durable bytes, no copying. *)
+let rotate (t : t) : unit =
+  close t;
+  Sys.rename t.jt_path (segment_path t.jt_path t.jt_next_seg);
+  t.jt_next_seg <- t.jt_next_seg + 1;
+  t.jt_active_bytes <- 0;
+  t.jt_rotations <- t.jt_rotations + 1;
+  if Hpm_obs.Obs.metrics_on () then begin
+    Hpm_obs.Obs.inc "hpm_journal_rotations_total" [];
+    Hpm_obs.Obs.set_gauge "hpm_journal_segments" []
+      (float_of_int (t.jt_next_seg - 1))
+  end
+
+(** Append one record: an append-only write to the active segment,
+    flushed before returning — amortized O(1) per entry.  A writer
+    crash can leave at most a truncated final line, which the loader
+    surfaces as the typed [Corrupt] (never silent data loss); committed
+    segments are immutable and rotation is a single atomic rename. *)
 let append (t : t) (e : entry) : unit =
-  Buffer.add_string t.jt_buf (encode_entry e);
-  Buffer.add_char t.jt_buf '\n';
-  Store.mkdir_p (Filename.dirname t.jt_path);
-  Store.write_file_atomic t.jt_path (Buffer.contents t.jt_buf);
-  t.jt_entries <- e :: t.jt_entries;
-  t.jt_count <- t.jt_count + 1;
+  let line = encode_entry e ^ "\n" in
+  if
+    t.jt_active_bytes > 0
+    && t.jt_active_bytes + String.length line > t.jt_segment_bytes
+  then rotate t;
+  let oc = active_channel t in
+  output_string oc line;
+  flush oc;
+  t.jt_active_bytes <- t.jt_active_bytes + String.length line;
+  t.jt_bytes_written <- t.jt_bytes_written + String.length line;
+  push_entry t e;
   if Hpm_obs.Obs.metrics_on () then
     Hpm_obs.Obs.inc "hpm_journal_appends_total" []
+
+(** Merge every closed segment and the active file back into a single
+    file at [path] — the only remaining whole-log rewrite, through the
+    same tmp+rename commit as store manifests.  Crash-safe: the rename
+    lands before the old segments are deleted, and a reader that races
+    a crashed compaction sees either the old segment sequence or the
+    compacted file plus stale segments — [load] of the latter would
+    duplicate, so segments are deleted first only after the rename. *)
+let compact (t : t) : unit =
+  close t;
+  let segs = segments t in
+  let body = Buffer.create (t.jt_count * 128) in
+  Array.iteri
+    (fun i e ->
+      if i < t.jt_count then begin
+        Buffer.add_string body (encode_entry e);
+        Buffer.add_char body '\n'
+      end)
+    t.jt_entries;
+  let bytes = Buffer.contents body in
+  Store.write_file_atomic t.jt_path bytes;
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) segs;
+  t.jt_active_bytes <- String.length bytes;
+  t.jt_bytes_written <- t.jt_bytes_written + String.length bytes;
+  if Hpm_obs.Obs.metrics_on () then
+    Hpm_obs.Obs.set_gauge "hpm_journal_segments" [] 0.0

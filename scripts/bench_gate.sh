@@ -18,6 +18,12 @@
 #   query.top_churn_s      cost-model time of the heaviest canned report
 #   query.gc_candidates_s  cost-model time of the retention sweep
 #
+# The sched section (cluster churn scenarios, matched on scenario name)
+# gates:
+#   sched.makespan_s       simulated time to drain the churn
+#   sched.events           discrete events executed (engine work)
+#   sched.journal_bytes    HPMJ bytes the run appends (wire change)
+#
 # A baseline generated before a metric existed simply lacks it; such
 # metrics are skipped (null-safe), so refreshing the baseline is what
 # arms a newly added gate.
@@ -80,12 +86,41 @@ regressions=$(jq -n --argjson thr "$threshold" \
                    pct: (($v - $o) / $o * 100 * 100 | round / 100) } )
         end ]')
 
-count=$(printf '%s' "$regressions" | jq 'length')
+# The sched section: null-safe — a baseline from before the section
+# existed (BENCH_0004 and older) has .sched == null and is skipped;
+# refreshing the baseline is what arms this gate.
+sched_regressions=$(jq -n --argjson thr "$threshold" \
+    --slurpfile base "$baseline" --slurpfile new "$fresh" '
+  def smetrics: {
+    "sched.makespan_s":    .makespan_s,
+    "sched.events":        .events,
+    "sched.journal_bytes": .journal_bytes
+  };
+  if ($base[0].sched == null) or ($new[0].sched == null) then []
+  else
+    ($base[0].sched | map({(.scenario): smetrics}) | add) as $b
+    | [ $new[0].sched[]
+        | . as $e | .scenario as $k
+        | if $b[$k] == null
+          then { case: $k, metric: "(scenario)", old: "absent from baseline",
+                 new: "present", pct: null }
+          else ( $e | smetrics | to_entries[]
+                 | .key as $m | .value as $v | $b[$k][$m] as $o
+                 | select($o != null and $o > 0
+                          and $v > ($o * (1 + $thr / 100)))
+                 | { case: $k, metric: $m, old: $o, new: $v,
+                     pct: (($v - $o) / $o * 100 * 100 | round / 100) } )
+          end ]
+  end')
+
+all=$(jq -n --argjson a "$regressions" --argjson b "$sched_regressions" '$a + $b')
+count=$(printf '%s' "$all" | jq 'length')
 if [ "$count" != "0" ]; then
     echo "bench-gate: $count metric(s) regressed more than ${threshold}% vs $baseline:" >&2
-    printf '%s\n' "$regressions" | jq -r \
+    printf '%s\n' "$all" | jq -r \
         '.[] | "  \(.case)  \(.metric): \(.old) -> \(.new)  (+\(.pct)%)"' >&2
     exit 1
 fi
 
-echo "bench-gate: OK ($nf entries, no metric regressed more than ${threshold}% vs $baseline)"
+nsched=$(jq '.sched // [] | length' "$fresh")
+echo "bench-gate: OK ($nf entries, $nsched sched scenarios, no metric regressed more than ${threshold}% vs $baseline)"

@@ -43,4 +43,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("bench-json", Test_bench_json.suite);
       ("query", Test_query.suite);
+      ("cluster", Test_cluster.suite);
     ]
